@@ -1,0 +1,72 @@
+//! Criterion benchmarks of the mobility substrate: trace serialization,
+//! external-trace import, per-slot statistics and transforms.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snip_mobility::{ContactTrace, EpochProfile, ExternalTrace, TraceGenerator};
+use snip_units::{SimDuration, SimTime};
+
+fn two_week_trace() -> ContactTrace {
+    TraceGenerator::new(EpochProfile::roadside())
+        .epochs(14)
+        .generate(&mut StdRng::seed_from_u64(1))
+}
+
+fn bench_csv_roundtrip(c: &mut Criterion) {
+    c.bench_function("mobility/csv_serialize_and_parse_14_epochs", |b| {
+        let trace = two_week_trace();
+        b.iter(|| {
+            let text = trace.to_csv();
+            let back: ContactTrace = text.parse().expect("own CSV parses");
+            black_box(back)
+        })
+    });
+}
+
+fn bench_external_import(c: &mut Criterion) {
+    c.bench_function("mobility/external_trace_parse_and_extract", |b| {
+        // Render the roadside trace as a sighting file with one mobile each.
+        let trace = two_week_trace();
+        let mut text = String::new();
+        for (i, contact) in trace.iter().enumerate() {
+            text.push_str(&format!(
+                "{:.6} {:.6} 0 {}\n",
+                contact.start.as_secs_f64(),
+                contact.end().as_secs_f64(),
+                i + 1
+            ));
+        }
+        b.iter(|| {
+            let parsed: ExternalTrace = text.parse().expect("valid sightings");
+            black_box(parsed.contacts_at(0))
+        })
+    });
+}
+
+fn bench_slot_stats(c: &mut Criterion) {
+    c.bench_function("mobility/per_slot_statistics", |b| {
+        let trace = two_week_trace();
+        b.iter(|| black_box(trace.stats(SimDuration::from_hours(24), 24)))
+    });
+}
+
+fn bench_transforms(c: &mut Criterion) {
+    c.bench_function("mobility/splice_and_window", |b| {
+        let trace = two_week_trace();
+        let at = SimTime::from_secs(14 * 86_400);
+        b.iter(|| {
+            let spliced = trace.spliced(&trace, at);
+            black_box(spliced.window(SimTime::from_secs(86_400), SimTime::from_secs(10 * 86_400)))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_csv_roundtrip,
+    bench_external_import,
+    bench_slot_stats,
+    bench_transforms
+);
+criterion_main!(benches);

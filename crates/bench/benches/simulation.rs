@@ -1,0 +1,65 @@
+//! Criterion benchmarks of the discrete-event simulator.
+//!
+//! Measures trace generation and full two-week mechanism runs — the unit of
+//! work behind each Fig 7/8 data point.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snip_core::{SnipAt, SnipRh, SnipRhConfig};
+use snip_mobility::{EpochProfile, TraceGenerator};
+use snip_sim::{SimConfig, Simulation};
+use snip_units::{DutyCycle, SimDuration};
+
+fn bench_trace_generation(c: &mut Criterion) {
+    c.bench_function("sim/trace_generation_14_epochs", |b| {
+        let gen = TraceGenerator::new(EpochProfile::roadside()).epochs(14);
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(gen.generate(&mut rng))
+        })
+    });
+}
+
+fn bench_snip_at_run(c: &mut Criterion) {
+    c.bench_function("sim/snip_at_two_weeks", |b| {
+        let trace = TraceGenerator::new(EpochProfile::roadside())
+            .epochs(14)
+            .generate(&mut StdRng::seed_from_u64(2));
+        let config = SimConfig::paper_defaults();
+        b.iter(|| {
+            let scheduler = SnipAt::new(DutyCycle::new(0.001).unwrap());
+            let mut sim = Simulation::new(config.clone(), &trace, scheduler);
+            black_box(sim.run(&mut StdRng::seed_from_u64(3)))
+        })
+    });
+}
+
+fn bench_snip_rh_run(c: &mut Criterion) {
+    c.bench_function("sim/snip_rh_two_weeks", |b| {
+        let trace = TraceGenerator::new(EpochProfile::roadside())
+            .epochs(14)
+            .generate(&mut StdRng::seed_from_u64(4));
+        let config = SimConfig::paper_defaults().with_zeta_target_secs(16.0);
+        let mut marks = vec![false; 24];
+        for h in [7, 8, 17, 18] {
+            marks[h] = true;
+        }
+        b.iter(|| {
+            let rh = SnipRh::new(
+                SnipRhConfig::paper_defaults(marks.clone())
+                    .with_phi_max(SimDuration::from_secs_f64(86.4)),
+            );
+            let mut sim = Simulation::new(config.clone(), &trace, rh);
+            black_box(sim.run(&mut StdRng::seed_from_u64(5)))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_trace_generation,
+    bench_snip_at_run,
+    bench_snip_rh_run
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Extension E10: SNIP-RH plus SNIP-AT — the evaluation §IX defers to
+//! future work.
+//!
+//! Compares plain SNIP-RH against the hybrid (SNIP-RH in rush hours plus a
+//! very small background SNIP-AT everywhere else) across capacity targets,
+//! under the loose budget. The hybrid's value shows at targets above the
+//! rush-hour capacity ceiling (~48 s at the knee): the background probing
+//! tops up from off-peak contacts at the off-peak unit cost, where plain
+//! SNIP-RH simply saturates.
+//!
+//! Output columns: ζtarget, RH ζ/Φ/ρ, hybrid ζ/Φ/ρ.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use snip_bench::{columns, fmt_rho, header};
+use snip_core::{SnipRh, SnipRhConfig, SnipRhPlusAt};
+use snip_mobility::{EpochProfile, TraceGenerator};
+use snip_sim::{SimConfig, Simulation};
+use snip_units::SimDuration;
+
+fn main() {
+    header(
+        "E10",
+        "SNIP-RH vs SNIP-RH+AT (background d = 0.2%) at Φmax = 864 s",
+    );
+    columns(&[
+        "zeta_target",
+        "RH_zeta", "RH_phi", "RH_rho",
+        "HYB_zeta", "HYB_phi", "HYB_rho",
+    ]);
+
+    let profile = EpochProfile::roadside();
+    let trace = TraceGenerator::new(profile.clone())
+        .epochs(14)
+        .generate(&mut StdRng::seed_from_u64(1010));
+    let phi_max = SimDuration::from_secs(864);
+    let background = 0.002;
+
+    for target in [16.0, 32.0, 48.0, 56.0, 64.0] {
+        let config = SimConfig::paper_defaults().with_zeta_target_secs(target);
+        let base = SnipRhConfig::paper_defaults(profile.rush_marks()).with_phi_max(phi_max);
+
+        let mut rh_sim =
+            Simulation::new(config.clone(), &trace, SnipRh::new(base.clone()));
+        let rh = rh_sim.run(&mut StdRng::seed_from_u64(1011));
+
+        let mut hy_sim = Simulation::new(
+            config,
+            &trace,
+            SnipRhPlusAt::new(base, background),
+        );
+        let hy = hy_sim.run(&mut StdRng::seed_from_u64(1011));
+
+        println!(
+            "{target:.0}\t{:.2}\t{:.2}\t{}\t{:.2}\t{:.2}\t{}",
+            rh.mean_zeta_per_epoch(),
+            rh.mean_phi_per_epoch(),
+            fmt_rho(rh.overall_rho()),
+            hy.mean_zeta_per_epoch(),
+            hy.mean_phi_per_epoch(),
+            fmt_rho(hy.overall_rho()),
+        );
+    }
+    println!("# above the rush ceiling the hybrid keeps buying capacity from");
+    println!("# off-peak contacts; below it, the background adds a small Φ floor.");
+}

@@ -1,0 +1,70 @@
+//! Extension E2: SNIP vs mobile-node-initiated probing (§III's 2–10× claim).
+//!
+//! At equal sensor duty-cycle (equal probing energy), compares the probed
+//! contact capacity of SNIP against the MIP baseline, both in the closed-form
+//! models and in simulation over the roadside trace.
+//!
+//! Output columns: duty-cycle, model SNIP Υ, model MIP Υ, model gain,
+//! simulated SNIP ζ/epoch, simulated MIP ζ/epoch, simulated gain.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use snip_bench::{columns, header};
+use snip_core::SnipAt;
+use snip_mobility::{EpochProfile, TraceGenerator};
+use snip_model::{MipModel, SnipModel};
+use snip_sim::{MipSimulation, SimConfig, Simulation};
+use snip_units::{DutyCycle, SimDuration};
+
+fn main() {
+    header(
+        "E2",
+        "SNIP vs mobile-initiated probing at equal sensor duty-cycle",
+    );
+    columns(&[
+        "duty_cycle",
+        "model_snip_upsilon",
+        "model_mip_upsilon",
+        "model_gain",
+        "sim_snip_zeta",
+        "sim_mip_zeta",
+        "sim_gain",
+    ]);
+
+    let snip_model = SnipModel::default();
+    let mip_model = MipModel::default();
+    let contact = SimDuration::from_secs(2);
+
+    let trace = TraceGenerator::new(EpochProfile::roadside())
+        .epochs(14)
+        .generate(&mut StdRng::seed_from_u64(77));
+
+    for d_frac in [0.001, 0.002, 0.005, 0.01] {
+        let d = DutyCycle::new(d_frac).expect("valid duty-cycle");
+        let m_snip = snip_model.upsilon(d, contact);
+        let m_mip = mip_model.upsilon(d, contact);
+
+        let mut snip_sim =
+            Simulation::new(SimConfig::paper_defaults(), &trace, SnipAt::new(d));
+        let snip_zeta = snip_sim
+            .run(&mut StdRng::seed_from_u64(1))
+            .mean_zeta_per_epoch();
+
+        let mip_sim = MipSimulation::new(
+            SimConfig::paper_defaults(),
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(2),
+        );
+        let mip_zeta = mip_sim
+            .run(&trace, d, &mut StdRng::seed_from_u64(2))
+            .mean_zeta_per_epoch();
+
+        println!(
+            "{d_frac:.4}\t{m_snip:.4}\t{m_mip:.4}\t{:.2}\t{snip_zeta:.3}\t{mip_zeta:.3}\t{:.2}",
+            m_snip / m_mip.max(1e-12),
+            snip_zeta / mip_zeta.max(1e-9),
+        );
+    }
+    println!("# paper §III: probed capacity increased by a factor of 2-10 below 1% duty-cycle");
+}

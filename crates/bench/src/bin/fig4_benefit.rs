@@ -1,0 +1,35 @@
+//! Figure 4: the energy benefit of activating SNIP only during rush hours.
+//!
+//! Regenerates the 3-D surface `Φ_AT / Φ_rh` over the rush-hour fraction
+//! `Trh/Tepoch ∈ [0.05, 0.5]` and frequency ratio `frh/fother ∈ [2, 20]` —
+//! the axes of the paper's Fig 4 (z ranges roughly 1–11).
+//!
+//! Output columns: Trh/Tepoch, frh/fother, Φ_AT/Φ_rh. Blank lines separate
+//! constant-ratio series (gnuplot `splot` format).
+
+use snip_bench::{blank, columns, header};
+use snip_model::RushHourBenefit;
+
+fn main() {
+    header(
+        "Fig 4",
+        "benefit of activating SNIP only during rush hours (Φ_AT/Φ_rh)",
+    );
+    columns(&["Trh_over_Tepoch", "frh_over_fother", "phi_ratio"]);
+
+    let fractions: Vec<f64> = (1..=10).map(|i| 0.05 * f64::from(i)).collect();
+    let ratios: Vec<f64> = (1..=10).map(|i| 2.0 * f64::from(i)).collect();
+
+    for &r in &ratios {
+        for &x in &fractions {
+            let benefit = RushHourBenefit::from_fractions(x, r);
+            println!("{x:.2}\t{r:.1}\t{:.3}", benefit.energy_ratio());
+        }
+        blank();
+    }
+
+    // The corners the paper's surface shows.
+    let max = RushHourBenefit::from_fractions(0.05, 20.0).energy_ratio();
+    let min = RushHourBenefit::from_fractions(0.5, 2.0).energy_ratio();
+    println!("# corner check: max {max:.2} (paper ~10.3), min {min:.2} (paper ~1.3)");
+}

@@ -1,0 +1,54 @@
+//! Figures 5a/5b/5c: numerical analysis at the tight budget
+//! `Φmax = Tepoch/1000 = 86.4 s`.
+//!
+//! For each `ζtarget ∈ {16 … 56} s`, prints the probed capacity ζ, the
+//! probing overhead Φ and the unit cost ρ = Φ/ζ achieved by SNIP-AT,
+//! SNIP-OPT and SNIP-RH under the roadside scenario, from the closed-form
+//! models (no simulation).
+
+use snip_bench::{columns, fmt_rho, header};
+use snip_model::analysis::{PAPER_PHI_MAX_TIGHT, PAPER_ZETA_TARGETS};
+use snip_model::{ScenarioAnalysis, SlotProfile, SnipModel};
+use snip_opt::TwoStepOptimizer;
+
+fn main() {
+    run_analysis(
+        "Fig 5",
+        PAPER_PHI_MAX_TIGHT,
+        "analysis results at Φmax = Tepoch/1000",
+    );
+}
+
+/// Shared by fig5 and fig6 (same sweep, different budget).
+pub fn run_analysis(figure: &str, phi_max: f64, caption: &str) {
+    header(figure, caption);
+    columns(&[
+        "zeta_target",
+        "AT_zeta", "AT_phi", "AT_rho",
+        "OPT_zeta", "OPT_phi", "OPT_rho",
+        "RH_zeta", "RH_phi", "RH_rho",
+    ]);
+
+    let model = SnipModel::default();
+    let profile = SlotProfile::roadside();
+    let analysis = ScenarioAnalysis::new(model, profile.clone(), phi_max);
+    let optimizer = TwoStepOptimizer::new(model, profile);
+
+    for target in PAPER_ZETA_TARGETS {
+        let at = analysis.snip_at(target);
+        let rh = analysis.snip_rh(target);
+        let opt = optimizer.solve(phi_max, target);
+        println!(
+            "{target:.0}\t{:.3}\t{:.3}\t{}\t{:.3}\t{:.3}\t{}\t{:.3}\t{:.3}\t{}",
+            at.zeta,
+            at.phi,
+            fmt_rho(at.rho()),
+            opt.zeta(),
+            opt.phi(),
+            fmt_rho(opt.rho()),
+            rh.zeta,
+            rh.phi,
+            fmt_rho(rh.rho()),
+        );
+    }
+}

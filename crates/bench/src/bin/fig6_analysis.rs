@@ -1,0 +1,44 @@
+//! Figures 6a/6b/6c: numerical analysis at the loose budget
+//! `Φmax = Tepoch/100 = 864 s`.
+//!
+//! Same sweep as `fig5_analysis`, different budget: here SNIP-AT can meet
+//! every target but at roughly 3× SNIP-RH's unit cost, and SNIP-RH saturates
+//! at the rush-hour capacity (48 s at the knee) for `ζtarget = 56 s`.
+
+use snip_bench::{columns, fmt_rho, header};
+use snip_model::analysis::{PAPER_PHI_MAX_LOOSE, PAPER_ZETA_TARGETS};
+use snip_model::{ScenarioAnalysis, SlotProfile, SnipModel};
+use snip_opt::TwoStepOptimizer;
+
+fn main() {
+    header("Fig 6", "analysis results at Φmax = Tepoch/100");
+    columns(&[
+        "zeta_target",
+        "AT_zeta", "AT_phi", "AT_rho",
+        "OPT_zeta", "OPT_phi", "OPT_rho",
+        "RH_zeta", "RH_phi", "RH_rho",
+    ]);
+
+    let model = SnipModel::default();
+    let profile = SlotProfile::roadside();
+    let analysis = ScenarioAnalysis::new(model, profile.clone(), PAPER_PHI_MAX_LOOSE);
+    let optimizer = TwoStepOptimizer::new(model, profile);
+
+    for target in PAPER_ZETA_TARGETS {
+        let at = analysis.snip_at(target);
+        let rh = analysis.snip_rh(target);
+        let opt = optimizer.solve(PAPER_PHI_MAX_LOOSE, target);
+        println!(
+            "{target:.0}\t{:.3}\t{:.3}\t{}\t{:.3}\t{:.3}\t{}\t{:.3}\t{:.3}\t{}",
+            at.zeta,
+            at.phi,
+            fmt_rho(at.rho()),
+            opt.zeta(),
+            opt.phi(),
+            fmt_rho(opt.rho()),
+            rh.zeta,
+            rh.phi,
+            fmt_rho(rh.rho()),
+        );
+    }
+}

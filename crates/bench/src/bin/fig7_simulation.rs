@@ -1,0 +1,54 @@
+//! Figures 7a/7b/7c: two-week simulation at the tight budget
+//! `Φmax = Tepoch/1000 = 86.4 s`.
+//!
+//! For each `ζtarget`, simulates SNIP-AT, SNIP-OPT and SNIP-RH for 14 epochs
+//! over the roadside scenario (Normal-distributed intervals and contact
+//! lengths, σ = µ/10, as in the paper's COOJA runs) and prints per-epoch
+//! means of ζ, Φ and the overall ρ.
+
+use snip_bench::{columns, fmt_rho, header};
+use snip_model::analysis::{PAPER_PHI_MAX_TIGHT, PAPER_ZETA_TARGETS};
+use snip_sim::{Mechanism, ScenarioRunner};
+
+fn main() {
+    run_simulation(
+        "Fig 7",
+        PAPER_PHI_MAX_TIGHT,
+        "simulation results at Φmax = Tepoch/1000 (14 epochs)",
+    );
+}
+
+/// Shared by fig7 and fig8 (same sweep, different budget).
+pub fn run_simulation(figure: &str, phi_max: f64, caption: &str) {
+    header(figure, caption);
+    columns(&[
+        "zeta_target",
+        "AT_zeta", "AT_phi", "AT_rho",
+        "OPT_zeta", "OPT_phi", "OPT_rho",
+        "RH_zeta", "RH_phi", "RH_rho",
+    ]);
+
+    let runner = ScenarioRunner::paper(phi_max).with_seed(2011);
+    for target in PAPER_ZETA_TARGETS {
+        let mut cells: Vec<String> = vec![format!("{target:.0}")];
+        for mechanism in Mechanism::ALL {
+            let metrics = runner.run_one(mechanism, target);
+            cells.push(format!("{:.3}", metrics.mean_zeta_per_epoch()));
+            cells.push(format!("{:.3}", metrics.mean_phi_per_epoch()));
+            cells.push(fmt_rho(metrics.overall_rho()));
+        }
+        println!("{}", cells.join("\t"));
+    }
+
+    // The paper: "there is a lot of variance in simulation results" —
+    // quantify it with independent seeds at the headline target.
+    let seeds: Vec<u64> = (0..8).collect();
+    for mechanism in Mechanism::ALL {
+        let (mean, sd, _) = runner.run_seeds(mechanism, 16.0, &seeds);
+        println!(
+            "# {} at ζtarget=16 over {} seeds: ζ = {mean:.2} ± {sd:.2} s/epoch",
+            mechanism.label(),
+            seeds.len()
+        );
+    }
+}

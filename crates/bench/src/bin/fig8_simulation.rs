@@ -1,0 +1,30 @@
+//! Figures 8a/8b/8c: two-week simulation at the loose budget
+//! `Φmax = Tepoch/100 = 864 s`.
+//!
+//! Same sweep as `fig7_simulation`, different budget.
+
+use snip_bench::{columns, fmt_rho, header};
+use snip_model::analysis::{PAPER_PHI_MAX_LOOSE, PAPER_ZETA_TARGETS};
+use snip_sim::{Mechanism, ScenarioRunner};
+
+fn main() {
+    header("Fig 8", "simulation results at Φmax = Tepoch/100 (14 epochs)");
+    columns(&[
+        "zeta_target",
+        "AT_zeta", "AT_phi", "AT_rho",
+        "OPT_zeta", "OPT_phi", "OPT_rho",
+        "RH_zeta", "RH_phi", "RH_rho",
+    ]);
+
+    let runner = ScenarioRunner::paper(PAPER_PHI_MAX_LOOSE).with_seed(2012);
+    for target in PAPER_ZETA_TARGETS {
+        let mut cells: Vec<String> = vec![format!("{target:.0}")];
+        for mechanism in Mechanism::ALL {
+            let metrics = runner.run_one(mechanism, target);
+            cells.push(format!("{:.3}", metrics.mean_zeta_per_epoch()));
+            cells.push(format!("{:.3}", metrics.mean_phi_per_epoch()));
+            cells.push(fmt_rho(metrics.overall_rho()));
+        }
+        println!("{}", cells.join("\t"));
+    }
+}

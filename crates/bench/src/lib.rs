@@ -1,0 +1,50 @@
+//! Shared output helpers for the figure-regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates the data behind one figure of the
+//! paper (or one extension experiment), printing gnuplot-friendly columns to
+//! stdout. These helpers keep the formatting uniform so `EXPERIMENTS.md` can
+//! quote the outputs directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Prints a figure header with the paper reference.
+pub fn header(figure: &str, caption: &str) {
+    println!("# {figure}: {caption}");
+}
+
+/// Prints a column-name comment line.
+pub fn columns(names: &[&str]) {
+    println!("# {}", names.join("\t"));
+}
+
+/// Formats an optional ρ value (`-` when nothing was probed).
+#[must_use]
+pub fn fmt_rho(rho: Option<f64>) -> String {
+    match rho {
+        Some(r) => format!("{r:.3}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Prints one data row of f64 cells with a leading label column.
+pub fn row(label: &str, cells: &[f64]) {
+    let rendered: Vec<String> = cells.iter().map(|c| format!("{c:.3}")).collect();
+    println!("{label}\t{}", rendered.join("\t"));
+}
+
+/// Prints a blank separator line (gnuplot dataset separator).
+pub fn blank() {
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rho_formatting() {
+        assert_eq!(fmt_rho(Some(3.0)), "3.000");
+        assert_eq!(fmt_rho(None), "-");
+    }
+}

@@ -1,0 +1,226 @@
+//! The per-epoch probing-energy ledger (condition 3 of §VI-B).
+//!
+//! A sensor node "needs to maintain the energy that it consumed for contact
+//! probing in the current epoch" and must stop probing once that reaches its
+//! budget `Φmax`. The ledger tracks radio-on time charged to probing, rolls
+//! over automatically at epoch boundaries, and remembers the closed epochs'
+//! totals for reporting.
+
+use serde::{Deserialize, Serialize};
+use snip_units::{SimDuration, SimTime};
+
+/// Per-epoch probing-energy accounting against a budget.
+///
+/// # Examples
+///
+/// ```
+/// use snip_core::EnergyLedger;
+/// use snip_units::{SimDuration, SimTime};
+///
+/// let mut ledger = EnergyLedger::new(SimDuration::from_hours(24), SimDuration::from_secs(86));
+/// ledger.charge(SimTime::from_secs(100), SimDuration::from_secs(40));
+/// assert!(ledger.under_budget(SimTime::from_secs(200)));
+/// ledger.charge(SimTime::from_secs(300), SimDuration::from_secs(46));
+/// assert!(!ledger.under_budget(SimTime::from_secs(400)));
+/// // A new epoch resets the ledger.
+/// assert!(ledger.under_budget(SimTime::from_secs(90_000)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyLedger {
+    epoch: SimDuration,
+    budget: SimDuration,
+    current_epoch: u64,
+    spent_current: SimDuration,
+    closed_epochs: Vec<SimDuration>,
+}
+
+impl EnergyLedger {
+    /// Creates a ledger with the given epoch length and per-epoch budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch` is zero.
+    #[must_use]
+    pub fn new(epoch: SimDuration, budget: SimDuration) -> Self {
+        assert!(!epoch.is_zero(), "epoch length must be positive");
+        EnergyLedger {
+            epoch,
+            budget,
+            current_epoch: 0,
+            spent_current: SimDuration::ZERO,
+            closed_epochs: Vec::new(),
+        }
+    }
+
+    /// The per-epoch budget `Φmax`.
+    #[must_use]
+    pub fn budget(&self) -> SimDuration {
+        self.budget
+    }
+
+    /// The epoch length.
+    #[must_use]
+    pub fn epoch(&self) -> SimDuration {
+        self.epoch
+    }
+
+    /// Rolls the ledger forward to the epoch containing `now`, closing any
+    /// epochs that ended in between.
+    fn roll_to(&mut self, now: SimTime) {
+        let epoch_idx = now.epoch_index(self.epoch);
+        while self.current_epoch < epoch_idx {
+            self.closed_epochs.push(self.spent_current);
+            self.spent_current = SimDuration::ZERO;
+            self.current_epoch += 1;
+        }
+    }
+
+    /// Charges probing on-time at instant `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is in an epoch earlier than one already charged
+    /// (time must move forward).
+    pub fn charge(&mut self, now: SimTime, on_time: SimDuration) {
+        assert!(
+            now.epoch_index(self.epoch) >= self.current_epoch,
+            "ledger time must not move backwards"
+        );
+        self.roll_to(now);
+        self.spent_current += on_time;
+    }
+
+    /// Probing energy spent so far in the epoch containing `now`.
+    pub fn spent(&mut self, now: SimTime) -> SimDuration {
+        self.roll_to(now);
+        self.spent_current
+    }
+
+    /// `true` while the current epoch's spend is strictly below the budget.
+    pub fn under_budget(&mut self, now: SimTime) -> bool {
+        self.spent(now) < self.budget
+    }
+
+    /// Remaining budget in the epoch containing `now` (zero if exhausted).
+    pub fn remaining(&mut self, now: SimTime) -> SimDuration {
+        let spent = self.spent(now);
+        self.budget.saturating_sub(spent)
+    }
+
+    /// Totals of all fully closed epochs, oldest first.
+    ///
+    /// Note: epochs are closed lazily, on the first `charge`/`spent` call
+    /// with a later timestamp.
+    #[must_use]
+    pub fn closed_epochs(&self) -> &[SimDuration] {
+        &self.closed_epochs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ledger(budget_s: u64) -> EnergyLedger {
+        EnergyLedger::new(SimDuration::from_hours(24), SimDuration::from_secs(budget_s))
+    }
+
+    fn at(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn charges_accumulate_within_an_epoch() {
+        let mut l = ledger(100);
+        l.charge(at(10), SimDuration::from_secs(30));
+        l.charge(at(20), SimDuration::from_secs(30));
+        assert_eq!(l.spent(at(30)), SimDuration::from_secs(60));
+        assert!(l.under_budget(at(30)));
+        assert_eq!(l.remaining(at(30)), SimDuration::from_secs(40));
+    }
+
+    #[test]
+    fn budget_boundary_is_strict() {
+        let mut l = ledger(100);
+        l.charge(at(10), SimDuration::from_secs(100));
+        assert!(!l.under_budget(at(20)), "spending exactly Φmax exhausts it");
+        assert_eq!(l.remaining(at(20)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn epoch_rollover_resets_spend() {
+        let mut l = ledger(100);
+        l.charge(at(1_000), SimDuration::from_secs(100));
+        assert!(!l.under_budget(at(2_000)));
+        // Next day.
+        assert!(l.under_budget(at(86_400 + 10)));
+        assert_eq!(l.spent(at(86_400 + 10)), SimDuration::ZERO);
+        assert_eq!(l.closed_epochs(), &[SimDuration::from_secs(100)]);
+    }
+
+    #[test]
+    fn skipped_epochs_close_as_zero() {
+        let mut l = ledger(100);
+        l.charge(at(10), SimDuration::from_secs(5));
+        // Jump three days ahead.
+        let _ = l.spent(at(3 * 86_400 + 5));
+        assert_eq!(
+            l.closed_epochs(),
+            &[
+                SimDuration::from_secs(5),
+                SimDuration::ZERO,
+                SimDuration::ZERO
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn time_cannot_move_backwards() {
+        let mut l = ledger(100);
+        l.charge(at(86_400 + 10), SimDuration::from_secs(1));
+        l.charge(at(10), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn zero_budget_is_always_exhausted() {
+        let mut l = ledger(0);
+        assert!(!l.under_budget(at(0)));
+        assert_eq!(l.remaining(at(0)), SimDuration::ZERO);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_spent_equals_sum_of_charges_in_epoch(
+            charges in proptest::collection::vec(1u64..1000, 1..50),
+        ) {
+            let mut l = ledger(1_000_000);
+            let mut t = 0u64;
+            let mut total = SimDuration::ZERO;
+            for c in charges {
+                t += 60;
+                l.charge(at(t), SimDuration::from_secs(c));
+                total += SimDuration::from_secs(c);
+                if t >= 80_000 { break; } // stay inside epoch 0
+            }
+            prop_assert_eq!(l.spent(at(t)), total);
+        }
+
+        #[test]
+        fn prop_remaining_plus_spent_equals_budget(
+            spend in 0u64..200,
+            budget in 1u64..200,
+        ) {
+            let mut l = ledger(budget);
+            l.charge(at(10), SimDuration::from_secs(spend));
+            let spent = l.spent(at(20));
+            let remaining = l.remaining(at(20));
+            if spend <= budget {
+                prop_assert_eq!(spent + remaining, SimDuration::from_secs(budget));
+            } else {
+                prop_assert_eq!(remaining, SimDuration::ZERO);
+            }
+        }
+    }
+}

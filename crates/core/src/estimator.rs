@@ -1,0 +1,245 @@
+//! Online estimators: the exponentially weighted moving average of §VI-B/C.
+//!
+//! The paper filters both learned quantities — the mean probed contact length
+//! and the mean data uploaded per probed contact — through an EWMA with "a
+//! small weight assigned to the new sample", so one odd contact cannot swing
+//! the duty-cycle choice.
+
+use serde::{Deserialize, Serialize};
+
+/// An exponentially weighted moving average over `f64` samples.
+///
+/// `estimate ← (1 − w)·estimate + w·sample` with weight `w ∈ (0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use snip_core::Ewma;
+///
+/// let mut ewma = Ewma::new(0.1).unwrap();
+/// assert!(ewma.value().is_none());
+/// ewma.observe(2.0);
+/// assert_eq!(ewma.value(), Some(2.0)); // first sample seeds the estimate
+/// ewma.observe(4.0);
+/// assert!((ewma.value().unwrap() - 2.2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ewma {
+    weight: f64,
+    value: Option<f64>,
+    samples: u64,
+}
+
+/// Error for an EWMA weight outside `(0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EwmaWeightError(f64);
+
+impl std::fmt::Display for EwmaWeightError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "EWMA weight must be in (0, 1], got {}", self.0)
+    }
+}
+
+impl std::error::Error for EwmaWeightError {}
+
+impl Ewma {
+    /// The paper's "small weight" convention.
+    pub const PAPER_WEIGHT: f64 = 0.1;
+
+    /// Creates an estimator with the given new-sample weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `weight` is not in `(0, 1]`.
+    pub fn new(weight: f64) -> Result<Self, EwmaWeightError> {
+        if weight.is_finite() && weight > 0.0 && weight <= 1.0 {
+            Ok(Ewma {
+                weight,
+                value: None,
+                samples: 0,
+            })
+        } else {
+            Err(EwmaWeightError(weight))
+        }
+    }
+
+    /// An estimator with the paper's default weight of 0.1.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Ewma::new(Self::PAPER_WEIGHT).expect("0.1 is a valid weight")
+    }
+
+    /// An estimator pre-seeded with an initial value (e.g. an engineering
+    /// guess of the contact length before any contact was probed).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `weight` is not in `(0, 1]`.
+    pub fn seeded(weight: f64, initial: f64) -> Result<Self, EwmaWeightError> {
+        let mut e = Ewma::new(weight)?;
+        e.value = Some(initial);
+        Ok(e)
+    }
+
+    /// Folds in one sample.
+    ///
+    /// The first sample (of an unseeded estimator) becomes the estimate
+    /// as-is; later samples are blended with weight `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample` is not finite.
+    pub fn observe(&mut self, sample: f64) {
+        assert!(sample.is_finite(), "EWMA sample must be finite");
+        self.samples += 1;
+        self.value = Some(match self.value {
+            None => sample,
+            Some(v) => (1.0 - self.weight) * v + self.weight * sample,
+        });
+    }
+
+    /// The current estimate, `None` before any sample or seed.
+    #[must_use]
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// The current estimate or a fallback.
+    #[must_use]
+    pub fn value_or(&self, fallback: f64) -> f64 {
+        self.value.unwrap_or(fallback)
+    }
+
+    /// Number of samples observed (seeds do not count).
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// The new-sample weight.
+    #[must_use]
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// Discards the estimate but keeps the weight (used when the
+    /// environment is known to have changed, e.g. a seasonal shift).
+    pub fn reset(&mut self) {
+        self.value = None;
+        self.samples = 0;
+    }
+}
+
+impl Default for Ewma {
+    fn default() -> Self {
+        Ewma::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn first_sample_seeds() {
+        let mut e = Ewma::new(0.1).unwrap();
+        assert!(e.value().is_none());
+        assert_eq!(e.value_or(7.0), 7.0);
+        e.observe(3.0);
+        assert_eq!(e.value(), Some(3.0));
+        assert_eq!(e.samples(), 1);
+    }
+
+    #[test]
+    fn blending_uses_weight() {
+        let mut e = Ewma::new(0.25).unwrap();
+        e.observe(4.0);
+        e.observe(8.0);
+        assert!((e.value().unwrap() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seeded_start_blends_immediately() {
+        let mut e = Ewma::seeded(0.5, 10.0).unwrap();
+        assert_eq!(e.value(), Some(10.0));
+        assert_eq!(e.samples(), 0);
+        e.observe(0.0);
+        assert_eq!(e.value(), Some(5.0));
+        assert_eq!(e.samples(), 1);
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut e = Ewma::paper_default();
+        for _ in 0..200 {
+            e.observe(2.0);
+        }
+        assert!((e.value().unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_weight_filters_outliers() {
+        let mut e = Ewma::paper_default();
+        for _ in 0..50 {
+            e.observe(2.0);
+        }
+        e.observe(100.0); // one rogue 100 s "contact"
+        let v = e.value().unwrap();
+        assert!(v < 12.0, "estimate jumped to {v}");
+        assert!(v > 2.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut e = Ewma::paper_default();
+        e.observe(5.0);
+        e.reset();
+        assert!(e.value().is_none());
+        assert_eq!(e.samples(), 0);
+        assert_eq!(e.weight(), 0.1);
+    }
+
+    #[test]
+    fn invalid_weights_rejected() {
+        for w in [0.0, -0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let err = Ewma::new(w);
+            assert!(err.is_err(), "weight {w} should be rejected");
+        }
+        assert!(Ewma::new(1.0).is_ok(), "weight 1.0 (no memory) is legal");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_sample_panics() {
+        Ewma::paper_default().observe(f64::NAN);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_estimate_stays_within_sample_hull(
+            samples in proptest::collection::vec(0.0f64..1000.0, 1..100),
+            weight in 0.01f64..=1.0,
+        ) {
+            let mut e = Ewma::new(weight).unwrap();
+            for &s in &samples {
+                e.observe(s);
+            }
+            let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = samples.iter().cloned().fold(0.0, f64::max);
+            let v = e.value().unwrap();
+            prop_assert!(v >= min - 1e-9 && v <= max + 1e-9, "{v} outside [{min}, {max}]");
+        }
+
+        #[test]
+        fn prop_weight_one_tracks_last_sample(
+            samples in proptest::collection::vec(-10.0f64..10.0, 1..50),
+        ) {
+            let mut e = Ewma::new(1.0).unwrap();
+            for &s in &samples {
+                e.observe(s);
+            }
+            prop_assert_eq!(e.value().unwrap(), *samples.last().unwrap());
+        }
+    }
+}

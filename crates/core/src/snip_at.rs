@@ -1,0 +1,180 @@
+//! SNIP-AT: SNIP active all the time at one fixed duty-cycle (§IV).
+//!
+//! The strawman the paper improves upon. The duty-cycle is "well selected so
+//! that the probed contact capacity is just enough to upload its sensed data"
+//! — an offline choice, computed here from the closed-form analysis when a
+//! slot profile is available. An optional budget gate (the same condition 3
+//! as SNIP-RH) stops probing once the epoch's energy budget is spent; the
+//! paper's SNIP-AT implicitly respects the budget by construction
+//! (`d0 ≤ Φmax/Tepoch`), and the gate makes that robust to mis-estimation.
+
+use snip_model::{ScenarioAnalysis, SlotProfile, SnipModel};
+use snip_units::{DutyCycle, SimDuration};
+
+use crate::budget::EnergyLedger;
+use crate::scheduler::{ProbeContext, ProbeScheduler};
+
+/// The SNIP-AT scheduler: a fixed duty-cycle, all the time.
+///
+/// # Examples
+///
+/// ```
+/// use snip_core::{ProbeContext, ProbeScheduler, SnipAt};
+/// use snip_units::{DataSize, DutyCycle, SimDuration, SimTime};
+///
+/// let mut at = SnipAt::new(DutyCycle::new(0.001).unwrap());
+/// let ctx = ProbeContext {
+///     now: SimTime::from_secs(3 * 3600), // 3 AM — SNIP-AT doesn't care
+///     buffered_data: DataSize::ZERO,
+///     phi_spent_epoch: SimDuration::ZERO,
+/// };
+/// assert_eq!(at.decide(&ctx), Some(DutyCycle::new(0.001).unwrap()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SnipAt {
+    duty_cycle: DutyCycle,
+    ledger: Option<EnergyLedger>,
+}
+
+impl SnipAt {
+    /// Creates SNIP-AT at a fixed duty-cycle with no budget gate.
+    #[must_use]
+    pub fn new(duty_cycle: DutyCycle) -> Self {
+        SnipAt {
+            duty_cycle,
+            ledger: None,
+        }
+    }
+
+    /// Adds the per-epoch budget gate: probing stops for the rest of an
+    /// epoch once `phi_max` has been spent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch` is zero.
+    #[must_use]
+    pub fn with_budget(mut self, epoch: SimDuration, phi_max: SimDuration) -> Self {
+        self.ledger = Some(EnergyLedger::new(epoch, phi_max));
+        self
+    }
+
+    /// The paper's offline selection: the smallest duty-cycle whose probed
+    /// capacity reaches `zeta_target` seconds per epoch under `profile`,
+    /// capped at the budget-bound duty-cycle `Φmax/Tepoch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phi_max` or `zeta_target` is not positive.
+    #[must_use]
+    pub fn for_target(
+        model: SnipModel,
+        profile: &SlotProfile,
+        phi_max: f64,
+        zeta_target: f64,
+    ) -> Self {
+        let analysis = ScenarioAnalysis::new(model, profile.clone(), phi_max);
+        let epoch = profile.epoch().as_secs_f64();
+        let budget_d = DutyCycle::clamped(phi_max / epoch);
+        let d = match analysis.duty_cycle_for_target(zeta_target) {
+            Some(d) if d.as_fraction() <= budget_d.as_fraction() => d,
+            _ => budget_d,
+        };
+        SnipAt::new(d)
+    }
+
+    /// The configured duty-cycle.
+    #[must_use]
+    pub fn duty_cycle(&self) -> DutyCycle {
+        self.duty_cycle
+    }
+}
+
+impl ProbeScheduler for SnipAt {
+    fn decide(&mut self, ctx: &ProbeContext) -> Option<DutyCycle> {
+        if self.duty_cycle.is_off() {
+            return None;
+        }
+        if let Some(ledger) = &mut self.ledger {
+            // Trust the driver's ledger when provided; keep our own in sync.
+            ledger.charge(ctx.now, SimDuration::ZERO);
+            if ctx.phi_spent_epoch >= ledger.budget() || !ledger.under_budget(ctx.now) {
+                return None;
+            }
+        }
+        Some(self.duty_cycle)
+    }
+
+    fn name(&self) -> &str {
+        "SNIP-AT"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snip_units::{DataSize, SimTime};
+
+    fn ctx(now_s: u64, phi_spent_s: u64) -> ProbeContext {
+        ProbeContext {
+            now: SimTime::from_secs(now_s),
+            buffered_data: DataSize::ZERO,
+            phi_spent_epoch: SimDuration::from_secs(phi_spent_s),
+        }
+    }
+
+    #[test]
+    fn probes_at_all_hours() {
+        let mut at = SnipAt::new(DutyCycle::new(0.001).unwrap());
+        for hour in 0..24 {
+            assert!(at.decide(&ctx(hour * 3_600, 0)).is_some(), "hour {hour}");
+        }
+    }
+
+    #[test]
+    fn zero_duty_cycle_never_probes() {
+        let mut at = SnipAt::new(DutyCycle::OFF);
+        assert!(at.decide(&ctx(0, 0)).is_none());
+    }
+
+    #[test]
+    fn budget_gate_stops_probing() {
+        let mut at = SnipAt::new(DutyCycle::new(0.01).unwrap())
+            .with_budget(SimDuration::from_hours(24), SimDuration::from_secs(86));
+        assert!(at.decide(&ctx(100, 0)).is_some());
+        // Driver reports the budget fully spent.
+        assert!(at.decide(&ctx(200, 86)).is_none());
+        assert!(at.decide(&ctx(300, 90)).is_none());
+        // Next epoch: the driver's counter resets.
+        assert!(at.decide(&ctx(86_400 + 100, 0)).is_some());
+    }
+
+    #[test]
+    fn for_target_picks_the_analysis_duty_cycle() {
+        // Under the loose budget the 16 s target needs d = 16/8800.
+        let at = SnipAt::for_target(
+            SnipModel::default(),
+            &SlotProfile::roadside(),
+            864.0,
+            16.0,
+        );
+        assert!((at.duty_cycle().as_fraction() - 16.0 / 8_800.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn for_target_caps_at_budget() {
+        // Under the tight budget every paper target exceeds what SNIP-AT can
+        // reach, so it degrades to d = Φmax/Tepoch = 0.001.
+        let at = SnipAt::for_target(
+            SnipModel::default(),
+            &SlotProfile::roadside(),
+            86.4,
+            16.0,
+        );
+        assert!((at.duty_cycle().as_fraction() - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(SnipAt::new(DutyCycle::OFF).name(), "SNIP-AT");
+    }
+}

@@ -1,0 +1,231 @@
+//! Synthetic diurnal travel-demand curves (the Fig 3 substitute).
+//!
+//! The paper motivates rush hours with measured travel-demand data from a
+//! Florida toll bridge (Cain et al.), which we cannot redistribute. This
+//! module synthesizes demand curves with the same qualitative shape — a
+//! morning and an evening commute peak over a daytime base — so the rest of
+//! the pipeline (profile extraction, trace generation, rush-hour learning)
+//! exercises the identical code path it would on real data.
+//!
+//! The curve is a mixture of two Gaussian bumps (centered on the commute
+//! peaks) over a raised-cosine daytime base that vanishes at night.
+
+use serde::{Deserialize, Serialize};
+use snip_model::LengthDistribution;
+
+use crate::profile::EpochProfile;
+
+/// A synthetic two-peak diurnal demand curve over a 24-hour day.
+///
+/// # Examples
+///
+/// ```
+/// use snip_mobility::DiurnalDemand;
+///
+/// let demand = DiurnalDemand::commuter();
+/// let hourly = demand.hourly_shares();
+/// // Peaks land in the commute hours and dwarf 3 AM.
+/// assert!(hourly[8] > 4.0 * hourly[3]);
+/// assert!((hourly.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalDemand {
+    am_peak_hour: f64,
+    pm_peak_hour: f64,
+    peak_width_hours: f64,
+    /// Peak demand relative to the midday base (≥ 0).
+    peak_to_base: f64,
+}
+
+impl DiurnalDemand {
+    /// A typical commuter pattern: peaks at 08:00 and 17:30, σ = 1 h,
+    /// peaks 4× the midday base — the shape of the paper's Fig 3.
+    #[must_use]
+    pub fn commuter() -> Self {
+        DiurnalDemand {
+            am_peak_hour: 8.0,
+            pm_peak_hour: 17.5,
+            peak_width_hours: 1.0,
+            peak_to_base: 4.0,
+        }
+    }
+
+    /// A custom curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the peak hours are outside `[0, 24)`, the width is not
+    /// positive, or `peak_to_base` is negative.
+    #[must_use]
+    pub fn new(
+        am_peak_hour: f64,
+        pm_peak_hour: f64,
+        peak_width_hours: f64,
+        peak_to_base: f64,
+    ) -> Self {
+        assert!(
+            (0.0..24.0).contains(&am_peak_hour) && (0.0..24.0).contains(&pm_peak_hour),
+            "peak hours must be within the day"
+        );
+        assert!(peak_width_hours > 0.0, "peak width must be positive");
+        assert!(peak_to_base >= 0.0, "peak-to-base ratio must be non-negative");
+        DiurnalDemand {
+            am_peak_hour,
+            pm_peak_hour,
+            peak_width_hours,
+            peak_to_base,
+        }
+    }
+
+    /// Relative demand at an hour-of-day in `[0, 24)` (unnormalized, ≥ 0).
+    #[must_use]
+    pub fn demand_at(&self, hour: f64) -> f64 {
+        let hour = hour.rem_euclid(24.0);
+        // Daytime base: raised cosine that is ~0 at 03:00 and 1 at 15:00.
+        let base = 0.5 * (1.0 - ((hour - 3.0) / 24.0 * 2.0 * std::f64::consts::PI).cos());
+        let bump = |center: f64| {
+            // Wrap-around distance on the 24 h circle.
+            let mut dist = (hour - center).abs();
+            if dist > 12.0 {
+                dist = 24.0 - dist;
+            }
+            (-0.5 * (dist / self.peak_width_hours).powi(2)).exp()
+        };
+        base + self.peak_to_base * (bump(self.am_peak_hour) + bump(self.pm_peak_hour))
+    }
+
+    /// Hourly demand shares over the day, normalized to sum to 1 (each hour
+    /// is sampled at its midpoint — the granularity of Fig 3's bars).
+    #[must_use]
+    pub fn hourly_shares(&self) -> [f64; 24] {
+        let mut shares = [0.0f64; 24];
+        for (h, s) in shares.iter_mut().enumerate() {
+            *s = self.demand_at(h as f64 + 0.5);
+        }
+        let total: f64 = shares.iter().sum();
+        if total > 0.0 {
+            for s in &mut shares {
+                *s /= total;
+            }
+        }
+        shares
+    }
+
+    /// Converts the curve into hourly contact frequencies given a daily
+    /// contact total, then into an [`EpochProfile`].
+    ///
+    /// Hours receiving fewer than `min_per_hour` contacts get none at all
+    /// (deep-night traffic rounds to zero, as in real deployments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contacts_per_day` is not positive.
+    #[must_use]
+    pub fn to_profile(
+        &self,
+        contacts_per_day: f64,
+        contact_length: LengthDistribution,
+        min_per_hour: f64,
+    ) -> EpochProfile {
+        assert!(contacts_per_day > 0.0, "daily contact total must be positive");
+        let hourly: Vec<f64> = self
+            .hourly_shares()
+            .iter()
+            .map(|s| s * contacts_per_day)
+            .collect();
+        EpochProfile::from_hourly_frequencies(&hourly, contact_length, min_per_hour)
+    }
+}
+
+impl Default for DiurnalDemand {
+    fn default() -> Self {
+        Self::commuter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snip_units::{SimDuration, SimTime};
+
+    #[test]
+    fn commuter_peaks_at_commute_hours() {
+        let d = DiurnalDemand::commuter();
+        let shares = d.hourly_shares();
+        let peak_am = (6..10).map(|h| shares[h]).fold(0.0, f64::max);
+        let peak_pm = (16..20).map(|h| shares[h]).fold(0.0, f64::max);
+        let night = shares[2].max(shares[3]);
+        assert!(peak_am > 3.0 * night, "AM peak {peak_am} vs night {night}");
+        assert!(peak_pm > 3.0 * night);
+    }
+
+    #[test]
+    fn shares_normalize() {
+        let shares = DiurnalDemand::commuter().hourly_shares();
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(shares.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn demand_wraps_around_midnight() {
+        let d = DiurnalDemand::commuter();
+        assert!((d.demand_at(25.0) - d.demand_at(1.0)).abs() < 1e-12);
+        assert!((d.demand_at(-1.0) - d.demand_at(23.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_profile_produces_rush_hours_near_peaks() {
+        let d = DiurnalDemand::commuter();
+        let p = d.to_profile(
+            200.0,
+            LengthDistribution::fixed(SimDuration::from_secs(2)),
+            0.5,
+        );
+        let marks = p.rush_marks();
+        assert!(marks[8], "08:00 slot should be rush hour");
+        assert!(marks[17], "17:00 slot should be rush hour");
+        assert!(!marks[3], "03:00 slot should not be rush hour");
+        // Deep-night hours can be empty of contacts.
+        let night = p.arrivals_at(SimTime::from_secs(3 * 3_600 + 1_800));
+        let noon = p.arrivals_at(SimTime::from_secs(12 * 3_600 + 1_800));
+        assert!(noon.is_some());
+        // Whether night has contacts depends on min_per_hour; at 200/day,
+        // 3 AM gets < 0.5 contacts.
+        assert!(night.is_none());
+    }
+
+    #[test]
+    fn flat_curve_has_no_rush_hours() {
+        let d = DiurnalDemand::new(8.0, 17.5, 1.0, 0.0);
+        // No peaks: demand is the raised-cosine base only; slots above the
+        // mean still exist, but the peak slots are not special.
+        let shares = d.hourly_shares();
+        let max = shares.iter().cloned().fold(0.0, f64::max);
+        let at_peak = shares[8];
+        assert!(at_peak < max, "without bumps 08:00 is not the maximum");
+    }
+
+    #[test]
+    fn custom_peak_positions_respected() {
+        let d = DiurnalDemand::new(6.0, 22.0, 0.5, 10.0);
+        let shares = d.hourly_shares();
+        assert!(shares[6] > shares[8]);
+        assert!(shares[22] > shares[20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "within the day")]
+    fn out_of_range_peak_rejected() {
+        let _ = DiurnalDemand::new(24.5, 17.0, 1.0, 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "daily contact total")]
+    fn zero_daily_total_rejected() {
+        let _ = DiurnalDemand::commuter().to_profile(
+            0.0,
+            LengthDistribution::fixed(SimDuration::from_secs(2)),
+            0.5,
+        );
+    }
+}

@@ -1,0 +1,400 @@
+//! Time-slotted epoch profiles: where the rush hours are and what the
+//! contact process looks like in each slot.
+//!
+//! §VI-A of the paper divides an epoch into `N` equal time-slots, each marked
+//! `1` (rush hour) or `0`. An [`EpochProfile`] carries that structure plus
+//! the *actual* contact process of each slot, so it can both drive trace
+//! generation and be projected down to the model crate's
+//! [`snip_model::SlotProfile`] for closed-form analysis.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use snip_model::{LengthDistribution, SlotProfile, SlotSpec};
+use snip_units::{SimDuration, SimTime};
+
+use crate::arrival::ArrivalProcess;
+
+/// Whether a slot is inside rush hours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SlotKind {
+    /// A rush-hour slot (marked "1" in §VI-A).
+    Rush,
+    /// An off-peak slot (marked "0").
+    OffPeak,
+}
+
+impl SlotKind {
+    /// `true` for rush-hour slots.
+    #[must_use]
+    pub fn is_rush(self) -> bool {
+        matches!(self, SlotKind::Rush)
+    }
+}
+
+/// One slot of an epoch profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfileSlot {
+    /// Rush-hour mark.
+    pub kind: SlotKind,
+    /// Contact arrivals inside this slot; `None` for no contacts.
+    pub arrivals: Option<ArrivalProcess>,
+    /// Contact length distribution inside this slot.
+    pub contact_length: LengthDistribution,
+}
+
+/// An epoch's slotted contact process (`Tepoch`, `N`, the marks, and the
+/// per-slot processes).
+///
+/// # Examples
+///
+/// ```
+/// use snip_mobility::EpochProfile;
+/// use snip_units::{SimDuration, SimTime};
+///
+/// let p = EpochProfile::roadside();
+/// assert_eq!(p.slot_count(), 24);
+/// assert_eq!(p.epoch(), SimDuration::from_hours(24));
+/// // 08:30 on any day falls in a rush-hour slot.
+/// let t = SimTime::from_secs(8 * 3600 + 30 * 60);
+/// assert!(p.kind_at(t).is_rush());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochProfile {
+    slot_length: SimDuration,
+    slots: Vec<ProfileSlot>,
+}
+
+impl EpochProfile {
+    /// Creates a profile from equal-length slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is empty or `slot_length` is zero.
+    #[must_use]
+    pub fn new(slot_length: SimDuration, slots: Vec<ProfileSlot>) -> Self {
+        assert!(!slots.is_empty(), "a profile needs at least one slot");
+        assert!(!slot_length.is_zero(), "slot length must be positive");
+        EpochProfile { slot_length, slots }
+    }
+
+    /// The paper's §VII roadside scenario with the simulation's randomness:
+    /// 24 one-hour slots, rush hours 07–09 and 17–19, Normal(µ, µ/10)
+    /// intervals (µ = 300 s rush / 1800 s off-peak) and Normal(2 s, 0.2 s)
+    /// contact lengths.
+    #[must_use]
+    pub fn roadside() -> Self {
+        Self::roadside_with(
+            SimDuration::from_secs(300),
+            SimDuration::from_secs(1800),
+            LengthDistribution::paper_normal(SimDuration::from_secs(2)),
+        )
+    }
+
+    /// The deterministic variant used by the paper's analysis: exact 300 s /
+    /// 1800 s intervals and exact 2 s contacts.
+    #[must_use]
+    pub fn roadside_deterministic() -> Self {
+        let hour = SimDuration::from_hours(1);
+        let slots = (0..24)
+            .map(|h| {
+                let rush = (7..9).contains(&h) || (17..19).contains(&h);
+                ProfileSlot {
+                    kind: if rush { SlotKind::Rush } else { SlotKind::OffPeak },
+                    arrivals: Some(ArrivalProcess::periodic(if rush {
+                        SimDuration::from_secs(300)
+                    } else {
+                        SimDuration::from_secs(1800)
+                    })),
+                    contact_length: LengthDistribution::fixed(SimDuration::from_secs(2)),
+                }
+            })
+            .collect();
+        EpochProfile::new(hour, slots)
+    }
+
+    /// A roadside-shaped profile with custom intervals and lengths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either interval is zero.
+    #[must_use]
+    pub fn roadside_with(
+        rush_interval: SimDuration,
+        offpeak_interval: SimDuration,
+        contact_length: LengthDistribution,
+    ) -> Self {
+        let hour = SimDuration::from_hours(1);
+        let slots = (0..24)
+            .map(|h| {
+                let rush = (7..9).contains(&h) || (17..19).contains(&h);
+                ProfileSlot {
+                    kind: if rush { SlotKind::Rush } else { SlotKind::OffPeak },
+                    arrivals: Some(ArrivalProcess::paper_normal(if rush {
+                        rush_interval
+                    } else {
+                        offpeak_interval
+                    })),
+                    contact_length,
+                }
+            })
+            .collect();
+        EpochProfile::new(hour, slots)
+    }
+
+    /// Builds a 24-slot profile from hourly contact *frequencies* (contacts
+    /// per hour), marking as rush hours every slot strictly above the mean
+    /// frequency. Used to turn a diurnal demand curve into a contact process.
+    ///
+    /// Hours with a frequency below `min_per_hour` get no contacts at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hourly` is empty or contains a negative frequency.
+    #[must_use]
+    pub fn from_hourly_frequencies(
+        hourly: &[f64],
+        contact_length: LengthDistribution,
+        min_per_hour: f64,
+    ) -> Self {
+        assert!(!hourly.is_empty(), "need at least one hourly frequency");
+        assert!(
+            hourly.iter().all(|&f| f >= 0.0 && f.is_finite()),
+            "frequencies must be finite and non-negative"
+        );
+        let mean = hourly.iter().sum::<f64>() / hourly.len() as f64;
+        let hour = SimDuration::from_hours(1);
+        let slots = hourly
+            .iter()
+            .map(|&per_hour| {
+                let arrivals = if per_hour > min_per_hour {
+                    Some(ArrivalProcess::paper_normal(SimDuration::from_secs_f64(
+                        3_600.0 / per_hour,
+                    )))
+                } else {
+                    None
+                };
+                ProfileSlot {
+                    kind: if per_hour > mean {
+                        SlotKind::Rush
+                    } else {
+                        SlotKind::OffPeak
+                    },
+                    arrivals,
+                    contact_length,
+                }
+            })
+            .collect();
+        EpochProfile::new(hour, slots)
+    }
+
+    /// The slot length (all slots are equal).
+    #[must_use]
+    pub fn slot_length(&self) -> SimDuration {
+        self.slot_length
+    }
+
+    /// Number of slots `N`.
+    #[must_use]
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The epoch length `Tepoch = N · slot_length`.
+    #[must_use]
+    pub fn epoch(&self) -> SimDuration {
+        self.slot_length * self.slots.len() as u64
+    }
+
+    /// The slots.
+    #[must_use]
+    pub fn slots(&self) -> &[ProfileSlot] {
+        &self.slots
+    }
+
+    /// The rush-hour marks as booleans, in slot order.
+    #[must_use]
+    pub fn rush_marks(&self) -> Vec<bool> {
+        self.slots.iter().map(|s| s.kind.is_rush()).collect()
+    }
+
+    /// The slot index containing an instant (wrapping over epochs).
+    #[must_use]
+    pub fn slot_index_at(&self, t: SimTime) -> usize {
+        let into = t.time_in_epoch(self.epoch());
+        ((into / self.slot_length) as usize).min(self.slots.len() - 1)
+    }
+
+    /// The slot kind at an instant.
+    #[must_use]
+    pub fn kind_at(&self, t: SimTime) -> SlotKind {
+        self.slots[self.slot_index_at(t)].kind
+    }
+
+    /// The arrival process at an instant, if any contacts arrive then.
+    #[must_use]
+    pub fn arrivals_at(&self, t: SimTime) -> Option<&ArrivalProcess> {
+        self.slots[self.slot_index_at(t)].arrivals.as_ref()
+    }
+
+    /// Draws a contact length for a contact starting at `t`.
+    #[must_use]
+    pub fn sample_contact_length<R: Rng + ?Sized>(
+        &self,
+        t: SimTime,
+        rng: &mut R,
+    ) -> SimDuration {
+        crate::sampler::sample_duration(
+            &self.slots[self.slot_index_at(t)].contact_length,
+            rng,
+        )
+        .max(SimDuration::from_micros(1))
+    }
+
+    /// Projects the profile down to the model crate's [`SlotProfile`]
+    /// (mean frequencies and length distributions, no randomness).
+    #[must_use]
+    pub fn to_slot_profile(&self) -> SlotProfile {
+        let specs = self
+            .slots
+            .iter()
+            .map(|s| match &s.arrivals {
+                Some(a) => SlotSpec::new(self.slot_length, a.mean_interval(), s.contact_length),
+                None => SlotSpec::empty(self.slot_length),
+            })
+            .collect();
+        SlotProfile::new(specs)
+    }
+
+    /// The mean contact length across slots that have contacts, weighted by
+    /// arrival frequency — the value SNIP-RH's `T̄contact` estimator
+    /// converges to.
+    #[must_use]
+    pub fn mean_contact_length(&self) -> SimDuration {
+        let mut weight = 0.0;
+        let mut total = 0.0;
+        for s in &self.slots {
+            if let Some(a) = &s.arrivals {
+                let f = a.frequency();
+                weight += f;
+                total += f * s.contact_length.mean().as_secs_f64();
+            }
+        }
+        if weight == 0.0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_secs_f64(total / weight)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roadside_shape() {
+        let p = EpochProfile::roadside();
+        assert_eq!(p.slot_count(), 24);
+        assert_eq!(p.epoch(), SimDuration::from_hours(24));
+        assert_eq!(p.slot_length(), SimDuration::from_hours(1));
+        let marks = p.rush_marks();
+        let rush_hours: Vec<usize> = marks
+            .iter()
+            .enumerate()
+            .filter(|&(_, &m)| m)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(rush_hours, vec![7, 8, 17, 18]);
+    }
+
+    #[test]
+    fn slot_lookup_wraps_over_epochs() {
+        let p = EpochProfile::roadside();
+        // 07:30 on day 3.
+        let t = SimTime::from_secs(3 * 86_400 + 7 * 3_600 + 1_800);
+        assert_eq!(p.slot_index_at(t), 7);
+        assert!(p.kind_at(t).is_rush());
+        // Midnight is off-peak.
+        assert!(!p.kind_at(SimTime::ZERO).is_rush());
+    }
+
+    #[test]
+    fn slot_lookup_at_exact_epoch_boundary() {
+        let p = EpochProfile::roadside();
+        let t = SimTime::from_secs(86_400);
+        assert_eq!(p.slot_index_at(t), 0);
+    }
+
+    #[test]
+    fn to_slot_profile_matches_model_roadside() {
+        let ours = EpochProfile::roadside_deterministic().to_slot_profile();
+        let theirs = snip_model::SlotProfile::roadside();
+        assert!((ours.total_capacity() - theirs.total_capacity()).abs() < 1e-9);
+        assert_eq!(ours.len(), theirs.len());
+    }
+
+    #[test]
+    fn arrivals_at_respects_slot() {
+        let p = EpochProfile::roadside_deterministic();
+        let rush = p.arrivals_at(SimTime::from_secs(8 * 3_600)).unwrap();
+        assert_eq!(rush.mean_interval(), SimDuration::from_secs(300));
+        let off = p.arrivals_at(SimTime::from_secs(12 * 3_600)).unwrap();
+        assert_eq!(off.mean_interval(), SimDuration::from_secs(1_800));
+    }
+
+    #[test]
+    fn from_hourly_frequencies_marks_peaks() {
+        let mut hourly = vec![1.0; 24];
+        hourly[8] = 20.0;
+        hourly[17] = 15.0;
+        hourly[3] = 0.0;
+        let p = EpochProfile::from_hourly_frequencies(
+            &hourly,
+            LengthDistribution::fixed(SimDuration::from_secs(2)),
+            0.5,
+        );
+        let marks = p.rush_marks();
+        assert!(marks[8] && marks[17]);
+        assert_eq!(marks.iter().filter(|&&m| m).count(), 2);
+        assert!(p.slots()[3].arrivals.is_none(), "0/hour yields no process");
+        // 20/hour → 180 s mean interval.
+        assert_eq!(
+            p.slots()[8].arrivals.unwrap().mean_interval(),
+            SimDuration::from_secs(180)
+        );
+    }
+
+    #[test]
+    fn mean_contact_length_weighted_by_frequency() {
+        let p = EpochProfile::roadside_deterministic();
+        // All contacts are 2 s, so the weighted mean is 2 s.
+        assert_eq!(p.mean_contact_length(), SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn sample_contact_length_positive() {
+        use rand::SeedableRng;
+        let p = EpochProfile::roadside();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for s in [0u64, 8 * 3_600, 12 * 3_600] {
+            let len = p.sample_contact_length(SimTime::from_secs(s), &mut rng);
+            assert!(len > SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn empty_profile_rejected() {
+        let _ = EpochProfile::new(SimDuration::from_hours(1), Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_frequency_rejected() {
+        let _ = EpochProfile::from_hourly_frequencies(
+            &[-1.0],
+            LengthDistribution::fixed(SimDuration::from_secs(2)),
+            0.0,
+        );
+    }
+}

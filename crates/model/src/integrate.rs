@@ -1,0 +1,117 @@
+//! Small numerical-integration helpers used by the length-distribution
+//! expectations.
+//!
+//! The integrands in this crate (piecewise-smooth probed-time curves weighted
+//! by a density) are well behaved, so composite Simpson on a fixed grid plus
+//! one refinement pass is plenty; we still expose an adaptive wrapper so the
+//! tolerance is explicit at call sites.
+
+/// Composite Simpson's rule over `[a, b]` with `n` panels (`n` is rounded up
+/// to the next even number).
+///
+/// # Panics
+///
+/// Panics if `b < a` or `n == 0`.
+#[must_use]
+pub fn simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> f64 {
+    assert!(b >= a, "integration bounds reversed: [{a}, {b}]");
+    assert!(n > 0, "need at least one panel");
+    if a == b {
+        return 0.0;
+    }
+    let n = if n % 2 == 0 { n } else { n + 1 };
+    let h = (b - a) / n as f64;
+    let mut sum = f(a) + f(b);
+    for i in 1..n {
+        let x = a + h * i as f64;
+        sum += f(x) * if i % 2 == 1 { 4.0 } else { 2.0 };
+    }
+    sum * h / 3.0
+}
+
+/// Adaptive Simpson integration: doubles the panel count until two successive
+/// estimates agree to `tol` (relative when the value is large, absolute when
+/// near zero), up to `2^14` panels.
+///
+/// # Panics
+///
+/// Panics if `b < a` or `tol` is not positive.
+#[must_use]
+pub fn integrate<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> f64 {
+    assert!(tol > 0.0, "tolerance must be positive");
+    assert!(b >= a, "integration bounds reversed: [{a}, {b}]");
+    if a == b {
+        return 0.0;
+    }
+    let mut n = 64;
+    let mut prev = simpson(&f, a, b, n);
+    while n < (1 << 14) {
+        n *= 2;
+        let next = simpson(&f, a, b, n);
+        let scale = next.abs().max(1.0);
+        if (next - prev).abs() <= tol * scale {
+            return next;
+        }
+        prev = next;
+    }
+    prev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrates_polynomials_exactly() {
+        // Simpson is exact on cubics.
+        let val = simpson(|x| x * x * x - 2.0 * x + 1.0, 0.0, 2.0, 2);
+        let exact = 4.0 - 4.0 + 2.0; // x⁴/4 − x² + x on [0,2]
+        assert!((val - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integrates_transcendentals_adaptively() {
+        let val = integrate(f64::sin, 0.0, std::f64::consts::PI, 1e-10);
+        assert!((val - 2.0).abs() < 1e-9);
+        let val = integrate(|x| (-x).exp(), 0.0, 20.0, 1e-10);
+        assert!((val - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn empty_interval_is_zero() {
+        assert_eq!(simpson(|x| x, 3.0, 3.0, 4), 0.0);
+        assert_eq!(integrate(|x| x, 3.0, 3.0, 1e-9), 0.0);
+    }
+
+    #[test]
+    fn odd_panel_counts_are_rounded_up() {
+        let even = simpson(|x| x * x, 0.0, 1.0, 4);
+        let odd = simpson(|x| x * x, 0.0, 1.0, 3);
+        assert!((even - odd).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "reversed")]
+    fn reversed_bounds_panic() {
+        let _ = simpson(|x| x, 1.0, 0.0, 4);
+    }
+
+    #[test]
+    fn handles_piecewise_kinks() {
+        // The probed-time integrand has a kink at l = Tcycle; adaptive Simpson
+        // must still converge to the analytic value.
+        let cycle = 0.5;
+        let f = |l: f64| {
+            if l <= cycle {
+                l * l / (2.0 * cycle)
+            } else {
+                l - cycle / 2.0
+            }
+        };
+        let val = integrate(f, 0.0, 1.0, 1e-10);
+        // ∫0^0.5 l²/1 dl + ∫0.5^1 (l − 0.25) dl = (0.125/3)·... compute:
+        // first: l³/(3·2·0.5)|0^0.5 = 0.125/3 ≈ 0.0416667
+        // second: (l²/2 − 0.25 l)|0.5^1 = (0.5 − 0.25) − (0.125 − 0.125) = 0.25
+        assert!((val - (0.125 / 3.0 + 0.25)).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,175 @@
+//! Discovery latency: how quickly a contact is probed after it begins.
+//!
+//! §II asks that "a contact can be successfully probed with high probability
+//! and the contact is probed as early as possible". The probed-fraction
+//! model (eq. (1)) captures the two jointly; this module separates them:
+//! the probability of discovery, the expected delay *given* discovery, and
+//! quantiles of the delay — the metrics a latency-sensitive deployment
+//! (e.g. alarm forwarding) would look at alongside ζ and Φ.
+//!
+//! Under SNIP, the first beacon after contact start arrives after a delay
+//! `U ~ Uniform[0, Tcycle)`; the contact is discovered iff `U < Tcontact`.
+
+use serde::{Deserialize, Serialize};
+use snip_units::{DutyCycle, SimDuration};
+
+use crate::snip::SnipModel;
+
+/// Discovery-delay statistics of SNIP for a fixed contact length.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiscoveryLatency {
+    cycle: f64,
+    contact: f64,
+}
+
+impl DiscoveryLatency {
+    /// Builds the latency model for a duty-cycle and contact length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the duty-cycle or contact length is zero.
+    #[must_use]
+    pub fn new(model: &SnipModel, d: DutyCycle, contact: SimDuration) -> Self {
+        assert!(!d.is_off(), "duty-cycle must be positive");
+        assert!(!contact.is_zero(), "contact length must be positive");
+        DiscoveryLatency {
+            cycle: model.cycle(d).as_secs_f64(),
+            contact: contact.as_secs_f64(),
+        }
+    }
+
+    /// Probability the contact is discovered at all: `min(1, Tcontact/Tcycle)`.
+    #[must_use]
+    pub fn discovery_probability(&self) -> f64 {
+        (self.contact / self.cycle).min(1.0)
+    }
+
+    /// Expected delay from contact start to the probing beacon, *given*
+    /// the contact is discovered.
+    ///
+    /// The delay is `U ~ Uniform[0, Tcycle)` truncated to `U < Tcontact`,
+    /// so the conditional mean is `min(Tcycle, Tcontact) / 2`.
+    #[must_use]
+    pub fn expected_delay(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.cycle.min(self.contact) / 2.0)
+    }
+
+    /// The `q`-quantile of the conditional discovery delay, `q ∈ [0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn delay_quantile(&self, q: f64) -> SimDuration {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        SimDuration::from_secs_f64(q * self.cycle.min(self.contact))
+    }
+
+    /// Unconditional expected delay over *repeated* contacts until one is
+    /// discovered: missed contacts wait `Tinterval` for the next chance.
+    ///
+    /// With discovery probability `p` per contact and inter-contact interval
+    /// `Tinterval`, the expected number of missed contacts before a success
+    /// is `(1−p)/p`, each costing one interval, plus the conditional delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    #[must_use]
+    pub fn expected_delay_across_contacts(&self, interval: SimDuration) -> SimDuration {
+        assert!(!interval.is_zero(), "contact interval must be positive");
+        let p = self.discovery_probability();
+        let misses = (1.0 - p) / p;
+        SimDuration::from_secs_f64(
+            misses * interval.as_secs_f64() + self.expected_delay().as_secs_f64(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> SnipModel {
+        SnipModel::default()
+    }
+
+    fn d(frac: f64) -> DutyCycle {
+        DutyCycle::new(frac).unwrap()
+    }
+
+    fn lat(frac: f64, contact_s: u64) -> DiscoveryLatency {
+        DiscoveryLatency::new(&model(), d(frac), SimDuration::from_secs(contact_s))
+    }
+
+    #[test]
+    fn discovery_probability_matches_probe_probability() {
+        let m = model();
+        let contact = SimDuration::from_secs(2);
+        for frac in [0.001, 0.01, 0.1] {
+            let l = DiscoveryLatency::new(&m, d(frac), contact);
+            assert!(
+                (l.discovery_probability() - m.probe_probability(d(frac), contact)).abs()
+                    < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_regime_delay_is_half_the_contact() {
+        // Tcycle = 20 s ≫ 2 s contact: given discovery, the beacon is
+        // uniform inside the contact → mean delay 1 s.
+        let l = lat(0.001, 2);
+        assert!((l.expected_delay().as_secs_f64() - 1.0).abs() < 1e-9);
+        assert!((l.discovery_probability() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_regime_delay_is_half_the_cycle() {
+        // Tcycle = 0.2 s ≪ 2 s contact: mean delay 0.1 s, discovery sure.
+        let l = lat(0.1, 2);
+        assert!((l.expected_delay().as_secs_f64() - 0.1).abs() < 1e-9);
+        assert_eq!(l.discovery_probability(), 1.0);
+    }
+
+    #[test]
+    fn quantiles_are_linear_in_q() {
+        let l = lat(0.1, 2); // delay ~ U[0, 0.2)
+        assert_eq!(l.delay_quantile(0.0), SimDuration::ZERO);
+        assert!((l.delay_quantile(0.5).as_secs_f64() - 0.1).abs() < 1e-9);
+        assert!((l.delay_quantile(0.95).as_secs_f64() - 0.19).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_contact_delay_accounts_for_misses() {
+        // p = 0.1, interval 300 s: expect 9 missed contacts → 2700 s + 1 s.
+        let l = lat(0.001, 2);
+        let e = l.expected_delay_across_contacts(SimDuration::from_secs(300));
+        assert!((e.as_secs_f64() - 2_701.0).abs() < 1e-6, "{e}");
+        // At p = 1 it collapses to the conditional delay.
+        let l = lat(0.1, 2);
+        let e = l.expected_delay_across_contacts(SimDuration::from_secs(300));
+        assert!((e.as_secs_f64() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn knee_balances_delay_and_energy() {
+        // At the knee (d = 0.01, Tcycle = 2 s = Tcontact) the conditional
+        // delay is half the contact and discovery is certain in expectation.
+        let l = lat(0.01, 2);
+        assert!((l.expected_delay().as_secs_f64() - 1.0).abs() < 1e-9);
+        assert!((l.discovery_probability() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn bad_quantile_rejected() {
+        let _ = lat(0.01, 2).delay_quantile(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "duty-cycle must be positive")]
+    fn zero_duty_cycle_rejected() {
+        let _ = DiscoveryLatency::new(&model(), DutyCycle::OFF, SimDuration::from_secs(2));
+    }
+}

@@ -1,0 +1,355 @@
+//! The mobile-node-initiated probing (MIP) baseline model.
+//!
+//! Under MIP (the scheme of Anastasi et al. that SNIP is compared against in
+//! §III), the *mobile* node broadcasts beacons with period `Tb`, and the
+//! duty-cycled sensor node merely listens during its on-windows. The sensor
+//! discovers the contact at the first beacon that is fully received inside an
+//! on-window, which is strictly harder than SNIP's "first cycle start inside
+//! the contact" — hence SNIP's 2–10× capacity advantage at sub-1% duty-cycles.
+//!
+//! The model makes the standard assumptions: beacon phase uniform, sensor
+//! duty-cycle phase uniform and independent, and a beacon of airtime `τ` is
+//! received iff its whole transmission `[s, s+τ]` lies inside one on-window.
+
+use serde::{Deserialize, Serialize};
+use snip_units::{DutyCycle, SimDuration};
+
+/// The mobile-node-initiated probing baseline.
+///
+/// # Examples
+///
+/// ```
+/// use snip_model::{MipModel, SnipModel};
+/// use snip_units::{DutyCycle, SimDuration};
+///
+/// let mip = MipModel::default();
+/// let snip = SnipModel::default();
+/// let d = DutyCycle::new(0.005).unwrap(); // 0.5%
+/// let contact = SimDuration::from_secs(2);
+///
+/// // At sub-1% duty-cycles SNIP probes several times more capacity.
+/// let gain = snip.upsilon(d, contact) / mip.upsilon(d, contact);
+/// assert!(gain > 2.0, "gain was {gain}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MipModel {
+    ton: SimDuration,
+    beacon_period: SimDuration,
+    beacon_airtime: SimDuration,
+}
+
+impl MipModel {
+    /// Creates a MIP model.
+    ///
+    /// * `ton` — the sensor's listen window per duty cycle (same `Ton` as
+    ///   SNIP's beacon window, for an apples-to-apples energy comparison).
+    /// * `beacon_period` — mobile node's beacon interval `Tb`.
+    /// * `beacon_airtime` — time to transmit one beacon `τ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any duration is zero or `beacon_airtime >= beacon_period`.
+    #[must_use]
+    pub fn new(
+        ton: SimDuration,
+        beacon_period: SimDuration,
+        beacon_airtime: SimDuration,
+    ) -> Self {
+        assert!(!ton.is_zero(), "Ton must be positive");
+        assert!(!beacon_period.is_zero(), "beacon period must be positive");
+        assert!(!beacon_airtime.is_zero(), "beacon airtime must be positive");
+        assert!(
+            beacon_airtime < beacon_period,
+            "beacon airtime must be shorter than the period"
+        );
+        MipModel {
+            ton,
+            beacon_period,
+            beacon_airtime,
+        }
+    }
+
+    /// The sensor's listen window `Ton`.
+    #[must_use]
+    pub fn ton(&self) -> SimDuration {
+        self.ton
+    }
+
+    /// The mobile node's beacon period `Tb`.
+    #[must_use]
+    pub fn beacon_period(&self) -> SimDuration {
+        self.beacon_period
+    }
+
+    /// The beacon airtime `τ`.
+    #[must_use]
+    pub fn beacon_airtime(&self) -> SimDuration {
+        self.beacon_airtime
+    }
+
+    /// The probability that one on-window receives at least one full beacon.
+    ///
+    /// A beacon starting in `[w, w + Ton − τ]` is fully received; beacon
+    /// starts arrive every `Tb` with uniform phase, so the catch probability
+    /// is `min(1, (Ton − τ)/Tb)` (zero when the window cannot fit a beacon).
+    #[must_use]
+    pub fn window_catch_probability(&self) -> f64 {
+        let usable = self.ton.as_secs_f64() - self.beacon_airtime.as_secs_f64();
+        if usable <= 0.0 {
+            return 0.0;
+        }
+        (usable / self.beacon_period.as_secs_f64()).min(1.0)
+    }
+
+    /// Expected discovery delay from contact start, ignoring the contact's
+    /// end (i.e., for an infinitely long contact).
+    ///
+    /// On-windows start every `Tcycle` with uniform phase; each catches a
+    /// beacon with probability `p`. The expected delay is the uniform wait to
+    /// the first window (`Tcycle/2`) plus `(1/p − 1)` further cycles.
+    ///
+    /// Returns `None` when `p = 0` (discovery never happens).
+    #[must_use]
+    pub fn expected_discovery_delay(&self, d: DutyCycle) -> Option<SimDuration> {
+        if d.is_off() {
+            return None;
+        }
+        let p = self.window_catch_probability();
+        if p == 0.0 {
+            return None;
+        }
+        let cycle = d.cycle_for_on(self.ton).as_secs_f64();
+        Some(SimDuration::from_secs_f64(cycle * (0.5 + (1.0 / p - 1.0))))
+    }
+
+    /// The expected probed fraction `Υ` of a fixed-length contact under MIP.
+    ///
+    /// Computed by conditioning on the first on-window's phase `u ~ U[0,
+    /// Tcycle)` and summing the geometric discovery process over the windows
+    /// that fit in the contact; the phase integral is evaluated on a fine
+    /// grid (the integrand is piecewise linear in `u`, so midpoint sampling
+    /// converges quickly).
+    #[must_use]
+    pub fn upsilon(&self, d: DutyCycle, contact: SimDuration) -> f64 {
+        if contact.is_zero() {
+            return 0.0;
+        }
+        self.expected_probed(d, contact).as_secs_f64() / contact.as_secs_f64()
+    }
+
+    /// The expected probed time `Tprobed` of a fixed-length contact.
+    #[must_use]
+    pub fn expected_probed(&self, d: DutyCycle, contact: SimDuration) -> SimDuration {
+        if d.is_off() || contact.is_zero() {
+            return SimDuration::ZERO;
+        }
+        let p = self.window_catch_probability();
+        if p == 0.0 {
+            return SimDuration::ZERO;
+        }
+        let l = contact.as_secs_f64();
+        let cycle = d.cycle_for_on(self.ton).as_secs_f64();
+        let ton = self.ton.as_secs_f64();
+
+        // Average over the phase u of the first window start after contact
+        // start. Windows start at u, u+cycle, u+2·cycle, ... Discovery at
+        // window k (0-based) happens w.p. p·(1−p)^k; the probe is counted
+        // from the *end of the beacon that was caught*, approximated as the
+        // middle of the window's usable span (+τ) — a sub-Ton-scale detail.
+        const STEPS: usize = 512;
+        let mut acc = 0.0;
+        for i in 0..STEPS {
+            let u = (i as f64 + 0.5) / STEPS as f64 * cycle;
+            let mut window_start = u;
+            let mut miss_prob = 1.0;
+            while window_start < l {
+                // Expected discovery instant within this window.
+                let catch_at = window_start + (ton.min(l - window_start)) * 0.5;
+                let remaining = (l - catch_at).max(0.0);
+                acc += miss_prob * p * remaining;
+                miss_prob *= 1.0 - p;
+                if miss_prob < 1e-12 {
+                    break;
+                }
+                window_start += cycle;
+            }
+        }
+        SimDuration::from_secs_f64(acc / STEPS as f64)
+    }
+
+    /// The capacity gain of SNIP over MIP at equal sensor duty-cycle:
+    /// `Υ_snip / Υ_mip` (∞ is reported as `f64::INFINITY`).
+    #[must_use]
+    pub fn snip_gain(&self, d: DutyCycle, contact: SimDuration) -> f64 {
+        let snip = crate::snip::SnipModel::new(self.ton).upsilon(d, contact);
+        let mip = self.upsilon(d, contact);
+        if mip == 0.0 {
+            if snip == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            snip / mip
+        }
+    }
+}
+
+impl Default for MipModel {
+    /// `Ton = 20 ms`, mobile beacons every `100 ms`, beacon airtime `2 ms`
+    /// (a 64-byte 802.15.4 frame at 250 kbit/s incl. preamble).
+    fn default() -> Self {
+        MipModel::new(
+            SimDuration::from_millis(20),
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(2),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snip::SnipModel;
+    use proptest::prelude::*;
+
+    fn d(frac: f64) -> DutyCycle {
+        DutyCycle::new(frac).unwrap()
+    }
+
+    #[test]
+    fn window_catch_probability_default() {
+        let m = MipModel::default();
+        // (20 ms − 2 ms) / 100 ms = 0.18.
+        assert!((m.window_catch_probability() - 0.18).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_catch_probability_saturates_and_vanishes() {
+        let full = MipModel::new(
+            SimDuration::from_millis(200),
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(2),
+        );
+        assert_eq!(full.window_catch_probability(), 1.0);
+        let tiny = MipModel::new(
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(2),
+        );
+        assert_eq!(tiny.window_catch_probability(), 0.0);
+    }
+
+    #[test]
+    fn discovery_delay_shrinks_with_duty_cycle() {
+        let m = MipModel::default();
+        let slow = m.expected_discovery_delay(d(0.001)).unwrap();
+        let fast = m.expected_discovery_delay(d(0.01)).unwrap();
+        assert!(fast < slow);
+        assert!(m.expected_discovery_delay(DutyCycle::OFF).is_none());
+    }
+
+    #[test]
+    fn upsilon_bounded_and_monotone() {
+        let m = MipModel::default();
+        let l = SimDuration::from_secs(2);
+        let mut prev = 0.0;
+        for frac in [0.001, 0.005, 0.01, 0.05, 0.1] {
+            let u = m.upsilon(d(frac), l);
+            assert!((0.0..=1.0).contains(&u), "Υ = {u}");
+            assert!(u >= prev - 1e-9, "Υ must be non-decreasing in d");
+            prev = u;
+        }
+    }
+
+    #[test]
+    fn snip_beats_mip_at_low_duty_cycles() {
+        let m = MipModel::default();
+        let l = SimDuration::from_secs(2);
+        // The paper's §III claim: 2–10× more probed capacity below 1%.
+        for frac in [0.002, 0.005, 0.01] {
+            let gain = m.snip_gain(d(frac), l);
+            assert!(
+                gain >= 2.0,
+                "SNIP gain at d={frac} should be ≥ 2, was {gain:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn snip_gain_within_paper_band_at_long_contacts() {
+        let m = MipModel::default();
+        // Longer contacts (slower mobiles) still show the effect.
+        let l = SimDuration::from_secs(10);
+        let gain = m.snip_gain(d(0.005), l);
+        assert!(gain > 1.5 && gain < 20.0, "gain {gain}");
+    }
+
+    #[test]
+    fn mip_upsilon_zero_when_window_cannot_fit_beacon() {
+        let m = MipModel::new(
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(2),
+        );
+        assert_eq!(m.upsilon(d(0.01), SimDuration::from_secs(2)), 0.0);
+        assert_eq!(m.snip_gain(d(0.01), SimDuration::from_secs(2)), f64::INFINITY);
+    }
+
+    #[test]
+    fn expected_probed_less_than_snip() {
+        let mip = MipModel::default();
+        let snip = SnipModel::default();
+        let l = SimDuration::from_secs(2);
+        for frac in [0.001, 0.01, 0.1] {
+            assert!(
+                mip.expected_probed(d(frac), l) <= snip.expected_probed(d(frac), l),
+                "MIP must not out-probe SNIP at d={frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_inputs() {
+        let m = MipModel::default();
+        assert_eq!(m.upsilon(DutyCycle::OFF, SimDuration::from_secs(2)), 0.0);
+        assert_eq!(m.upsilon(d(0.01), SimDuration::ZERO), 0.0);
+        assert_eq!(
+            m.expected_probed(DutyCycle::OFF, SimDuration::from_secs(2)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than the period")]
+    fn beacon_longer_than_period_rejected() {
+        let _ = MipModel::new(
+            SimDuration::from_millis(20),
+            SimDuration::from_millis(2),
+            SimDuration::from_millis(5),
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_probed_never_exceeds_contact(
+            frac in 1e-4f64..=1.0,
+            l_ms in 100u64..60_000,
+        ) {
+            let m = MipModel::default();
+            let l = SimDuration::from_millis(l_ms);
+            prop_assert!(m.expected_probed(d(frac), l) <= l);
+        }
+
+        #[test]
+        fn prop_gain_at_least_one_in_sparse_regime(
+            frac in 1e-4f64..=0.01,
+            l_s in 1u64..30,
+        ) {
+            let m = MipModel::default();
+            let l = SimDuration::from_secs(l_s);
+            let gain = m.snip_gain(d(frac), l);
+            prop_assert!(gain >= 0.99, "gain {gain} < 1 at d={frac}, l={l_s}s");
+        }
+    }
+}

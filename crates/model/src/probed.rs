@@ -1,0 +1,275 @@
+//! The full distribution of the probed time `Tprobed` for one contact.
+//!
+//! Eq. (1) gives only the *mean* probed fraction. Planning against
+//! percentiles ("how much capacity does a contact yield with 90%
+//! confidence?") needs the whole distribution. Under SNIP with a fixed
+//! contact length `l` and cycle `T = Ton/d`, the phase of the first beacon
+//! after contact start is `U ~ Uniform[0, T)` and the contact is probed at
+//! `U` if `U < l`:
+//!
+//! * **Sparse regime** (`T ≥ l`): `P(Tprobed = 0) = 1 − l/T`, and on the
+//!   event of discovery `Tprobed = l − U` is uniform on `(0, l]`.
+//! * **Dense regime** (`T < l`): discovery is certain and
+//!   `Tprobed = l − U` is uniform on `(l − T, l]`.
+
+use serde::{Deserialize, Serialize};
+use snip_units::{DutyCycle, SimDuration};
+
+use crate::snip::SnipModel;
+
+/// The distribution of `Tprobed` for a fixed-length contact under SNIP.
+///
+/// # Examples
+///
+/// ```
+/// use snip_model::{probed::ProbedTimeDistribution, SnipModel};
+/// use snip_units::{DutyCycle, SimDuration};
+///
+/// let model = SnipModel::default();
+/// let dist = ProbedTimeDistribution::new(
+///     &model,
+///     DutyCycle::new(0.001).unwrap(),   // Tcycle = 20 s
+///     SimDuration::from_secs(2),
+/// );
+/// // Sparse regime: misses 90% of contacts entirely.
+/// assert!((dist.miss_probability() - 0.9).abs() < 1e-9);
+/// // The median contact yields nothing.
+/// assert_eq!(dist.quantile(0.5), SimDuration::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProbedTimeDistribution {
+    /// Cycle length `T`, seconds.
+    cycle: f64,
+    /// Contact length `l`, seconds.
+    contact: f64,
+}
+
+impl ProbedTimeDistribution {
+    /// Builds the distribution for a duty-cycle and contact length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the duty-cycle or contact length is zero.
+    #[must_use]
+    pub fn new(model: &SnipModel, d: DutyCycle, contact: SimDuration) -> Self {
+        assert!(!d.is_off(), "duty-cycle must be positive");
+        assert!(!contact.is_zero(), "contact length must be positive");
+        ProbedTimeDistribution {
+            cycle: model.cycle(d).as_secs_f64(),
+            contact: contact.as_secs_f64(),
+        }
+    }
+
+    /// Probability the contact is never probed (`Tprobed = 0`).
+    #[must_use]
+    pub fn miss_probability(&self) -> f64 {
+        (1.0 - self.contact / self.cycle).max(0.0)
+    }
+
+    /// The CDF `P(Tprobed ≤ x)` with `x` in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is negative or not finite.
+    #[must_use]
+    pub fn cdf(&self, x: f64) -> f64 {
+        assert!(x.is_finite() && x >= 0.0, "x must be finite and non-negative");
+        let (l, t) = (self.contact, self.cycle);
+        if x >= l {
+            return 1.0;
+        }
+        if t >= l {
+            // Atom at zero plus uniform density 1/t on (0, l].
+            (1.0 - l / t) + x / t
+        } else {
+            // Uniform on (l − t, l].
+            ((x - (l - t)) / t).clamp(0.0, 1.0)
+        }
+    }
+
+    /// The quantile function: the smallest `x` with `P(Tprobed ≤ x) ≥ q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> SimDuration {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let (l, t) = (self.contact, self.cycle);
+        let x = if t >= l {
+            let miss = 1.0 - l / t;
+            if q <= miss {
+                0.0
+            } else {
+                (q - miss) * t
+            }
+        } else {
+            (l - t) + q * t
+        };
+        SimDuration::from_secs_f64(x.clamp(0.0, l))
+    }
+
+    /// The mean `E[Tprobed]` — must agree with [`SnipModel::expected_probed`].
+    #[must_use]
+    pub fn mean(&self) -> SimDuration {
+        let (l, t) = (self.contact, self.cycle);
+        let mean = if t >= l {
+            // (l/t) · l/2.
+            l * l / (2.0 * t)
+        } else {
+            // Uniform on (l − t, l]: mean l − t/2.
+            l - t / 2.0
+        };
+        SimDuration::from_secs_f64(mean)
+    }
+
+    /// The variance of `Tprobed` in seconds².
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        let (l, t) = (self.contact, self.cycle);
+        if t >= l {
+            // Mixture of an atom at 0 (w.p. 1−l/t) and U(0, l].
+            let p = l / t;
+            let m = l * l / (2.0 * t);
+            let second_moment = p * (l * l / 3.0);
+            second_moment - m * m
+        } else {
+            t * t / 12.0
+        }
+    }
+
+    /// The conditional mean given the contact was probed at all.
+    #[must_use]
+    pub fn mean_given_probed(&self) -> SimDuration {
+        let (l, t) = (self.contact, self.cycle);
+        SimDuration::from_secs_f64(if t >= l { l / 2.0 } else { l - t / 2.0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn dist(frac: f64, contact_s: f64) -> ProbedTimeDistribution {
+        ProbedTimeDistribution::new(
+            &SnipModel::default(),
+            DutyCycle::new(frac).unwrap(),
+            SimDuration::from_secs_f64(contact_s),
+        )
+    }
+
+    #[test]
+    fn sparse_regime_shape() {
+        let d = dist(0.001, 2.0); // T = 20 s
+        assert!((d.miss_probability() - 0.9).abs() < 1e-9);
+        assert_eq!(d.cdf(0.0), 0.9);
+        assert!((d.cdf(1.0) - 0.95).abs() < 1e-9);
+        assert_eq!(d.cdf(2.0), 1.0);
+        assert_eq!(d.cdf(5.0), 1.0);
+    }
+
+    #[test]
+    fn dense_regime_shape() {
+        let d = dist(0.02, 2.0); // T = 1 s < l
+        assert_eq!(d.miss_probability(), 0.0);
+        assert_eq!(d.cdf(0.5), 0.0, "cannot probe less than l − T = 1 s");
+        assert!((d.cdf(1.5) - 0.5).abs() < 1e-9);
+        assert_eq!(d.cdf(2.0), 1.0);
+    }
+
+    #[test]
+    fn mean_matches_snip_model() {
+        let model = SnipModel::default();
+        let contact = SimDuration::from_secs(2);
+        for frac in [0.0005, 0.001, 0.005, 0.01, 0.05, 0.2] {
+            let dc = DutyCycle::new(frac).unwrap();
+            let d = ProbedTimeDistribution::new(&model, dc, contact);
+            let a = d.mean().as_secs_f64();
+            let b = model.expected_probed(dc, contact).as_secs_f64();
+            assert!((a - b).abs() < 1e-9, "d={frac}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn quantiles_invert_the_cdf() {
+        for (frac, contact) in [(0.001, 2.0), (0.02, 2.0), (0.01, 2.0)] {
+            let d = dist(frac, contact);
+            for q in [0.05, 0.25, 0.5, 0.75, 0.95] {
+                let x = d.quantile(q).as_secs_f64();
+                let back = d.cdf(x.min(contact));
+                assert!(
+                    back >= q - 1e-6,
+                    "d={frac}, q={q}: cdf(quantile) = {back}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn median_is_zero_when_misses_dominate() {
+        let d = dist(0.001, 2.0); // 90% misses
+        assert_eq!(d.quantile(0.5), SimDuration::ZERO);
+        assert_eq!(d.quantile(0.9), SimDuration::ZERO);
+        assert!(d.quantile(0.95) > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn knee_boundary_consistent() {
+        // At the knee T = l both formulas coincide.
+        let sparse = dist(0.01, 2.0); // T = 2 = l
+        assert_eq!(sparse.miss_probability(), 0.0);
+        assert!((sparse.mean().as_secs_f64() - 1.0).abs() < 1e-9);
+        assert!((sparse.mean_given_probed().as_secs_f64() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variance_of_dense_regime_is_uniform_variance() {
+        let d = dist(0.02, 2.0); // T = 1
+        assert!((d.variance() - 1.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_mean_sparse_is_half_contact() {
+        let d = dist(0.001, 2.0);
+        assert!((d.mean_given_probed().as_secs_f64() - 1.0).abs() < 1e-12);
+        // Unconditional = conditional × discovery probability.
+        let p = 1.0 - d.miss_probability();
+        assert!((d.mean().as_secs_f64() - p * 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cdf_is_monotone(
+            frac in 1e-4f64..=0.5,
+            contact in 0.1f64..60.0,
+            x1 in 0.0f64..60.0,
+            dx in 0.0f64..10.0,
+        ) {
+            let d = dist(frac, contact);
+            prop_assert!(d.cdf(x1 + dx) >= d.cdf(x1) - 1e-12);
+        }
+
+        #[test]
+        fn prop_cdf_bounds(frac in 1e-4f64..=0.5, contact in 0.1f64..60.0) {
+            let d = dist(frac, contact);
+            prop_assert!((d.cdf(0.0) - d.miss_probability()).abs() < 1e-9);
+            prop_assert_eq!(d.cdf(contact + 1.0), 1.0);
+        }
+
+        #[test]
+        fn prop_mean_between_zero_and_contact(
+            frac in 1e-4f64..=1.0,
+            contact in 0.1f64..60.0,
+        ) {
+            let d = dist(frac, contact);
+            let m = d.mean().as_secs_f64();
+            prop_assert!(m >= 0.0 && m <= contact + 1e-9);
+        }
+
+        #[test]
+        fn prop_variance_non_negative(frac in 1e-4f64..=1.0, contact in 0.1f64..60.0) {
+            prop_assert!(dist(frac, contact).variance() >= -1e-12);
+        }
+    }
+}

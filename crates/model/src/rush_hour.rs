@@ -1,0 +1,259 @@
+//! The rush-hour benefit model behind Fig 4 (§IV of the paper).
+//!
+//! The paper's motivating analysis: contacts of fixed length `l` arrive at
+//! frequency `f_rh` during rush hours of total length `T_rh`, and at `f_other`
+//! during the remaining `T_other = T_epoch − T_rh`. SNIP-AT probes the needed
+//! capacity with duty-cycle `d0` running all epoch; running SNIP only during
+//! rush hours needs `d1 = d0 · (T_rh·f_rh + T_other·f_other)/(T_rh·f_rh)` to
+//! probe the same capacity (both in the linear regime). The energy ratio
+//!
+//! `Φ_AT / Φ_rh = T_epoch·f_rh / (T_rh·f_rh + T_other·f_other)`
+//!
+//! depends only on the rush-hour *fraction* `x = T_rh/T_epoch` and the
+//! frequency *ratio* `r = f_rh/f_other`:
+//!
+//! `Φ_AT / Φ_rh = r / (x·r + (1 − x))`.
+
+use serde::{Deserialize, Serialize};
+use snip_units::SimDuration;
+
+/// The analytic benefit of activating SNIP only during rush hours.
+///
+/// # Examples
+///
+/// ```
+/// use snip_model::RushHourBenefit;
+///
+/// // Roadside scenario of §VII: 4 of 24 hours are rush hours, contacts come
+/// // 6× more often (300 s vs 1800 s intervals). Rush-hour-only probing is
+/// // 36/11 ≈ 3.3× cheaper.
+/// let b = RushHourBenefit::from_fractions(4.0 / 24.0, 6.0);
+/// assert!((b.energy_ratio() - 36.0 / 11.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RushHourBenefit {
+    rush_fraction: f64,
+    frequency_ratio: f64,
+}
+
+impl RushHourBenefit {
+    /// Creates the benefit model from the rush-hour fraction
+    /// `x = T_rh/T_epoch ∈ (0, 1]` and the frequency ratio
+    /// `r = f_rh/f_other ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rush_fraction` is outside `(0, 1]` or `frequency_ratio < 1`.
+    #[must_use]
+    pub fn from_fractions(rush_fraction: f64, frequency_ratio: f64) -> Self {
+        assert!(
+            rush_fraction > 0.0 && rush_fraction <= 1.0,
+            "rush-hour fraction must be in (0, 1], got {rush_fraction}"
+        );
+        assert!(
+            frequency_ratio >= 1.0,
+            "rush hours must have at least the background frequency, got {frequency_ratio}"
+        );
+        RushHourBenefit {
+            rush_fraction,
+            frequency_ratio,
+        }
+    }
+
+    /// Creates the benefit model from raw scenario durations and frequencies.
+    ///
+    /// `f_rh` and `f_other` are contact arrival frequencies in contacts per
+    /// second (any common unit works — only the ratio matters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rush` is zero or longer than `epoch`, or if frequencies are
+    /// non-positive or `f_rh < f_other`.
+    #[must_use]
+    pub fn from_scenario(
+        epoch: SimDuration,
+        rush: SimDuration,
+        f_rh: f64,
+        f_other: f64,
+    ) -> Self {
+        assert!(!rush.is_zero() && rush <= epoch, "rush hours must fit in the epoch");
+        assert!(f_other > 0.0 && f_rh > 0.0, "frequencies must be positive");
+        Self::from_fractions(
+            rush.as_secs_f64() / epoch.as_secs_f64(),
+            f_rh / f_other,
+        )
+    }
+
+    /// The rush-hour fraction `x = T_rh / T_epoch`.
+    #[must_use]
+    pub fn rush_fraction(&self) -> f64 {
+        self.rush_fraction
+    }
+
+    /// The frequency ratio `r = f_rh / f_other`.
+    #[must_use]
+    pub fn frequency_ratio(&self) -> f64 {
+        self.frequency_ratio
+    }
+
+    /// The energy ratio `Φ_AT / Φ_rh = r / (x·r + 1 − x)`.
+    ///
+    /// Values above 1 mean rush-hour-only probing saves energy.
+    #[must_use]
+    pub fn energy_ratio(&self) -> f64 {
+        let x = self.rush_fraction;
+        let r = self.frequency_ratio;
+        r / (x * r + (1.0 - x))
+    }
+
+    /// The rush-hour duty-cycle multiplier `d1/d0` needed to probe the same
+    /// capacity within rush hours only.
+    #[must_use]
+    pub fn duty_cycle_multiplier(&self) -> f64 {
+        let x = self.rush_fraction;
+        let r = self.frequency_ratio;
+        (x * r + (1.0 - x)) / (x * r)
+    }
+
+    /// The fraction of the epoch's contact capacity that falls inside rush
+    /// hours.
+    #[must_use]
+    pub fn rush_capacity_share(&self) -> f64 {
+        let x = self.rush_fraction;
+        let r = self.frequency_ratio;
+        x * r / (x * r + (1.0 - x))
+    }
+
+    /// Generates the Fig 4 surface: `energy_ratio` sampled over a grid of
+    /// rush-hour fractions and frequency ratios.
+    ///
+    /// Returns `(x, r, ratio)` triples in row-major order (x varies fastest),
+    /// matching the gnuplot-style output of the paper's 3-D plot.
+    #[must_use]
+    pub fn surface(
+        rush_fractions: &[f64],
+        frequency_ratios: &[f64],
+    ) -> Vec<(f64, f64, f64)> {
+        let mut rows = Vec::with_capacity(rush_fractions.len() * frequency_ratios.len());
+        for &r in frequency_ratios {
+            for &x in rush_fractions {
+                rows.push((x, r, RushHourBenefit::from_fractions(x, r).energy_ratio()));
+            }
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roadside_scenario_saves_3x() {
+        // 4/24 rush fraction, 6× frequency (1/300 vs 1/1800 contacts/s):
+        // ratio = 6 / (1/6·6 + 5/6) = 36/11 ≈ 3.27.
+        let b = RushHourBenefit::from_scenario(
+            SimDuration::from_hours(24),
+            SimDuration::from_hours(4),
+            1.0 / 300.0,
+            1.0 / 1800.0,
+        );
+        assert!((b.energy_ratio() - 36.0 / 11.0).abs() < 1e-9);
+        assert!((b.frequency_ratio() - 6.0).abs() < 1e-12);
+        assert!((b.rush_fraction() - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig4_corner_values() {
+        // Fig 4's axes: x ∈ [0.05, 0.5], r ∈ [2, 20]; z spans about 1–11.
+        let max = RushHourBenefit::from_fractions(0.05, 20.0).energy_ratio();
+        assert!((max - 20.0 / 1.95).abs() < 1e-9, "max corner = {max}");
+        assert!(max > 10.0 && max < 11.0);
+        let min = RushHourBenefit::from_fractions(0.5, 2.0).energy_ratio();
+        assert!((min - 2.0 / 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_rush_hours_means_no_benefit() {
+        // r = 1: contacts uniform, ratio collapses to 1 regardless of x.
+        for x in [0.05, 0.25, 1.0] {
+            let b = RushHourBenefit::from_fractions(x, 1.0);
+            assert!((b.energy_ratio() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn all_day_rush_hours_mean_no_benefit() {
+        let b = RushHourBenefit::from_fractions(1.0, 10.0);
+        assert!((b.energy_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duty_cycle_multiplier_consistent_with_capacity_share() {
+        let b = RushHourBenefit::from_fractions(4.0 / 24.0, 6.0);
+        // d1/d0 = total capacity / rush capacity = 1 / share.
+        assert!(
+            (b.duty_cycle_multiplier() - 1.0 / b.rush_capacity_share()).abs() < 1e-12
+        );
+        // Roadside: rush holds 96 of 176 seconds of capacity.
+        assert!((b.rush_capacity_share() - 96.0 / 176.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn surface_is_row_major_and_complete() {
+        let xs = [0.1, 0.2];
+        let rs = [2.0, 4.0, 8.0];
+        let surface = RushHourBenefit::surface(&xs, &rs);
+        assert_eq!(surface.len(), 6);
+        assert_eq!(surface[0].0, 0.1);
+        assert_eq!(surface[1].0, 0.2);
+        assert_eq!(surface[0].1, 2.0);
+        assert_eq!(surface[5], (
+            0.2,
+            8.0,
+            RushHourBenefit::from_fractions(0.2, 8.0).energy_ratio()
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "rush-hour fraction")]
+    fn zero_fraction_rejected() {
+        let _ = RushHourBenefit::from_fractions(0.0, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "background frequency")]
+    fn inverted_frequencies_rejected() {
+        let _ = RushHourBenefit::from_fractions(0.2, 0.5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ratio_at_least_one(x in 0.001f64..=1.0, r in 1.0f64..1000.0) {
+            let b = RushHourBenefit::from_fractions(x, r);
+            prop_assert!(b.energy_ratio() >= 1.0 - 1e-12);
+        }
+
+        #[test]
+        fn prop_ratio_bounded_by_inverse_fraction(x in 0.001f64..=1.0, r in 1.0f64..1000.0) {
+            // As r → ∞ the ratio tends to 1/x; it can never exceed it.
+            let b = RushHourBenefit::from_fractions(x, r);
+            prop_assert!(b.energy_ratio() <= 1.0 / x + 1e-9);
+        }
+
+        #[test]
+        fn prop_monotone_in_frequency_ratio(x in 0.001f64..=0.999, r in 1.0f64..500.0) {
+            let b1 = RushHourBenefit::from_fractions(x, r);
+            let b2 = RushHourBenefit::from_fractions(x, r * 1.1);
+            prop_assert!(b2.energy_ratio() >= b1.energy_ratio() - 1e-12);
+        }
+
+        #[test]
+        fn prop_capacity_share_is_probability(x in 0.001f64..=1.0, r in 1.0f64..1000.0) {
+            let b = RushHourBenefit::from_fractions(x, r);
+            let s = b.rush_capacity_share();
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,491 @@
+//! The closed-form SNIP model (eq. (1) of the paper).
+//!
+//! Under SNIP the sensor node broadcasts one beacon at the start of every
+//! radio-on window, and the mobile node's radio is always on, so a contact is
+//! probed at the first beacon that falls inside it. With the contact's phase
+//! relative to the duty cycle uniformly distributed, the expected probed
+//! fraction `Υ = Tprobed / Tcontact` is:
+//!
+//! * **Sparse regime** (`Tcycle ≥ Tcontact`): a beacon lands in the contact
+//!   with probability `Tcontact / Tcycle`, and when it does the expected
+//!   remaining time is `Tcontact / 2`, so
+//!   `Υ = Tcontact / (2·Tcycle) = Tcontact·d / (2·Ton)` — linear in `d`.
+//! * **Dense regime** (`Tcycle < Tcontact`): the contact is always probed and
+//!   the expected dead time before the first beacon is `Tcycle / 2`, so
+//!   `Υ = 1 − Tcycle / (2·Tcontact) = 1 − Ton / (2·d·Tcontact)`.
+//!
+//! The two branches meet at the **knee** `d* = Ton / Tcontact`, where
+//! `Υ = 1/2`. Below the knee the energy cost per probed second (`ρ`) is
+//! constant; above it the returns diminish — which is why SNIP-RH sets its
+//! rush-hour duty-cycle exactly at the knee (§VI-C).
+
+use serde::{Deserialize, Serialize};
+use snip_units::{DutyCycle, SimDuration};
+
+use crate::length::LengthDistribution;
+
+/// The closed-form SNIP probing model, parameterized by the beacon window.
+///
+/// `Ton` is the radio-on window per cycle: long enough to transmit one beacon
+/// and listen for a reply. The paper does not state its value; `20 ms`
+/// reproduces the published ρ values (see DESIGN.md §3) and is this model's
+/// conventional choice, but any positive value can be supplied.
+///
+/// # Examples
+///
+/// ```
+/// use snip_model::SnipModel;
+/// use snip_units::{DutyCycle, SimDuration};
+///
+/// let model = SnipModel::default(); // Ton = 20 ms
+/// let contact = SimDuration::from_secs(2);
+/// let d = DutyCycle::new(0.001).unwrap();
+///
+/// // 0.1% duty-cycle on 2 s contacts probes 5% of the capacity.
+/// assert!((model.upsilon(d, contact) - 0.05).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SnipModel {
+    ton: SimDuration,
+}
+
+impl SnipModel {
+    /// Creates a model with the given radio-on window `Ton`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ton` is zero.
+    #[must_use]
+    pub fn new(ton: SimDuration) -> Self {
+        assert!(!ton.is_zero(), "Ton must be positive");
+        SnipModel { ton }
+    }
+
+    /// The radio-on window `Ton`.
+    #[must_use]
+    pub fn ton(&self) -> SimDuration {
+        self.ton
+    }
+
+    /// The cycle length `Tcycle = Ton / d` for a duty-cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero.
+    #[must_use]
+    pub fn cycle(&self, d: DutyCycle) -> SimDuration {
+        d.cycle_for_on(self.ton)
+    }
+
+    /// The probed fraction `Υ(d, Tcontact)` for a fixed contact length
+    /// (eq. (1)).
+    ///
+    /// Returns 0 when either the duty-cycle or the contact length is zero.
+    #[must_use]
+    pub fn upsilon(&self, d: DutyCycle, contact: SimDuration) -> f64 {
+        if d.is_off() || contact.is_zero() {
+            return 0.0;
+        }
+        let ton = self.ton.as_secs_f64();
+        let l = contact.as_secs_f64();
+        let d = d.as_fraction();
+        let cycle = ton / d;
+        if cycle >= l {
+            l * d / (2.0 * ton)
+        } else {
+            1.0 - ton / (2.0 * d * l)
+        }
+    }
+
+    /// The expected probed time `Tprobed = Υ · Tcontact` for a fixed contact
+    /// length.
+    #[must_use]
+    pub fn expected_probed(&self, d: DutyCycle, contact: SimDuration) -> SimDuration {
+        contact.mul_f64(self.upsilon(d, contact))
+    }
+
+    /// The probability that a contact is probed at all: a beacon (cycle
+    /// start) must fall inside the contact, so `min(1, Tcontact/Tcycle)`.
+    #[must_use]
+    pub fn probe_probability(&self, d: DutyCycle, contact: SimDuration) -> f64 {
+        if d.is_off() || contact.is_zero() {
+            return 0.0;
+        }
+        let cycle = self.ton.as_secs_f64() / d.as_fraction();
+        (contact.as_secs_f64() / cycle).min(1.0)
+    }
+
+    /// The knee duty-cycle `d* = Ton / Tcontact` at which `Υ = 1/2` and above
+    /// which returns diminish. This is SNIP-RH's rush-hour duty-cycle choice.
+    ///
+    /// The result is clamped to `1` for contacts shorter than `Ton`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contact` is zero.
+    #[must_use]
+    pub fn knee_duty_cycle(&self, contact: SimDuration) -> DutyCycle {
+        assert!(!contact.is_zero(), "contact length must be positive");
+        DutyCycle::clamped(self.ton.as_secs_f64() / contact.as_secs_f64())
+    }
+
+    /// The duty-cycle that achieves a target probed fraction on fixed-length
+    /// contacts, or `None` if the target is unreachable even with the radio
+    /// always on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_upsilon` is not in `[0, 1)` or `contact` is zero.
+    #[must_use]
+    pub fn duty_cycle_for_upsilon(
+        &self,
+        target_upsilon: f64,
+        contact: SimDuration,
+    ) -> Option<DutyCycle> {
+        assert!(
+            (0.0..1.0).contains(&target_upsilon),
+            "target Υ must be in [0, 1), got {target_upsilon}"
+        );
+        assert!(!contact.is_zero(), "contact length must be positive");
+        let ton = self.ton.as_secs_f64();
+        let l = contact.as_secs_f64();
+        let d = if target_upsilon <= 0.5 {
+            // Linear branch: Υ = l·d / (2·Ton).
+            2.0 * ton * target_upsilon / l
+        } else {
+            // Saturating branch: Υ = 1 − Ton / (2·d·l).
+            ton / (2.0 * l * (1.0 - target_upsilon))
+        };
+        if d <= 1.0 {
+            Some(DutyCycle::clamped(d))
+        } else {
+            None
+        }
+    }
+
+    /// The marginal probed fraction per unit duty-cycle, `∂Υ/∂d`.
+    ///
+    /// Constant (`l / 2·Ton`) below the knee; decaying (`Ton / 2·d²·l`)
+    /// above it.
+    #[must_use]
+    pub fn upsilon_slope(&self, d: DutyCycle, contact: SimDuration) -> f64 {
+        if contact.is_zero() {
+            return 0.0;
+        }
+        let ton = self.ton.as_secs_f64();
+        let l = contact.as_secs_f64();
+        let d = d.as_fraction();
+        if d <= ton / l {
+            l / (2.0 * ton)
+        } else {
+            ton / (2.0 * d * d * l)
+        }
+    }
+
+    /// The expected probed time for a random contact length.
+    ///
+    /// Uses the exact closed form for [`LengthDistribution::Fixed`] and
+    /// [`LengthDistribution::Exponential`], and adaptive Simpson integration
+    /// otherwise.
+    ///
+    /// For an exponential length with mean `m` and cycle `T = Ton/d`, the
+    /// expectation telescopes to the clean closed form
+    /// `E[Tprobed] = m²·(1 − e^(−T/m)) / T`.
+    #[must_use]
+    pub fn expected_probed_dist(&self, d: DutyCycle, dist: &LengthDistribution) -> SimDuration {
+        if d.is_off() {
+            return SimDuration::ZERO;
+        }
+        match *dist {
+            LengthDistribution::Fixed { length } => self.expected_probed(d, length),
+            LengthDistribution::Exponential { mean } => {
+                let m = mean.as_secs_f64();
+                let cycle = self.ton.as_secs_f64() / d.as_fraction();
+                if m == 0.0 {
+                    return SimDuration::ZERO;
+                }
+                SimDuration::from_secs_f64(m * m * (1.0 - (-cycle / m).exp()) / cycle)
+            }
+            _ => {
+                let cycle = self.ton.as_secs_f64() / d.as_fraction();
+                let probed = |l: f64| -> f64 {
+                    if l <= 0.0 {
+                        0.0
+                    } else if cycle >= l {
+                        l * l / (2.0 * cycle)
+                    } else {
+                        l - cycle / 2.0
+                    }
+                };
+                let expect = dist.expect(|l| probed(l));
+                SimDuration::from_secs_f64(expect.max(0.0))
+            }
+        }
+    }
+
+    /// The mean probed *fraction* of contact capacity for a random length:
+    /// `E[Tprobed] / E[Tcontact]`.
+    #[must_use]
+    pub fn upsilon_dist(&self, d: DutyCycle, dist: &LengthDistribution) -> f64 {
+        let mean = dist.mean().as_secs_f64();
+        if mean == 0.0 {
+            return 0.0;
+        }
+        self.expected_probed_dist(d, dist).as_secs_f64() / mean
+    }
+}
+
+impl Default for SnipModel {
+    /// The calibration that reproduces the paper's Figs 5–8: `Ton = 20 ms`.
+    fn default() -> Self {
+        SnipModel::new(SimDuration::from_millis(20))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn model() -> SnipModel {
+        SnipModel::default()
+    }
+
+    fn d(frac: f64) -> DutyCycle {
+        DutyCycle::new(frac).unwrap()
+    }
+
+    #[test]
+    fn upsilon_linear_branch_matches_equation_one() {
+        let m = model();
+        let l = SimDuration::from_secs(2);
+        // Υ = l·d / (2·Ton) while Tcycle ≥ l, i.e. d ≤ 0.01.
+        for frac in [0.0001, 0.001, 0.005, 0.01] {
+            let expect = 2.0 * frac / (2.0 * 0.02);
+            assert!(
+                (m.upsilon(d(frac), l) - expect).abs() < 1e-12,
+                "d={frac}: {} vs {expect}",
+                m.upsilon(d(frac), l)
+            );
+        }
+    }
+
+    #[test]
+    fn upsilon_saturating_branch_matches_equation_one() {
+        let m = model();
+        let l = SimDuration::from_secs(2);
+        // Υ = 1 − Ton / (2·d·l) once Tcycle < l.
+        for frac in [0.02, 0.05, 0.1, 1.0] {
+            let expect = 1.0 - 0.02 / (2.0 * frac * 2.0);
+            assert!((m.upsilon(d(frac), l) - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn upsilon_is_continuous_at_knee() {
+        let m = model();
+        let l = SimDuration::from_secs(2);
+        let knee = m.knee_duty_cycle(l);
+        let below = m.upsilon(d(knee.as_fraction() - 1e-9), l);
+        let above = m.upsilon(d(knee.as_fraction() + 1e-9), l);
+        assert!((below - 0.5).abs() < 1e-6);
+        assert!((above - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn upsilon_edge_cases_are_zero() {
+        let m = model();
+        assert_eq!(m.upsilon(DutyCycle::OFF, SimDuration::from_secs(2)), 0.0);
+        assert_eq!(m.upsilon(d(0.5), SimDuration::ZERO), 0.0);
+        assert_eq!(
+            m.expected_probed(DutyCycle::OFF, SimDuration::from_secs(2)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn probe_probability_matches_cycle_ratio() {
+        let m = model();
+        let l = SimDuration::from_secs(2);
+        // d = 0.001 → Tcycle = 20 s → P = 0.1.
+        assert!((m.probe_probability(d(0.001), l) - 0.1).abs() < 1e-12);
+        // Dense regime saturates at 1.
+        assert_eq!(m.probe_probability(d(0.5), l), 1.0);
+        assert_eq!(m.probe_probability(DutyCycle::OFF, l), 0.0);
+    }
+
+    #[test]
+    fn knee_clamps_for_tiny_contacts() {
+        let m = model();
+        let knee = m.knee_duty_cycle(SimDuration::from_millis(10)); // shorter than Ton
+        assert_eq!(knee, DutyCycle::ALWAYS_ON);
+    }
+
+    #[test]
+    fn duty_cycle_for_upsilon_inverts_both_branches() {
+        let m = model();
+        let l = SimDuration::from_secs(2);
+        for target in [0.05, 0.25, 0.5, 0.75, 0.9] {
+            let dc = m.duty_cycle_for_upsilon(target, l).unwrap();
+            assert!(
+                (m.upsilon(dc, l) - target).abs() < 1e-9,
+                "target {target} gave Υ {}",
+                m.upsilon(dc, l)
+            );
+        }
+    }
+
+    #[test]
+    fn duty_cycle_for_upsilon_unreachable_returns_none() {
+        let m = model();
+        // With l = 30 ms, even d = 1 only reaches Υ = 1 − 0.02/(2·0.03) = 2/3.
+        let l = SimDuration::from_millis(30);
+        assert!(m.duty_cycle_for_upsilon(0.99, l).is_none());
+        assert!(m.duty_cycle_for_upsilon(0.5, l).is_some());
+    }
+
+    #[test]
+    fn slope_is_constant_below_knee_and_decays_above() {
+        let m = model();
+        let l = SimDuration::from_secs(2);
+        let s1 = m.upsilon_slope(d(0.001), l);
+        let s2 = m.upsilon_slope(d(0.009), l);
+        assert!((s1 - s2).abs() < 1e-12, "linear regime slope not constant");
+        assert!((s1 - 50.0).abs() < 1e-9, "slope should be l/(2·Ton) = 50");
+        let s3 = m.upsilon_slope(d(0.1), l);
+        assert!(s3 < s1, "slope must decay above the knee");
+    }
+
+    #[test]
+    fn exponential_closed_form_limits() {
+        let m = model();
+        let mean = SimDuration::from_secs(2);
+        let dist = LengthDistribution::exponential(mean);
+        // Sparse limit: E[Tprobed] → E[l²]/(2·Tcycle) = m²/Tcycle.
+        let sparse = m.expected_probed_dist(d(1e-5), &dist).as_secs_f64();
+        let cycle = 0.02 / 1e-5;
+        assert!((sparse - 4.0 / cycle).abs() / (4.0 / cycle) < 1e-3);
+        // Dense limit: probes nearly everything.
+        let dense = m.expected_probed_dist(d(1.0), &dist).as_secs_f64();
+        assert!(dense > 1.98 && dense <= 2.0);
+    }
+
+    #[test]
+    fn exponential_closed_form_agrees_with_numeric_integration() {
+        let m = model();
+        let mean = SimDuration::from_secs(2);
+        let exp = LengthDistribution::exponential(mean);
+        for frac in [0.001, 0.01, 0.1] {
+            let closed = m.expected_probed_dist(d(frac), &exp).as_secs_f64();
+            // Integrate the same expectation numerically via expect().
+            let cycle = 0.02 / frac;
+            let numeric = exp.expect(|l| {
+                if cycle >= l {
+                    l * l / (2.0 * cycle)
+                } else {
+                    l - cycle / 2.0
+                }
+            });
+            assert!(
+                (closed - numeric).abs() < 1e-4,
+                "d={frac}: closed {closed} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn normal_distribution_expectation_close_to_fixed_for_small_sigma() {
+        let m = model();
+        let l = SimDuration::from_secs(2);
+        let dist = LengthDistribution::normal(l, SimDuration::from_millis(200));
+        for frac in [0.001, 0.01, 0.05] {
+            let fixed = m.expected_probed(d(frac), l).as_secs_f64();
+            let normal = m.expected_probed_dist(d(frac), &dist).as_secs_f64();
+            // σ = l/10 barely moves the expectation (paper's simulation setup).
+            assert!(
+                (fixed - normal).abs() / fixed < 0.05,
+                "d={frac}: fixed {fixed} vs normal {normal}"
+            );
+        }
+    }
+
+    #[test]
+    fn upsilon_dist_of_fixed_matches_upsilon() {
+        let m = model();
+        let l = SimDuration::from_secs(2);
+        let dist = LengthDistribution::fixed(l);
+        for frac in [0.001, 0.01, 0.1] {
+            assert!((m.upsilon_dist(d(frac), &dist) - m.upsilon(d(frac), l)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn default_model_uses_calibrated_ton() {
+        assert_eq!(SnipModel::default().ton(), SimDuration::from_millis(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "Ton must be positive")]
+    fn zero_ton_rejected() {
+        let _ = SnipModel::new(SimDuration::ZERO);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_upsilon_in_unit_interval(
+            frac in 1e-6f64..=1.0,
+            l_ms in 1u64..100_000,
+        ) {
+            let m = model();
+            let u = m.upsilon(d(frac), SimDuration::from_millis(l_ms));
+            prop_assert!((0.0..=1.0).contains(&u), "Υ = {u}");
+        }
+
+        #[test]
+        fn prop_upsilon_monotone_in_duty_cycle(
+            f1 in 1e-6f64..=0.999,
+            delta in 1e-6f64..1e-3,
+            l_ms in 100u64..100_000,
+        ) {
+            let m = model();
+            let l = SimDuration::from_millis(l_ms);
+            let u1 = m.upsilon(d(f1), l);
+            let u2 = m.upsilon(d((f1 + delta).min(1.0)), l);
+            prop_assert!(u2 >= u1 - 1e-12, "Υ must be non-decreasing in d");
+        }
+
+        #[test]
+        fn prop_upsilon_monotone_in_contact_length(
+            frac in 1e-5f64..=1.0,
+            l_ms in 100u64..100_000,
+            extra_ms in 1u64..10_000,
+        ) {
+            let m = model();
+            let u1 = m.upsilon(d(frac), SimDuration::from_millis(l_ms));
+            let u2 = m.upsilon(d(frac), SimDuration::from_millis(l_ms + extra_ms));
+            prop_assert!(u2 >= u1 - 1e-12, "Υ must be non-decreasing in Tcontact");
+        }
+
+        #[test]
+        fn prop_inverse_is_right_inverse(
+            target in 0.01f64..0.95,
+            l_ms in 1_000u64..100_000,
+        ) {
+            let m = model();
+            let l = SimDuration::from_millis(l_ms);
+            if let Some(dc) = m.duty_cycle_for_upsilon(target, l) {
+                prop_assert!((m.upsilon(dc, l) - target).abs() < 1e-6);
+            }
+        }
+
+        #[test]
+        fn prop_probed_never_exceeds_contact(
+            frac in 1e-6f64..=1.0,
+            l_ms in 1u64..1_000_000,
+        ) {
+            let m = model();
+            let l = SimDuration::from_millis(l_ms);
+            prop_assert!(m.expected_probed(d(frac), l) <= l);
+        }
+    }
+}

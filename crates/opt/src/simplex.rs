@@ -1,0 +1,295 @@
+//! A dense-tableau simplex solver for small linear programs.
+//!
+//! The greedy allocator is exact for SNIP-OPT's structure, but a reproduction
+//! should be able to *verify* that claim rather than assume it. This module
+//! provides an independent LP solver (standard-form maximization with `≤`
+//! constraints and non-negative variables, solved with Bland's rule to avoid
+//! cycling) that the test-suite runs against the allocator on the same
+//! piecewise-linearized problems.
+//!
+//! The solver is deliberately simple — dense tableau, two-phase not needed
+//! because our constraints always admit the origin — and sized for the
+//! paper's problems (24 slots × ~8 segments ≈ 200 variables).
+
+use std::error::Error;
+use std::fmt;
+
+/// A standard-form LP: maximize `c·x` subject to `A·x ≤ b`, `x ≥ 0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearProgram {
+    objective: Vec<f64>,
+    constraints: Vec<(Vec<f64>, f64)>,
+}
+
+/// Errors from [`LinearProgram::solve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimplexError {
+    /// The objective is unbounded above on the feasible region.
+    Unbounded,
+    /// Some `b` is negative: the origin is infeasible and this solver does
+    /// not implement phase 1.
+    OriginInfeasible,
+    /// The iteration limit was exceeded (should not happen with Bland's
+    /// rule; indicates numerical trouble).
+    IterationLimit,
+}
+
+impl fmt::Display for SimplexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimplexError::Unbounded => write!(f, "objective is unbounded"),
+            SimplexError::OriginInfeasible => {
+                write!(f, "origin infeasible: negative right-hand side")
+            }
+            SimplexError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl Error for SimplexError {}
+
+/// An optimal LP solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimplexSolution {
+    /// The optimal variable assignment.
+    pub x: Vec<f64>,
+    /// The optimal objective value.
+    pub objective: f64,
+}
+
+impl LinearProgram {
+    /// Creates an LP maximizing `objective · x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `objective` is empty or contains non-finite entries.
+    #[must_use]
+    pub fn maximize(objective: Vec<f64>) -> Self {
+        assert!(!objective.is_empty(), "objective must have variables");
+        assert!(
+            objective.iter().all(|v| v.is_finite()),
+            "objective coefficients must be finite"
+        );
+        LinearProgram {
+            objective,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Adds a constraint `row · x ≤ rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` has the wrong length or any entry is non-finite.
+    pub fn constrain_le(&mut self, row: Vec<f64>, rhs: f64) -> &mut Self {
+        assert_eq!(
+            row.len(),
+            self.objective.len(),
+            "constraint row must match variable count"
+        );
+        assert!(
+            row.iter().all(|v| v.is_finite()) && rhs.is_finite(),
+            "constraint coefficients must be finite"
+        );
+        self.constraints.push((row, rhs));
+        self
+    }
+
+    /// Adds an upper bound `x[i] ≤ bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bound(&mut self, i: usize, bound: f64) -> &mut Self {
+        assert!(i < self.objective.len(), "variable index out of range");
+        let mut row = vec![0.0; self.objective.len()];
+        row[i] = 1.0;
+        self.constrain_le(row, bound)
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn variables(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Solves the LP.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimplexError`] when the LP is unbounded, the origin is
+    /// infeasible, or iteration diverges.
+    pub fn solve(&self) -> Result<SimplexSolution, SimplexError> {
+        let n = self.objective.len();
+        let m = self.constraints.len();
+        if self.constraints.iter().any(|&(_, b)| b < 0.0) {
+            return Err(SimplexError::OriginInfeasible);
+        }
+
+        // Tableau: rows = m constraints + objective row; cols = n vars +
+        // m slacks + rhs.
+        let cols = n + m + 1;
+        let mut t = vec![vec![0.0f64; cols]; m + 1];
+        for (i, (row, b)) in self.constraints.iter().enumerate() {
+            t[i][..n].copy_from_slice(row);
+            t[i][n + i] = 1.0;
+            t[i][cols - 1] = *b;
+        }
+        for j in 0..n {
+            t[m][j] = -self.objective[j];
+        }
+
+        let mut basis: Vec<usize> = (n..n + m).collect();
+        const MAX_ITERS: usize = 100_000;
+        for _ in 0..MAX_ITERS {
+            // Bland's rule: entering variable = smallest index with negative
+            // reduced cost.
+            let Some(pivot_col) = (0..cols - 1).find(|&j| t[m][j] < -1e-9) else {
+                // Optimal.
+                let mut x = vec![0.0; n];
+                for (i, &b) in basis.iter().enumerate() {
+                    if b < n {
+                        x[b] = t[i][cols - 1];
+                    }
+                }
+                return Ok(SimplexSolution {
+                    x,
+                    objective: t[m][cols - 1],
+                });
+            };
+            // Ratio test; Bland tie-break on smallest basis index.
+            let mut pivot_row: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for i in 0..m {
+                if t[i][pivot_col] > 1e-9 {
+                    let ratio = t[i][cols - 1] / t[i][pivot_col];
+                    let better = ratio < best_ratio - 1e-12
+                        || ((ratio - best_ratio).abs() <= 1e-12
+                            && pivot_row.is_some_and(|r| basis[i] < basis[r]));
+                    if better {
+                        best_ratio = ratio;
+                        pivot_row = Some(i);
+                    }
+                }
+            }
+            let Some(r) = pivot_row else {
+                return Err(SimplexError::Unbounded);
+            };
+            // Pivot.
+            let pivot = t[r][pivot_col];
+            for v in &mut t[r] {
+                *v /= pivot;
+            }
+            for i in 0..=m {
+                if i != r {
+                    let factor = t[i][pivot_col];
+                    if factor != 0.0 {
+                        for j in 0..cols {
+                            t[i][j] -= factor * t[r][j];
+                        }
+                    }
+                }
+            }
+            basis[r] = pivot_col;
+        }
+        Err(SimplexError::IterationLimit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_a_textbook_lp() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), z = 36.
+        let mut lp = LinearProgram::maximize(vec![3.0, 5.0]);
+        lp.constrain_le(vec![1.0, 0.0], 4.0)
+            .constrain_le(vec![0.0, 2.0], 12.0)
+            .constrain_le(vec![3.0, 2.0], 18.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective - 36.0).abs() < 1e-9);
+        assert!((sol.x[0] - 2.0).abs() < 1e-9);
+        assert!((sol.x[1] - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        // max x with only y bounded.
+        let mut lp = LinearProgram::maximize(vec![1.0, 0.0]);
+        lp.constrain_le(vec![0.0, 1.0], 5.0);
+        assert_eq!(lp.solve().unwrap_err(), SimplexError::Unbounded);
+    }
+
+    #[test]
+    fn rejects_negative_rhs() {
+        let mut lp = LinearProgram::maximize(vec![1.0]);
+        lp.constrain_le(vec![1.0], -1.0);
+        assert_eq!(lp.solve().unwrap_err(), SimplexError::OriginInfeasible);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Classic degeneracy: redundant constraints through the origin.
+        let mut lp = LinearProgram::maximize(vec![1.0, 1.0]);
+        lp.constrain_le(vec![1.0, 0.0], 0.0)
+            .constrain_le(vec![1.0, 1.0], 2.0)
+            .constrain_le(vec![0.0, 1.0], 2.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective - 2.0).abs() < 1e-9);
+        assert!((sol.x[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounds_are_constraints() {
+        let mut lp = LinearProgram::maximize(vec![2.0, 1.0]);
+        lp.bound(0, 1.5).bound(1, 2.5);
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn knapsack_relaxation_takes_best_density_first() {
+        // max 3a + 2b + c s.t. a + b + c ≤ 2, each ≤ 1 → a=1, b=1: z = 5.
+        let mut lp = LinearProgram::maximize(vec![3.0, 2.0, 1.0]);
+        lp.constrain_le(vec![1.0, 1.0, 1.0], 2.0);
+        for i in 0..3 {
+            lp.bound(i, 1.0);
+        }
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective - 5.0).abs() < 1e-9);
+        assert!((sol.x[2]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_budget_yields_zero() {
+        let mut lp = LinearProgram::maximize(vec![1.0, 1.0]);
+        lp.constrain_le(vec![1.0, 1.0], 0.0);
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.objective, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "match variable count")]
+    fn mismatched_row_rejected() {
+        let mut lp = LinearProgram::maximize(vec![1.0, 1.0]);
+        lp.constrain_le(vec![1.0], 1.0);
+    }
+
+    #[test]
+    fn larger_random_like_lp_agrees_with_known_optimum() {
+        // max Σ c_i x_i, Σ x_i ≤ B, x_i ≤ u_i — fractional knapsack whose
+        // optimum we can compute greedily.
+        let c = [5.0, 4.0, 3.0, 2.0, 1.0];
+        let u = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let budget = 6.0;
+        let mut lp = LinearProgram::maximize(c.to_vec());
+        lp.constrain_le(vec![1.0; 5], budget);
+        for (i, &ub) in u.iter().enumerate() {
+            lp.bound(i, ub);
+        }
+        let sol = lp.solve().unwrap();
+        // Greedy: 1@5 + 2@4 + 3@3 = budget 6 → z = 5 + 8 + 9 = 22.
+        assert!((sol.objective - 22.0).abs() < 1e-9, "{}", sol.objective);
+    }
+}

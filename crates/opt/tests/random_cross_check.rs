@@ -1,0 +1,121 @@
+//! Adversarial cross-check: the greedy water-filling allocator must match
+//! the independent simplex LP solver on *randomly generated* concave
+//! piecewise-linear instances, not just the paper's scenario.
+//!
+//! Instances are generated from seeds via a small LCG (keeping the test
+//! deterministic without depending on `rand` here), with random segment
+//! counts, energies and strictly decreasing efficiencies per curve.
+
+use snip_model::{LengthDistribution, SlotSpec, SnipModel};
+use snip_opt::{CapacityCurve, GreedyAllocator, LinearProgram};
+use snip_units::SimDuration;
+
+/// A tiny deterministic generator (LCG) for reproducible fuzzing.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_f64(&mut self) -> f64 {
+        // Numerical Recipes LCG constants.
+        self.0 = self.0.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        ((self.0 >> 11) as f64) / ((1u64 << 53) as f64)
+    }
+
+    fn in_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+}
+
+/// Builds random slot curves through the real `CapacityCurve` constructor so
+/// the instance is always a valid SNIP problem (concavity by construction).
+fn random_curves(seed: u64, slots: usize) -> Vec<CapacityCurve> {
+    let mut rng = Lcg(seed.wrapping_mul(2_654_435_761).wrapping_add(1));
+    let model = SnipModel::default();
+    (0..slots)
+        .map(|_| {
+            let interval = rng.in_range(60.0, 3_600.0);
+            let length = rng.in_range(0.2, 20.0);
+            let slot = SlotSpec::new(
+                SimDuration::from_hours(1),
+                SimDuration::from_secs_f64(interval),
+                LengthDistribution::fixed(SimDuration::from_secs_f64(length)),
+            );
+            CapacityCurve::for_slot(&model, &slot)
+        })
+        .collect()
+}
+
+fn simplex_optimum(curves: &[CapacityCurve], phi_max: f64) -> f64 {
+    let segs: Vec<(f64, f64)> = curves
+        .iter()
+        .flat_map(|c| c.segments().iter().map(|s| (s.energy, s.efficiency)))
+        .collect();
+    let mut lp = LinearProgram::maximize(segs.iter().map(|s| s.1).collect());
+    lp.constrain_le(vec![1.0; segs.len()], phi_max);
+    for (j, seg) in segs.iter().enumerate() {
+        lp.bound(j, seg.0);
+    }
+    lp.solve().expect("instance is feasible").objective
+}
+
+#[test]
+fn greedy_matches_simplex_on_fifty_random_instances() {
+    for seed in 0..50u64 {
+        let curves = random_curves(seed, 6 + (seed % 10) as usize);
+        let alloc = GreedyAllocator::new(curves.clone());
+        let phi_max = 10.0 + (seed as f64) * 37.0;
+        let greedy = alloc.maximize_capacity(phi_max);
+        let simplex = simplex_optimum(&curves, phi_max);
+        assert!(
+            (greedy.zeta - simplex).abs() < 1e-5 * simplex.max(1.0),
+            "seed {seed}: greedy {} vs simplex {simplex}",
+            greedy.zeta
+        );
+    }
+}
+
+#[test]
+fn minimize_energy_is_consistent_with_maximize_on_random_instances() {
+    for seed in 0..30u64 {
+        let curves = random_curves(seed + 1_000, 8);
+        let alloc = GreedyAllocator::new(curves);
+        let max_cap = alloc.max_capacity();
+        for fraction in [0.1, 0.5, 0.9] {
+            let target = max_cap * fraction;
+            let min = alloc
+                .minimize_energy(target)
+                .expect("target below max capacity");
+            // Re-spending exactly that energy must reach the target again.
+            let back = alloc.maximize_capacity(min.phi);
+            assert!(
+                back.zeta + 1e-6 >= target,
+                "seed {seed}, f={fraction}: Φ {} buys only ζ {}",
+                min.phi,
+                back.zeta
+            );
+            // And one joule less must fall short (minimality).
+            if min.phi > 1.0 {
+                let less = alloc.maximize_capacity(min.phi - 1.0);
+                assert!(
+                    less.zeta < target,
+                    "seed {seed}, f={fraction}: Φ−1 still reaches the target"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn allocations_respect_per_slot_capacity_limits() {
+    for seed in 0..20u64 {
+        let curves = random_curves(seed + 2_000, 12);
+        let alloc = GreedyAllocator::new(curves.clone());
+        let a = alloc.maximize_capacity(5_000.0);
+        for (slot, (&phi, curve)) in a.per_slot.iter().zip(&curves).enumerate() {
+            assert!(
+                phi <= curve.max_energy() + 1e-9,
+                "seed {seed}: slot {slot} over-funded ({phi} > {})",
+                curve.max_energy()
+            );
+        }
+    }
+}

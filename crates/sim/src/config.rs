@@ -1,0 +1,175 @@
+//! Simulation parameters.
+
+use serde::{Deserialize, Serialize};
+use snip_units::{SimDuration, SimTime};
+
+/// Parameters of a sensor-node probing simulation.
+///
+/// Built with a fluent builder starting from [`SimConfig::paper_defaults`].
+///
+/// # Examples
+///
+/// ```
+/// use snip_sim::SimConfig;
+/// use snip_units::SimDuration;
+///
+/// let config = SimConfig::paper_defaults()
+///     .with_epochs(14)
+///     .with_zeta_target_secs(16.0);
+/// assert_eq!(config.horizon(), snip_units::SimTime::from_secs(14 * 86_400));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Beacon window `Ton` per probing cycle.
+    pub ton: SimDuration,
+    /// Epoch length `Tepoch` (metrics are reported per epoch).
+    pub epoch: SimDuration,
+    /// Number of epochs to simulate.
+    pub epochs: u64,
+    /// Data generation rate as seconds of upload airtime per second of
+    /// wall-clock (`ζtarget / Tepoch`).
+    pub data_rate: f64,
+    /// How long the node sleeps between scheduler wake-ups while probing is
+    /// inactive (the paper's "CPU wakes up periodically").
+    pub decision_interval: SimDuration,
+    /// Probability that a probing beacon is lost (contention/corruption
+    /// injection; the paper argues this is negligible in sparse networks).
+    pub beacon_loss: f64,
+}
+
+impl SimConfig {
+    /// The paper's simulation defaults: `Ton = 20 ms`, 24 h epochs, two-week
+    /// runs, no data generation, one-minute idle wake-ups, no beacon loss.
+    #[must_use]
+    pub fn paper_defaults() -> Self {
+        SimConfig {
+            ton: SimDuration::from_millis(20),
+            epoch: SimDuration::from_hours(24),
+            epochs: 14,
+            data_rate: 0.0,
+            decision_interval: SimDuration::from_secs(60),
+            beacon_loss: 0.0,
+        }
+    }
+
+    /// Sets the number of simulated epochs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epochs` is zero.
+    #[must_use]
+    pub fn with_epochs(mut self, epochs: u64) -> Self {
+        assert!(epochs > 0, "must simulate at least one epoch");
+        self.epochs = epochs;
+        self
+    }
+
+    /// Sets the data generation rate from a per-epoch capacity target in
+    /// seconds (`ζtarget`), the paper's "constant rate derived from ζtarget".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `zeta_target` is negative.
+    #[must_use]
+    pub fn with_zeta_target_secs(mut self, zeta_target: f64) -> Self {
+        assert!(zeta_target >= 0.0, "ζtarget must be non-negative");
+        self.data_rate = zeta_target / self.epoch.as_secs_f64();
+        self
+    }
+
+    /// Sets the beacon-loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[must_use]
+    pub fn with_beacon_loss(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0, 1]");
+        self.beacon_loss = p;
+        self
+    }
+
+    /// Sets the idle decision interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    #[must_use]
+    pub fn with_decision_interval(mut self, interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "decision interval must be positive");
+        self.decision_interval = interval;
+        self
+    }
+
+    /// Sets the beacon window `Ton`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ton` is zero.
+    #[must_use]
+    pub fn with_ton(mut self, ton: SimDuration) -> Self {
+        assert!(!ton.is_zero(), "Ton must be positive");
+        self.ton = ton;
+        self
+    }
+
+    /// The simulation end time.
+    #[must_use]
+    pub fn horizon(&self) -> SimTime {
+        SimTime::ZERO + self.epoch * self.epochs
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_the_evaluation_setup() {
+        let c = SimConfig::paper_defaults();
+        assert_eq!(c.ton, SimDuration::from_millis(20));
+        assert_eq!(c.epoch, SimDuration::from_hours(24));
+        assert_eq!(c.epochs, 14);
+        assert_eq!(c.beacon_loss, 0.0);
+    }
+
+    #[test]
+    fn zeta_target_sets_rate() {
+        let c = SimConfig::paper_defaults().with_zeta_target_secs(16.0);
+        assert!((c.data_rate - 16.0 / 86_400.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn horizon_scales_with_epochs() {
+        let c = SimConfig::paper_defaults().with_epochs(3);
+        assert_eq!(c.horizon(), SimTime::from_secs(3 * 86_400));
+    }
+
+    #[test]
+    fn builders_validate() {
+        let c = SimConfig::paper_defaults()
+            .with_beacon_loss(0.25)
+            .with_ton(SimDuration::from_millis(10))
+            .with_decision_interval(SimDuration::from_secs(30));
+        assert_eq!(c.beacon_loss, 0.25);
+        assert_eq!(c.ton, SimDuration::from_millis(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one epoch")]
+    fn zero_epochs_rejected() {
+        let _ = SimConfig::paper_defaults().with_epochs(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn bad_loss_rejected() {
+        let _ = SimConfig::paper_defaults().with_beacon_loss(1.5);
+    }
+}

@@ -1,0 +1,209 @@
+//! Energy accounting and lifetime projection.
+//!
+//! The paper reports the probing overhead `Φ` in seconds of radio-on time
+//! because on a TelosB that is proportional to energy. This module closes
+//! the loop: it converts a run's metered on-time into millijoules using the
+//! CC2420 model from `snip-units` and projects how long a battery would
+//! last under each scheduling mechanism — the "assure a minimal lifetime"
+//! motivation of §V made concrete.
+
+use serde::{Deserialize, Serialize};
+use snip_units::{Energy, RadioEnergyModel, SimDuration};
+
+use crate::metrics::RunMetrics;
+
+/// A battery, described by its usable capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Battery {
+    usable_millijoules: f64,
+}
+
+impl Battery {
+    /// A battery from capacity in milliamp-hours at a supply voltage,
+    /// derated by a usable fraction (self-discharge, cutoff voltage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is non-positive or `usable_fraction > 1`.
+    #[must_use]
+    pub fn from_mah(mah: f64, volts: f64, usable_fraction: f64) -> Self {
+        assert!(mah > 0.0 && volts > 0.0, "capacity and voltage must be positive");
+        assert!(
+            usable_fraction > 0.0 && usable_fraction <= 1.0,
+            "usable fraction must be in (0, 1]"
+        );
+        // mAh × V = mWh; × 3600 = mJ.
+        Battery {
+            usable_millijoules: mah * volts * 3_600.0 * usable_fraction,
+        }
+    }
+
+    /// Two AA cells (typical TelosB supply): 2500 mAh at 3 V, 80% usable.
+    #[must_use]
+    pub fn two_aa() -> Self {
+        Battery::from_mah(2_500.0, 3.0, 0.8)
+    }
+
+    /// The usable energy.
+    #[must_use]
+    pub fn usable(&self) -> Energy {
+        Energy::from_millijoules(self.usable_millijoules)
+    }
+}
+
+/// Per-epoch energy breakdown of a run, in millijoules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Energy spent probing (beacon windows), per epoch.
+    pub probing: Energy,
+    /// Energy spent uploading during probed contacts, per epoch.
+    pub upload: Energy,
+    /// Energy spent asleep for the rest of the epoch, per epoch.
+    pub sleep: Energy,
+}
+
+impl EnergyBreakdown {
+    /// Computes the breakdown of a run under a radio model.
+    ///
+    /// Probing windows are charged at listen power (the SNIP beacon is a
+    /// negligible slice of `Ton` and TX ≈ RX on the CC2420); upload time at
+    /// transmit power; the remainder of each epoch at sleep power.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metrics are empty or an epoch's on-time exceeds the
+    /// epoch length.
+    #[must_use]
+    pub fn of_run(
+        metrics: &RunMetrics,
+        radio: &RadioEnergyModel,
+        epoch: SimDuration,
+    ) -> Self {
+        assert!(!metrics.is_empty(), "need at least one epoch of metrics");
+        let epochs = metrics.len() as f64;
+        let phi: f64 = metrics.epochs().iter().map(|e| e.phi).sum::<f64>() / epochs;
+        let up: f64 = metrics.epochs().iter().map(|e| e.upload_on_time).sum::<f64>() / epochs;
+        let on = phi + up;
+        let epoch_secs = epoch.as_secs_f64();
+        assert!(
+            on <= epoch_secs,
+            "radio on-time {on} s exceeds the epoch {epoch_secs} s"
+        );
+        EnergyBreakdown {
+            probing: radio.listen_energy(SimDuration::from_secs_f64(phi)),
+            upload: radio.transmit_energy(SimDuration::from_secs_f64(up)),
+            sleep: radio.sleep_energy(SimDuration::from_secs_f64(epoch_secs - on)),
+        }
+    }
+
+    /// Total radio energy per epoch.
+    #[must_use]
+    pub fn total(&self) -> Energy {
+        self.probing + self.upload + self.sleep
+    }
+
+    /// Projected node lifetime in epochs on a battery, counting only the
+    /// radio (CPU/sensing excluded, as in the paper's Φ metric).
+    ///
+    /// Returns `f64::INFINITY` if the per-epoch total is zero.
+    #[must_use]
+    pub fn lifetime_epochs(&self, battery: Battery) -> f64 {
+        let per_epoch = self.total().as_millijoules();
+        if per_epoch == 0.0 {
+            return f64::INFINITY;
+        }
+        battery.usable().as_millijoules() / per_epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{EpochMetrics, RunMetrics};
+
+    fn run_with(phi: f64, upload: f64) -> RunMetrics {
+        let mut m = RunMetrics::with_epochs(2);
+        for i in 0..2 {
+            *m.epoch_mut(i) = EpochMetrics {
+                zeta: upload,
+                phi,
+                uploaded: upload,
+                upload_on_time: upload,
+                contacts_total: 10,
+                contacts_probed: 5,
+                beacons: 100,
+            };
+        }
+        m
+    }
+
+    #[test]
+    fn battery_capacity_math() {
+        let b = Battery::from_mah(1_000.0, 3.0, 1.0);
+        // 1000 mAh × 3 V = 3 Wh = 10.8 kJ = 10.8e6 mJ.
+        assert!((b.usable().as_millijoules() - 10.8e6).abs() < 1.0);
+        let aa = Battery::two_aa();
+        assert!((aa.usable().as_millijoules() - 2_500.0 * 3.0 * 3_600.0 * 0.8).abs() < 1.0);
+    }
+
+    #[test]
+    fn breakdown_charges_each_mode() {
+        let radio = RadioEnergyModel::cc2420();
+        let epoch = SimDuration::from_hours(24);
+        let b = EnergyBreakdown::of_run(&run_with(86.4, 16.0), &radio, epoch);
+        // Probing: 86.4 s at 56.4 mW.
+        assert!((b.probing.as_millijoules() - 86.4 * 56.4).abs() < 1e-6);
+        // Upload: 16 s at 52.2 mW.
+        assert!((b.upload.as_millijoules() - 16.0 * 52.2).abs() < 1e-6);
+        // Sleep energy is tiny but not zero.
+        assert!(b.sleep.as_millijoules() > 0.0);
+        assert!(b.sleep.as_millijoules() < 10.0);
+        assert!(b.total() > b.probing);
+    }
+
+    #[test]
+    fn lifetime_scales_inversely_with_phi() {
+        let radio = RadioEnergyModel::cc2420();
+        let epoch = SimDuration::from_hours(24);
+        let battery = Battery::two_aa();
+        let heavy = EnergyBreakdown::of_run(&run_with(86.4, 16.0), &radio, epoch)
+            .lifetime_epochs(battery);
+        let light = EnergyBreakdown::of_run(&run_with(28.8, 16.0), &radio, epoch)
+            .lifetime_epochs(battery);
+        assert!(light > heavy);
+        // Probing dominates: a third of the probing cost ⇒ substantially
+        // more than 1.5× the life.
+        assert!(light / heavy > 1.5, "ratio {}", light / heavy);
+        // Sanity: years, not days, at these duty-cycles.
+        assert!(heavy > 1_000.0, "lifetime {heavy} epochs");
+    }
+
+    #[test]
+    fn zero_activity_lives_forever_modulo_sleep() {
+        let radio = RadioEnergyModel::new(
+            snip_units::Power::from_milliwatts(56.4),
+            snip_units::Power::from_milliwatts(52.2),
+            snip_units::Power::from_milliwatts(0.0),
+        );
+        let epoch = SimDuration::from_hours(24);
+        let b = EnergyBreakdown::of_run(&run_with(0.0, 0.0), &radio, epoch);
+        assert_eq!(b.lifetime_epochs(Battery::two_aa()), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the epoch")]
+    fn impossible_on_time_rejected() {
+        let radio = RadioEnergyModel::cc2420();
+        let _ = EnergyBreakdown::of_run(
+            &run_with(90_000.0, 0.0),
+            &radio,
+            SimDuration::from_hours(24),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "usable fraction")]
+    fn bad_battery_fraction_rejected() {
+        let _ = Battery::from_mah(1_000.0, 3.0, 1.5);
+    }
+}

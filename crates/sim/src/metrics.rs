@@ -1,0 +1,273 @@
+//! Per-epoch and aggregate simulation metrics.
+//!
+//! The paper reports, per epoch (one day): the probed contact capacity `ζ`,
+//! the probing overhead `Φ` (radio-on time spent probing), and the unit cost
+//! `ρ = Φ/ζ`. Figures 7 and 8 plot the per-epoch averages of two-week runs.
+
+use serde::{Deserialize, Serialize};
+use snip_units::SimDuration;
+
+/// Metrics of one simulated epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EpochMetrics {
+    /// Probed contact capacity `ζ` (sum of `Tprobed`), seconds.
+    pub zeta: f64,
+    /// Probing overhead `Φ` (radio-on time charged to probing), seconds.
+    pub phi: f64,
+    /// Data uploaded during probed windows, airtime seconds.
+    pub uploaded: f64,
+    /// Radio-on time spent uploading (not charged to `Φ`), seconds.
+    pub upload_on_time: f64,
+    /// Contacts present in the trace during this epoch.
+    pub contacts_total: u64,
+    /// Contacts successfully probed.
+    pub contacts_probed: u64,
+    /// Probing beacons transmitted.
+    pub beacons: u64,
+}
+
+impl EpochMetrics {
+    /// Unit probing cost `ρ = Φ/ζ`; `None` when nothing was probed.
+    #[must_use]
+    pub fn rho(&self) -> Option<f64> {
+        if self.zeta > 0.0 {
+            Some(self.phi / self.zeta)
+        } else {
+            None
+        }
+    }
+
+    /// Fraction of contacts probed; `None` when no contacts occurred.
+    #[must_use]
+    pub fn probe_ratio(&self) -> Option<f64> {
+        if self.contacts_total > 0 {
+            Some(self.contacts_probed as f64 / self.contacts_total as f64)
+        } else {
+            None
+        }
+    }
+}
+
+/// Metrics of a whole run, per epoch plus convenience aggregates.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunMetrics {
+    epochs: Vec<EpochMetrics>,
+    /// Probing on-time per slot-of-epoch across the whole run, seconds.
+    slot_phi: Vec<f64>,
+    /// Probed capacity per slot-of-epoch across the whole run, seconds.
+    slot_zeta: Vec<f64>,
+}
+
+impl RunMetrics {
+    /// Creates run metrics with `epochs` zeroed epochs and the default
+    /// 24-slot per-slot breakdown.
+    #[must_use]
+    pub fn with_epochs(epochs: usize) -> Self {
+        Self::with_epochs_and_slots(epochs, 24)
+    }
+
+    /// Creates run metrics with an explicit slot-of-epoch breakdown size.
+    #[must_use]
+    pub fn with_epochs_and_slots(epochs: usize, slots: usize) -> Self {
+        RunMetrics {
+            epochs: vec![EpochMetrics::default(); epochs],
+            slot_phi: vec![0.0; slots],
+            slot_zeta: vec![0.0; slots],
+        }
+    }
+
+    /// Probing on-time per slot-of-epoch, aggregated over the run, seconds.
+    ///
+    /// This is the end-to-end check that a rush-hour mechanism actually
+    /// concentrates its energy where it claims to.
+    #[must_use]
+    pub fn slot_phi(&self) -> &[f64] {
+        &self.slot_phi
+    }
+
+    /// Probed capacity per slot-of-epoch, aggregated over the run, seconds.
+    #[must_use]
+    pub fn slot_zeta(&self) -> &[f64] {
+        &self.slot_zeta
+    }
+
+    /// Adds probing on-time to a slot's ledger (simulator internal).
+    pub(crate) fn charge_slot_phi(&mut self, slot: usize, secs: f64) {
+        if let Some(v) = self.slot_phi.get_mut(slot) {
+            *v += secs;
+        }
+    }
+
+    /// Adds probed capacity to a slot's ledger (simulator internal).
+    pub(crate) fn charge_slot_zeta(&mut self, slot: usize, secs: f64) {
+        if let Some(v) = self.slot_zeta.get_mut(slot) {
+            *v += secs;
+        }
+    }
+
+    /// Per-epoch metrics.
+    #[must_use]
+    pub fn epochs(&self) -> &[EpochMetrics] {
+        &self.epochs
+    }
+
+    /// Mutable access for the simulators in this crate.
+    pub(crate) fn epoch_mut(&mut self, idx: usize) -> &mut EpochMetrics {
+        &mut self.epochs[idx]
+    }
+
+    /// Number of epochs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// `true` when no epochs were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.epochs.is_empty()
+    }
+
+    /// Mean probed capacity per epoch, seconds (`ζ` of Figs 7a/8a).
+    #[must_use]
+    pub fn mean_zeta_per_epoch(&self) -> f64 {
+        self.mean(|e| e.zeta)
+    }
+
+    /// Mean probing overhead per epoch, seconds (`Φ` of Figs 7b/8b).
+    #[must_use]
+    pub fn mean_phi_per_epoch(&self) -> f64 {
+        self.mean(|e| e.phi)
+    }
+
+    /// Mean uploaded data per epoch, airtime seconds.
+    #[must_use]
+    pub fn mean_uploaded_per_epoch(&self) -> f64 {
+        self.mean(|e| e.uploaded)
+    }
+
+    /// Overall unit cost: total Φ over total ζ (`ρ` of Figs 7c/8c);
+    /// `None` when nothing was probed.
+    #[must_use]
+    pub fn overall_rho(&self) -> Option<f64> {
+        let zeta: f64 = self.epochs.iter().map(|e| e.zeta).sum();
+        let phi: f64 = self.epochs.iter().map(|e| e.phi).sum();
+        if zeta > 0.0 {
+            Some(phi / zeta)
+        } else {
+            None
+        }
+    }
+
+    /// Total probing on-time across the run, as a duration.
+    #[must_use]
+    pub fn total_phi(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.epochs.iter().map(|e| e.phi).sum::<f64>())
+    }
+
+    /// Total contacts probed across the run.
+    #[must_use]
+    pub fn total_contacts_probed(&self) -> u64 {
+        self.epochs.iter().map(|e| e.contacts_probed).sum()
+    }
+
+    /// Sample standard deviation of per-epoch ζ (the error bars of Fig 7a).
+    #[must_use]
+    pub fn zeta_std_dev(&self) -> f64 {
+        self.std_dev(|e| e.zeta)
+    }
+
+    fn mean<F: Fn(&EpochMetrics) -> f64>(&self, f: F) -> f64 {
+        if self.epochs.is_empty() {
+            return 0.0;
+        }
+        self.epochs.iter().map(f).sum::<f64>() / self.epochs.len() as f64
+    }
+
+    fn std_dev<F: Fn(&EpochMetrics) -> f64 + Copy>(&self, f: F) -> f64 {
+        let n = self.epochs.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean(f);
+        let var = self
+            .epochs
+            .iter()
+            .map(|e| (f(e) - mean).powi(2))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        var.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunMetrics {
+        let mut m = RunMetrics::with_epochs(2);
+        *m.epoch_mut(0) = EpochMetrics {
+            zeta: 10.0,
+            phi: 30.0,
+            uploaded: 8.0,
+            upload_on_time: 10.0,
+            contacts_total: 88,
+            contacts_probed: 10,
+            beacons: 1000,
+        };
+        *m.epoch_mut(1) = EpochMetrics {
+            zeta: 20.0,
+            phi: 30.0,
+            uploaded: 16.0,
+            upload_on_time: 20.0,
+            contacts_total: 90,
+            contacts_probed: 20,
+            beacons: 1000,
+        };
+        m
+    }
+
+    #[test]
+    fn epoch_rho_and_ratio() {
+        let m = sample();
+        assert!((m.epochs()[0].rho().unwrap() - 3.0).abs() < 1e-12);
+        assert!((m.epochs()[0].probe_ratio().unwrap() - 10.0 / 88.0).abs() < 1e-12);
+        let empty = EpochMetrics::default();
+        assert!(empty.rho().is_none());
+        assert!(empty.probe_ratio().is_none());
+    }
+
+    #[test]
+    fn aggregates() {
+        let m = sample();
+        assert!((m.mean_zeta_per_epoch() - 15.0).abs() < 1e-12);
+        assert!((m.mean_phi_per_epoch() - 30.0).abs() < 1e-12);
+        assert!((m.mean_uploaded_per_epoch() - 12.0).abs() < 1e-12);
+        assert!((m.overall_rho().unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(m.total_contacts_probed(), 30);
+        assert_eq!(m.total_phi(), SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn std_dev_of_zeta() {
+        let m = sample();
+        // Samples 10, 20 → sd = √50 ≈ 7.071.
+        assert!((m.zeta_std_dev() - 50.0f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_run_is_safe() {
+        let m = RunMetrics::default();
+        assert!(m.is_empty());
+        assert_eq!(m.mean_zeta_per_epoch(), 0.0);
+        assert!(m.overall_rho().is_none());
+        assert_eq!(m.zeta_std_dev(), 0.0);
+    }
+
+    #[test]
+    fn single_epoch_std_dev_is_zero() {
+        let m = RunMetrics::with_epochs(1);
+        assert_eq!(m.zeta_std_dev(), 0.0);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,413 @@
+//! The SNIP sensor-node simulation.
+//!
+//! Faithful to the protocol of §III: the sensor node broadcasts one beacon at
+//! the start of every radio-on window; the mobile node's radio is always on,
+//! so a contact is probed at the first beacon that falls inside it (unless
+//! the beacon is lost to injected contention). After a probe, the node keeps
+//! its radio on to upload buffered data for the remainder of the contact —
+//! that on-time is metered separately and *not* charged to the probing
+//! overhead `Φ`, matching the paper's accounting.
+//!
+//! Time advances event-to-event: probing cycles while the scheduler is
+//! active, `decision_interval` hops while it is idle, and a jump to the
+//! contact end after a successful probe.
+
+use rand::Rng;
+use snip_core::{ProbeContext, ProbeScheduler, ProbedContactInfo};
+use snip_mobility::ContactTrace;
+use snip_units::{SimDuration, SimTime};
+
+use crate::buffer::DataBuffer;
+use crate::config::SimConfig;
+use crate::metrics::RunMetrics;
+
+/// A single-sensor-node probing simulation over a contact trace.
+///
+/// See the crate-level example for usage.
+#[derive(Debug)]
+pub struct Simulation<'a, S> {
+    config: SimConfig,
+    trace: &'a ContactTrace,
+    scheduler: S,
+}
+
+impl<'a, S: ProbeScheduler> Simulation<'a, S> {
+    /// Creates a simulation.
+    #[must_use]
+    pub fn new(config: SimConfig, trace: &'a ContactTrace, scheduler: S) -> Self {
+        Simulation {
+            config,
+            trace,
+            scheduler,
+        }
+    }
+
+    /// The scheduler (for inspecting learned state after a run).
+    #[must_use]
+    pub fn scheduler(&self) -> &S {
+        &self.scheduler
+    }
+
+    /// Runs the simulation to the horizon and returns per-epoch metrics.
+    ///
+    /// Deterministic for a given scheduler, trace and RNG seed.
+    pub fn run<R: Rng + ?Sized>(&mut self, rng: &mut R) -> RunMetrics {
+        let horizon = self.config.horizon();
+        let epoch = self.config.epoch;
+        let mut metrics = RunMetrics::with_epochs(self.config.epochs as usize);
+        let mut buffer = DataBuffer::new(self.config.data_rate);
+        let mut phi_in_epoch = SimDuration::ZERO;
+        let mut current_epoch = 0u64;
+
+        // Contacts per epoch from the trace (denominator of the probe ratio).
+        for c in self.trace.iter() {
+            let idx = c.start.epoch_index(epoch);
+            if idx < self.config.epochs {
+                metrics.epoch_mut(idx as usize).contacts_total += 1;
+            }
+        }
+
+        let mut now = SimTime::ZERO;
+        while now < horizon {
+            // Epoch rollover resets the probing ledger the scheduler sees.
+            let epoch_idx = now.epoch_index(epoch);
+            if epoch_idx > current_epoch {
+                current_epoch = epoch_idx;
+                phi_in_epoch = SimDuration::ZERO;
+            }
+
+            let ctx = ProbeContext {
+                now,
+                buffered_data: buffer.available(now),
+                phi_spent_epoch: phi_in_epoch,
+            };
+            let Some(duty_cycle) = self.scheduler.decide(&ctx) else {
+                now += self.config.decision_interval;
+                continue;
+            };
+            if duty_cycle.is_off() {
+                now += self.config.decision_interval;
+                continue;
+            }
+
+            // One probing cycle: radio on for Ton, beacon at window start.
+            let cycle = duty_cycle.cycle_for_on(self.config.ton).max(self.config.ton);
+            let slot_idx = (now.time_in_epoch(epoch) / (epoch / 24)) as usize;
+            let em = metrics.epoch_mut(epoch_idx as usize);
+            em.phi += self.config.ton.as_secs_f64();
+            em.beacons += 1;
+            phi_in_epoch += self.config.ton;
+            metrics.charge_slot_phi(slot_idx.min(23), self.config.ton.as_secs_f64());
+
+            let beacon_heard = self.config.beacon_loss == 0.0
+                || rng.gen::<f64>() >= self.config.beacon_loss;
+            let probed = if beacon_heard {
+                self.trace.contact_at(now).copied()
+            } else {
+                None
+            };
+
+            match probed {
+                Some(contact) => {
+                    let probed_duration = contact.end() - now;
+                    let uploaded = buffer.upload(now, probed_duration);
+                    let em = metrics.epoch_mut(epoch_idx as usize);
+                    em.zeta += probed_duration.as_secs_f64();
+                    em.uploaded += uploaded.as_airtime_secs_f64();
+                    em.upload_on_time += probed_duration.as_secs_f64();
+                    em.contacts_probed += 1;
+                    metrics.charge_slot_zeta(
+                        slot_idx.min(23),
+                        probed_duration.as_secs_f64(),
+                    );
+                    self.scheduler.record_probed_contact(&ProbedContactInfo {
+                        probe_time: now,
+                        probed_duration,
+                        uploaded,
+                        contact_length: Some(contact.length),
+                    });
+                    // The radio serves the upload until the mobile node
+                    // leaves; probing resumes with a fresh cycle after that.
+                    now = contact.end();
+                }
+                None => {
+                    now += cycle;
+                }
+            }
+        }
+        metrics
+    }
+
+    /// Consumes the simulation, returning the scheduler with its learned
+    /// state (e.g. adaptive rush-hour marks).
+    #[must_use]
+    pub fn into_scheduler(self) -> S {
+        self.scheduler
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snip_core::{SnipAt, SnipRh, SnipRhConfig};
+    use snip_mobility::{profile::EpochProfile, trace::TraceGenerator, Contact};
+    use snip_model::SnipModel;
+    use snip_units::DutyCycle;
+
+    fn roadside_trace(epochs: u64, seed: u64) -> ContactTrace {
+        TraceGenerator::new(EpochProfile::roadside())
+            .epochs(epochs)
+            .generate(&mut StdRng::seed_from_u64(seed))
+    }
+
+    fn rush_marks() -> Vec<bool> {
+        let mut m = vec![false; 24];
+        for h in [7, 8, 17, 18] {
+            m[h] = true;
+        }
+        m
+    }
+
+    #[test]
+    fn snip_at_zeta_matches_the_analytical_model() {
+        // The headline cross-validation: DES vs eq. (1).
+        let trace = roadside_trace(14, 21);
+        let d = DutyCycle::new(0.001).unwrap();
+        let config = SimConfig::paper_defaults();
+        let mut sim = Simulation::new(config, &trace, SnipAt::new(d));
+        let metrics = sim.run(&mut StdRng::seed_from_u64(1));
+
+        let model = SnipModel::default();
+        // Expected ζ/epoch = capacity/epoch × Υ(d, 2 s) = 176 × 0.05 = 8.8.
+        let expected = 176.0 * model.upsilon(d, SimDuration::from_secs(2));
+        let measured = metrics.mean_zeta_per_epoch();
+        assert!(
+            (measured - expected).abs() / expected < 0.15,
+            "ζ/epoch {measured} vs model {expected}"
+        );
+    }
+
+    #[test]
+    fn snip_at_phi_is_deterministic_duty_cycle_times_epoch() {
+        let trace = roadside_trace(2, 22);
+        let d = DutyCycle::new(0.001).unwrap();
+        let mut sim = Simulation::new(
+            SimConfig::paper_defaults().with_epochs(2),
+            &trace,
+            SnipAt::new(d),
+        );
+        let metrics = sim.run(&mut StdRng::seed_from_u64(2));
+        // Φ/epoch ≈ 86400·0.001 = 86.4 s (upload pauses shave a little).
+        let phi = metrics.mean_phi_per_epoch();
+        assert!((phi - 86.4).abs() < 2.0, "Φ = {phi}");
+    }
+
+    #[test]
+    fn probe_ratio_matches_probability_model() {
+        let trace = roadside_trace(14, 23);
+        let d = DutyCycle::new(0.001).unwrap(); // Tcycle = 20 s, P ≈ 0.1
+        let mut sim = Simulation::new(SimConfig::paper_defaults(), &trace, SnipAt::new(d));
+        let metrics = sim.run(&mut StdRng::seed_from_u64(3));
+        let probed: u64 = metrics.total_contacts_probed();
+        let total: u64 = metrics.epochs().iter().map(|e| e.contacts_total).sum();
+        let ratio = probed as f64 / total as f64;
+        assert!((ratio - 0.1).abs() < 0.03, "probe ratio {ratio}");
+    }
+
+    #[test]
+    fn beacon_loss_halves_probed_contacts() {
+        let trace = roadside_trace(14, 24);
+        let d = DutyCycle::new(0.001).unwrap();
+        let run = |loss: f64, seed: u64| {
+            let mut sim = Simulation::new(
+                SimConfig::paper_defaults().with_beacon_loss(loss),
+                &trace,
+                SnipAt::new(d),
+            );
+            sim.run(&mut StdRng::seed_from_u64(seed))
+                .total_contacts_probed() as f64
+        };
+        let clean = run(0.0, 4);
+        let lossy = run(0.5, 4);
+        assert!(
+            (lossy / clean - 0.5).abs() < 0.15,
+            "loss=0.5 probed {lossy} vs clean {clean}"
+        );
+    }
+
+    #[test]
+    fn snip_rh_probes_only_rush_hours() {
+        let trace = roadside_trace(4, 25);
+        let config = SimConfig::paper_defaults()
+            .with_epochs(4)
+            .with_zeta_target_secs(16.0);
+        let rh = SnipRh::new(
+            SnipRhConfig::paper_defaults(rush_marks())
+                .with_phi_max(SimDuration::from_secs(864)),
+        );
+        let mut sim = Simulation::new(config, &trace, rh);
+        let metrics = sim.run(&mut StdRng::seed_from_u64(5));
+        // Every probed contact lies inside a rush-hour slot: probing never
+        // exceeds rush-time × knee duty-cycle.
+        for em in metrics.epochs() {
+            assert!(em.phi <= 4.0 * 3_600.0 * 0.011, "Φ = {}", em.phi);
+        }
+        assert!(metrics.total_contacts_probed() > 0);
+    }
+
+    #[test]
+    fn snip_rh_respects_the_budget() {
+        let trace = roadside_trace(6, 26);
+        let phi_max = SimDuration::from_secs_f64(86.4);
+        let config = SimConfig::paper_defaults()
+            .with_epochs(6)
+            .with_zeta_target_secs(56.0); // hungry target forces budget gating
+        let rh = SnipRh::new(
+            SnipRhConfig::paper_defaults(rush_marks()).with_phi_max(phi_max),
+        );
+        let mut sim = Simulation::new(config, &trace, rh);
+        let metrics = sim.run(&mut StdRng::seed_from_u64(6));
+        for (i, em) in metrics.epochs().iter().enumerate() {
+            // One in-flight cycle of slack: the gate is checked before each
+            // cycle, so the worst overshoot is a single Ton.
+            assert!(
+                em.phi <= 86.4 + 0.021,
+                "epoch {i}: Φ = {} exceeds the budget",
+                em.phi
+            );
+        }
+    }
+
+    #[test]
+    fn snip_rh_data_gating_tracks_the_target() {
+        let trace = roadside_trace(14, 27);
+        let config = SimConfig::paper_defaults().with_zeta_target_secs(16.0);
+        let rh = SnipRh::new(
+            SnipRhConfig::paper_defaults(rush_marks())
+                .with_phi_max(SimDuration::from_secs_f64(86.4)),
+        );
+        let mut sim = Simulation::new(config, &trace, rh);
+        let metrics = sim.run(&mut StdRng::seed_from_u64(7));
+        let zeta = metrics.mean_zeta_per_epoch();
+        // ζ/epoch should hover near the 16 s target (condition 2 throttles
+        // probing once the buffer is drained), not at the 48 s rush maximum.
+        assert!(zeta > 10.0 && zeta < 26.0, "ζ/epoch = {zeta}");
+        // And the uploads keep pace with generation.
+        let uploaded = metrics.mean_uploaded_per_epoch();
+        assert!(uploaded > 10.0, "uploaded/epoch = {uploaded}");
+    }
+
+    #[test]
+    fn run_is_reproducible() {
+        let trace = roadside_trace(3, 28);
+        let config = SimConfig::paper_defaults()
+            .with_epochs(3)
+            .with_beacon_loss(0.3);
+        let d = DutyCycle::new(0.002).unwrap();
+        let run = |seed: u64| {
+            let mut sim = Simulation::new(config.clone(), &trace, SnipAt::new(d));
+            sim.run(&mut StdRng::seed_from_u64(seed))
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn empty_trace_probes_nothing() {
+        let trace = ContactTrace::new();
+        let mut sim = Simulation::new(
+            SimConfig::paper_defaults().with_epochs(1),
+            &trace,
+            SnipAt::new(DutyCycle::new(0.01).unwrap()),
+        );
+        let metrics = sim.run(&mut StdRng::seed_from_u64(10));
+        assert_eq!(metrics.total_contacts_probed(), 0);
+        assert_eq!(metrics.epochs()[0].zeta, 0.0);
+        // The radio still cycles, so Φ accrues.
+        assert!(metrics.epochs()[0].phi > 0.0);
+    }
+
+    #[test]
+    fn probed_duration_is_the_contact_tail() {
+        // One contact, one beacon placed inside it by construction.
+        let mut trace = ContactTrace::new();
+        trace.push(Contact::new(
+            SimTime::from_secs(100),
+            SimDuration::from_secs(10),
+        ));
+        // d = 1: beacon every Ton = 20 ms, first beacon inside the contact
+        // lands within 20 ms of its start → Tprobed ≈ 10 s.
+        let mut sim = Simulation::new(
+            SimConfig::paper_defaults().with_epochs(1),
+            &trace,
+            SnipAt::new(DutyCycle::ALWAYS_ON),
+        );
+        let metrics = sim.run(&mut StdRng::seed_from_u64(11));
+        assert_eq!(metrics.total_contacts_probed(), 1);
+        let zeta = metrics.epochs()[0].zeta;
+        assert!((zeta - 10.0).abs() < 0.05, "Tprobed = {zeta}");
+    }
+
+    #[test]
+    fn per_slot_ledger_shows_energy_concentration() {
+        // SNIP-RH's Φ must land in the four marked slots; SNIP-AT's spreads
+        // roughly uniformly — the end-to-end check that rush-hour gating
+        // actually steers the radio.
+        let trace = roadside_trace(7, 30);
+        let config = SimConfig::paper_defaults()
+            .with_epochs(7)
+            .with_zeta_target_secs(16.0);
+        let rh = SnipRh::new(
+            SnipRhConfig::paper_defaults(rush_marks())
+                .with_phi_max(SimDuration::from_secs_f64(86.4)),
+        );
+        let mut rh_sim = Simulation::new(config.clone(), &trace, rh);
+        let rh_metrics = rh_sim.run(&mut StdRng::seed_from_u64(31));
+        let rush_phi: f64 = [7usize, 8, 17, 18]
+            .iter()
+            .map(|&h| rh_metrics.slot_phi()[h])
+            .sum();
+        let total_phi: f64 = rh_metrics.slot_phi().iter().sum();
+        assert!(total_phi > 0.0);
+        assert!(
+            rush_phi / total_phi > 0.999,
+            "RH spent {:.1}% outside rush hours",
+            (1.0 - rush_phi / total_phi) * 100.0
+        );
+
+        let mut at_sim = Simulation::new(
+            config,
+            &trace,
+            SnipAt::new(DutyCycle::new(0.001).unwrap()),
+        );
+        let at_metrics = at_sim.run(&mut StdRng::seed_from_u64(31));
+        let at_rush: f64 = [7usize, 8, 17, 18]
+            .iter()
+            .map(|&h| at_metrics.slot_phi()[h])
+            .sum();
+        let at_total: f64 = at_metrics.slot_phi().iter().sum();
+        // 4 of 24 slots ≈ 16.7% of a uniform spread.
+        let share = at_rush / at_total;
+        assert!(share > 0.10 && share < 0.25, "AT rush share {share}");
+        // ζ ledger totals agree with the epoch metrics.
+        let slot_zeta: f64 = at_metrics.slot_zeta().iter().sum();
+        let epoch_zeta: f64 = at_metrics.epochs().iter().map(|e| e.zeta).sum();
+        assert!((slot_zeta - epoch_zeta).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scheduler_state_is_recoverable() {
+        let trace = roadside_trace(4, 29);
+        let config = SimConfig::paper_defaults()
+            .with_epochs(4)
+            .with_zeta_target_secs(16.0);
+        let rh = SnipRh::new(SnipRhConfig::paper_defaults(rush_marks()));
+        let mut sim = Simulation::new(config, &trace, rh);
+        let _ = sim.run(&mut StdRng::seed_from_u64(12));
+        let rh = sim.into_scheduler();
+        // After four epochs of 2 s contacts, T̄contact has converged.
+        let mean = rh.mean_contact_length().as_secs_f64();
+        assert!((mean - 2.0).abs() < 0.3, "T̄contact = {mean}");
+    }
+}

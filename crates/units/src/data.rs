@@ -1,0 +1,256 @@
+//! Amounts of sensed data, expressed as *airtime*.
+//!
+//! The paper measures everything a sensor node wants to upload in seconds of
+//! contact capacity (`ζtarget` is "the amount of contact capacity that is just
+//! enough to transmit the sensor reports generated in an epoch"). We keep that
+//! convention: a [`DataSize`] is the airtime needed to transmit the data, so
+//! buffers, targets, and probed capacity all share one axis. Conversions to
+//! and from bytes at a given link rate are provided for realism.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::SimDuration;
+
+/// An amount of data expressed as the airtime (µs) needed to upload it.
+///
+/// # Examples
+///
+/// ```
+/// use snip_units::{DataSize, SimDuration};
+///
+/// // A 250 kbit/s Zigbee link moves 31_250 bytes per second of airtime.
+/// let report = DataSize::from_bytes(31_250, 250_000);
+/// assert_eq!(report.as_airtime(), SimDuration::from_secs(1));
+/// assert_eq!(report.to_bytes(250_000), 31_250);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct DataSize(u64);
+
+impl DataSize {
+    /// No data.
+    pub const ZERO: DataSize = DataSize(0);
+
+    /// Creates a data amount from the airtime needed to upload it.
+    #[must_use]
+    pub const fn from_airtime(airtime: SimDuration) -> Self {
+        DataSize(airtime.as_micros())
+    }
+
+    /// Creates a data amount from whole seconds of airtime.
+    #[must_use]
+    pub const fn from_airtime_secs(secs: u64) -> Self {
+        DataSize(secs * crate::TICKS_PER_SECOND)
+    }
+
+    /// Creates a data amount from a byte count at a link rate (bits/second).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_second` is zero.
+    #[must_use]
+    pub fn from_bytes(bytes: u64, bits_per_second: u64) -> Self {
+        assert!(bits_per_second > 0, "link rate must be positive");
+        let secs = (bytes as f64 * 8.0) / bits_per_second as f64;
+        DataSize(SimDuration::from_secs_f64(secs).as_micros())
+    }
+
+    /// The airtime needed to upload this data.
+    #[must_use]
+    pub const fn as_airtime(self) -> SimDuration {
+        SimDuration::from_micros(self.0)
+    }
+
+    /// The airtime in fractional seconds.
+    #[must_use]
+    pub fn as_airtime_secs_f64(self) -> f64 {
+        self.as_airtime().as_secs_f64()
+    }
+
+    /// The byte count at a link rate (bits/second), rounded down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_second` is zero.
+    #[must_use]
+    pub fn to_bytes(self, bits_per_second: u64) -> u64 {
+        assert!(bits_per_second > 0, "link rate must be positive");
+        (self.as_airtime().as_secs_f64() * bits_per_second as f64 / 8.0).floor() as u64
+    }
+
+    /// `true` if there is no data.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Subtraction clamped at zero.
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: DataSize) -> DataSize {
+        DataSize(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The smaller of two amounts.
+    #[must_use]
+    pub fn min(self, other: DataSize) -> DataSize {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Scales by a non-negative float, rounding to the nearest microsecond of
+    /// airtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative, NaN, or the product overflows.
+    #[must_use]
+    pub fn mul_f64(self, factor: f64) -> DataSize {
+        DataSize(self.as_airtime().mul_f64(factor).as_micros())
+    }
+}
+
+impl fmt::Display for DataSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s-airtime", self.as_airtime_secs_f64())
+    }
+}
+
+impl Add for DataSize {
+    type Output = DataSize;
+
+    fn add(self, rhs: DataSize) -> DataSize {
+        DataSize(self.0.checked_add(rhs.0).expect("DataSize addition overflow"))
+    }
+}
+
+impl AddAssign for DataSize {
+    fn add_assign(&mut self, rhs: DataSize) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for DataSize {
+    type Output = DataSize;
+
+    fn sub(self, rhs: DataSize) -> DataSize {
+        DataSize(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("DataSize subtraction underflow"),
+        )
+    }
+}
+
+impl SubAssign for DataSize {
+    fn sub_assign(&mut self, rhs: DataSize) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for DataSize {
+    type Output = DataSize;
+
+    fn mul(self, rhs: u64) -> DataSize {
+        DataSize(self.0.checked_mul(rhs).expect("DataSize multiplication overflow"))
+    }
+}
+
+impl Div<u64> for DataSize {
+    type Output = DataSize;
+
+    fn div(self, rhs: u64) -> DataSize {
+        DataSize(self.0 / rhs)
+    }
+}
+
+impl Sum for DataSize {
+    fn sum<I: Iterator<Item = DataSize>>(iter: I) -> DataSize {
+        iter.fold(DataSize::ZERO, |acc, d| acc + d)
+    }
+}
+
+impl From<SimDuration> for DataSize {
+    fn from(airtime: SimDuration) -> Self {
+        DataSize::from_airtime(airtime)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn airtime_roundtrip() {
+        let d = DataSize::from_airtime(SimDuration::from_secs(16));
+        assert_eq!(d.as_airtime(), SimDuration::from_secs(16));
+        assert_eq!(d, DataSize::from_airtime_secs(16));
+        assert_eq!(d.as_airtime_secs_f64(), 16.0);
+    }
+
+    #[test]
+    fn bytes_roundtrip_at_zigbee_rate() {
+        let rate = 250_000; // IEEE 802.15.4
+        let d = DataSize::from_bytes(31_250, rate);
+        assert_eq!(d.as_airtime(), SimDuration::from_secs(1));
+        assert_eq!(d.to_bytes(rate), 31_250);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = DataSize::from_airtime_secs(3);
+        let b = DataSize::from_airtime_secs(1);
+        assert_eq!(a + b, DataSize::from_airtime_secs(4));
+        assert_eq!(a - b, DataSize::from_airtime_secs(2));
+        assert_eq!(a * 2, DataSize::from_airtime_secs(6));
+        assert_eq!(a / 3, b);
+        assert_eq!(b.saturating_sub(a), DataSize::ZERO);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn sum_and_from_duration() {
+        let total: DataSize = (1..=3).map(DataSize::from_airtime_secs).sum();
+        assert_eq!(total, DataSize::from_airtime_secs(6));
+        let converted: DataSize = SimDuration::from_secs(2).into();
+        assert_eq!(converted, DataSize::from_airtime_secs(2));
+    }
+
+    #[test]
+    fn display_mentions_airtime() {
+        assert_eq!(DataSize::from_airtime_secs(2).to_string(), "2.000s-airtime");
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = DataSize::ZERO - DataSize::from_airtime_secs(1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bytes_roundtrip(bytes in 0u64..1_000_000_000) {
+            let rate = 250_000u64;
+            let d = DataSize::from_bytes(bytes, rate);
+            // floor(round(x)) loses at most one byte at this rate.
+            let back = d.to_bytes(rate);
+            prop_assert!(back.abs_diff(bytes) <= 1, "{back} vs {bytes}");
+        }
+
+        #[test]
+        fn prop_add_sub_roundtrip(a in 0u64..1 << 62, b in 0u64..1 << 62) {
+            let da = DataSize::from_airtime(SimDuration::from_micros(a));
+            let db = DataSize::from_airtime(SimDuration::from_micros(b));
+            prop_assert_eq!((da + db) - db, da);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Capacity planning: choosing a duty-cycle before deployment.
+//!
+//! An engineer sizing a deployment wants more than eq. (1)'s mean: what is
+//! the chance a passing phone is discovered at all, how long until it is,
+//! and how much upload capacity does a contact yield at the 10th percentile?
+//! This example walks the planning APIs — [`SnipModel`],
+//! [`ProbedTimeDistribution`], [`DiscoveryLatency`] — across candidate
+//! duty-cycles, then sanity-checks the chosen knee against the optimizer.
+//!
+//! Run with: `cargo run --release --example capacity_planning`
+
+use snip_rh_repro::snip_model::{
+    latency::DiscoveryLatency, probed::ProbedTimeDistribution, SlotProfile, SnipModel,
+};
+use snip_rh_repro::snip_opt::TwoStepOptimizer;
+use snip_rh_repro::snip_units::{DutyCycle, SimDuration};
+
+fn main() {
+    let model = SnipModel::default();
+    let contact = SimDuration::from_secs(2); // measured mean at the site
+    let rush_interval = SimDuration::from_secs(300);
+
+    println!("contact length 2 s, rush-hour interval 300 s, Ton = 20 ms\n");
+    println!("duty-cycle  P(discover)  E[delay|found]  E[delay overall]  p90 probed  ρ");
+
+    for frac in [0.001, 0.0025, 0.005, 0.01, 0.02, 0.05] {
+        let d = DutyCycle::new(frac).expect("valid duty-cycle");
+        let latency = DiscoveryLatency::new(&model, d, contact);
+        let dist = ProbedTimeDistribution::new(&model, d, contact);
+        // ρ per probed second in a rush slot: d / (f · E[Tprobed]).
+        let f = 1.0 / rush_interval.as_secs_f64();
+        let rho = frac / (f * dist.mean().as_secs_f64());
+        println!(
+            "{:>9.2}% {:>11.2}% {:>13.2}s {:>15.1}s {:>10.2}s {:>5.2}",
+            frac * 100.0,
+            latency.discovery_probability() * 100.0,
+            latency.expected_delay().as_secs_f64(),
+            latency
+                .expected_delay_across_contacts(rush_interval)
+                .as_secs_f64(),
+            dist.quantile(0.9).as_secs_f64(),
+            rho,
+        );
+    }
+
+    let knee = model.knee_duty_cycle(contact);
+    println!(
+        "\nthe knee d* = Ton/Tcontact = {:.2}% is the cheapest duty-cycle that",
+        knee.as_percent()
+    );
+    println!("discovers every contact in expectation — exactly what SNIP-RH uses.");
+
+    // Cross-check: the optimizer never assigns more than the knee while
+    // cheaper capacity remains.
+    let opt = TwoStepOptimizer::new(model, SlotProfile::roadside());
+    let plan = opt.solve(864.0, 40.0);
+    let max_d = plan
+        .duty_cycles()
+        .iter()
+        .map(|d| d.as_fraction())
+        .fold(0.0, f64::max);
+    println!(
+        "\noptimizer cross-check: max planned duty-cycle {:.2}% ≤ knee {:.2}% ✓ (ζ = {:.0} s at Φ = {:.0} s)",
+        max_d * 100.0,
+        knee.as_percent(),
+        plan.zeta(),
+        plan.phi()
+    );
+}

@@ -1,0 +1,78 @@
+//! Quickstart: probe a day of roadside contacts with SNIP-RH.
+//!
+//! Builds the paper's roadside scenario, runs the three scheduling
+//! mechanisms over the same two-week contact trace, and prints the
+//! energy/capacity comparison — the whole pipeline in ~60 lines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use snip_rh_repro::snip_core::{SnipAt, SnipOptScheduler, SnipRh, SnipRhConfig};
+use snip_rh_repro::snip_mobility::{EpochProfile, TraceGenerator};
+use snip_rh_repro::snip_model::SnipModel;
+use snip_rh_repro::snip_sim::{SimConfig, Simulation};
+use snip_rh_repro::snip_units::SimDuration;
+
+fn main() {
+    // 1. The environment: a road-side sensor sees phone-carrying commuters.
+    //    Rush hours 07–09 and 17–19 (contacts every ~300 s), quiet hours
+    //    elsewhere (every ~1800 s); each contact lasts ~2 s.
+    let profile = EpochProfile::roadside();
+    let trace = TraceGenerator::new(profile.clone())
+        .epochs(14)
+        .generate(&mut StdRng::seed_from_u64(7));
+    println!(
+        "trace: {} contacts over 14 days, {:.0} s of total contact capacity",
+        trace.len(),
+        trace.total_capacity().as_secs_f64()
+    );
+
+    // 2. The task: upload 16 s of sensed data per day within an energy
+    //    budget of 86.4 s of radio-on time per day (Φmax = Tepoch/1000).
+    let zeta_target = 16.0;
+    let phi_max = 86.4;
+    let config = SimConfig::paper_defaults().with_zeta_target_secs(zeta_target);
+
+    // 3. The mechanisms.
+    let model = SnipModel::default();
+    let slot_profile = profile.to_slot_profile();
+    let snip_at = SnipAt::for_target(model, &slot_profile, phi_max, zeta_target);
+    let snip_opt = SnipOptScheduler::solve(model, slot_profile, phi_max, zeta_target);
+    let snip_rh = SnipRh::new(
+        SnipRhConfig::paper_defaults(profile.rush_marks())
+            .with_phi_max(SimDuration::from_secs_f64(phi_max)),
+    );
+
+    // 4. Run and compare.
+    println!("\nmechanism   ζ/day (s)   Φ/day (s)   ρ = Φ/ζ");
+    let run = |name: &str, result: snip_rh_repro::snip_sim::RunMetrics| {
+        let rho = result
+            .overall_rho()
+            .map_or("-".to_string(), |r| format!("{r:.2}"));
+        println!(
+            "{name:<10} {:>9.2} {:>11.2} {:>9}",
+            result.mean_zeta_per_epoch(),
+            result.mean_phi_per_epoch(),
+            rho
+        );
+    };
+
+    let mut rng = StdRng::seed_from_u64(1);
+    run(
+        "SNIP-AT",
+        Simulation::new(config.clone(), &trace, snip_at).run(&mut rng),
+    );
+    run(
+        "SNIP-OPT",
+        Simulation::new(config.clone(), &trace, snip_opt).run(&mut rng),
+    );
+    run(
+        "SNIP-RH",
+        Simulation::new(config, &trace, snip_rh).run(&mut rng),
+    );
+
+    println!("\nSNIP-RH reaches the 16 s/day target at roughly a third of");
+    println!("SNIP-AT's energy cost by probing only during rush hours.");
+}

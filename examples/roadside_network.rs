@@ -1,0 +1,99 @@
+//! A road-side sensor network: ten independent sensor nodes along a road,
+//! each with its own contact intensity, all running SNIP-RH.
+//!
+//! Nodes near the junction see heavy traffic; nodes down the side roads see
+//! a fraction of it. Each node learns its own `T̄contact` and upload
+//! threshold online, and the example reports per-node outcomes plus the
+//! fleet-level energy picture — the deployment the paper's introduction
+//! motivates (meter reading / environmental monitoring along roads).
+//!
+//! Run with: `cargo run --release --example roadside_network`
+
+use snip_rh_repro::snip_core::{SnipRh, SnipRhConfig};
+use snip_rh_repro::snip_mobility::{EpochProfile, LengthDistribution};
+use snip_rh_repro::snip_sim::{Fleet, FleetNode, SimConfig};
+use snip_rh_repro::snip_units::SimDuration;
+
+/// One deployment site along the road.
+struct Site {
+    name: &'static str,
+    /// Mean rush-hour contact interval, seconds (junction = busy).
+    rush_interval: u64,
+    /// Mean off-peak contact interval, seconds.
+    offpeak_interval: u64,
+    /// Mean contact length, seconds (slower traffic = longer contacts).
+    contact_secs: f64,
+}
+
+fn main() {
+    let sites = [
+        Site { name: "junction-north", rush_interval: 150, offpeak_interval: 900, contact_secs: 2.0 },
+        Site { name: "junction-south", rush_interval: 200, offpeak_interval: 1200, contact_secs: 2.0 },
+        Site { name: "main-road-1", rush_interval: 300, offpeak_interval: 1800, contact_secs: 2.0 },
+        Site { name: "main-road-2", rush_interval: 300, offpeak_interval: 1800, contact_secs: 2.5 },
+        Site { name: "main-road-3", rush_interval: 350, offpeak_interval: 2100, contact_secs: 2.0 },
+        Site { name: "school-street", rush_interval: 240, offpeak_interval: 3600, contact_secs: 4.0 },
+        Site { name: "side-road-1", rush_interval: 600, offpeak_interval: 3600, contact_secs: 3.0 },
+        Site { name: "side-road-2", rush_interval: 900, offpeak_interval: 5400, contact_secs: 3.0 },
+        Site { name: "cul-de-sac", rush_interval: 1800, offpeak_interval: 7200, contact_secs: 5.0 },
+        Site { name: "footpath", rush_interval: 1200, offpeak_interval: 9000, contact_secs: 8.0 },
+    ];
+
+    let zeta_target = 8.0; // seconds of upload airtime per node per day
+    let phi_max = 86.4;
+
+    let nodes: Vec<FleetNode> = sites
+        .iter()
+        .map(|site| {
+            FleetNode::new(
+                site.name,
+                EpochProfile::roadside_with(
+                    SimDuration::from_secs(site.rush_interval),
+                    SimDuration::from_secs(site.offpeak_interval),
+                    LengthDistribution::paper_normal(SimDuration::from_secs_f64(
+                        site.contact_secs,
+                    )),
+                ),
+                zeta_target,
+            )
+        })
+        .collect();
+
+    let fleet = Fleet::new(nodes, SimConfig::paper_defaults()).with_seed(1000);
+    let report = fleet.run(|node| {
+        SnipRh::new(
+            SnipRhConfig::paper_defaults(node.profile.rush_marks())
+                .with_phi_max(SimDuration::from_secs_f64(phi_max)),
+        )
+    });
+
+    println!("10-node road-side deployment, ζtarget = {zeta_target} s/day, Φmax = {phi_max} s/day");
+    println!();
+    println!("site             ζ/day(s)  Φ/day(s)    ρ     target met");
+    for n in &report.nodes {
+        let rho = if n.zeta > 0.0 {
+            format!("{:5.2}", n.phi / n.zeta)
+        } else {
+            "    -".into()
+        };
+        println!(
+            "{:<16} {:>8.2} {:>9.2} {rho}   {:^10}",
+            n.name,
+            n.zeta,
+            n.phi,
+            if n.target_met { "yes" } else { "NO" },
+        );
+    }
+
+    println!();
+    println!(
+        "fleet: {}/10 nodes meet their upload target; mean probing cost {:.1} s/node/day",
+        report.nodes_meeting_target(),
+        report.mean_phi()
+    );
+    if let Some((name, rho)) = report.worst_rho() {
+        println!("most expensive probing: {name} at ρ = {rho:.2}");
+    }
+    println!("nodes on quiet roads learn longer contacts (slower passers-by) and");
+    println!("lower their rush-hour duty-cycle accordingly — no per-site tuning.");
+}

@@ -1,0 +1,22 @@
+//! Umbrella crate for the SNIP-RH reproduction workspace.
+//!
+//! This crate exists to host the workspace-level runnable examples
+//! (`examples/`) and the cross-crate integration tests (`tests/`). It
+//! re-exports the member crates so examples and tests can use one import
+//! root.
+//!
+//! See the member crates for the actual library surface:
+//!
+//! * [`snip_units`] — quantity newtypes (time, duty-cycle, energy, data).
+//! * [`snip_model`] — closed-form SNIP/MIP analytical models.
+//! * [`snip_mobility`] — contact processes, rush-hour profiles, traces.
+//! * [`snip_opt`] — the SNIP-OPT two-step optimizer.
+//! * [`snip_core`] — the SNIP-AT / SNIP-OPT / SNIP-RH schedulers.
+//! * [`snip_sim`] — the discrete-event simulator (COOJA substitute).
+
+pub use snip_core;
+pub use snip_mobility;
+pub use snip_model;
+pub use snip_opt;
+pub use snip_sim;
+pub use snip_units;

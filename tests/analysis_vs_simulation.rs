@@ -1,0 +1,145 @@
+//! Cross-crate validation: the closed-form analysis (snip-model / snip-opt)
+//! and the discrete-event simulator (snip-sim) must agree on the paper's
+//! scenario — the Fig 5/6 vs Fig 7/8 consistency the paper itself reports
+//! ("although there is a lot of variance in simulation results, the
+//! conclusions drawn from above analysis results are still correct").
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use snip_rh_repro::snip_core::SnipAt;
+use snip_rh_repro::snip_mobility::profile::{ProfileSlot, SlotKind};
+use snip_rh_repro::snip_mobility::{
+    ArrivalProcess, EpochProfile, LengthDistribution, TraceGenerator,
+};
+use snip_rh_repro::snip_model::analysis::{PAPER_PHI_MAX_LOOSE, PAPER_PHI_MAX_TIGHT};
+use snip_rh_repro::snip_model::{ScenarioAnalysis, SnipModel};
+use snip_rh_repro::snip_sim::{Mechanism, ScenarioRunner, SimConfig, Simulation};
+use snip_rh_repro::snip_units::{DutyCycle, SimDuration};
+
+/// SNIP-AT at a fixed duty-cycle: simulation ζ within a few percent of
+/// eq. (1).
+///
+/// Uses Poisson (memoryless) arrivals so the beacon grid cannot phase-lock
+/// with the contact process: the paper's quasi-periodic intervals are
+/// rational multiples of `Tcycle` at several duty-cycles, which makes probe
+/// outcomes strongly correlated within a day and the sample variance much
+/// larger than Poisson — a real aliasing phenomenon, not an inaccuracy of
+/// the model (it averages out over seeds; see the E1 binary).
+#[test]
+fn snip_at_simulation_matches_analysis_across_duty_cycles() {
+    let slots = (0..24)
+        .map(|_| ProfileSlot {
+            kind: SlotKind::OffPeak,
+            arrivals: Some(ArrivalProcess::poisson(SimDuration::from_secs(60))),
+            contact_length: LengthDistribution::fixed(SimDuration::from_secs(2)),
+        })
+        .collect();
+    let profile = EpochProfile::new(SimDuration::from_hours(1), slots);
+    let trace = TraceGenerator::new(profile.clone())
+        .epochs(14)
+        .generate(&mut StdRng::seed_from_u64(501));
+    let analysis = ScenarioAnalysis::new(
+        SnipModel::default(),
+        profile.to_slot_profile(),
+        PAPER_PHI_MAX_LOOSE,
+    );
+    for frac in [0.0005, 0.001, 0.002, 0.005] {
+        let d = DutyCycle::new(frac).unwrap();
+        let predicted = analysis.snip_at_fixed(d);
+        let mut sim = Simulation::new(SimConfig::paper_defaults(), &trace, SnipAt::new(d));
+        let measured = sim.run(&mut StdRng::seed_from_u64(502));
+        let zeta = measured.mean_zeta_per_epoch();
+        // Pushed-back overlapping arrivals thin the realized contact count a
+        // few percent below the nominal rate; 10% covers it plus noise.
+        assert!(
+            (zeta - predicted.zeta).abs() / predicted.zeta < 0.10,
+            "d={frac}: simulated ζ {zeta} vs analytical {}",
+            predicted.zeta
+        );
+        let phi = measured.mean_phi_per_epoch();
+        assert!(
+            (phi - predicted.phi).abs() / predicted.phi < 0.05,
+            "d={frac}: simulated Φ {phi} vs analytical {}",
+            predicted.phi
+        );
+    }
+}
+
+/// The Fig 7 ordering: under the tight budget, RH ≈ target while AT is
+/// budget-bound near 8.8 s, and ρ_RH ≪ ρ_AT.
+#[test]
+fn fig7_ordering_holds_in_simulation() {
+    let runner = ScenarioRunner::paper(PAPER_PHI_MAX_TIGHT).with_seed(503);
+    let at = runner.run_one(Mechanism::SnipAt, 16.0);
+    let opt = runner.run_one(Mechanism::SnipOpt, 16.0);
+    let rh = runner.run_one(Mechanism::SnipRh, 16.0);
+
+    assert!(at.mean_zeta_per_epoch() < 12.0, "AT must be budget-bound");
+    assert!(rh.mean_zeta_per_epoch() > 12.0, "RH must approach the target");
+    assert!(opt.mean_zeta_per_epoch() > 11.0, "OPT must approach the target");
+
+    let rho_at = at.overall_rho().unwrap();
+    let rho_rh = rh.overall_rho().unwrap();
+    let rho_opt = opt.overall_rho().unwrap();
+    assert!(rho_rh < 0.5 * rho_at, "ρ_RH {rho_rh} vs ρ_AT {rho_at}");
+    assert!(rho_opt < 0.5 * rho_at, "ρ_OPT {rho_opt} vs ρ_AT {rho_at}");
+}
+
+/// The Fig 8 shape: under the loose budget SNIP-AT meets mid-range targets
+/// but pays ~3× SNIP-RH's unit cost; RH saturates below the 56 s target.
+#[test]
+fn fig8_shape_holds_in_simulation() {
+    let runner = ScenarioRunner::paper(PAPER_PHI_MAX_LOOSE).with_seed(504);
+
+    let at32 = runner.run_one(Mechanism::SnipAt, 32.0);
+    let rh32 = runner.run_one(Mechanism::SnipRh, 32.0);
+    assert!(at32.mean_zeta_per_epoch() > 26.0, "AT reaches 32 s under 864 s");
+    assert!(rh32.mean_zeta_per_epoch() > 26.0, "RH reaches 32 s under 864 s");
+    let ratio = at32.overall_rho().unwrap() / rh32.overall_rho().unwrap();
+    assert!(
+        ratio > 2.0 && ratio < 4.5,
+        "ρ_AT/ρ_RH = {ratio}; the paper shows ≈ 3"
+    );
+
+    let rh56 = runner.run_one(Mechanism::SnipRh, 56.0);
+    assert!(
+        rh56.mean_zeta_per_epoch() < 50.0,
+        "RH cannot exceed the rush-hour knee capacity (≈48 s)"
+    );
+    let at56 = runner.run_one(Mechanism::SnipAt, 56.0);
+    assert!(
+        at56.mean_zeta_per_epoch() > rh56.mean_zeta_per_epoch(),
+        "AT out-probes RH at 56 s, at a worse unit cost"
+    );
+    assert!(at56.overall_rho().unwrap() > rh56.overall_rho().unwrap());
+}
+
+/// The analytical SNIP-OPT (two-step optimizer) predictions match what its
+/// plan achieves when actually simulated.
+#[test]
+fn opt_plan_predictions_hold_in_simulation() {
+    let runner = ScenarioRunner::paper(PAPER_PHI_MAX_LOOSE).with_seed(505);
+    let metrics = runner.run_one(Mechanism::SnipOpt, 40.0);
+    // Plan predicts ζ = 40, Φ = 120 exactly; simulation adds trace noise.
+    let zeta = metrics.mean_zeta_per_epoch();
+    let phi = metrics.mean_phi_per_epoch();
+    assert!((zeta - 40.0).abs() < 6.0, "ζ = {zeta}");
+    assert!((phi - 120.0).abs() < 10.0, "Φ = {phi}");
+}
+
+/// Fig 4's analytic claim measured end-to-end: probing only rush hours costs
+/// about 36/11 ≈ 3.3× less energy for equal probed capacity.
+#[test]
+fn rush_hour_benefit_measured_in_simulation() {
+    let runner = ScenarioRunner::paper(PAPER_PHI_MAX_LOOSE).with_seed(506);
+    let at = runner.run_one(Mechanism::SnipAt, 24.0);
+    let rh = runner.run_one(Mechanism::SnipRh, 24.0);
+    // Equalize by unit cost: ρ_AT/ρ_RH approximates Φ_AT/Φ_rh at equal ζ.
+    let measured = at.overall_rho().unwrap() / rh.overall_rho().unwrap();
+    let predicted = 36.0 / 11.0;
+    assert!(
+        (measured - predicted).abs() / predicted < 0.25,
+        "measured benefit {measured:.2} vs Fig 4's {predicted:.2}"
+    );
+}

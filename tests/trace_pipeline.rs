@@ -1,0 +1,122 @@
+//! Property-based tests of the trace pipeline: generation → statistics →
+//! serialization → replay, across random profiles and seeds.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use snip_rh_repro::snip_mobility::profile::{ProfileSlot, SlotKind};
+use snip_rh_repro::snip_mobility::{
+    ArrivalProcess, ContactTrace, EpochProfile, LengthDistribution, TraceGenerator,
+};
+use snip_rh_repro::snip_units::SimDuration;
+
+fn profile_from(intervals: &[u64], length_s: u64) -> EpochProfile {
+    let slots = intervals
+        .iter()
+        .map(|&iv| ProfileSlot {
+            kind: SlotKind::OffPeak,
+            arrivals: (iv > 0).then(|| ArrivalProcess::paper_normal(SimDuration::from_secs(iv))),
+            contact_length: LengthDistribution::paper_normal(SimDuration::from_secs(length_s)),
+        })
+        .collect();
+    EpochProfile::new(SimDuration::from_hours(1), slots)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generated traces are ordered, non-overlapping, positive-length, and
+    /// within the horizon, for arbitrary slot profiles.
+    #[test]
+    fn generated_traces_satisfy_structural_invariants(
+        intervals in proptest::collection::vec(0u64..4_000, 4..24),
+        length_s in 1u64..30,
+        epochs in 1u64..4,
+        seed in 0u64..1_000,
+    ) {
+        let profile = profile_from(&intervals, length_s);
+        let horizon_us = profile.epoch().as_micros() * epochs;
+        let trace = TraceGenerator::new(profile)
+            .epochs(epochs)
+            .generate(&mut StdRng::seed_from_u64(seed));
+        let mut prev_end = 0u64;
+        for c in trace.iter() {
+            prop_assert!(c.length > SimDuration::ZERO);
+            prop_assert!(c.start.as_micros() >= prev_end, "overlap at {c}");
+            prop_assert!(c.start.as_micros() < horizon_us, "{c} beyond horizon");
+            prev_end = c.end().as_micros();
+        }
+    }
+
+    /// CSV serialization round-trips exactly for any generated trace.
+    #[test]
+    fn csv_roundtrip_is_lossless(
+        interval in 60u64..4_000,
+        epochs in 1u64..3,
+        seed in 0u64..1_000,
+    ) {
+        let profile = profile_from(&vec![interval; 24], 2);
+        let trace = TraceGenerator::new(profile)
+            .epochs(epochs)
+            .generate(&mut StdRng::seed_from_u64(seed));
+        let parsed: ContactTrace = trace.to_csv().parse().expect("own CSV parses");
+        prop_assert_eq!(parsed, trace);
+    }
+
+    /// Per-slot statistics conserve both contact count and capacity.
+    #[test]
+    fn stats_conserve_totals(
+        interval in 60u64..2_000,
+        epochs in 1u64..4,
+        seed in 0u64..1_000,
+    ) {
+        let profile = profile_from(&vec![interval; 24], 3);
+        let trace = TraceGenerator::new(profile)
+            .epochs(epochs)
+            .generate(&mut StdRng::seed_from_u64(seed));
+        let stats = trace.stats(SimDuration::from_hours(24), 24);
+        let count: u64 = stats.counts().iter().sum();
+        prop_assert_eq!(count, trace.len() as u64);
+        let capacity: SimDuration = stats.capacity().iter().copied().sum();
+        prop_assert_eq!(capacity, trace.total_capacity());
+    }
+
+    /// Mean contact counts track the configured arrival rate within noise.
+    #[test]
+    fn arrival_rate_is_respected(
+        interval in 120u64..1_200,
+        seed in 0u64..200,
+    ) {
+        let profile = profile_from(&vec![interval; 24], 2);
+        let trace = TraceGenerator::new(profile)
+            .epochs(4)
+            .generate(&mut StdRng::seed_from_u64(seed));
+        let expected = 4.0 * 86_400.0 / interval as f64;
+        let got = trace.len() as f64;
+        // 4 epochs of Normal(µ, µ/10) renewals: allow 15% + small-count slack.
+        prop_assert!(
+            (got - expected).abs() < 0.15 * expected + 12.0,
+            "interval {interval}: {got} contacts vs expected {expected}"
+        );
+    }
+}
+
+/// Statistics recover the planted rush hours for arbitrary placements.
+#[test]
+fn stats_recover_planted_rush_hours() {
+    for (seed, rush) in [(1u64, [3usize, 4]), (2, [0, 23]), (3, [11, 12])] {
+        let intervals: Vec<u64> = (0..24)
+            .map(|h| if rush.contains(&h) { 200 } else { 2_400 })
+            .collect();
+        let profile = profile_from(&intervals, 2);
+        let trace = TraceGenerator::new(profile)
+            .epochs(7)
+            .generate(&mut StdRng::seed_from_u64(seed));
+        let stats = trace.stats(SimDuration::from_hours(24), 24);
+        let marks = stats.top_k_marks(2);
+        for h in rush {
+            assert!(marks[h], "seed {seed}: slot {h} not recovered");
+        }
+    }
+}
