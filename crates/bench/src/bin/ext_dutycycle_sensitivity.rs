@@ -32,8 +32,7 @@ fn main() {
     for multiple in [0.1, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 4.0, 8.0] {
         let d = DutyCycle::clamped(knee * multiple);
         let rho_fixed = d.as_fraction() / (f * model.expected_probed(d, contact).as_secs_f64());
-        let rho_exp =
-            d.as_fraction() / (f * model.expected_probed_dist(d, &exp).as_secs_f64());
+        let rho_exp = d.as_fraction() / (f * model.expected_probed_dist(d, &exp).as_secs_f64());
         println!("{multiple:.2}\t{rho_fixed:.3}\t{rho_exp:.3}");
     }
     println!("# below 1.0× the fixed-length cost is flat at ρ = 3 (the linear regime);");

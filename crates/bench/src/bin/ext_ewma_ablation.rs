@@ -26,10 +26,7 @@ fn main() {
     columns(&["weight", "learned_Tcontact", "d_over_knee", "zeta", "phi"]);
 
     // Noisy environment: 2 s mean contacts with 1 s standard deviation.
-    let noisy = LengthDistribution::normal(
-        SimDuration::from_secs(2),
-        SimDuration::from_secs(1),
-    );
+    let noisy = LengthDistribution::normal(SimDuration::from_secs(2), SimDuration::from_secs(1));
     let profile = EpochProfile::roadside_with(
         SimDuration::from_secs(300),
         SimDuration::from_secs(1800),

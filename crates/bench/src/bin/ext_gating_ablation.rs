@@ -48,8 +48,12 @@ fn main() {
     );
     columns(&[
         "zeta_target",
-        "gated_zeta", "gated_phi", "gated_uploaded",
-        "ungated_zeta", "ungated_phi", "ungated_uploaded",
+        "gated_zeta",
+        "gated_phi",
+        "gated_uploaded",
+        "ungated_zeta",
+        "ungated_phi",
+        "ungated_uploaded",
     ]);
 
     let profile = EpochProfile::roadside();
@@ -62,11 +66,7 @@ fn main() {
         let base = SnipRhConfig::paper_defaults(profile.rush_marks())
             .with_phi_max(SimDuration::from_secs(864));
 
-        let mut gated_sim = Simulation::new(
-            config.clone(),
-            &trace,
-            SnipRh::new(base.clone()),
-        );
+        let mut gated_sim = Simulation::new(config.clone(), &trace, SnipRh::new(base.clone()));
         let gated = gated_sim.run(&mut StdRng::seed_from_u64(708));
 
         let mut ungated_sim = Simulation::new(

@@ -26,8 +26,12 @@ fn main() {
     );
     columns(&[
         "zeta_target",
-        "RH_zeta", "RH_phi", "RH_rho",
-        "HYB_zeta", "HYB_phi", "HYB_rho",
+        "RH_zeta",
+        "RH_phi",
+        "RH_rho",
+        "HYB_zeta",
+        "HYB_phi",
+        "HYB_rho",
     ]);
 
     let profile = EpochProfile::roadside();
@@ -41,15 +45,10 @@ fn main() {
         let config = SimConfig::paper_defaults().with_zeta_target_secs(target);
         let base = SnipRhConfig::paper_defaults(profile.rush_marks()).with_phi_max(phi_max);
 
-        let mut rh_sim =
-            Simulation::new(config.clone(), &trace, SnipRh::new(base.clone()));
+        let mut rh_sim = Simulation::new(config.clone(), &trace, SnipRh::new(base.clone()));
         let rh = rh_sim.run(&mut StdRng::seed_from_u64(1011));
 
-        let mut hy_sim = Simulation::new(
-            config,
-            &trace,
-            SnipRhPlusAt::new(base, background),
-        );
+        let mut hy_sim = Simulation::new(config, &trace, SnipRhPlusAt::new(base, background));
         let hy = hy_sim.run(&mut StdRng::seed_from_u64(1011));
 
         println!(

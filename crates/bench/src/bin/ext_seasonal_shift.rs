@@ -25,7 +25,11 @@ fn shifted_profile() -> EpochProfile {
         .map(|h| {
             let rush = (9..11).contains(&h) || (19..21).contains(&h);
             ProfileSlot {
-                kind: if rush { SlotKind::Rush } else { SlotKind::OffPeak },
+                kind: if rush {
+                    SlotKind::Rush
+                } else {
+                    SlotKind::OffPeak
+                },
                 arrivals: Some(ArrivalProcess::paper_normal(if rush {
                     SimDuration::from_secs(300)
                 } else {
@@ -69,9 +73,9 @@ fn main() {
     cfg.learning_epochs = 5;
     cfg.learning_duty_cycle = 0.005;
     cfg.stat_retention = 0.8; // smooth enough to rank reliably, forgets in ~8 epochs
-    // Shifted rush slots are seen only through the trickle, one probe in
-    // ~20 contacts; importance weighting makes each such probe count for
-    // the capacity it represents.
+                              // Shifted rush slots are seen only through the trickle, one probe in
+                              // ~20 contacts; importance weighting makes each such probe count for
+                              // the capacity it represents.
     cfg.tracking_duty_cycle = 0.002;
 
     let config = SimConfig::paper_defaults()

@@ -45,8 +45,7 @@ fn main() {
         let m_snip = snip_model.upsilon(d, contact);
         let m_mip = mip_model.upsilon(d, contact);
 
-        let mut snip_sim =
-            Simulation::new(SimConfig::paper_defaults(), &trace, SnipAt::new(d));
+        let mut snip_sim = Simulation::new(SimConfig::paper_defaults(), &trace, SnipAt::new(d));
         let snip_zeta = snip_sim
             .run(&mut StdRng::seed_from_u64(1))
             .mean_zeta_per_epoch();

@@ -2,54 +2,55 @@
 //! "we will evaluate SNIP-RH plus SNIP-AT … through trace-based
 //! simulations").
 //!
-//! Synthesizes a CRAWDAD-style sighting file — many mobile nodes passing one
-//! static sensor with a diurnal density — then runs the full external-trace
-//! pipeline: parse the text format, extract the sensor's contact process,
-//! learn rush hours from the observed statistics, and compare SNIP-AT vs
-//! SNIP-RH on the *imported* trace (no knowledge of the generator's
-//! parameters is used on the evaluation side).
+//! Synthesizes a CRAWDAD-style sighting set with `snip-mobility`'s
+//! proper-Poisson generator — many mobile nodes passing one static sensor
+//! with a diurnal density — then runs the full external-trace pipeline:
+//! render and re-parse the text format, extract the sensor's contact
+//! process, learn rush hours from the observed statistics, and compare
+//! SNIP-AT vs SNIP-RH on the *imported* trace (no knowledge of the
+//! generator's parameters is used on the evaluation side).
+//!
+//! Both runs go through the `snip-replay` journal pipeline: each is
+//! recorded, then immediately replayed with divergence verification, so the
+//! printed numbers are by construction reproducible artifacts.
 //!
 //! Output: trace summary, learned rush hours, and the mechanism comparison.
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 use snip_bench::{columns, header};
-use snip_core::{SnipAt, SnipRh, SnipRhConfig};
-use snip_mobility::{DiurnalDemand, ExternalTrace};
-use snip_sim::{SimConfig, Simulation};
+use snip_core::SnipRhConfig;
+use snip_mobility::{ExternalTrace, SyntheticSightings};
+use snip_replay::event::{JournalHeader, SchedulerSpec};
+use snip_replay::journal::{JournalFormat, JournalReader, JournalWriter};
+use snip_replay::record::record_run;
+use snip_replay::replay::replay_run;
+use snip_sim::{RunMetrics, SimConfig};
 use snip_units::{DutyCycle, SimDuration};
 
 const SENSOR: u32 = 0;
 
-/// Writes a synthetic sighting file: mobiles pass the sensor with hourly
-/// density following the commuter demand curve, 14 days, ~250 sightings/day.
-fn synthesize_sightings(days: u64, seed: u64) -> String {
-    let demand = DiurnalDemand::commuter();
-    let shares = demand.hourly_shares();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut out = String::from("# synthetic CRAWDAD-style sightings (sensor = node 0)\n");
-    let mut mobile_id = 1u32;
-    for day in 0..days {
-        for (hour, share) in shares.iter().enumerate() {
-            let expected = share * 250.0;
-            // Poisson-ish count via independent trials.
-            let count = (0..(expected.ceil() as u32 * 2))
-                .filter(|_| rng.gen::<f64>() < expected / (expected.ceil() * 2.0).max(1.0))
-                .count();
-            for _ in 0..count {
-                let start = (day * 86_400 + hour as u64 * 3_600) as f64
-                    + rng.gen::<f64>() * 3_600.0;
-                let length = (2.0 + rng.gen::<f64>() - 0.5).max(0.3);
-                out.push_str(&format!(
-                    "{start:.3} {:.3} {SENSOR} {mobile_id}\n",
-                    start + length
-                ));
-                mobile_id += 1;
-            }
-        }
-    }
-    out
+/// Records the run into an in-memory journal, replays it with verification,
+/// and returns the bit-identical metrics.
+fn record_and_verify(
+    spec: SchedulerSpec,
+    config: &SimConfig,
+    trace: &snip_mobility::ContactTrace,
+    seed: u64,
+) -> RunMetrics {
+    let journal_header =
+        JournalHeader::new(spec, config.clone(), seed).with_comment("E9 trace-driven evaluation");
+    let mut writer = JournalWriter::new(Vec::new(), JournalFormat::Cbor);
+    let recorded =
+        record_run(&mut writer, &journal_header, trace).expect("in-memory journal writes");
+    let mut reader = JournalReader::new(
+        std::io::Cursor::new(writer.into_inner()),
+        JournalFormat::Cbor,
+    );
+    let report = replay_run(&mut reader, None).expect("fresh journal replays cleanly");
+    assert_eq!(report.metrics, recorded, "replay must be bit-identical");
+    recorded
 }
 
 fn main() {
@@ -59,10 +60,18 @@ fn main() {
     );
 
     let days = 14u64;
-    let text = synthesize_sightings(days, 909);
-    let external: ExternalTrace = text.parse().expect("generated file parses");
+    let synthesized = SyntheticSightings::commuter()
+        .days(days)
+        .sensor(SENSOR)
+        .generate(&mut StdRng::seed_from_u64(909));
+    // Round-trip through the interchange text format: the evaluation side
+    // sees only what a downloaded sighting file would contain.
+    let external: ExternalTrace = synthesized
+        .to_text()
+        .parse()
+        .expect("generated file parses");
     // `contacts_at` sorts and merges, so the imported trace is valid even
-    // though the generator emitted sightings hour-by-hour unsorted in time.
+    // though the generator emits sightings hour-by-hour unsorted in time.
     let trace = external.contacts_at(SENSOR);
     println!(
         "# imported {} sightings -> {} merged contacts, {:.0} s capacity, {} mobiles",
@@ -95,28 +104,28 @@ fn main() {
         .with_zeta_target_secs(zeta_target);
 
     // SNIP-AT at the budget-bound duty-cycle (no generator knowledge).
-    let d0 = DutyCycle::clamped(phi_max / 86_400.0);
-    let mut at_sim = Simulation::new(config.clone(), &trace, SnipAt::new(d0));
-    let at = at_sim.run(&mut StdRng::seed_from_u64(910));
+    let at_spec = SchedulerSpec::At {
+        duty_cycle: DutyCycle::clamped(phi_max / 86_400.0),
+    };
+    let at = record_and_verify(at_spec, &config, &trace, 910);
 
     // SNIP-RH with the trace-learned marks and length.
-    let rh = SnipRh::new(
-        SnipRhConfig::paper_defaults(marks)
+    let rh_spec = SchedulerSpec::Rh {
+        config: SnipRhConfig::paper_defaults(marks)
             .with_phi_max(SimDuration::from_secs_f64(phi_max)),
-    );
-    let mut rh_sim = Simulation::new(config, &trace, rh);
-    let rh = rh_sim.run(&mut StdRng::seed_from_u64(910));
+    };
+    let rh = record_and_verify(rh_spec, &config, &trace, 910);
 
     for (name, m) in [("SNIP-AT", at), ("SNIP-RH", rh)] {
         println!(
             "{name}\t{:.3}\t{:.3}\t{}\t{:.3}",
             m.mean_zeta_per_epoch(),
             m.mean_phi_per_epoch(),
-            m.overall_rho()
-                .map_or("-".into(), |r| format!("{r:.3}")),
+            m.overall_rho().map_or("-".into(), |r| format!("{r:.3}")),
             m.mean_uploaded_per_epoch(),
         );
     }
     println!("# rush-hour probing carries over to imported traces: lower ρ at the");
-    println!("# same target without any generator-side configuration.");
+    println!("# same target without any generator-side configuration; both runs");
+    println!("# recorded and replay-verified through the snip-replay journal.");
 }

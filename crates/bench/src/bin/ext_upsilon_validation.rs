@@ -15,8 +15,8 @@ use rand::SeedableRng;
 
 use snip_bench::{columns, header};
 use snip_core::SnipAt;
-use snip_mobility::{ArrivalProcess, EpochProfile, LengthDistribution, TraceGenerator};
 use snip_mobility::profile::{ProfileSlot, SlotKind};
+use snip_mobility::{ArrivalProcess, EpochProfile, LengthDistribution, TraceGenerator};
 use snip_model::SnipModel;
 use snip_sim::{SimConfig, Simulation};
 use snip_units::{DutyCycle, SimDuration};
@@ -73,9 +73,7 @@ fn main() {
         let model_exp = model.upsilon_dist(d, &exp);
         let sim_fixed = simulate_upsilon(fixed, d, 100 + i as u64);
         let sim_exp = simulate_upsilon(exp, d, 200 + i as u64);
-        println!(
-            "{d_frac:.4}\t{model_fixed:.4}\t{sim_fixed:.4}\t{model_exp:.4}\t{sim_exp:.4}"
-        );
+        println!("{d_frac:.4}\t{model_fixed:.4}\t{sim_fixed:.4}\t{model_exp:.4}\t{sim_exp:.4}");
     }
     println!("# the knee for 2 s contacts sits at d = 0.01 where Υ = 0.5");
 }

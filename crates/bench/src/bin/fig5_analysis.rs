@@ -24,9 +24,15 @@ pub fn run_analysis(figure: &str, phi_max: f64, caption: &str) {
     header(figure, caption);
     columns(&[
         "zeta_target",
-        "AT_zeta", "AT_phi", "AT_rho",
-        "OPT_zeta", "OPT_phi", "OPT_rho",
-        "RH_zeta", "RH_phi", "RH_rho",
+        "AT_zeta",
+        "AT_phi",
+        "AT_rho",
+        "OPT_zeta",
+        "OPT_phi",
+        "OPT_rho",
+        "RH_zeta",
+        "RH_phi",
+        "RH_rho",
     ]);
 
     let model = SnipModel::default();

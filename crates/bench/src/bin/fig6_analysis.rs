@@ -14,9 +14,15 @@ fn main() {
     header("Fig 6", "analysis results at Φmax = Tepoch/100");
     columns(&[
         "zeta_target",
-        "AT_zeta", "AT_phi", "AT_rho",
-        "OPT_zeta", "OPT_phi", "OPT_rho",
-        "RH_zeta", "RH_phi", "RH_rho",
+        "AT_zeta",
+        "AT_phi",
+        "AT_rho",
+        "OPT_zeta",
+        "OPT_phi",
+        "OPT_rho",
+        "RH_zeta",
+        "RH_phi",
+        "RH_rho",
     ]);
 
     let model = SnipModel::default();

@@ -23,9 +23,15 @@ pub fn run_simulation(figure: &str, phi_max: f64, caption: &str) {
     header(figure, caption);
     columns(&[
         "zeta_target",
-        "AT_zeta", "AT_phi", "AT_rho",
-        "OPT_zeta", "OPT_phi", "OPT_rho",
-        "RH_zeta", "RH_phi", "RH_rho",
+        "AT_zeta",
+        "AT_phi",
+        "AT_rho",
+        "OPT_zeta",
+        "OPT_phi",
+        "OPT_rho",
+        "RH_zeta",
+        "RH_phi",
+        "RH_rho",
     ]);
 
     let runner = ScenarioRunner::paper(phi_max).with_seed(2011);

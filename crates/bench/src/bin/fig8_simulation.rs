@@ -8,12 +8,21 @@ use snip_model::analysis::{PAPER_PHI_MAX_LOOSE, PAPER_ZETA_TARGETS};
 use snip_sim::{Mechanism, ScenarioRunner};
 
 fn main() {
-    header("Fig 8", "simulation results at Φmax = Tepoch/100 (14 epochs)");
+    header(
+        "Fig 8",
+        "simulation results at Φmax = Tepoch/100 (14 epochs)",
+    );
     columns(&[
         "zeta_target",
-        "AT_zeta", "AT_phi", "AT_rho",
-        "OPT_zeta", "OPT_phi", "OPT_rho",
-        "RH_zeta", "RH_phi", "RH_rho",
+        "AT_zeta",
+        "AT_phi",
+        "AT_rho",
+        "OPT_zeta",
+        "OPT_phi",
+        "OPT_rho",
+        "RH_zeta",
+        "RH_phi",
+        "RH_rho",
     ]);
 
     let runner = ScenarioRunner::paper(PAPER_PHI_MAX_LOOSE).with_seed(2012);

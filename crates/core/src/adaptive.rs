@@ -230,9 +230,7 @@ impl AdaptiveSnipRh {
                         // observation: an EWMA over epochs that tames the
                         // heavy-tailed trickle weights.
                         let keep = self.config.stat_retention;
-                        for (est, acc) in
-                            self.slot_capacity.iter_mut().zip(&mut self.epoch_accum)
-                        {
+                        for (est, acc) in self.slot_capacity.iter_mut().zip(&mut self.epoch_accum) {
                             *est = keep * *est + (1.0 - keep) * std::mem::take(acc);
                         }
                         self.relearn_marks();
@@ -453,7 +451,11 @@ mod tests {
         let _ = a.decide(&ctx(86_400 + 60, 5, 0));
         // Learning at d = 0.001 probes 2 s contacts with P = 2·0.001/0.02 =
         // 0.1, so each observation is worth 2/0.1 = 20 s: three make 60 s.
-        assert!((a.slot_capacity()[7] - 60.0).abs() < 1e-9, "{}", a.slot_capacity()[7]);
+        assert!(
+            (a.slot_capacity()[7] - 60.0).abs() < 1e-9,
+            "{}",
+            a.slot_capacity()[7]
+        );
         assert_eq!(a.slot_capacity()[8], 0.0);
         assert_eq!(a.inner().name(), "SNIP-RH");
     }

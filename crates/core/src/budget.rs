@@ -123,7 +123,10 @@ mod tests {
     use proptest::prelude::*;
 
     fn ledger(budget_s: u64) -> EnergyLedger {
-        EnergyLedger::new(SimDuration::from_hours(24), SimDuration::from_secs(budget_s))
+        EnergyLedger::new(
+            SimDuration::from_hours(24),
+            SimDuration::from_secs(budget_s),
+        )
     }
 
     fn at(s: u64) -> SimTime {

@@ -86,8 +86,7 @@ impl SnipRhPlusAt {
     /// of radio-on time (before any rush-hour probing).
     #[must_use]
     pub fn background_phi_per_epoch(&self) -> SimDuration {
-        self.background
-            .on_time_over(self.inner.config().epoch)
+        self.background.on_time_over(self.inner.config().epoch)
     }
 }
 

@@ -59,7 +59,7 @@ pub use adaptive::{AdaptiveConfig, AdaptivePhase, AdaptiveSnipRh};
 pub use budget::EnergyLedger;
 pub use estimator::Ewma;
 pub use hybrid::SnipRhPlusAt;
-pub use scheduler::{ProbeContext, ProbeScheduler, ProbedContactInfo};
+pub use scheduler::{DecisionRecord, ProbeContext, ProbeScheduler, ProbedContactInfo};
 pub use snip_at::SnipAt;
 pub use snip_opt::SnipOptScheduler;
 pub use snip_rh::{LengthEstimation, SnipRh, SnipRhConfig};

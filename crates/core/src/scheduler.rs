@@ -6,6 +6,7 @@
 //! mechanism learns from probed contacts (SNIP-RH's EWMAs, adaptive rush-hour
 //! learning).
 
+use serde::{Deserialize, Serialize};
 use snip_units::{DataSize, DutyCycle, SimDuration, SimTime};
 
 /// What the scheduler sees when asked for a decision.
@@ -35,6 +36,21 @@ pub struct ProbedContactInfo {
     pub contact_length: Option<SimDuration>,
 }
 
+/// A scheduler decision in recordable form: what a record/replay journal
+/// stores for every CPU wake-up.
+///
+/// Serializes compactly (`now` as microseconds, the duty-cycle as a bare
+/// fraction or `null`), and compares exactly — replay divergence detection
+/// relies on bit-for-bit [`PartialEq`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecisionRecord {
+    /// When the scheduler was asked.
+    pub now: SimTime,
+    /// The decision: `Some(d)` to probe at duty-cycle `d`, `None` for radio
+    /// off until the next wake-up.
+    pub duty_cycle: Option<DutyCycle>,
+}
+
 /// A SNIP scheduling mechanism.
 ///
 /// Implementations decide whether SNIP probing is active *right now* and at
@@ -46,6 +62,15 @@ pub trait ProbeScheduler {
     /// Returns `Some(d)` to probe with duty-cycle `d`, or `None` to keep the
     /// radio off until the next wake-up.
     fn decide(&mut self, ctx: &ProbeContext) -> Option<DutyCycle>;
+
+    /// [`ProbeScheduler::decide`], packaged as a [`DecisionRecord`] for
+    /// recording hooks.
+    fn decide_recorded(&mut self, ctx: &ProbeContext) -> DecisionRecord {
+        DecisionRecord {
+            now: ctx.now,
+            duty_cycle: self.decide(ctx),
+        }
+    }
 
     /// Feeds back a successfully probed contact (for online learning).
     ///

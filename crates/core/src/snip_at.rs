@@ -151,12 +151,7 @@ mod tests {
     #[test]
     fn for_target_picks_the_analysis_duty_cycle() {
         // Under the loose budget the 16 s target needs d = 16/8800.
-        let at = SnipAt::for_target(
-            SnipModel::default(),
-            &SlotProfile::roadside(),
-            864.0,
-            16.0,
-        );
+        let at = SnipAt::for_target(SnipModel::default(), &SlotProfile::roadside(), 864.0, 16.0);
         assert!((at.duty_cycle().as_fraction() - 16.0 / 8_800.0).abs() < 1e-7);
     }
 
@@ -164,12 +159,7 @@ mod tests {
     fn for_target_caps_at_budget() {
         // Under the tight budget every paper target exceeds what SNIP-AT can
         // reach, so it degrades to d = Φmax/Tepoch = 0.001.
-        let at = SnipAt::for_target(
-            SnipModel::default(),
-            &SlotProfile::roadside(),
-            86.4,
-            16.0,
-        );
+        let at = SnipAt::for_target(SnipModel::default(), &SlotProfile::roadside(), 86.4, 16.0);
         assert!((at.duty_cycle().as_fraction() - 0.001).abs() < 1e-12);
     }
 

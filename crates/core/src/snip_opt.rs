@@ -73,12 +73,7 @@ impl SnipOptScheduler {
     ///
     /// Panics if `phi_max` or `zeta_target` is not positive.
     #[must_use]
-    pub fn solve(
-        model: SnipModel,
-        profile: SlotProfile,
-        phi_max: f64,
-        zeta_target: f64,
-    ) -> Self {
+    pub fn solve(model: SnipModel, profile: SlotProfile, phi_max: f64, zeta_target: f64) -> Self {
         let optimizer = TwoStepOptimizer::new(model, profile);
         let plan = optimizer.solve(phi_max, zeta_target);
         Self::new(plan, optimizer.profile())
@@ -180,12 +175,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "cover every slot")]
     fn mismatched_plan_rejected() {
-        let plan = TwoStepOptimizer::new(SnipModel::default(), SlotProfile::roadside())
-            .solve(86.4, 16.0);
+        let plan =
+            TwoStepOptimizer::new(SnipModel::default(), SlotProfile::roadside()).solve(86.4, 16.0);
         // A profile with a different slot count.
-        let other = SlotProfile::new(vec![snip_model::SlotSpec::empty(
-            SimDuration::from_hours(1),
-        )]);
+        let other = SlotProfile::new(vec![snip_model::SlotSpec::empty(SimDuration::from_hours(
+            1,
+        ))]);
         let _ = SnipOptScheduler::new(plan, &other);
     }
 }

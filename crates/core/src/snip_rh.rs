@@ -182,8 +182,7 @@ impl SnipRh {
             config.initial_contact_length.as_secs_f64(),
         )
         .expect("weight validated");
-        let upload_per_contact =
-            Ewma::new(config.ewma_weight).expect("weight validated");
+        let upload_per_contact = Ewma::new(config.ewma_weight).expect("weight validated");
         SnipRh {
             config,
             slot_length,

@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 
-use snip_core::{
-    ProbeContext, ProbeScheduler, ProbedContactInfo, SnipAt, SnipRh, SnipRhConfig,
-};
+use snip_core::{ProbeContext, ProbeScheduler, ProbedContactInfo, SnipAt, SnipRh, SnipRhConfig};
 use snip_units::{DataSize, DutyCycle, SimDuration, SimTime};
 
 fn ctx(now_s: u64, buffered_ms: u64, phi_spent_ms: u64) -> ProbeContext {

@@ -124,10 +124,9 @@ impl ArrivalProcess {
         let raw = match *self {
             ArrivalProcess::Periodic { interval } => interval,
             ArrivalProcess::Renewal { interval } => sample_duration(&interval, rng),
-            ArrivalProcess::Poisson { mean_interval } => sample_duration(
-                &LengthDistribution::exponential(mean_interval),
-                rng,
-            ),
+            ArrivalProcess::Poisson { mean_interval } => {
+                sample_duration(&LengthDistribution::exponential(mean_interval), rng)
+            }
         };
         raw.max(SimDuration::from_micros(1))
     }

@@ -68,7 +68,10 @@ impl DiurnalDemand {
             "peak hours must be within the day"
         );
         assert!(peak_width_hours > 0.0, "peak width must be positive");
-        assert!(peak_to_base >= 0.0, "peak-to-base ratio must be non-negative");
+        assert!(
+            peak_to_base >= 0.0,
+            "peak-to-base ratio must be non-negative"
+        );
         DiurnalDemand {
             am_peak_hour,
             pm_peak_hour,
@@ -127,7 +130,10 @@ impl DiurnalDemand {
         contact_length: LengthDistribution,
         min_per_hour: f64,
     ) -> EpochProfile {
-        assert!(contacts_per_day > 0.0, "daily contact total must be positive");
+        assert!(
+            contacts_per_day > 0.0,
+            "daily contact total must be positive"
+        );
         let hourly: Vec<f64> = self
             .hourly_shares()
             .iter()

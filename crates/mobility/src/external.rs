@@ -121,6 +121,26 @@ impl FromStr for ExternalTrace {
 }
 
 impl ExternalTrace {
+    /// Builds a trace from in-memory sightings (the synthetic generator's
+    /// path; files go through [`FromStr`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sighting has non-finite times or `end <= start` — the
+    /// invariants the text parser enforces line-by-line.
+    #[must_use]
+    pub fn from_sightings(sightings: Vec<Sighting>) -> Self {
+        for (i, s) in sightings.iter().enumerate() {
+            assert!(
+                s.start.is_finite() && s.end.is_finite() && s.start >= 0.0 && s.end > s.start,
+                "sighting {i} must satisfy 0 ≤ start < end (start {}, end {})",
+                s.start,
+                s.end
+            );
+        }
+        ExternalTrace { sightings }
+    }
+
     /// All sightings, in file order.
     #[must_use]
     pub fn sightings(&self) -> &[Sighting] {
@@ -256,10 +276,7 @@ mod tests {
         // [10,20] ∪ [15,25] ∪ [25,30] → [10,30] (touching merges too).
         assert_eq!(merged.len(), 1);
         assert_eq!(merged.contacts()[0].start, SimTime::from_secs(10));
-        assert_eq!(
-            merged.contacts()[0].length,
-            SimDuration::from_secs(20)
-        );
+        assert_eq!(merged.contacts()[0].length, SimDuration::from_secs(20));
     }
 
     #[test]

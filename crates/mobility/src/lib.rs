@@ -15,6 +15,9 @@
 //!   the paper's Fig 3 (Midpoint Bridge data, which is not redistributable).
 //! * [`trace`] — concrete contact traces: generation, replay, statistics,
 //!   and a CSV-ish serialization for interchange.
+//! * [`external`] — CRAWDAD-style sighting-file import.
+//! * [`synthetic`] — proper-Poisson synthesis of CRAWDAD-style sighting
+//!   sets, for exercising the import pipeline end-to-end.
 //!
 //! # Example
 //!
@@ -39,6 +42,7 @@ pub mod diurnal;
 pub mod external;
 pub mod profile;
 pub mod sampler;
+pub mod synthetic;
 pub mod trace;
 pub mod transform;
 
@@ -47,6 +51,7 @@ pub use diurnal::DiurnalDemand;
 pub use external::{ExternalTrace, Sighting};
 pub use profile::{EpochProfile, SlotKind};
 pub use sampler::sample_duration;
+pub use synthetic::{sample_poisson, SyntheticSightings};
 pub use trace::{Contact, ContactTrace, TraceGenerator, TraceStats};
 
 pub use snip_model::LengthDistribution;

@@ -99,7 +99,11 @@ impl EpochProfile {
             .map(|h| {
                 let rush = (7..9).contains(&h) || (17..19).contains(&h);
                 ProfileSlot {
-                    kind: if rush { SlotKind::Rush } else { SlotKind::OffPeak },
+                    kind: if rush {
+                        SlotKind::Rush
+                    } else {
+                        SlotKind::OffPeak
+                    },
                     arrivals: Some(ArrivalProcess::periodic(if rush {
                         SimDuration::from_secs(300)
                     } else {
@@ -128,7 +132,11 @@ impl EpochProfile {
             .map(|h| {
                 let rush = (7..9).contains(&h) || (17..19).contains(&h);
                 ProfileSlot {
-                    kind: if rush { SlotKind::Rush } else { SlotKind::OffPeak },
+                    kind: if rush {
+                        SlotKind::Rush
+                    } else {
+                        SlotKind::OffPeak
+                    },
                     arrivals: Some(ArrivalProcess::paper_normal(if rush {
                         rush_interval
                     } else {
@@ -238,16 +246,9 @@ impl EpochProfile {
 
     /// Draws a contact length for a contact starting at `t`.
     #[must_use]
-    pub fn sample_contact_length<R: Rng + ?Sized>(
-        &self,
-        t: SimTime,
-        rng: &mut R,
-    ) -> SimDuration {
-        crate::sampler::sample_duration(
-            &self.slots[self.slot_index_at(t)].contact_length,
-            rng,
-        )
-        .max(SimDuration::from_micros(1))
+    pub fn sample_contact_length<R: Rng + ?Sized>(&self, t: SimTime, rng: &mut R) -> SimDuration {
+        crate::sampler::sample_duration(&self.slots[self.slot_index_at(t)].contact_length, rng)
+            .max(SimDuration::from_micros(1))
     }
 
     /// Projects the profile down to the model crate's [`SlotProfile`]

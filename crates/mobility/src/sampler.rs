@@ -26,18 +26,13 @@ use snip_units::SimDuration;
 /// assert!(draw > SimDuration::ZERO);
 /// ```
 #[must_use]
-pub fn sample_duration<R: Rng + ?Sized>(
-    dist: &LengthDistribution,
-    rng: &mut R,
-) -> SimDuration {
+pub fn sample_duration<R: Rng + ?Sized>(dist: &LengthDistribution, rng: &mut R) -> SimDuration {
     match *dist {
         LengthDistribution::Fixed { length } => length,
         LengthDistribution::Normal { mean, std_dev } => {
             sample_positive_normal(mean.as_secs_f64(), std_dev.as_secs_f64(), rng)
         }
-        LengthDistribution::Exponential { mean } => {
-            sample_exponential(mean.as_secs_f64(), rng)
-        }
+        LengthDistribution::Exponential { mean } => sample_exponential(mean.as_secs_f64(), rng),
         LengthDistribution::Uniform { low, high } => {
             let (a, b) = (low.as_micros(), high.as_micros());
             if a == b {

@@ -483,7 +483,10 @@ mod tests {
         let a = Contact::new(secs(10), dur(5));
         assert!(a.overlaps(&Contact::new(secs(12), dur(1))));
         assert!(a.overlaps(&Contact::new(secs(14), dur(10))));
-        assert!(!a.overlaps(&Contact::new(secs(15), dur(1))), "touching is not overlap");
+        assert!(
+            !a.overlaps(&Contact::new(secs(15), dur(1))),
+            "touching is not overlap"
+        );
         assert!(!a.overlaps(&Contact::new(secs(2), dur(8))));
     }
 
@@ -560,7 +563,10 @@ mod tests {
         assert!(per_day > 80.0 && per_day < 96.0, "{per_day}/day");
         // Capacity ~176 s/day.
         let cap_per_day = trace.total_capacity().as_secs_f64() / 14.0;
-        assert!(cap_per_day > 160.0 && cap_per_day < 195.0, "{cap_per_day}s/day");
+        assert!(
+            cap_per_day > 160.0 && cap_per_day < 195.0,
+            "{cap_per_day}s/day"
+        );
     }
 
     #[test]
@@ -628,10 +634,12 @@ mod tests {
 
     #[test]
     fn horizon_and_capacity() {
-        let trace: ContactTrace =
-            [Contact::new(secs(10), dur(2)), Contact::new(secs(40), dur(3))]
-                .into_iter()
-                .collect();
+        let trace: ContactTrace = [
+            Contact::new(secs(10), dur(2)),
+            Contact::new(secs(40), dur(3)),
+        ]
+        .into_iter()
+        .collect();
         assert_eq!(trace.horizon(), secs(43));
         assert_eq!(trace.total_capacity(), dur(5));
         assert_eq!(ContactTrace::new().horizon(), SimTime::ZERO);

@@ -43,7 +43,11 @@ impl ContactTrace {
     #[must_use]
     pub fn spliced(&self, tail: &ContactTrace, at: SimTime) -> ContactTrace {
         let mut out = self.clone();
-        let base = if out.horizon() > at { out.horizon() } else { at };
+        let base = if out.horizon() > at {
+            out.horizon()
+        } else {
+            at
+        };
         for c in tail.iter() {
             let start = (base + (c.start - SimTime::ZERO)).max(out.horizon());
             out.push(Contact::new(start, c.length));
@@ -59,7 +63,10 @@ impl ContactTrace {
     /// Panics if `keep` is not in `[0, 1]`.
     #[must_use]
     pub fn thinned<R: Rng + ?Sized>(&self, keep: f64, rng: &mut R) -> ContactTrace {
-        assert!((0.0..=1.0).contains(&keep), "keep probability must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&keep),
+            "keep probability must be in [0, 1]"
+        );
         self.iter()
             .filter(|_| rng.gen::<f64>() < keep)
             .copied()
@@ -145,10 +152,7 @@ mod tests {
         let s = sample().shifted(dur(1_000));
         assert_eq!(s.contacts()[0].start, secs(1_010));
         assert_eq!(s.len(), 4);
-        assert_eq!(
-            s.contacts()[3].start - s.contacts()[0].start,
-            dur(190)
-        );
+        assert_eq!(s.contacts()[3].start - s.contacts()[0].start, dur(190));
     }
 
     #[test]
@@ -159,7 +163,7 @@ mod tests {
         let s = a.spliced(&b, secs(100));
         assert_eq!(s.len(), 5);
         assert_eq!(s.contacts()[4].start, secs(210)); // 205 + 5
-        // Requested point after the horizon: honored.
+                                                      // Requested point after the horizon: honored.
         let s = a.spliced(&b, secs(1_000));
         assert_eq!(s.contacts()[4].start, secs(1_005));
     }
@@ -203,12 +207,9 @@ mod tests {
 
     #[test]
     fn length_scaling_resolves_overlaps() {
-        let tight: ContactTrace = [
-            Contact::new(secs(0), dur(2)),
-            Contact::new(secs(3), dur(2)),
-        ]
-        .into_iter()
-        .collect();
+        let tight: ContactTrace = [Contact::new(secs(0), dur(2)), Contact::new(secs(3), dur(2))]
+            .into_iter()
+            .collect();
         let stretched = tight.with_lengths_scaled(3.0);
         assert_eq!(stretched.len(), 2);
         // Second contact pushed back past the first's new end (6 s).

@@ -237,8 +237,7 @@ impl ScenarioAnalysis {
             }
             let d_rh = self.model.knee_duty_cycle(mean_len);
             // Rates per second of slot time while SNIP is active.
-            let zeta_rate = slot.probed_capacity(&self.model, d_rh)
-                / slot.length.as_secs_f64();
+            let zeta_rate = slot.probed_capacity(&self.model, d_rh) / slot.length.as_secs_f64();
             let phi_rate = d_rh.as_fraction();
             if zeta_rate <= 0.0 {
                 continue;
@@ -317,7 +316,10 @@ mod tests {
         let a = analysis(PAPER_PHI_MAX_TIGHT);
         for target in PAPER_ZETA_TARGETS {
             let at = a.snip_at(target);
-            assert!(!at.meets(target), "AT cannot reach {target} under Φmax=86.4");
+            assert!(
+                !at.meets(target),
+                "AT cannot reach {target} under Φmax=86.4"
+            );
             assert!((at.zeta - 8.8).abs() < 1e-6, "ζ = {}", at.zeta);
             assert!((at.phi - 86.4).abs() < 1e-6, "Φ = {}", at.phi);
             assert!((at.rho().unwrap() - 86.4 / 8.8).abs() < 1e-6);
@@ -408,7 +410,10 @@ mod tests {
 
     #[test]
     fn rho_none_when_nothing_probed() {
-        let p = AnalysisPoint { zeta: 0.0, phi: 0.0 };
+        let p = AnalysisPoint {
+            zeta: 0.0,
+            phi: 0.0,
+        };
         assert!(p.rho().is_none());
         assert!(!p.meets(1.0));
     }

@@ -109,8 +109,7 @@ mod tests {
         for frac in [0.001, 0.01, 0.1] {
             let l = DiscoveryLatency::new(&m, d(frac), contact);
             assert!(
-                (l.discovery_probability() - m.probe_probability(d(frac), contact)).abs()
-                    < 1e-12
+                (l.discovery_probability() - m.probe_probability(d(frac), contact)).abs() < 1e-12
             );
         }
     }

@@ -156,9 +156,7 @@ impl LengthDistribution {
         match *self {
             LengthDistribution::Fixed { .. } => 0.0,
             LengthDistribution::Normal { std_dev, .. }
-            | LengthDistribution::LogNormal { std_dev, .. } => {
-                std_dev.as_secs_f64() / mean
-            }
+            | LengthDistribution::LogNormal { std_dev, .. } => std_dev.as_secs_f64() / mean,
             LengthDistribution::Exponential { .. } => 1.0,
             LengthDistribution::Uniform { low, high } => {
                 let span = high.as_secs_f64() - low.as_secs_f64();
@@ -210,8 +208,7 @@ impl LengthDistribution {
                     return 0.0;
                 }
                 let z = (l.ln() - mu) / sigma;
-                (-0.5 * z * z).exp()
-                    / (l * sigma * (2.0 * std::f64::consts::PI).sqrt())
+                (-0.5 * z * z).exp() / (l * sigma * (2.0 * std::f64::consts::PI).sqrt())
             }
         }
     }
@@ -251,9 +248,7 @@ impl LengthDistribution {
                 ((mu - 10.0 * sigma).max(0.0), mu + 10.0 * sigma)
             }
             LengthDistribution::Exponential { mean } => (0.0, 40.0 * mean.as_secs_f64()),
-            LengthDistribution::Uniform { low, high } => {
-                (low.as_secs_f64(), high.as_secs_f64())
-            }
+            LengthDistribution::Uniform { low, high } => (low.as_secs_f64(), high.as_secs_f64()),
             LengthDistribution::LogNormal { mean, std_dev } => {
                 let (mu, sigma) = log_normal_params(mean, std_dev);
                 (0.0, (mu + 10.0 * sigma).exp())
@@ -279,7 +274,8 @@ fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 

@@ -50,11 +50,7 @@ impl MipModel {
     ///
     /// Panics if any duration is zero or `beacon_airtime >= beacon_period`.
     #[must_use]
-    pub fn new(
-        ton: SimDuration,
-        beacon_period: SimDuration,
-        beacon_airtime: SimDuration,
-    ) -> Self {
+    pub fn new(ton: SimDuration, beacon_period: SimDuration, beacon_airtime: SimDuration) -> Self {
         assert!(!ton.is_zero(), "Ton must be positive");
         assert!(!beacon_period.is_zero(), "beacon period must be positive");
         assert!(!beacon_airtime.is_zero(), "beacon airtime must be positive");
@@ -293,7 +289,10 @@ mod tests {
             SimDuration::from_millis(2),
         );
         assert_eq!(m.upsilon(d(0.01), SimDuration::from_secs(2)), 0.0);
-        assert_eq!(m.snip_gain(d(0.01), SimDuration::from_secs(2)), f64::INFINITY);
+        assert_eq!(
+            m.snip_gain(d(0.01), SimDuration::from_secs(2)),
+            f64::INFINITY
+        );
     }
 
     #[test]

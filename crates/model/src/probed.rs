@@ -73,7 +73,10 @@ impl ProbedTimeDistribution {
     /// Panics if `x` is negative or not finite.
     #[must_use]
     pub fn cdf(&self, x: f64) -> f64 {
-        assert!(x.is_finite() && x >= 0.0, "x must be finite and non-negative");
+        assert!(
+            x.is_finite() && x >= 0.0,
+            "x must be finite and non-negative"
+        );
         let (l, t) = (self.contact, self.cycle);
         if x >= l {
             return 1.0;
@@ -198,10 +201,7 @@ mod tests {
             for q in [0.05, 0.25, 0.5, 0.75, 0.95] {
                 let x = d.quantile(q).as_secs_f64();
                 let back = d.cdf(x.min(contact));
-                assert!(
-                    back >= q - 1e-6,
-                    "d={frac}, q={q}: cdf(quantile) = {back}"
-                );
+                assert!(back >= q - 1e-6, "d={frac}, q={q}: cdf(quantile) = {back}");
             }
         }
     }

@@ -70,18 +70,13 @@ impl RushHourBenefit {
     /// Panics if `rush` is zero or longer than `epoch`, or if frequencies are
     /// non-positive or `f_rh < f_other`.
     #[must_use]
-    pub fn from_scenario(
-        epoch: SimDuration,
-        rush: SimDuration,
-        f_rh: f64,
-        f_other: f64,
-    ) -> Self {
-        assert!(!rush.is_zero() && rush <= epoch, "rush hours must fit in the epoch");
+    pub fn from_scenario(epoch: SimDuration, rush: SimDuration, f_rh: f64, f_other: f64) -> Self {
+        assert!(
+            !rush.is_zero() && rush <= epoch,
+            "rush hours must fit in the epoch"
+        );
         assert!(f_other > 0.0 && f_rh > 0.0, "frequencies must be positive");
-        Self::from_fractions(
-            rush.as_secs_f64() / epoch.as_secs_f64(),
-            f_rh / f_other,
-        )
+        Self::from_fractions(rush.as_secs_f64() / epoch.as_secs_f64(), f_rh / f_other)
     }
 
     /// The rush-hour fraction `x = T_rh / T_epoch`.
@@ -130,10 +125,7 @@ impl RushHourBenefit {
     /// Returns `(x, r, ratio)` triples in row-major order (x varies fastest),
     /// matching the gnuplot-style output of the paper's 3-D plot.
     #[must_use]
-    pub fn surface(
-        rush_fractions: &[f64],
-        frequency_ratios: &[f64],
-    ) -> Vec<(f64, f64, f64)> {
+    pub fn surface(rush_fractions: &[f64], frequency_ratios: &[f64]) -> Vec<(f64, f64, f64)> {
         let mut rows = Vec::with_capacity(rush_fractions.len() * frequency_ratios.len());
         for &r in frequency_ratios {
             for &x in rush_fractions {
@@ -193,9 +185,7 @@ mod tests {
     fn duty_cycle_multiplier_consistent_with_capacity_share() {
         let b = RushHourBenefit::from_fractions(4.0 / 24.0, 6.0);
         // d1/d0 = total capacity / rush capacity = 1 / share.
-        assert!(
-            (b.duty_cycle_multiplier() - 1.0 / b.rush_capacity_share()).abs() < 1e-12
-        );
+        assert!((b.duty_cycle_multiplier() - 1.0 / b.rush_capacity_share()).abs() < 1e-12);
         // Roadside: rush holds 96 of 176 seconds of capacity.
         assert!((b.rush_capacity_share() - 96.0 / 176.0).abs() < 1e-9);
     }
@@ -209,11 +199,14 @@ mod tests {
         assert_eq!(surface[0].0, 0.1);
         assert_eq!(surface[1].0, 0.2);
         assert_eq!(surface[0].1, 2.0);
-        assert_eq!(surface[5], (
-            0.2,
-            8.0,
-            RushHourBenefit::from_fractions(0.2, 8.0).energy_ratio()
-        ));
+        assert_eq!(
+            surface[5],
+            (
+                0.2,
+                8.0,
+                RushHourBenefit::from_fractions(0.2, 8.0).energy_ratio()
+            )
+        );
     }
 
     #[test]

@@ -111,9 +111,7 @@ impl SlotSpec {
         if mean.is_zero() || self.frequency() == 0.0 {
             return 0.0;
         }
-        let dzeta_dd = self.expected_contacts()
-            * model.upsilon_slope(d, mean)
-            * mean.as_secs_f64();
+        let dzeta_dd = self.expected_contacts() * model.upsilon_slope(d, mean) * mean.as_secs_f64();
         dzeta_dd / self.length.as_secs_f64()
     }
 
@@ -222,10 +220,7 @@ impl SlotProfile {
     /// Probed capacity when one duty-cycle runs in every slot (SNIP-AT).
     #[must_use]
     pub fn probed_capacity_uniform(&self, model: &SnipModel, d: DutyCycle) -> f64 {
-        self.slots
-            .iter()
-            .map(|s| s.probed_capacity(model, d))
-            .sum()
+        self.slots.iter().map(|s| s.probed_capacity(model, d)).sum()
     }
 
     /// Probed capacity under a per-slot duty-cycle plan.
@@ -368,8 +363,7 @@ mod tests {
         let m = model();
         let plan = vec![d(0.004); 24];
         assert!(
-            (p.probed_capacity_plan(&m, &plan) - p.probed_capacity_uniform(&m, d(0.004)))
-                .abs()
+            (p.probed_capacity_plan(&m, &plan) - p.probed_capacity_uniform(&m, d(0.004))).abs()
                 < 1e-9
         );
         assert!((p.probing_cost_plan(&plan) - 86_400.0 * 0.004).abs() < 1e-6);

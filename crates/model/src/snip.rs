@@ -217,7 +217,7 @@ impl SnipModel {
                         l - cycle / 2.0
                     }
                 };
-                let expect = dist.expect(|l| probed(l));
+                let expect = dist.expect(probed);
                 SimDuration::from_secs_f64(expect.max(0.0))
             }
         }

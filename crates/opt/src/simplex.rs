@@ -135,8 +135,8 @@ impl LinearProgram {
             t[i][n + i] = 1.0;
             t[i][cols - 1] = *b;
         }
-        for j in 0..n {
-            t[m][j] = -self.objective[j];
+        for (cell, obj) in t[m].iter_mut().zip(&self.objective) {
+            *cell = -obj;
         }
 
         let mut basis: Vec<usize> = (n..n + m).collect();
@@ -180,12 +180,13 @@ impl LinearProgram {
             for v in &mut t[r] {
                 *v /= pivot;
             }
-            for i in 0..=m {
+            let pivot_row = t[r].clone();
+            for (i, row) in t.iter_mut().enumerate() {
                 if i != r {
-                    let factor = t[i][pivot_col];
+                    let factor = row[pivot_col];
                     if factor != 0.0 {
-                        for j in 0..cols {
-                            t[i][j] -= factor * t[r][j];
+                        for (cell, p) in row.iter_mut().zip(&pivot_row) {
+                            *cell -= factor * p;
                         }
                     }
                 }

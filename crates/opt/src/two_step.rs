@@ -252,7 +252,11 @@ mod tests {
             .probed_capacity_plan(opt.model(), plan.duty_cycles());
         let phi = opt.profile().probing_cost_plan(plan.duty_cycles());
         // The piecewise-linear approximation is exact in the linear regime.
-        assert!((zeta - plan.zeta()).abs() < 0.05, "{zeta} vs {}", plan.zeta());
+        assert!(
+            (zeta - plan.zeta()).abs() < 0.05,
+            "{zeta} vs {}",
+            plan.zeta()
+        );
         assert!((phi - plan.phi()).abs() < 0.05, "{phi} vs {}", plan.phi());
     }
 

@@ -16,7 +16,10 @@ struct Lcg(u64);
 impl Lcg {
     fn next_f64(&mut self) -> f64 {
         // Numerical Recipes LCG constants.
-        self.0 = self.0.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1);
         ((self.0 >> 11) as f64) / ((1u64 << 53) as f64)
     }
 

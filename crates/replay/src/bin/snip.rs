@@ -1,0 +1,521 @@
+//! `snip` — deterministic record/replay for SNIP simulations.
+//!
+//! ```text
+//! snip record  --out run.snipj [--scenario roadside|crawdad] [--mechanism at|rh|opt]
+//!              [--epochs N] [--seed S] [--zeta-target SECS] [--phi-max SECS]
+//!              [--beacon-loss P]
+//! snip replay  <journal> [--mechanism at|rh|opt]
+//! snip diff    <a> <b>
+//! snip convert <in> <out>
+//! ```
+//!
+//! Journal format is chosen by extension: `.json`/`.jsonl` are JSON lines,
+//! anything else (`.snipj` by convention) is CBOR.
+//!
+//! Exit codes: 0 success · 1 divergence or difference · 2 usage/IO error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use snip_core::{SnipAt, SnipRhConfig};
+use snip_mobility::{ContactTrace, EpochProfile, SyntheticSightings, TraceGenerator};
+use snip_model::SnipModel;
+use snip_replay::diff::diff_journals;
+use snip_replay::event::{JournalHeader, SchedulerSpec};
+use snip_replay::journal::{convert, JournalReader, JournalWriter};
+use snip_replay::record::record_run;
+use snip_replay::replay::{replay_run, ReplayError};
+use snip_sim::{RunMetrics, SimConfig};
+use snip_units::{DutyCycle, SimDuration};
+
+const USAGE: &str = "\
+snip — deterministic record/replay for SNIP simulations
+
+USAGE:
+    snip record  --out <journal> [options]     record a simulation run
+    snip replay  <journal> [--mechanism M]     re-execute and verify a journal
+    snip diff    <a> <b>                       compare two journals
+    snip convert <in> <out>                    translate jsonl <-> cbor
+
+record options (defaults in brackets):
+    --out <path>           journal to write (required)
+    --scenario <name>      roadside | crawdad                [roadside]
+    --mechanism <name>     at | rh | opt                     [rh]
+    --epochs <n>           days to simulate                  [14]
+    --seed <n>             base seed (trace: n, sim: n+1)    [42]
+    --zeta-target <secs>   per-epoch capacity target         [16]
+    --phi-max <secs>       per-epoch probing budget          [86.4]
+    --beacon-loss <p>      beacon loss probability           [0]
+
+replay options:
+    --mechanism <name>     override the recorded scheduler (at | rh | opt) —
+                           a deliberate divergence demonstration
+
+Formats by extension: .json/.jsonl = JSON lines, anything else = CBOR
+(.snipj by convention).
+
+Exit codes: 0 ok · 1 divergence/difference · 2 usage or I/O error.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "record" => cmd_record(rest),
+        "replay" => cmd_replay(rest),
+        "diff" => cmd_diff(rest),
+        "convert" => cmd_convert(rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    };
+    match result {
+        Ok(code) => code,
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `snip help` for usage");
+            ExitCode::from(2)
+        }
+        Err(CliError::Fatal(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+enum CliError {
+    Usage(String),
+    Fatal(String),
+}
+
+fn fatal(msg: impl std::fmt::Display) -> CliError {
+    CliError::Fatal(msg.to_string())
+}
+
+// ------------------------------------------------------------------ options
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Scenario {
+    Roadside,
+    Crawdad,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum MechanismArg {
+    At,
+    Rh,
+    Opt,
+}
+
+struct RecordOptions {
+    out: PathBuf,
+    scenario: Scenario,
+    mechanism: MechanismArg,
+    epochs: u64,
+    seed: u64,
+    zeta_target: f64,
+    phi_max: f64,
+    beacon_loss: f64,
+}
+
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Result<T, CliError> {
+    let raw = value.ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?;
+    raw.parse()
+        .map_err(|_| CliError::Usage(format!("invalid value `{raw}` for {flag}")))
+}
+
+fn parse_mechanism(raw: &str) -> Result<MechanismArg, CliError> {
+    match raw.to_ascii_lowercase().as_str() {
+        "at" | "snip-at" => Ok(MechanismArg::At),
+        "rh" | "snip-rh" => Ok(MechanismArg::Rh),
+        "opt" | "snip-opt" => Ok(MechanismArg::Opt),
+        other => Err(CliError::Usage(format!(
+            "unknown mechanism `{other}` (expected at, rh or opt)"
+        ))),
+    }
+}
+
+fn parse_record_options(args: &[String]) -> Result<RecordOptions, CliError> {
+    let mut opts = RecordOptions {
+        out: PathBuf::new(),
+        scenario: Scenario::Roadside,
+        mechanism: MechanismArg::Rh,
+        epochs: 14,
+        seed: 42,
+        zeta_target: 16.0,
+        phi_max: 86.4,
+        beacon_loss: 0.0,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => opts.out = parse_value::<PathBuf>(flag, it.next())?,
+            "--scenario" => {
+                let raw: String = parse_value(flag, it.next())?;
+                opts.scenario = match raw.to_ascii_lowercase().as_str() {
+                    "roadside" => Scenario::Roadside,
+                    "crawdad" | "synthetic-crawdad" => Scenario::Crawdad,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "unknown scenario `{other}` (expected roadside or crawdad)"
+                        )))
+                    }
+                };
+            }
+            "--mechanism" => {
+                let raw: String = parse_value(flag, it.next())?;
+                opts.mechanism = parse_mechanism(&raw)?;
+            }
+            "--epochs" => opts.epochs = parse_value(flag, it.next())?,
+            "--seed" => opts.seed = parse_value(flag, it.next())?,
+            "--zeta-target" => opts.zeta_target = parse_value(flag, it.next())?,
+            "--phi-max" => opts.phi_max = parse_value(flag, it.next())?,
+            "--beacon-loss" => opts.beacon_loss = parse_value(flag, it.next())?,
+            other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+        }
+    }
+    if opts.out.as_os_str().is_empty() {
+        return Err(CliError::Usage("record needs --out <journal>".into()));
+    }
+    if opts.epochs == 0 {
+        return Err(CliError::Usage("--epochs must be at least 1".into()));
+    }
+    if opts.zeta_target <= 0.0
+        || opts.phi_max <= 0.0
+        || !opts.zeta_target.is_finite()
+        || !opts.phi_max.is_finite()
+    {
+        return Err(CliError::Usage(
+            "--zeta-target and --phi-max must be positive".into(),
+        ));
+    }
+    if !(0.0..=1.0).contains(&opts.beacon_loss) {
+        return Err(CliError::Usage("--beacon-loss must be in [0, 1]".into()));
+    }
+    Ok(opts)
+}
+
+// ------------------------------------------------------------------- record
+
+/// The paper's SNIP-RH configuration with the knobs this CLI varies: the
+/// marks, the run's epoch/Ton, the budget, and the initial length estimate.
+fn rh_config(
+    rush_marks: Vec<bool>,
+    config: &SimConfig,
+    phi_max_secs: f64,
+    initial_contact_length: SimDuration,
+) -> SnipRhConfig {
+    let mut rh = SnipRhConfig::paper_defaults(rush_marks)
+        .with_phi_max(SimDuration::from_secs_f64(phi_max_secs));
+    rh.epoch = config.epoch;
+    rh.ton = config.ton;
+    rh.initial_contact_length = initial_contact_length;
+    rh
+}
+
+/// Builds the scenario's input trace and a rebuildable scheduler spec.
+fn build_scenario(
+    opts: &RecordOptions,
+    config: &SimConfig,
+) -> Result<(ContactTrace, SchedulerSpec, String), CliError> {
+    match opts.scenario {
+        Scenario::Roadside => {
+            let profile = EpochProfile::roadside();
+            let trace = TraceGenerator::new(profile.clone())
+                .epochs(opts.epochs)
+                .generate(&mut StdRng::seed_from_u64(opts.seed));
+            let spec = match opts.mechanism {
+                MechanismArg::At => {
+                    let at = SnipAt::for_target(
+                        SnipModel::new(config.ton),
+                        &profile.to_slot_profile(),
+                        opts.phi_max,
+                        opts.zeta_target,
+                    );
+                    SchedulerSpec::At {
+                        duty_cycle: at.duty_cycle(),
+                    }
+                }
+                MechanismArg::Rh => SchedulerSpec::Rh {
+                    config: rh_config(
+                        profile.rush_marks(),
+                        config,
+                        opts.phi_max,
+                        profile.mean_contact_length(),
+                    ),
+                },
+                MechanismArg::Opt => SchedulerSpec::Opt {
+                    profile,
+                    phi_max_secs: opts.phi_max,
+                    zeta_target: opts.zeta_target,
+                },
+            };
+            Ok((trace, spec, "roadside".into()))
+        }
+        Scenario::Crawdad => {
+            let external = SyntheticSightings::commuter()
+                .days(opts.epochs)
+                .generate(&mut StdRng::seed_from_u64(opts.seed));
+            let trace = external.contacts_at(0);
+            if trace.is_empty() {
+                return Err(fatal("synthetic sighting set produced no contacts"));
+            }
+            let stats = trace.stats(config.epoch, 24);
+            let spec = match opts.mechanism {
+                MechanismArg::At => SchedulerSpec::At {
+                    duty_cycle: DutyCycle::clamped(opts.phi_max / config.epoch.as_secs_f64()),
+                },
+                MechanismArg::Rh => SchedulerSpec::Rh {
+                    config: rh_config(
+                        stats.top_k_marks(4),
+                        config,
+                        opts.phi_max,
+                        stats
+                            .mean_contact_length()
+                            .unwrap_or(SimDuration::from_secs(2)),
+                    ),
+                },
+                MechanismArg::Opt => {
+                    return Err(CliError::Usage(
+                        "SNIP-OPT needs a generative profile; the crawdad scenario \
+                         imports a trace (use --mechanism at or rh)"
+                            .into(),
+                    ))
+                }
+            };
+            Ok((
+                trace,
+                spec,
+                format!("crawdad ({} sightings)", external.len()),
+            ))
+        }
+    }
+}
+
+fn cmd_record(args: &[String]) -> Result<ExitCode, CliError> {
+    let opts = parse_record_options(args)?;
+    let config = SimConfig::paper_defaults()
+        .with_epochs(opts.epochs)
+        .with_zeta_target_secs(opts.zeta_target)
+        .with_beacon_loss(opts.beacon_loss);
+    let (trace, spec, scenario_name) = build_scenario(&opts, &config)?;
+    let header = JournalHeader::new(spec, config, opts.seed.wrapping_add(1)).with_comment(format!(
+        "snip record --scenario {scenario_name} --epochs {} --seed {} \
+             --zeta-target {} --phi-max {}",
+        opts.epochs, opts.seed, opts.zeta_target, opts.phi_max
+    ));
+
+    let mut writer = JournalWriter::create(&opts.out).map_err(fatal)?;
+    let metrics = record_run(&mut writer, &header, &trace).map_err(fatal)?;
+    println!(
+        "recorded {} ({} scenario, {} format): {} events, {} contacts",
+        opts.out.display(),
+        scenario_name,
+        writer.format(),
+        writer.events_written(),
+        trace.len(),
+    );
+    print_metrics(&header.mechanism, &metrics);
+    Ok(ExitCode::SUCCESS)
+}
+
+// ------------------------------------------------------------------- replay
+
+fn cmd_replay(args: &[String]) -> Result<ExitCode, CliError> {
+    let mut journal: Option<PathBuf> = None;
+    let mut override_mechanism: Option<MechanismArg> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--mechanism" => {
+                let raw: String = parse_value(arg, it.next())?;
+                override_mechanism = Some(parse_mechanism(&raw)?);
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown flag `{flag}`")))
+            }
+            path if journal.is_none() => journal = Some(PathBuf::from(path)),
+            extra => return Err(CliError::Usage(format!("unexpected argument `{extra}`"))),
+        }
+    }
+    let journal = journal.ok_or_else(|| CliError::Usage("replay needs a journal path".into()))?;
+
+    let mut reader = JournalReader::open(&journal).map_err(fatal)?;
+    // An override rebuilds a *different* scheduler against the recorded run —
+    // the divergence-detection demonstration.
+    let override_spec = match override_mechanism {
+        None => None,
+        Some(mechanism) => Some(respec_for_override(&journal, mechanism)?),
+    };
+    match replay_run(&mut reader, override_spec) {
+        Ok(report) => {
+            println!(
+                "replayed {}: {} sim events verified over {} contacts — bit-for-bit identical",
+                journal.display(),
+                report.events_verified,
+                report.contacts,
+            );
+            print_metrics(&report.header.mechanism, &report.metrics);
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(e @ (ReplayError::Divergence(_) | ReplayError::MetricsMismatch { .. })) => {
+            eprintln!("{e}");
+            Ok(ExitCode::FAILURE)
+        }
+        Err(e) => Err(fatal(e)),
+    }
+}
+
+/// Reads just the header of `journal` and builds a spec for a *different*
+/// mechanism against the *recorded* scenario parameters.
+///
+/// ζtarget is recovered from the recorded `SimConfig` (`data_rate ×
+/// Tepoch`), Φmax from the recorded scheduler spec, and the rush-hour
+/// marks/profile from the recorded spec where it carries them (SNIP-RH
+/// marks, SNIP-OPT profile) — the roadside profile is only the fallback
+/// when the journal recorded plain SNIP-AT, which carries neither. An
+/// override naming the journal's own mechanism reuses the recorded spec
+/// verbatim (and therefore replays clean).
+fn respec_for_override(journal: &Path, mechanism: MechanismArg) -> Result<SchedulerSpec, CliError> {
+    let mut reader = JournalReader::open(journal).map_err(fatal)?;
+    let header = match reader.next_event().map_err(fatal)? {
+        Some(snip_replay::JournalEvent::Header(h)) => h,
+        _ => return Err(fatal("journal does not start with a header")),
+    };
+    let recorded_label = header.scheduler.label();
+    let wanted_label = match mechanism {
+        MechanismArg::At => "SNIP-AT",
+        MechanismArg::Rh => "SNIP-RH",
+        MechanismArg::Opt => "SNIP-OPT",
+    };
+    if recorded_label == wanted_label {
+        return Ok(header.scheduler);
+    }
+
+    let config = &header.config;
+    let epoch_secs = config.epoch.as_secs_f64();
+    let zeta_target = config.data_rate * epoch_secs;
+    let phi_max = match &header.scheduler {
+        SchedulerSpec::At { duty_cycle } => duty_cycle.as_fraction() * epoch_secs,
+        SchedulerSpec::Rh { config } => config.phi_max.as_secs_f64(),
+        SchedulerSpec::Opt { phi_max_secs, .. } => *phi_max_secs,
+    };
+    // The generative profile, where the recorded spec carries one.
+    let profile = match &header.scheduler {
+        SchedulerSpec::Opt { profile, .. } => Some(profile.clone()),
+        _ => None,
+    };
+    // Marks the recorded spec already learned, if any.
+    let recorded_marks = match &header.scheduler {
+        SchedulerSpec::Rh { config } => Some(config.rush_marks.clone()),
+        _ => None,
+    };
+
+    Ok(match mechanism {
+        MechanismArg::At => SchedulerSpec::At {
+            // The budget-bound duty-cycle needs no profile knowledge.
+            duty_cycle: DutyCycle::clamped(phi_max / epoch_secs),
+        },
+        MechanismArg::Rh => {
+            let profile = profile.unwrap_or_else(EpochProfile::roadside);
+            SchedulerSpec::Rh {
+                config: rh_config(
+                    recorded_marks.unwrap_or_else(|| profile.rush_marks()),
+                    config,
+                    phi_max,
+                    profile.mean_contact_length(),
+                ),
+            }
+        }
+        MechanismArg::Opt => SchedulerSpec::Opt {
+            profile: profile.unwrap_or_else(EpochProfile::roadside),
+            phi_max_secs: phi_max,
+            zeta_target,
+        },
+    })
+}
+
+// -------------------------------------------------------------- diff + conv
+
+fn cmd_diff(args: &[String]) -> Result<ExitCode, CliError> {
+    let [a, b] = args else {
+        return Err(CliError::Usage(
+            "diff needs exactly two journal paths".into(),
+        ));
+    };
+    let mut ra = JournalReader::open(Path::new(a)).map_err(fatal)?;
+    let mut rb = JournalReader::open(Path::new(b)).map_err(fatal)?;
+    let report = diff_journals(&mut ra, &mut rb).map_err(fatal)?;
+    match &report.first_difference {
+        None => {
+            println!("journals are identical ({} events)", report.events_a);
+            Ok(ExitCode::SUCCESS)
+        }
+        Some(d) => {
+            eprintln!("{d}");
+            eprintln!(
+                "event counts: {} has {}, {} has {}",
+                a, report.events_a, b, report.events_b
+            );
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn cmd_convert(args: &[String]) -> Result<ExitCode, CliError> {
+    let [input, output] = args else {
+        return Err(CliError::Usage(
+            "convert needs an input and an output path".into(),
+        ));
+    };
+    let mut reader = JournalReader::open(Path::new(input)).map_err(fatal)?;
+    let mut writer = JournalWriter::create(Path::new(output)).map_err(fatal)?;
+    let n = convert(&mut reader, &mut writer).map_err(fatal)?;
+    println!(
+        "converted {} ({}) -> {} ({}): {} events",
+        input,
+        reader.format(),
+        output,
+        writer.format(),
+        n
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+// ------------------------------------------------------------------ display
+
+fn print_metrics(mechanism: &str, metrics: &RunMetrics) {
+    // Ignore write errors: `snip ... | head` closing the pipe mid-table is
+    // not a failure worth a backtrace.
+    use std::io::Write as _;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let _ = writeln!(out, "mechanism: {mechanism}");
+    let _ = writeln!(out, "epoch\tzeta\tphi\trho");
+    for (i, em) in metrics.epochs().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{i}\t{:.3}\t{:.3}\t{}",
+            em.zeta,
+            em.phi,
+            em.rho().map_or_else(|| "-".into(), |r| format!("{r:.3}")),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "mean\t{:.3}\t{:.3}\t{}",
+        metrics.mean_zeta_per_epoch(),
+        metrics.mean_phi_per_epoch(),
+        metrics
+            .overall_rho()
+            .map_or_else(|| "-".into(), |r| format!("{r:.3}")),
+    );
+}

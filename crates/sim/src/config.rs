@@ -84,7 +84,10 @@ impl SimConfig {
     /// Panics if `p` is not in `[0, 1]`.
     #[must_use]
     pub fn with_beacon_loss(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0, 1]"
+        );
         self.beacon_loss = p;
         self
     }

@@ -27,7 +27,10 @@ impl Battery {
     /// Panics if any argument is non-positive or `usable_fraction > 1`.
     #[must_use]
     pub fn from_mah(mah: f64, volts: f64, usable_fraction: f64) -> Self {
-        assert!(mah > 0.0 && volts > 0.0, "capacity and voltage must be positive");
+        assert!(
+            mah > 0.0 && volts > 0.0,
+            "capacity and voltage must be positive"
+        );
         assert!(
             usable_fraction > 0.0 && usable_fraction <= 1.0,
             "usable fraction must be in (0, 1]"
@@ -74,15 +77,16 @@ impl EnergyBreakdown {
     /// Panics if the metrics are empty or an epoch's on-time exceeds the
     /// epoch length.
     #[must_use]
-    pub fn of_run(
-        metrics: &RunMetrics,
-        radio: &RadioEnergyModel,
-        epoch: SimDuration,
-    ) -> Self {
+    pub fn of_run(metrics: &RunMetrics, radio: &RadioEnergyModel, epoch: SimDuration) -> Self {
         assert!(!metrics.is_empty(), "need at least one epoch of metrics");
         let epochs = metrics.len() as f64;
         let phi: f64 = metrics.epochs().iter().map(|e| e.phi).sum::<f64>() / epochs;
-        let up: f64 = metrics.epochs().iter().map(|e| e.upload_on_time).sum::<f64>() / epochs;
+        let up: f64 = metrics
+            .epochs()
+            .iter()
+            .map(|e| e.upload_on_time)
+            .sum::<f64>()
+            / epochs;
         let on = phi + up;
         let epoch_secs = epoch.as_secs_f64();
         assert!(
@@ -166,10 +170,10 @@ mod tests {
         let radio = RadioEnergyModel::cc2420();
         let epoch = SimDuration::from_hours(24);
         let battery = Battery::two_aa();
-        let heavy = EnergyBreakdown::of_run(&run_with(86.4, 16.0), &radio, epoch)
-            .lifetime_epochs(battery);
-        let light = EnergyBreakdown::of_run(&run_with(28.8, 16.0), &radio, epoch)
-            .lifetime_epochs(battery);
+        let heavy =
+            EnergyBreakdown::of_run(&run_with(86.4, 16.0), &radio, epoch).lifetime_epochs(battery);
+        let light =
+            EnergyBreakdown::of_run(&run_with(28.8, 16.0), &radio, epoch).lifetime_epochs(battery);
         assert!(light > heavy);
         // Probing dominates: a third of the probing cost ⇒ substantially
         // more than 1.5× the life.

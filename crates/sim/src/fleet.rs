@@ -148,36 +148,83 @@ impl Fleet {
 
     /// Runs the fleet, building one scheduler per node via `make_scheduler`
     /// (which receives the node so it can read its profile and target).
-    pub fn run<S, F>(&self, mut make_scheduler: F) -> FleetReport
+    pub fn run<S, F>(&self, make_scheduler: F) -> FleetReport
     where
         S: ProbeScheduler,
         F: FnMut(&FleetNode) -> S,
     {
-        let traces = self.traces();
-        let nodes = self
-            .nodes
-            .iter()
-            .zip(&traces)
-            .enumerate()
-            .map(|(i, (node, trace))| {
-                let config = self
-                    .config
-                    .clone()
-                    .with_zeta_target_secs(node.zeta_target);
-                let mut sim = Simulation::new(config, trace, make_scheduler(node));
-                let metrics: RunMetrics =
-                    sim.run(&mut StdRng::seed_from_u64(self.seed.wrapping_add(1_000 + i as u64)));
-                let uploaded = metrics.mean_uploaded_per_epoch();
-                NodeOutcome {
-                    name: node.name.clone(),
-                    zeta: metrics.mean_zeta_per_epoch(),
-                    phi: metrics.mean_phi_per_epoch(),
-                    uploaded,
-                    target_met: uploaded >= node.zeta_target * 0.9,
+        self.run_observed(make_scheduler, &mut crate::observe::NoopObserver)
+    }
+
+    /// [`Fleet::run`] with a recording hook: the observer sees one
+    /// [`SimEvent::NodeStart`] per node followed by that node's full event
+    /// stream, in fleet order — a whole deployment in one journal.
+    ///
+    /// If the observer returns [`ObserverFlow::Stop`] anywhere — at a
+    /// `NodeStart` or mid-node — the fleet aborts: the interrupted node's
+    /// partial metrics are *not* reported as an outcome, and no further
+    /// nodes run.
+    ///
+    /// [`ObserverFlow::Stop`]: crate::observe::ObserverFlow::Stop
+    pub fn run_observed<S, F, O>(&self, mut make_scheduler: F, observer: &mut O) -> FleetReport
+    where
+        S: ProbeScheduler,
+        F: FnMut(&FleetNode) -> S,
+        O: crate::observe::SimObserver + ?Sized,
+    {
+        use crate::observe::{ObserverFlow, SimEvent, SimObserver};
+
+        /// Passes events through while remembering whether the inner
+        /// observer asked to stop (a mid-node `Stop` makes the node's
+        /// simulation return early with partial metrics, which must not be
+        /// mistaken for a completed run).
+        struct StopTracking<'a, O: ?Sized> {
+            inner: &'a mut O,
+            stopped: bool,
+        }
+
+        impl<O: SimObserver + ?Sized> SimObserver for StopTracking<'_, O> {
+            fn observe(&mut self, event: &SimEvent) -> ObserverFlow {
+                let flow = self.inner.observe(event);
+                if flow == ObserverFlow::Stop {
+                    self.stopped = true;
                 }
-            })
-            .collect();
-        FleetReport { nodes }
+                flow
+            }
+        }
+
+        let traces = self.traces();
+        let mut tracker = StopTracking {
+            inner: observer,
+            stopped: false,
+        };
+        let mut outcomes = Vec::with_capacity(self.nodes.len());
+        for (i, (node, trace)) in self.nodes.iter().zip(&traces).enumerate() {
+            tracker.observe(&SimEvent::NodeStart {
+                name: node.name.clone(),
+            });
+            if tracker.stopped {
+                break;
+            }
+            let config = self.config.clone().with_zeta_target_secs(node.zeta_target);
+            let mut sim = Simulation::new(config, trace, make_scheduler(node));
+            let metrics: RunMetrics = sim.run_observed(
+                &mut StdRng::seed_from_u64(self.seed.wrapping_add(1_000 + i as u64)),
+                &mut tracker,
+            );
+            if tracker.stopped {
+                break;
+            }
+            let uploaded = metrics.mean_uploaded_per_epoch();
+            outcomes.push(NodeOutcome {
+                name: node.name.clone(),
+                zeta: metrics.mean_zeta_per_epoch(),
+                phi: metrics.mean_phi_per_epoch(),
+                uploaded,
+                target_met: uploaded >= node.zeta_target * 0.9,
+            });
+        }
+        FleetReport { nodes: outcomes }
     }
 }
 
@@ -262,5 +309,60 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn empty_fleet_rejected() {
         let _ = Fleet::new(Vec::new(), SimConfig::paper_defaults());
+    }
+
+    #[test]
+    fn mid_node_stop_aborts_the_fleet_without_a_partial_outcome() {
+        use crate::observe::{ObserverFlow, SimEvent, SimObserver};
+
+        /// Stops partway through the first node's event stream.
+        struct StopAfter {
+            remaining: u32,
+        }
+
+        impl SimObserver for StopAfter {
+            fn observe(&mut self, _event: &SimEvent) -> ObserverFlow {
+                if self.remaining == 0 {
+                    return ObserverFlow::Stop;
+                }
+                self.remaining -= 1;
+                ObserverFlow::Continue
+            }
+        }
+
+        // Stop after 100 events: inside node 0's run, well past NodeStart.
+        let report = make_fleet().run_observed(rh_for, &mut StopAfter { remaining: 100 });
+        assert!(
+            report.nodes.is_empty(),
+            "interrupted node must not report a truncated outcome: {:?}",
+            report.nodes
+        );
+
+        // Stopping exactly at the second NodeStart keeps node 0's full
+        // outcome and never runs node 1.
+        struct StopAtSecondNode {
+            node_starts: u32,
+        }
+
+        impl SimObserver for StopAtSecondNode {
+            fn observe(&mut self, event: &SimEvent) -> ObserverFlow {
+                if matches!(event, SimEvent::NodeStart { .. }) {
+                    self.node_starts += 1;
+                    if self.node_starts == 2 {
+                        return ObserverFlow::Stop;
+                    }
+                }
+                ObserverFlow::Continue
+            }
+        }
+
+        let report = make_fleet().run_observed(rh_for, &mut StopAtSecondNode { node_starts: 0 });
+        assert_eq!(report.nodes.len(), 1);
+        assert_eq!(report.nodes[0].name, "busy");
+        let full = make_fleet().run(rh_for);
+        assert_eq!(
+            report.nodes[0].zeta, full.nodes[0].zeta,
+            "the completed node's outcome must be the full-run outcome"
+        );
     }
 }

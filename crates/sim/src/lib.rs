@@ -13,6 +13,9 @@
 //!   start, probe contacts, upload buffered data, learn online.
 //! * [`mip`] — the mobile-node-initiated probing baseline simulation.
 //! * [`metrics`] — per-epoch and aggregate metrics.
+//! * [`observe`] — the recording hook: every decision, probe, upload and
+//!   epoch boundary as a stream of serializable [`SimEvent`]s (what the
+//!   `snip-replay` journal pipeline consumes).
 //! * [`runner`] — the Fig 7/8 harness: run each mechanism over a seeded
 //!   scenario sweep.
 //!
@@ -48,6 +51,7 @@ pub mod fleet;
 pub mod metrics;
 pub mod mip;
 pub mod node;
+pub mod observe;
 pub mod runner;
 
 pub use buffer::DataBuffer;
@@ -57,4 +61,5 @@ pub use fleet::{Fleet, FleetNode, FleetReport, NodeOutcome};
 pub use metrics::{EpochMetrics, RunMetrics};
 pub use mip::MipSimulation;
 pub use node::Simulation;
+pub use observe::{CollectingObserver, NoopObserver, ObserverFlow, SimEvent, SimObserver};
 pub use runner::{Mechanism, ScenarioRunner, SweepPoint};

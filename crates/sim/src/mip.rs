@@ -14,6 +14,7 @@ use snip_mobility::ContactTrace;
 
 use crate::config::SimConfig;
 use crate::metrics::RunMetrics;
+use crate::observe::{NoopObserver, ObserverFlow, SimEvent, SimObserver};
 
 /// Parameters and state of a MIP simulation.
 ///
@@ -51,11 +52,7 @@ impl MipSimulation {
     ///
     /// Panics if the beacon airtime is zero or not shorter than the period.
     #[must_use]
-    pub fn new(
-        config: SimConfig,
-        beacon_period: SimDuration,
-        beacon_airtime: SimDuration,
-    ) -> Self {
+    pub fn new(config: SimConfig, beacon_period: SimDuration, beacon_airtime: SimDuration) -> Self {
         assert!(!beacon_airtime.is_zero(), "beacon airtime must be positive");
         assert!(
             beacon_airtime < beacon_period,
@@ -80,9 +77,35 @@ impl MipSimulation {
         duty_cycle: DutyCycle,
         rng: &mut R,
     ) -> RunMetrics {
+        self.run_observed(trace, duty_cycle, rng, &mut NoopObserver)
+    }
+
+    /// [`MipSimulation::run`] with a recording hook: one [`SimEvent::Probe`]
+    /// per contact (heard or missed) and an [`SimEvent::EpochEnd`] per epoch,
+    /// in execution order.
+    ///
+    /// MIP has no sensor-side scheduler, so no `Decision` events are emitted;
+    /// the listening overhead is deterministic.
+    pub fn run_observed<R: Rng + ?Sized, O: SimObserver + ?Sized>(
+        &self,
+        trace: &ContactTrace,
+        duty_cycle: DutyCycle,
+        rng: &mut R,
+        observer: &mut O,
+    ) -> RunMetrics {
         let mut metrics = RunMetrics::with_epochs(self.config.epochs as usize);
         let epoch = self.config.epoch;
         let horizon = self.config.horizon();
+
+        macro_rules! emit {
+            ($event:expr) => {
+                if observer.observe(&$event) == ObserverFlow::Stop {
+                    return metrics;
+                }
+            };
+        }
+        // Contacts arrive in time order, so epochs complete in order too.
+        let mut current_epoch = 0u64;
 
         // Listening overhead is deterministic: d × epoch seconds per epoch,
         // plus one beacon transmitted per on-window is *mobile* energy and
@@ -92,7 +115,7 @@ impl MipSimulation {
             let em = metrics.epoch_mut(i);
             em.phi = phi_per_epoch;
             if !duty_cycle.is_off() {
-                em.beacons = (epoch / duty_cycle.cycle_for_on(self.config.ton)) as u64;
+                em.beacons = epoch / duty_cycle.cycle_for_on(self.config.ton);
             }
         }
 
@@ -102,6 +125,13 @@ impl MipSimulation {
                 if idx < metrics.len() {
                     metrics.epoch_mut(idx).contacts_total += 1;
                 }
+            }
+            for e in 0..self.config.epochs {
+                let snapshot = metrics.epochs()[e as usize];
+                emit!(SimEvent::EpochEnd {
+                    epoch: e,
+                    metrics: snapshot,
+                });
             }
             return metrics;
         }
@@ -115,19 +145,29 @@ impl MipSimulation {
             if epoch_idx >= metrics.len() {
                 continue;
             }
+            if (epoch_idx as u64) > current_epoch {
+                for e in current_epoch..epoch_idx as u64 {
+                    let snapshot = metrics.epochs()[e as usize];
+                    emit!(SimEvent::EpochEnd {
+                        epoch: e,
+                        metrics: snapshot,
+                    });
+                }
+                current_epoch = epoch_idx as u64;
+            }
             metrics.epoch_mut(epoch_idx).contacts_total += 1;
 
             // Mobile beacons at contact.start + phase + k·Tb.
-            let phase =
-                SimDuration::from_micros(rng.gen_range(0..self.beacon_period.as_micros()));
+            let phase = SimDuration::from_micros(rng.gen_range(0..self.beacon_period.as_micros()));
             let mut beacon = contact.start + phase;
             let discovery = loop {
                 if beacon + tau > contact.end() {
                     break None;
                 }
                 // The on-window containing this beacon start.
-                let window_start =
-                    SimTime::from_micros(beacon.as_micros() / cycle.as_micros() * cycle.as_micros());
+                let window_start = SimTime::from_micros(
+                    beacon.as_micros() / cycle.as_micros() * cycle.as_micros(),
+                );
                 let fits = beacon >= window_start && beacon + tau <= window_start + ton;
                 let heard = fits
                     && (self.config.beacon_loss == 0.0
@@ -138,6 +178,13 @@ impl MipSimulation {
                 beacon += self.beacon_period;
             };
 
+            emit!(SimEvent::Probe {
+                at: discovery.unwrap_or(contact.start),
+                beacon_heard: discovery.is_some(),
+                contact_start: discovery.map(|_| contact.start),
+                contact_length: discovery.map(|_| contact.length),
+                probed_duration: discovery.map(|at| contact.end() - at),
+            });
             if let Some(at) = discovery {
                 let probed = contact.end() - at;
                 let em = metrics.epoch_mut(epoch_idx);
@@ -145,6 +192,13 @@ impl MipSimulation {
                 em.contacts_probed += 1;
                 em.upload_on_time += probed.as_secs_f64();
             }
+        }
+        for e in current_epoch..self.config.epochs {
+            let snapshot = metrics.epochs()[e as usize];
+            emit!(SimEvent::EpochEnd {
+                epoch: e,
+                metrics: snapshot,
+            });
         }
         metrics
     }
@@ -176,7 +230,11 @@ mod tests {
     #[test]
     fn listening_energy_is_duty_cycle_times_epoch() {
         let t = trace(31);
-        let metrics = mip().run(&t, DutyCycle::new(0.005).unwrap(), &mut StdRng::seed_from_u64(1));
+        let metrics = mip().run(
+            &t,
+            DutyCycle::new(0.005).unwrap(),
+            &mut StdRng::seed_from_u64(1),
+        );
         let phi = metrics.mean_phi_per_epoch();
         assert!((phi - 0.005 * 86_400.0).abs() < 1e-6, "Φ = {phi}");
     }
@@ -206,11 +264,8 @@ mod tests {
         let d = DutyCycle::new(0.005).unwrap();
         let mip_metrics = mip().run(&t, d, &mut StdRng::seed_from_u64(3));
 
-        let mut snip_sim = crate::node::Simulation::new(
-            SimConfig::paper_defaults(),
-            &t,
-            SnipAt::new(d),
-        );
+        let mut snip_sim =
+            crate::node::Simulation::new(SimConfig::paper_defaults(), &t, SnipAt::new(d));
         let snip_metrics = snip_sim.run(&mut StdRng::seed_from_u64(3));
 
         let gain = snip_metrics.mean_zeta_per_epoch() / mip_metrics.mean_zeta_per_epoch();
@@ -228,7 +283,11 @@ mod tests {
         // residues mod the cycle — about 10% of phases miss *every* beacon
         // (period aliasing, a known MIP pathology that SNIP avoids).
         let t = trace(34);
-        let metrics = mip().run(&t, DutyCycle::new(0.5).unwrap(), &mut StdRng::seed_from_u64(4));
+        let metrics = mip().run(
+            &t,
+            DutyCycle::new(0.5).unwrap(),
+            &mut StdRng::seed_from_u64(4),
+        );
         let probed: u64 = metrics.total_contacts_probed();
         let total: u64 = metrics.epochs().iter().map(|e| e.contacts_total).sum();
         let ratio = probed as f64 / total as f64;

@@ -20,6 +20,7 @@ use snip_units::{SimDuration, SimTime};
 use crate::buffer::DataBuffer;
 use crate::config::SimConfig;
 use crate::metrics::RunMetrics;
+use crate::observe::{NoopObserver, ObserverFlow, SimEvent, SimObserver};
 
 /// A single-sensor-node probing simulation over a contact trace.
 ///
@@ -52,6 +53,21 @@ impl<'a, S: ProbeScheduler> Simulation<'a, S> {
     ///
     /// Deterministic for a given scheduler, trace and RNG seed.
     pub fn run<R: Rng + ?Sized>(&mut self, rng: &mut R) -> RunMetrics {
+        self.run_observed(rng, &mut NoopObserver)
+    }
+
+    /// [`Simulation::run`] with a recording hook: every scheduler decision,
+    /// probe outcome, upload and epoch boundary is reported to `observer`
+    /// in execution order (the `snip-replay` journal pipeline).
+    ///
+    /// If the observer returns [`ObserverFlow::Stop`] the run aborts and the
+    /// metrics collected so far are returned — how a replay verifier fails
+    /// fast at the first divergence.
+    pub fn run_observed<R: Rng + ?Sized, O: SimObserver + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        observer: &mut O,
+    ) -> RunMetrics {
         let horizon = self.config.horizon();
         let epoch = self.config.epoch;
         let mut metrics = RunMetrics::with_epochs(self.config.epochs as usize);
@@ -67,11 +83,27 @@ impl<'a, S: ProbeScheduler> Simulation<'a, S> {
             }
         }
 
+        macro_rules! emit {
+            ($event:expr) => {
+                if observer.observe(&$event) == ObserverFlow::Stop {
+                    return metrics;
+                }
+            };
+        }
+
         let mut now = SimTime::ZERO;
         while now < horizon {
             // Epoch rollover resets the probing ledger the scheduler sees.
             let epoch_idx = now.epoch_index(epoch);
             if epoch_idx > current_epoch {
+                // Epochs the cursor moved past are final: report them.
+                for e in current_epoch..epoch_idx {
+                    let snapshot = metrics.epochs()[e as usize];
+                    emit!(SimEvent::EpochEnd {
+                        epoch: e,
+                        metrics: snapshot,
+                    });
+                }
                 current_epoch = epoch_idx;
                 phi_in_epoch = SimDuration::ZERO;
             }
@@ -81,7 +113,9 @@ impl<'a, S: ProbeScheduler> Simulation<'a, S> {
                 buffered_data: buffer.available(now),
                 phi_spent_epoch: phi_in_epoch,
             };
-            let Some(duty_cycle) = self.scheduler.decide(&ctx) else {
+            let decision = self.scheduler.decide_recorded(&ctx);
+            emit!(SimEvent::Decision(decision));
+            let Some(duty_cycle) = decision.duty_cycle else {
                 now += self.config.decision_interval;
                 continue;
             };
@@ -91,7 +125,9 @@ impl<'a, S: ProbeScheduler> Simulation<'a, S> {
             }
 
             // One probing cycle: radio on for Ton, beacon at window start.
-            let cycle = duty_cycle.cycle_for_on(self.config.ton).max(self.config.ton);
+            let cycle = duty_cycle
+                .cycle_for_on(self.config.ton)
+                .max(self.config.ton);
             let slot_idx = (now.time_in_epoch(epoch) / (epoch / 24)) as usize;
             let em = metrics.epoch_mut(epoch_idx as usize);
             em.phi += self.config.ton.as_secs_f64();
@@ -99,27 +135,37 @@ impl<'a, S: ProbeScheduler> Simulation<'a, S> {
             phi_in_epoch += self.config.ton;
             metrics.charge_slot_phi(slot_idx.min(23), self.config.ton.as_secs_f64());
 
-            let beacon_heard = self.config.beacon_loss == 0.0
-                || rng.gen::<f64>() >= self.config.beacon_loss;
+            let beacon_heard =
+                self.config.beacon_loss == 0.0 || rng.gen::<f64>() >= self.config.beacon_loss;
             let probed = if beacon_heard {
                 self.trace.contact_at(now).copied()
             } else {
                 None
             };
+            emit!(SimEvent::Probe {
+                at: now,
+                beacon_heard,
+                contact_start: probed.map(|c| c.start),
+                contact_length: probed.map(|c| c.length),
+                probed_duration: probed.map(|c| c.end() - now),
+            });
 
             match probed {
                 Some(contact) => {
                     let probed_duration = contact.end() - now;
                     let uploaded = buffer.upload(now, probed_duration);
+                    if !uploaded.is_zero() {
+                        emit!(SimEvent::Upload {
+                            at: now,
+                            airtime: uploaded,
+                        });
+                    }
                     let em = metrics.epoch_mut(epoch_idx as usize);
                     em.zeta += probed_duration.as_secs_f64();
                     em.uploaded += uploaded.as_airtime_secs_f64();
                     em.upload_on_time += probed_duration.as_secs_f64();
                     em.contacts_probed += 1;
-                    metrics.charge_slot_zeta(
-                        slot_idx.min(23),
-                        probed_duration.as_secs_f64(),
-                    );
+                    metrics.charge_slot_zeta(slot_idx.min(23), probed_duration.as_secs_f64());
                     self.scheduler.record_probed_contact(&ProbedContactInfo {
                         probe_time: now,
                         probed_duration,
@@ -134,6 +180,14 @@ impl<'a, S: ProbeScheduler> Simulation<'a, S> {
                     now += cycle;
                 }
             }
+        }
+        // Epochs never entered (or the final one) are final now.
+        for e in current_epoch..self.config.epochs {
+            let snapshot = metrics.epochs()[e as usize];
+            emit!(SimEvent::EpochEnd {
+                epoch: e,
+                metrics: snapshot,
+            });
         }
         metrics
     }
@@ -244,8 +298,7 @@ mod tests {
             .with_epochs(4)
             .with_zeta_target_secs(16.0);
         let rh = SnipRh::new(
-            SnipRhConfig::paper_defaults(rush_marks())
-                .with_phi_max(SimDuration::from_secs(864)),
+            SnipRhConfig::paper_defaults(rush_marks()).with_phi_max(SimDuration::from_secs(864)),
         );
         let mut sim = Simulation::new(config, &trace, rh);
         let metrics = sim.run(&mut StdRng::seed_from_u64(5));
@@ -264,9 +317,7 @@ mod tests {
         let config = SimConfig::paper_defaults()
             .with_epochs(6)
             .with_zeta_target_secs(56.0); // hungry target forces budget gating
-        let rh = SnipRh::new(
-            SnipRhConfig::paper_defaults(rush_marks()).with_phi_max(phi_max),
-        );
+        let rh = SnipRh::new(SnipRhConfig::paper_defaults(rush_marks()).with_phi_max(phi_max));
         let mut sim = Simulation::new(config, &trace, rh);
         let metrics = sim.run(&mut StdRng::seed_from_u64(6));
         for (i, em) in metrics.epochs().iter().enumerate() {
@@ -376,11 +427,8 @@ mod tests {
             (1.0 - rush_phi / total_phi) * 100.0
         );
 
-        let mut at_sim = Simulation::new(
-            config,
-            &trace,
-            SnipAt::new(DutyCycle::new(0.001).unwrap()),
-        );
+        let mut at_sim =
+            Simulation::new(config, &trace, SnipAt::new(DutyCycle::new(0.001).unwrap()));
         let at_metrics = at_sim.run(&mut StdRng::seed_from_u64(31));
         let at_rush: f64 = [7usize, 8, 17, 18]
             .iter()

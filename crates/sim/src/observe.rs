@@ -1,0 +1,152 @@
+//! The recording hook: everything a simulation run does, as a stream of
+//! serializable events.
+//!
+//! A [`SimObserver`] sees every scheduler decision, probe outcome, upload and
+//! epoch boundary as the simulation executes. The `snip-replay` crate builds
+//! its journal recorder and its replay verifier on this trait; anything else
+//! (live dashboards, debuggers, invariant checkers) can hook in the same way.
+//!
+//! Observers are deliberately *streaming*: events are borrowed, emitted in
+//! execution order, and never buffered by the simulator, so a multi-week
+//! fleet run records in O(1) memory.
+
+use serde::{Deserialize, Serialize};
+use snip_core::DecisionRecord;
+use snip_units::{DataSize, SimDuration, SimTime};
+
+use crate::metrics::EpochMetrics;
+
+/// One observable simulation event.
+///
+/// Events serialize with serde and compare exactly ([`PartialEq`] is
+/// bit-for-bit on the embedded floats) — the properties record/replay
+/// divergence detection depends on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SimEvent {
+    /// A fleet run switched to the named node (single-node runs emit none).
+    NodeStart {
+        /// The node's site name.
+        name: String,
+    },
+    /// The scheduler was consulted at a CPU wake-up.
+    Decision(DecisionRecord),
+    /// A probing cycle transmitted its beacon.
+    Probe {
+        /// When the beacon was sent.
+        at: SimTime,
+        /// Whether the beacon survived injected loss.
+        beacon_heard: bool,
+        /// Start of the probed contact, if one was in range.
+        contact_start: Option<SimTime>,
+        /// Full length of the probed contact.
+        contact_length: Option<SimDuration>,
+        /// `Tprobed`: probe to contact end.
+        probed_duration: Option<SimDuration>,
+    },
+    /// Buffered data was uploaded during a probed contact.
+    Upload {
+        /// When the upload started.
+        at: SimTime,
+        /// Airtime actually uploaded.
+        airtime: DataSize,
+    },
+    /// An epoch completed with these final metrics.
+    EpochEnd {
+        /// Zero-based epoch index.
+        epoch: u64,
+        /// The epoch's final metrics (ζ, Φ, uploads, counts).
+        metrics: EpochMetrics,
+    },
+}
+
+/// Whether the simulation should keep running after an event.
+///
+/// Returned by [`SimObserver::observe`]; a replay verifier stops the run at
+/// the first divergence instead of simulating to the horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObserverFlow {
+    /// Keep simulating.
+    Continue,
+    /// Abort the run; `run_observed` returns the metrics collected so far.
+    Stop,
+}
+
+/// A hook receiving every [`SimEvent`] of a run, in execution order.
+pub trait SimObserver {
+    /// Handles one event; return [`ObserverFlow::Stop`] to abort the run.
+    fn observe(&mut self, event: &SimEvent) -> ObserverFlow;
+}
+
+/// The do-nothing observer behind the plain `run` entry points.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl SimObserver for NoopObserver {
+    fn observe(&mut self, _event: &SimEvent) -> ObserverFlow {
+        ObserverFlow::Continue
+    }
+}
+
+/// An observer that buffers every event (tests, small runs).
+#[derive(Debug, Clone, Default)]
+pub struct CollectingObserver {
+    /// The events observed so far.
+    pub events: Vec<SimEvent>,
+}
+
+impl SimObserver for CollectingObserver {
+    fn observe(&mut self, event: &SimEvent) -> ObserverFlow {
+        self.events.push(event.clone());
+        ObserverFlow::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_continues_and_collector_collects() {
+        let event = SimEvent::NodeStart {
+            name: "site".into(),
+        };
+        assert_eq!(NoopObserver.observe(&event), ObserverFlow::Continue);
+        let mut c = CollectingObserver::default();
+        assert_eq!(c.observe(&event), ObserverFlow::Continue);
+        assert_eq!(c.events, vec![event]);
+    }
+
+    #[test]
+    fn events_round_trip_through_serde() {
+        use serde::{Deserialize as _, Serialize as _};
+        let events = vec![
+            SimEvent::Decision(DecisionRecord {
+                now: SimTime::from_secs(60),
+                duty_cycle: None,
+            }),
+            SimEvent::Probe {
+                at: SimTime::from_secs(61),
+                beacon_heard: true,
+                contact_start: Some(SimTime::from_secs(60)),
+                contact_length: Some(SimDuration::from_secs(2)),
+                probed_duration: Some(SimDuration::from_millis(1_500)),
+            },
+            SimEvent::Upload {
+                at: SimTime::from_secs(61),
+                airtime: DataSize::from_airtime_secs(1),
+            },
+            SimEvent::EpochEnd {
+                epoch: 0,
+                metrics: EpochMetrics {
+                    zeta: 8.8,
+                    phi: 86.4,
+                    ..EpochMetrics::default()
+                },
+            },
+        ];
+        for e in &events {
+            let back = SimEvent::from_value(&e.to_value()).unwrap();
+            assert_eq!(&back, e);
+        }
+    }
+}

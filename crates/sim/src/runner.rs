@@ -128,11 +128,7 @@ impl ScenarioRunner {
     /// Builds the scheduler for a mechanism at a target, exactly as the
     /// paper configures it.
     #[must_use]
-    pub fn scheduler(
-        &self,
-        mechanism: Mechanism,
-        zeta_target: f64,
-    ) -> Box<dyn ProbeScheduler> {
+    pub fn scheduler(&self, mechanism: Mechanism, zeta_target: f64) -> Box<dyn ProbeScheduler> {
         let slot_profile = self.profile.to_slot_profile();
         match mechanism {
             Mechanism::SnipAt => Box::new(SnipAt::for_target(
@@ -167,11 +163,25 @@ impl ScenarioRunner {
     /// Runs one mechanism at one target and returns the full metrics.
     #[must_use]
     pub fn run_one(&self, mechanism: Mechanism, zeta_target: f64) -> RunMetrics {
+        self.run_one_observed(mechanism, zeta_target, &mut crate::observe::NoopObserver)
+    }
+
+    /// [`ScenarioRunner::run_one`] with a recording hook (see
+    /// [`Simulation::run_observed`]).
+    pub fn run_one_observed<O: crate::observe::SimObserver + ?Sized>(
+        &self,
+        mechanism: Mechanism,
+        zeta_target: f64,
+        observer: &mut O,
+    ) -> RunMetrics {
         let trace = self.trace();
         let config = self.config.clone().with_zeta_target_secs(zeta_target);
         let scheduler = self.scheduler(mechanism, zeta_target);
         let mut sim = Simulation::new(config, &trace, scheduler);
-        sim.run(&mut StdRng::seed_from_u64(self.seed.wrapping_add(1)))
+        sim.run_observed(
+            &mut StdRng::seed_from_u64(self.seed.wrapping_add(1)),
+            observer,
+        )
     }
 
     /// Runs one mechanism at one target over several independent seeds and
@@ -200,20 +210,13 @@ impl ScenarioRunner {
         let zetas: Vec<f64> = runs.iter().map(RunMetrics::mean_zeta_per_epoch).collect();
         let mean_zeta = zetas.iter().sum::<f64>() / zetas.len() as f64;
         let sd = if zetas.len() > 1 {
-            (zetas
-                .iter()
-                .map(|z| (z - mean_zeta).powi(2))
-                .sum::<f64>()
-                / (zetas.len() - 1) as f64)
+            (zetas.iter().map(|z| (z - mean_zeta).powi(2)).sum::<f64>() / (zetas.len() - 1) as f64)
                 .sqrt()
         } else {
             0.0
         };
-        let mean_phi = runs
-            .iter()
-            .map(RunMetrics::mean_phi_per_epoch)
-            .sum::<f64>()
-            / runs.len() as f64;
+        let mean_phi =
+            runs.iter().map(RunMetrics::mean_phi_per_epoch).sum::<f64>() / runs.len() as f64;
         (mean_zeta, sd, mean_phi)
     }
 

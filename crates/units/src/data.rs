@@ -128,7 +128,11 @@ impl Add for DataSize {
     type Output = DataSize;
 
     fn add(self, rhs: DataSize) -> DataSize {
-        DataSize(self.0.checked_add(rhs.0).expect("DataSize addition overflow"))
+        DataSize(
+            self.0
+                .checked_add(rhs.0)
+                .expect("DataSize addition overflow"),
+        )
     }
 }
 
@@ -160,7 +164,11 @@ impl Mul<u64> for DataSize {
     type Output = DataSize;
 
     fn mul(self, rhs: u64) -> DataSize {
-        DataSize(self.0.checked_mul(rhs).expect("DataSize multiplication overflow"))
+        DataSize(
+            self.0
+                .checked_mul(rhs)
+                .expect("DataSize multiplication overflow"),
+        )
     }
 }
 

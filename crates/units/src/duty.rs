@@ -144,7 +144,10 @@ impl DutyCycle {
     /// Panics if the duty-cycle is zero (the cycle would be infinite).
     #[must_use]
     pub fn cycle_for_on(self, on: SimDuration) -> SimDuration {
-        assert!(!self.is_off(), "cannot derive a cycle from a zero duty-cycle");
+        assert!(
+            !self.is_off(),
+            "cannot derive a cycle from a zero duty-cycle"
+        );
         SimDuration::from_micros((on.as_micros() as f64 / self.0).round() as u64)
     }
 
@@ -221,10 +224,7 @@ mod tests {
 
     #[test]
     fn from_on_cycle_matches_paper_definition() {
-        let d = DutyCycle::from_on_cycle(
-            SimDuration::from_millis(20),
-            SimDuration::from_secs(2),
-        );
+        let d = DutyCycle::from_on_cycle(SimDuration::from_millis(20), SimDuration::from_secs(2));
         assert!((d.as_fraction() - 0.01).abs() < 1e-12);
         assert!((d.as_percent() - 1.0).abs() < 1e-10);
     }
@@ -257,7 +257,10 @@ mod tests {
     fn on_time_over_scales_linearly() {
         let d = DutyCycle::new(0.001).unwrap();
         let epoch = SimDuration::from_hours(24);
-        assert_eq!(d.on_time_over(epoch), SimDuration::from_secs(86_400) / 1_000);
+        assert_eq!(
+            d.on_time_over(epoch),
+            SimDuration::from_secs(86_400) / 1_000
+        );
     }
 
     #[test]

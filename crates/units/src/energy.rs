@@ -29,7 +29,10 @@ impl Power {
     /// Panics if `mw` is negative or not finite.
     #[must_use]
     pub fn from_milliwatts(mw: f64) -> Self {
-        assert!(mw.is_finite() && mw >= 0.0, "power must be finite and non-negative");
+        assert!(
+            mw.is_finite() && mw >= 0.0,
+            "power must be finite and non-negative"
+        );
         Power(mw)
     }
 
@@ -40,7 +43,10 @@ impl Power {
     /// Panics if either input is negative or not finite.
     #[must_use]
     pub fn from_voltage_current(volts: f64, milliamps: f64) -> Self {
-        assert!(volts.is_finite() && volts >= 0.0, "voltage must be finite and non-negative");
+        assert!(
+            volts.is_finite() && volts >= 0.0,
+            "voltage must be finite and non-negative"
+        );
         assert!(
             milliamps.is_finite() && milliamps >= 0.0,
             "current must be finite and non-negative"
@@ -93,7 +99,10 @@ impl Energy {
     /// Panics if `mj` is negative or not finite.
     #[must_use]
     pub fn from_millijoules(mj: f64) -> Self {
-        assert!(mj.is_finite() && mj >= 0.0, "energy must be finite and non-negative");
+        assert!(
+            mj.is_finite() && mj >= 0.0,
+            "energy must be finite and non-negative"
+        );
         Energy(mj)
     }
 

@@ -204,7 +204,8 @@ impl Add for SimDuration {
     type Output = SimDuration;
 
     fn add(self, rhs: SimDuration) -> SimDuration {
-        self.checked_add(rhs).expect("SimDuration addition overflow")
+        self.checked_add(rhs)
+            .expect("SimDuration addition overflow")
     }
 }
 
@@ -515,7 +516,10 @@ mod tests {
         let d = SimDuration::from_micros(3);
         assert_eq!(d.mul_f64(0.5), SimDuration::from_micros(2)); // 1.5 rounds to 2
         assert_eq!(d.mul_f64(1.0), d);
-        assert_eq!(SimDuration::from_secs(10).mul_f64(0.1), SimDuration::from_secs(1));
+        assert_eq!(
+            SimDuration::from_secs(10).mul_f64(0.1),
+            SimDuration::from_secs(1)
+        );
     }
 
     #[test]

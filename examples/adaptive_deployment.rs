@@ -25,7 +25,11 @@ fn profile_with_rush(hours: &[u64]) -> EpochProfile {
         .map(|h| {
             let rush = hours.contains(&h);
             ProfileSlot {
-                kind: if rush { SlotKind::Rush } else { SlotKind::OffPeak },
+                kind: if rush {
+                    SlotKind::Rush
+                } else {
+                    SlotKind::OffPeak
+                },
                 arrivals: Some(ArrivalProcess::paper_normal(if rush {
                     SimDuration::from_secs(300)
                 } else {

@@ -27,16 +27,66 @@ struct Site {
 
 fn main() {
     let sites = [
-        Site { name: "junction-north", rush_interval: 150, offpeak_interval: 900, contact_secs: 2.0 },
-        Site { name: "junction-south", rush_interval: 200, offpeak_interval: 1200, contact_secs: 2.0 },
-        Site { name: "main-road-1", rush_interval: 300, offpeak_interval: 1800, contact_secs: 2.0 },
-        Site { name: "main-road-2", rush_interval: 300, offpeak_interval: 1800, contact_secs: 2.5 },
-        Site { name: "main-road-3", rush_interval: 350, offpeak_interval: 2100, contact_secs: 2.0 },
-        Site { name: "school-street", rush_interval: 240, offpeak_interval: 3600, contact_secs: 4.0 },
-        Site { name: "side-road-1", rush_interval: 600, offpeak_interval: 3600, contact_secs: 3.0 },
-        Site { name: "side-road-2", rush_interval: 900, offpeak_interval: 5400, contact_secs: 3.0 },
-        Site { name: "cul-de-sac", rush_interval: 1800, offpeak_interval: 7200, contact_secs: 5.0 },
-        Site { name: "footpath", rush_interval: 1200, offpeak_interval: 9000, contact_secs: 8.0 },
+        Site {
+            name: "junction-north",
+            rush_interval: 150,
+            offpeak_interval: 900,
+            contact_secs: 2.0,
+        },
+        Site {
+            name: "junction-south",
+            rush_interval: 200,
+            offpeak_interval: 1200,
+            contact_secs: 2.0,
+        },
+        Site {
+            name: "main-road-1",
+            rush_interval: 300,
+            offpeak_interval: 1800,
+            contact_secs: 2.0,
+        },
+        Site {
+            name: "main-road-2",
+            rush_interval: 300,
+            offpeak_interval: 1800,
+            contact_secs: 2.5,
+        },
+        Site {
+            name: "main-road-3",
+            rush_interval: 350,
+            offpeak_interval: 2100,
+            contact_secs: 2.0,
+        },
+        Site {
+            name: "school-street",
+            rush_interval: 240,
+            offpeak_interval: 3600,
+            contact_secs: 4.0,
+        },
+        Site {
+            name: "side-road-1",
+            rush_interval: 600,
+            offpeak_interval: 3600,
+            contact_secs: 3.0,
+        },
+        Site {
+            name: "side-road-2",
+            rush_interval: 900,
+            offpeak_interval: 5400,
+            contact_secs: 3.0,
+        },
+        Site {
+            name: "cul-de-sac",
+            rush_interval: 1800,
+            offpeak_interval: 7200,
+            contact_secs: 5.0,
+        },
+        Site {
+            name: "footpath",
+            rush_interval: 1200,
+            offpeak_interval: 9000,
+            contact_secs: 8.0,
+        },
     ];
 
     let zeta_target = 8.0; // seconds of upload airtime per node per day
@@ -50,9 +100,7 @@ fn main() {
                 EpochProfile::roadside_with(
                     SimDuration::from_secs(site.rush_interval),
                     SimDuration::from_secs(site.offpeak_interval),
-                    LengthDistribution::paper_normal(SimDuration::from_secs_f64(
-                        site.contact_secs,
-                    )),
+                    LengthDistribution::paper_normal(SimDuration::from_secs_f64(site.contact_secs)),
                 ),
                 zeta_target,
             )

@@ -62,7 +62,10 @@ fn main() {
         .filter(|&(_, &m)| m)
         .map(|(i, _)| i)
         .collect();
-    println!("\ntop-{} slots by observed capacity: {learned_slots:?}", rush.len());
+    println!(
+        "\ntop-{} slots by observed capacity: {learned_slots:?}",
+        rush.len()
+    );
 
     // 5. Serialize and replay: the CSV interchange format round-trips.
     let csv = trace.to_csv();

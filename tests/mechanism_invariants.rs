@@ -8,10 +8,10 @@ use rand::SeedableRng;
 use snip_rh_repro::snip_core::{
     AdaptiveConfig, AdaptiveSnipRh, SnipRh, SnipRhConfig, SnipRhPlusAt,
 };
+use snip_rh_repro::snip_mobility::profile::{ProfileSlot, SlotKind};
 use snip_rh_repro::snip_mobility::{
     ArrivalProcess, EpochProfile, LengthDistribution, TraceGenerator,
 };
-use snip_rh_repro::snip_mobility::profile::{ProfileSlot, SlotKind};
 use snip_rh_repro::snip_sim::{Mechanism, ScenarioRunner, SimConfig, Simulation};
 use snip_rh_repro::snip_units::SimDuration;
 
@@ -105,9 +105,12 @@ fn snip_rh_spends_nothing_when_rush_hours_are_empty() {
     // Contacts only at night (00–01), marks still claim 07–09/17–19.
     let slots = (0..24)
         .map(|h| ProfileSlot {
-            kind: if h == 0 { SlotKind::Rush } else { SlotKind::OffPeak },
-            arrivals: (h == 0)
-                .then(|| ArrivalProcess::paper_normal(SimDuration::from_secs(300))),
+            kind: if h == 0 {
+                SlotKind::Rush
+            } else {
+                SlotKind::OffPeak
+            },
+            arrivals: (h == 0).then(|| ArrivalProcess::paper_normal(SimDuration::from_secs(300))),
             contact_length: LengthDistribution::paper_normal(SimDuration::from_secs(2)),
         })
         .collect();
@@ -147,8 +150,7 @@ fn adaptive_converges_toward_oracle_rush_hours() {
     let adaptive = adaptive_sim.run(&mut StdRng::seed_from_u64(609));
 
     let oracle = SnipRh::new(
-        SnipRhConfig::paper_defaults(rush_marks())
-            .with_phi_max(SimDuration::from_secs(864)),
+        SnipRhConfig::paper_defaults(rush_marks()).with_phi_max(SimDuration::from_secs(864)),
     );
     let mut oracle_sim = Simulation::new(config, &trace, oracle);
     let oracle = oracle_sim.run(&mut StdRng::seed_from_u64(609));

@@ -5,9 +5,7 @@
 use snip_rh_repro::snip_model::{
     LengthDistribution, ScenarioAnalysis, SlotProfile, SlotSpec, SnipModel,
 };
-use snip_rh_repro::snip_opt::{
-    CapacityCurve, GreedyAllocator, LinearProgram, TwoStepOptimizer,
-};
+use snip_rh_repro::snip_opt::{CapacityCurve, GreedyAllocator, LinearProgram, TwoStepOptimizer};
 use snip_rh_repro::snip_units::SimDuration;
 
 /// Builds a profile with heterogeneous slots: different intervals *and*

@@ -54,7 +54,10 @@ fn simulate_probed(d: DutyCycle, seed: u64) -> (Vec<f64>, usize) {
     let mut sim = Simulation::new(
         SimConfig::paper_defaults(),
         &trace,
-        Recorder { d, probed: Vec::new() },
+        Recorder {
+            d,
+            probed: Vec::new(),
+        },
     );
     let _ = sim.run(&mut StdRng::seed_from_u64(seed + 1));
     (sim.into_scheduler().probed, total)
@@ -64,11 +67,7 @@ fn simulate_probed(d: DutyCycle, seed: u64) -> (Vec<f64>, usize) {
 #[test]
 fn sparse_regime_distribution_matches() {
     let d = DutyCycle::new(0.001).unwrap(); // Tcycle = 20 s, P(miss) = 0.9
-    let model = ProbedTimeDistribution::new(
-        &SnipModel::default(),
-        d,
-        SimDuration::from_secs(2),
-    );
+    let model = ProbedTimeDistribution::new(&SnipModel::default(), d, SimDuration::from_secs(2));
     let (probed, total) = simulate_probed(d, 901);
 
     let measured_miss = 1.0 - probed.len() as f64 / total as f64;
@@ -91,11 +90,7 @@ fn sparse_regime_distribution_matches() {
 #[test]
 fn dense_regime_distribution_matches() {
     let d = DutyCycle::new(0.02).unwrap(); // Tcycle = 1 s < l = 2 s
-    let model = ProbedTimeDistribution::new(
-        &SnipModel::default(),
-        d,
-        SimDuration::from_secs(2),
-    );
+    let model = ProbedTimeDistribution::new(&SnipModel::default(), d, SimDuration::from_secs(2));
     assert_eq!(model.miss_probability(), 0.0);
     let (probed, total) = simulate_probed(d, 902);
     assert_eq!(probed.len(), total, "dense regime must probe every contact");
@@ -115,11 +110,8 @@ fn dense_regime_distribution_matches() {
 fn variance_matches_in_both_regimes() {
     for (frac, seed) in [(0.001, 903u64), (0.02, 904)] {
         let d = DutyCycle::new(frac).unwrap();
-        let model = ProbedTimeDistribution::new(
-            &SnipModel::default(),
-            d,
-            SimDuration::from_secs(2),
-        );
+        let model =
+            ProbedTimeDistribution::new(&SnipModel::default(), d, SimDuration::from_secs(2));
         let (probed, total) = simulate_probed(d, seed);
         // Include the zero outcomes (misses) for the unconditional variance.
         let n = total as f64;

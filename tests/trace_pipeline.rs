@@ -56,7 +56,7 @@ proptest! {
         epochs in 1u64..3,
         seed in 0u64..1_000,
     ) {
-        let profile = profile_from(&vec![interval; 24], 2);
+        let profile = profile_from(&[interval; 24], 2);
         let trace = TraceGenerator::new(profile)
             .epochs(epochs)
             .generate(&mut StdRng::seed_from_u64(seed));
@@ -71,7 +71,7 @@ proptest! {
         epochs in 1u64..4,
         seed in 0u64..1_000,
     ) {
-        let profile = profile_from(&vec![interval; 24], 3);
+        let profile = profile_from(&[interval; 24], 3);
         let trace = TraceGenerator::new(profile)
             .epochs(epochs)
             .generate(&mut StdRng::seed_from_u64(seed));
@@ -88,7 +88,7 @@ proptest! {
         interval in 120u64..1_200,
         seed in 0u64..200,
     ) {
-        let profile = profile_from(&vec![interval; 24], 2);
+        let profile = profile_from(&[interval; 24], 2);
         let trace = TraceGenerator::new(profile)
             .epochs(4)
             .generate(&mut StdRng::seed_from_u64(seed));

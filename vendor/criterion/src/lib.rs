@@ -1,0 +1,105 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the `criterion_group!` / `criterion_main!` / `bench_function`
+//! surface the workspace's benches use, backed by a simple
+//! warmup-then-measure timing loop instead of criterion's statistical
+//! machinery. Good enough to (a) keep the bench targets compiling and
+//! running, and (b) give a rough ns/iter signal locally.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value sink.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver handed to each group function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.elapsed / u32::try_from(b.iters.min(u64::from(u32::MAX))).unwrap_or(u32::MAX)
+        };
+        println!(
+            "bench: {name:<48} {per_iter:>12.2?}/iter ({} iters)",
+            b.iters
+        );
+        self
+    }
+}
+
+/// Runs the measured closure and records timing.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`: a short calibration pass sizes the
+    /// measurement loop to roughly 100 ms of work, capped for slow bodies.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let target = Duration::from_millis(100);
+        let n = (target.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = n;
+    }
+}
+
+/// Declares a benchmark group: a function invoking each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

@@ -1,0 +1,245 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset of the proptest API this workspace's property tests
+//! use: the [`proptest!`] macro with `ident in strategy` bindings, integer
+//! and float range strategies, `any::<T>()`, tuple strategies,
+//! [`collection::vec`], `#![proptest_config(ProptestConfig::with_cases(n))]`,
+//! and the `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` macros.
+//!
+//! Unlike upstream there is no shrinking: a failing case panics immediately
+//! with the generated inputs and the deterministic case seed, which is
+//! enough to reproduce (runs are seeded per test-name, so failures are
+//! stable across invocations).
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{any, Strategy};
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig};
+}
+
+/// Configuration of a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; these tests drive simulations, so keep
+        // the default modest while still exploring a real sample.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property within a case (produced by `prop_assert!`).
+#[derive(Debug)]
+pub struct TestCaseError {
+    /// The failure message.
+    pub message: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    #[must_use]
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+/// Per-case result type the `proptest!` body closure returns.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runs `config.cases` seeded cases of `body`, panicking on the first
+/// failure with the case number and seed (used by the `proptest!` macro).
+///
+/// # Panics
+///
+/// Panics if any case returns an error.
+pub fn run_cases(
+    config: &ProptestConfig,
+    test_name: &str,
+    mut body: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+) {
+    for case in 0..config.cases {
+        let seed = case_seed(test_name, case);
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Err(e) = body(&mut rng) {
+            panic!(
+                "proptest case {case}/{total} of `{test_name}` failed (seed {seed:#x}): {msg}",
+                total = config.cases,
+                msg = e.message,
+            );
+        }
+    }
+}
+
+/// Deterministic per-test, per-case seed (FNV-1a over the test name).
+fn case_seed(test_name: &str, case: u32) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// The `proptest!` macro: runs each contained test over random inputs.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($config:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (
+        ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                $crate::run_cases(&__config, stringify!($name), |__proptest_rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strat), __proptest_rng);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a property inside `proptest!`, reporting the generated inputs on
+/// failure instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)*);
+    }};
+}
+
+/// `assert_ne!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_are_respected(x in 10u64..20, y in 0.5f64..=1.0) {
+            prop_assert!((10..20).contains(&x), "x = {x}");
+            prop_assert!((0.5..=1.0).contains(&y), "y = {y}");
+        }
+
+        #[test]
+        fn vec_lengths_are_respected(
+            v in crate::collection::vec(0u32..5, 2..6),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn tuples_and_any(pair in (1u64..4, 0.0f64..1.0), flag in any::<bool>()) {
+            prop_assert!((1..4).contains(&pair.0));
+            prop_assert!((0.0..1.0).contains(&pair.1));
+            let _ = flag;
+            prop_assert_eq!(pair.0, pair.0);
+            prop_assert_ne!(pair.1, pair.1 + 1.0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        /// Doc comments on cases must parse.
+        #[test]
+        fn config_override_applies(x in 0u64..100) {
+            prop_assert!(x < 100);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_reports_case() {
+        crate::run_cases(
+            &ProptestConfig::with_cases(3),
+            "failing_property_reports_case",
+            |_| Err(crate::TestCaseError::fail("boom")),
+        );
+    }
+
+    #[test]
+    fn seeds_are_deterministic_per_test_name() {
+        assert_eq!(super::case_seed("a", 0), super::case_seed("a", 0));
+        assert_ne!(super::case_seed("a", 0), super::case_seed("b", 0));
+        assert_ne!(super::case_seed("a", 0), super::case_seed("a", 1));
+    }
+}

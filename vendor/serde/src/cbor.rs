@@ -1,0 +1,322 @@
+//! CBOR (RFC 8949 subset) codec over [`Value`].
+//!
+//! Writes canonical definite-length items: unsigned/negative integers
+//! (majors 0/1), UTF-8 text (major 3), arrays (major 4), string-keyed maps
+//! (major 5), and the simple values null/true/false plus binary64 floats
+//! (major 7). Because every item is self-delimiting, a journal can be
+//! streamed item-by-item with [`read_value`] without any outer framing.
+
+use std::io::{self, Read, Write};
+
+use crate::{Error, Value};
+
+const MAJOR_UINT: u8 = 0;
+const MAJOR_NINT: u8 = 1;
+const MAJOR_TEXT: u8 = 3;
+const MAJOR_ARRAY: u8 = 4;
+const MAJOR_MAP: u8 = 5;
+const MAJOR_SIMPLE: u8 = 7;
+
+/// Encodes a value to CBOR bytes.
+#[must_use]
+pub fn to_vec(v: &Value) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_value(&mut out, v).expect("Vec<u8> writes are infallible");
+    out
+}
+
+/// Encodes a value into a writer.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_value<W: Write>(out: &mut W, v: &Value) -> io::Result<()> {
+    match v {
+        Value::Null => out.write_all(&[0xF6]),
+        Value::Bool(false) => out.write_all(&[0xF4]),
+        Value::Bool(true) => out.write_all(&[0xF5]),
+        Value::U64(n) => write_head(out, MAJOR_UINT, *n),
+        Value::I64(n) => {
+            if *n >= 0 {
+                write_head(out, MAJOR_UINT, *n as u64)
+            } else {
+                write_head(out, MAJOR_NINT, !(*n) as u64)
+            }
+        }
+        Value::F64(x) => {
+            out.write_all(&[0xFB])?;
+            out.write_all(&x.to_bits().to_be_bytes())
+        }
+        Value::Str(s) => {
+            write_head(out, MAJOR_TEXT, s.len() as u64)?;
+            out.write_all(s.as_bytes())
+        }
+        Value::Seq(items) => {
+            write_head(out, MAJOR_ARRAY, items.len() as u64)?;
+            for item in items {
+                write_value(out, item)?;
+            }
+            Ok(())
+        }
+        Value::Map(entries) => {
+            write_head(out, MAJOR_MAP, entries.len() as u64)?;
+            for (k, item) in entries {
+                write_head(out, MAJOR_TEXT, k.len() as u64)?;
+                out.write_all(k.as_bytes())?;
+                write_value(out, item)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn write_head<W: Write>(out: &mut W, major: u8, arg: u64) -> io::Result<()> {
+    let m = major << 5;
+    if arg < 24 {
+        out.write_all(&[m | arg as u8])
+    } else if arg <= u64::from(u8::MAX) {
+        out.write_all(&[m | 24, arg as u8])
+    } else if arg <= u64::from(u16::MAX) {
+        out.write_all(&[m | 25])?;
+        out.write_all(&(arg as u16).to_be_bytes())
+    } else if arg <= u64::from(u32::MAX) {
+        out.write_all(&[m | 26])?;
+        out.write_all(&(arg as u32).to_be_bytes())
+    } else {
+        out.write_all(&[m | 27])?;
+        out.write_all(&arg.to_be_bytes())
+    }
+}
+
+/// Decodes one value from a byte slice, requiring full consumption.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed CBOR or trailing bytes.
+pub fn from_slice(bytes: &[u8]) -> Result<Value, Error> {
+    let mut cursor = io::Cursor::new(bytes);
+    let v = read_value(&mut cursor)?.ok_or_else(|| Error::custom("empty CBOR input"))?;
+    if cursor.position() as usize != bytes.len() {
+        return Err(Error::custom("trailing bytes after CBOR item"));
+    }
+    Ok(v)
+}
+
+/// Reads the next CBOR item from a stream.
+///
+/// Returns `Ok(None)` on a clean end-of-stream at an item boundary — the
+/// streaming-read contract journal readers rely on.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed or truncated items and on I/O failures.
+pub fn read_value<R: Read>(r: &mut R) -> Result<Option<Value>, Error> {
+    let mut first = [0u8; 1];
+    match r.read(&mut first) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => return read_value(r),
+        Err(e) => return Err(Error::custom(format!("journal read: {e}"))),
+    }
+    read_item(r, first[0], 0).map(Some)
+}
+
+/// Nesting ceiling: journals are shallow; this bounds hostile input.
+const MAX_DEPTH: u32 = 128;
+
+fn read_item<R: Read>(r: &mut R, first: u8, depth: u32) -> Result<Value, Error> {
+    if depth > MAX_DEPTH {
+        return Err(Error::custom("CBOR nesting too deep"));
+    }
+    let major = first >> 5;
+    let info = first & 0x1F;
+    match major {
+        MAJOR_UINT => Ok(Value::U64(read_arg(r, info)?)),
+        MAJOR_NINT => {
+            let n = read_arg(r, info)?;
+            let v =
+                i64::try_from(n).map_err(|_| Error::custom("negative integer out of i64 range"))?;
+            Ok(Value::I64(!v))
+        }
+        MAJOR_TEXT => {
+            let len = usize::try_from(read_arg(r, info)?)
+                .map_err(|_| Error::custom("text length out of range"))?;
+            let mut buf = vec![0u8; len];
+            read_exact(r, &mut buf)?;
+            String::from_utf8(buf)
+                .map(Value::Str)
+                .map_err(|_| Error::custom("invalid UTF-8 in CBOR text"))
+        }
+        MAJOR_ARRAY => {
+            let len = usize::try_from(read_arg(r, info)?)
+                .map_err(|_| Error::custom("array length out of range"))?;
+            let mut items = Vec::with_capacity(len.min(4096));
+            for _ in 0..len {
+                let b = read_byte(r)?;
+                items.push(read_item(r, b, depth + 1)?);
+            }
+            Ok(Value::Seq(items))
+        }
+        MAJOR_MAP => {
+            let len = usize::try_from(read_arg(r, info)?)
+                .map_err(|_| Error::custom("map length out of range"))?;
+            let mut entries = Vec::with_capacity(len.min(4096));
+            for _ in 0..len {
+                let kb = read_byte(r)?;
+                let key = match read_item(r, kb, depth + 1)? {
+                    Value::Str(s) => s,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "map key must be text, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                let vb = read_byte(r)?;
+                entries.push((key, read_item(r, vb, depth + 1)?));
+            }
+            Ok(Value::Map(entries))
+        }
+        MAJOR_SIMPLE => match info {
+            20 => Ok(Value::Bool(false)),
+            21 => Ok(Value::Bool(true)),
+            22 => Ok(Value::Null),
+            27 => {
+                let mut bytes = [0u8; 8];
+                read_exact(r, &mut bytes)?;
+                Ok(Value::F64(f64::from_bits(u64::from_be_bytes(bytes))))
+            }
+            other => Err(Error::custom(format!("unsupported simple value {other}"))),
+        },
+        other => Err(Error::custom(format!(
+            "unsupported CBOR major type {other}"
+        ))),
+    }
+}
+
+fn read_arg<R: Read>(r: &mut R, info: u8) -> Result<u64, Error> {
+    match info {
+        0..=23 => Ok(u64::from(info)),
+        24 => Ok(u64::from(read_byte(r)?)),
+        25 => {
+            let mut b = [0u8; 2];
+            read_exact(r, &mut b)?;
+            Ok(u64::from(u16::from_be_bytes(b)))
+        }
+        26 => {
+            let mut b = [0u8; 4];
+            read_exact(r, &mut b)?;
+            Ok(u64::from(u32::from_be_bytes(b)))
+        }
+        27 => {
+            let mut b = [0u8; 8];
+            read_exact(r, &mut b)?;
+            Ok(u64::from_be_bytes(b))
+        }
+        _ => Err(Error::custom(
+            "indefinite-length CBOR items are not supported",
+        )),
+    }
+}
+
+fn read_byte<R: Read>(r: &mut R) -> Result<u8, Error> {
+    let mut b = [0u8; 1];
+    read_exact(r, &mut b)?;
+    Ok(b[0])
+}
+
+fn read_exact<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<(), Error> {
+    r.read_exact(buf)
+        .map_err(|e| Error::custom(format!("truncated CBOR item: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: &Value) -> Value {
+        from_slice(&to_vec(v)).unwrap()
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Value::Null,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::U64(0),
+            Value::U64(23),
+            Value::U64(24),
+            Value::U64(u64::MAX),
+            Value::I64(-1),
+            Value::I64(i64::MIN),
+            Value::F64(86.4),
+            Value::Str("héllo".into()),
+        ] {
+            assert_eq!(round_trip(&v), v, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn floats_are_bit_exact_including_non_finite() {
+        for x in [0.1, f64::MAX, f64::MIN_POSITIVE, f64::INFINITY] {
+            match round_trip(&Value::F64(x)) {
+                Value::F64(y) => assert_eq!(y.to_bits(), x.to_bits()),
+                other => panic!("{other:?}"),
+            }
+        }
+        match round_trip(&Value::F64(f64::NAN)) {
+            Value::F64(y) => assert!(y.is_nan()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = Value::Map(vec![
+            ("k".into(), Value::Seq(vec![Value::U64(1), Value::Null])),
+            ("s".into(), Value::Str(String::new())),
+        ]);
+        assert_eq!(round_trip(&v), v);
+    }
+
+    #[test]
+    fn canonical_headers_match_rfc_examples() {
+        // RFC 8949 appendix A vectors.
+        assert_eq!(to_vec(&Value::U64(0)), [0x00]);
+        assert_eq!(to_vec(&Value::U64(23)), [0x17]);
+        assert_eq!(to_vec(&Value::U64(24)), [0x18, 0x18]);
+        assert_eq!(to_vec(&Value::U64(1000)), [0x19, 0x03, 0xE8]);
+        assert_eq!(to_vec(&Value::I64(-1)), [0x20]);
+        assert_eq!(to_vec(&Value::Str("a".into())), [0x61, 0x61]);
+        assert_eq!(
+            to_vec(&Value::F64(1.1)),
+            [0xFB, 0x3F, 0xF1, 0x99, 0x99, 0x99, 0x99, 0x99, 0x9A]
+        );
+    }
+
+    #[test]
+    fn streaming_reads_successive_items() {
+        let mut bytes = Vec::new();
+        for i in 0..5u64 {
+            bytes.extend_from_slice(&to_vec(&Value::U64(i)));
+        }
+        let mut cursor = std::io::Cursor::new(bytes);
+        let mut seen = Vec::new();
+        while let Some(v) = read_value(&mut cursor).unwrap() {
+            seen.push(v);
+        }
+        assert_eq!(seen, (0..5u64).map(Value::U64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn truncation_and_garbage_rejected() {
+        let full = to_vec(&Value::Str("hello".into()));
+        assert!(from_slice(&full[..full.len() - 1]).is_err());
+        assert!(from_slice(&[0xFF]).is_err()); // "break" without indefinite
+        assert!(from_slice(&[]).is_err());
+        let mut extra = to_vec(&Value::U64(1));
+        extra.push(0x00);
+        assert!(from_slice(&extra).is_err());
+    }
+}

@@ -1,0 +1,423 @@
+//! JSON codec over [`Value`].
+//!
+//! Floats are written with Rust's shortest round-trip formatting (`{:?}`),
+//! so `f64` values survive text round-trips bit-for-bit; non-finite floats,
+//! which JSON cannot represent, are written as the strings `"NaN"`, `"inf"`
+//! and `"-inf"` (the typed [`f64`](crate::Deserialize) decoder accepts them).
+
+use std::fmt::Write as _;
+
+use crate::{Error, Value};
+
+/// Serializes a value to compact JSON text.
+#[must_use]
+pub fn to_string(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v);
+    out
+}
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::F64(x) => {
+            if x.is_finite() {
+                // `{:?}` is the shortest representation that parses back to
+                // the same bits, and always contains '.' or 'e'.
+                let _ = write!(out, "{x:?}");
+            } else if x.is_nan() {
+                out.push_str("\"NaN\"");
+            } else if *x > 0.0 {
+                out.push_str("\"inf\"");
+            } else {
+                out.push_str("\"-inf\"");
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, k);
+                out.push(':');
+                write_value(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses JSON text into a [`Value`].
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed input or trailing garbage.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at byte {}",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Result<u8, Error> {
+        let b = self
+            .peek()
+            .ok_or_else(|| Error::custom("unexpected end of JSON"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        let got = self.bump()?;
+        if got != b {
+            return Err(Error::custom(format!(
+                "expected '{}' at byte {}, got '{}'",
+                b as char,
+                self.pos - 1,
+                got as char
+            )));
+        }
+        Ok(())
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek().ok_or_else(|| Error::custom("empty JSON"))? {
+            b'n' => self.keyword("null", Value::Null),
+            b't' => self.keyword("true", Value::Bool(true)),
+            b'f' => self.keyword("false", Value::Bool(false)),
+            b'"' => Ok(Value::Str(self.parse_string()?)),
+            b'[' => self.parse_seq(),
+            b'{' => self.parse_map(),
+            b'-' | b'0'..=b'9' => self.parse_number(),
+            other => Err(Error::custom(format!(
+                "unexpected character '{}' at byte {}",
+                other as char, self.pos
+            ))),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(v)
+        } else {
+            Err(Error::custom(format!(
+                "invalid keyword at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn parse_seq(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump()? {
+                b',' => {}
+                b']' => return Ok(Value::Seq(items)),
+                other => {
+                    return Err(Error::custom(format!(
+                        "expected ',' or ']', got '{}'",
+                        other as char
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_map(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.bump()? {
+                b',' => {}
+                b'}' => return Ok(Value::Map(entries)),
+                other => {
+                    return Err(Error::custom(format!(
+                        "expected ',' or '}}', got '{}'",
+                        other as char
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump()? {
+                b'"' => return Ok(out),
+                b'\\' => match self.bump()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let cp = self.parse_hex4()?;
+                        // Surrogate pairs for astral-plane characters.
+                        let c = if (0xD800..0xDC00).contains(&cp) {
+                            self.expect(b'\\')?;
+                            self.expect(b'u')?;
+                            let lo = self.parse_hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(Error::custom("invalid low surrogate"));
+                            }
+                            let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                            char::from_u32(combined)
+                        } else {
+                            char::from_u32(cp)
+                        };
+                        out.push(c.ok_or_else(|| Error::custom("invalid \\u escape"))?);
+                    }
+                    other => {
+                        return Err(Error::custom(format!(
+                            "invalid escape '\\{}'",
+                            other as char
+                        )))
+                    }
+                },
+                b if b < 0x80 => out.push(b as char),
+                b => {
+                    // Re-decode the multi-byte UTF-8 sequence.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(Error::custom("invalid UTF-8 in string")),
+                    };
+                    if start + len > self.bytes.len() {
+                        return Err(Error::custom("truncated UTF-8 in string"));
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..start + len])
+                        .map_err(|_| Error::custom("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let mut cp = 0u32;
+        for _ in 0..4 {
+            let b = self.bump()?;
+            let digit = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| Error::custom("invalid hex digit in \\u escape"))?;
+            cp = cp * 16 + digit;
+        }
+        Ok(cp)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number slice is ASCII");
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::custom(format!("invalid number {text:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: &Value) -> Value {
+        from_str(&to_string(v)).unwrap()
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::U64(u64::MAX),
+            Value::I64(-42),
+            Value::F64(0.1),
+            Value::F64(86.4),
+            Value::Str("hé\"llo\n".into()),
+        ] {
+            assert_eq!(round_trip(&v), v, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn float_round_trip_is_bit_exact() {
+        for bits in [
+            0x3FB999999999999Au64, // 0.1
+            0x4045A33333333333,    // 43.275
+            0x0000000000000001,    // smallest subnormal
+            0x7FEFFFFFFFFFFFFF,    // f64::MAX
+        ] {
+            let x = f64::from_bits(bits);
+            match round_trip(&Value::F64(x)) {
+                Value::F64(y) => assert_eq!(y.to_bits(), bits),
+                other => panic!("expected float, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let v = Value::Map(vec![
+            ("list".into(), Value::Seq(vec![Value::U64(1), Value::Null])),
+            (
+                "inner".into(),
+                Value::Map(vec![("x".into(), Value::F64(2.5))]),
+            ),
+        ]);
+        assert_eq!(round_trip(&v), v);
+        assert_eq!(to_string(&v), r#"{"list":[1,null],"inner":{"x":2.5}}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_strings() {
+        assert_eq!(to_string(&Value::F64(f64::NAN)), "\"NaN\"");
+        assert_eq!(to_string(&Value::F64(f64::INFINITY)), "\"inf\"");
+        assert_eq!(to_string(&Value::F64(f64::NEG_INFINITY)), "\"-inf\"");
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(from_str("").is_err());
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("01x").is_err());
+        assert!(from_str("{\"a\":1} extra").is_err());
+        assert!(from_str("\"\\q\"").is_err());
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let v = from_str(" { \"a\" : [ 1 , 2 ] } ").unwrap();
+        assert_eq!(
+            v,
+            Value::Map(vec![(
+                "a".into(),
+                Value::Seq(vec![Value::U64(1), Value::U64(2)])
+            )])
+        );
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(
+            from_str("\"\\u00e9\\ud83d\\ude00\"").unwrap(),
+            Value::Str("é😀".into())
+        );
+    }
+}
