@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_vs_simulation-4a092f684d5f39d6.d: tests/analysis_vs_simulation.rs
+
+/root/repo/target/debug/deps/analysis_vs_simulation-4a092f684d5f39d6: tests/analysis_vs_simulation.rs
+
+tests/analysis_vs_simulation.rs:

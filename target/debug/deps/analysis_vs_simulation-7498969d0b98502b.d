@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis_vs_simulation-7498969d0b98502b.d: tests/analysis_vs_simulation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis_vs_simulation-7498969d0b98502b.rmeta: tests/analysis_vs_simulation.rs Cargo.toml
+
+tests/analysis_vs_simulation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

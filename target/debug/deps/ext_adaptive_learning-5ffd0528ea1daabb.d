@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_adaptive_learning-5ffd0528ea1daabb.d: crates/bench/src/bin/ext_adaptive_learning.rs
+
+/root/repo/target/debug/deps/ext_adaptive_learning-5ffd0528ea1daabb: crates/bench/src/bin/ext_adaptive_learning.rs
+
+crates/bench/src/bin/ext_adaptive_learning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_adaptive_learning-948a5d262975bfe8.d: crates/bench/src/bin/ext_adaptive_learning.rs
+
+/root/repo/target/debug/deps/ext_adaptive_learning-948a5d262975bfe8: crates/bench/src/bin/ext_adaptive_learning.rs
+
+crates/bench/src/bin/ext_adaptive_learning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_adaptive_learning-b02d0423776806f1.d: crates/bench/src/bin/ext_adaptive_learning.rs
+
+/root/repo/target/debug/deps/libext_adaptive_learning-b02d0423776806f1.rmeta: crates/bench/src/bin/ext_adaptive_learning.rs
+
+crates/bench/src/bin/ext_adaptive_learning.rs:

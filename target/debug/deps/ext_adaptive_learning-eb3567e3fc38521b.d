@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_adaptive_learning-eb3567e3fc38521b.d: crates/bench/src/bin/ext_adaptive_learning.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_adaptive_learning-eb3567e3fc38521b.rmeta: crates/bench/src/bin/ext_adaptive_learning.rs Cargo.toml
+
+crates/bench/src/bin/ext_adaptive_learning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_dutycycle_sensitivity-1d592498b50a3b1e.d: crates/bench/src/bin/ext_dutycycle_sensitivity.rs
+
+/root/repo/target/debug/deps/ext_dutycycle_sensitivity-1d592498b50a3b1e: crates/bench/src/bin/ext_dutycycle_sensitivity.rs
+
+crates/bench/src/bin/ext_dutycycle_sensitivity.rs:

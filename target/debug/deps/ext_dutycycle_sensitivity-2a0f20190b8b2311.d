@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_dutycycle_sensitivity-2a0f20190b8b2311.d: crates/bench/src/bin/ext_dutycycle_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_dutycycle_sensitivity-2a0f20190b8b2311.rmeta: crates/bench/src/bin/ext_dutycycle_sensitivity.rs Cargo.toml
+
+crates/bench/src/bin/ext_dutycycle_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

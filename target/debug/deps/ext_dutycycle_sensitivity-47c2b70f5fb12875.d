@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_dutycycle_sensitivity-47c2b70f5fb12875.d: crates/bench/src/bin/ext_dutycycle_sensitivity.rs
+
+/root/repo/target/debug/deps/ext_dutycycle_sensitivity-47c2b70f5fb12875: crates/bench/src/bin/ext_dutycycle_sensitivity.rs
+
+crates/bench/src/bin/ext_dutycycle_sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_dutycycle_sensitivity-57f7e5e9ed7007ad.d: crates/bench/src/bin/ext_dutycycle_sensitivity.rs
+
+/root/repo/target/debug/deps/libext_dutycycle_sensitivity-57f7e5e9ed7007ad.rmeta: crates/bench/src/bin/ext_dutycycle_sensitivity.rs
+
+crates/bench/src/bin/ext_dutycycle_sensitivity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_dutycycle_sensitivity-a23e787549616e32.d: crates/bench/src/bin/ext_dutycycle_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_dutycycle_sensitivity-a23e787549616e32.rmeta: crates/bench/src/bin/ext_dutycycle_sensitivity.rs Cargo.toml
+
+crates/bench/src/bin/ext_dutycycle_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_ewma_ablation-1254a91b55420ea4.d: crates/bench/src/bin/ext_ewma_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_ewma_ablation-1254a91b55420ea4.rmeta: crates/bench/src/bin/ext_ewma_ablation.rs Cargo.toml
+
+crates/bench/src/bin/ext_ewma_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_ewma_ablation-2c8501c61f825eff.d: crates/bench/src/bin/ext_ewma_ablation.rs
+
+/root/repo/target/debug/deps/ext_ewma_ablation-2c8501c61f825eff: crates/bench/src/bin/ext_ewma_ablation.rs
+
+crates/bench/src/bin/ext_ewma_ablation.rs:

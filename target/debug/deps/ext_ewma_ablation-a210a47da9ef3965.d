@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_ewma_ablation-a210a47da9ef3965.d: crates/bench/src/bin/ext_ewma_ablation.rs
+
+/root/repo/target/debug/deps/libext_ewma_ablation-a210a47da9ef3965.rmeta: crates/bench/src/bin/ext_ewma_ablation.rs
+
+crates/bench/src/bin/ext_ewma_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_ewma_ablation-c5b99a6d8e3a7f4a.d: crates/bench/src/bin/ext_ewma_ablation.rs
+
+/root/repo/target/debug/deps/ext_ewma_ablation-c5b99a6d8e3a7f4a: crates/bench/src/bin/ext_ewma_ablation.rs
+
+crates/bench/src/bin/ext_ewma_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_gating_ablation-4ed97c835dc671a5.d: crates/bench/src/bin/ext_gating_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_gating_ablation-4ed97c835dc671a5.rmeta: crates/bench/src/bin/ext_gating_ablation.rs Cargo.toml
+
+crates/bench/src/bin/ext_gating_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_gating_ablation-87cbf9121fca6a1a.d: crates/bench/src/bin/ext_gating_ablation.rs
+
+/root/repo/target/debug/deps/ext_gating_ablation-87cbf9121fca6a1a: crates/bench/src/bin/ext_gating_ablation.rs
+
+crates/bench/src/bin/ext_gating_ablation.rs:

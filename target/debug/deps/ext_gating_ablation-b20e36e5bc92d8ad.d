@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_gating_ablation-b20e36e5bc92d8ad.d: crates/bench/src/bin/ext_gating_ablation.rs
+
+/root/repo/target/debug/deps/libext_gating_ablation-b20e36e5bc92d8ad.rmeta: crates/bench/src/bin/ext_gating_ablation.rs
+
+crates/bench/src/bin/ext_gating_ablation.rs:

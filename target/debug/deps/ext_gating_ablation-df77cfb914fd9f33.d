@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_gating_ablation-df77cfb914fd9f33.d: crates/bench/src/bin/ext_gating_ablation.rs
+
+/root/repo/target/debug/deps/ext_gating_ablation-df77cfb914fd9f33: crates/bench/src/bin/ext_gating_ablation.rs
+
+crates/bench/src/bin/ext_gating_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_gating_ablation-eaca4d1b7f02e9fa.d: crates/bench/src/bin/ext_gating_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_gating_ablation-eaca4d1b7f02e9fa.rmeta: crates/bench/src/bin/ext_gating_ablation.rs Cargo.toml
+
+crates/bench/src/bin/ext_gating_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_hybrid_rh_at-118c7f611a5de718.d: crates/bench/src/bin/ext_hybrid_rh_at.rs
+
+/root/repo/target/debug/deps/libext_hybrid_rh_at-118c7f611a5de718.rmeta: crates/bench/src/bin/ext_hybrid_rh_at.rs
+
+crates/bench/src/bin/ext_hybrid_rh_at.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_hybrid_rh_at-73fa05570e8b8f66.d: crates/bench/src/bin/ext_hybrid_rh_at.rs
+
+/root/repo/target/debug/deps/ext_hybrid_rh_at-73fa05570e8b8f66: crates/bench/src/bin/ext_hybrid_rh_at.rs
+
+crates/bench/src/bin/ext_hybrid_rh_at.rs:

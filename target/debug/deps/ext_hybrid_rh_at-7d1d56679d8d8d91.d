@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_hybrid_rh_at-7d1d56679d8d8d91.d: crates/bench/src/bin/ext_hybrid_rh_at.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_hybrid_rh_at-7d1d56679d8d8d91.rmeta: crates/bench/src/bin/ext_hybrid_rh_at.rs Cargo.toml
+
+crates/bench/src/bin/ext_hybrid_rh_at.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_hybrid_rh_at-955442244c830d13.d: crates/bench/src/bin/ext_hybrid_rh_at.rs
+
+/root/repo/target/debug/deps/ext_hybrid_rh_at-955442244c830d13: crates/bench/src/bin/ext_hybrid_rh_at.rs
+
+crates/bench/src/bin/ext_hybrid_rh_at.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_lifetime-4a928c754ef53f8a.d: crates/bench/src/bin/ext_lifetime.rs
+
+/root/repo/target/debug/deps/libext_lifetime-4a928c754ef53f8a.rmeta: crates/bench/src/bin/ext_lifetime.rs
+
+crates/bench/src/bin/ext_lifetime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_lifetime-585bf4e90cea1b5e.d: crates/bench/src/bin/ext_lifetime.rs
+
+/root/repo/target/debug/deps/ext_lifetime-585bf4e90cea1b5e: crates/bench/src/bin/ext_lifetime.rs
+
+crates/bench/src/bin/ext_lifetime.rs:

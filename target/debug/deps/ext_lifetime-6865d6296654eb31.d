@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_lifetime-6865d6296654eb31.d: crates/bench/src/bin/ext_lifetime.rs
+
+/root/repo/target/debug/deps/ext_lifetime-6865d6296654eb31: crates/bench/src/bin/ext_lifetime.rs
+
+crates/bench/src/bin/ext_lifetime.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_lifetime-f2fa33bd5c8c811d.d: crates/bench/src/bin/ext_lifetime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_lifetime-f2fa33bd5c8c811d.rmeta: crates/bench/src/bin/ext_lifetime.rs Cargo.toml
+
+crates/bench/src/bin/ext_lifetime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_seasonal_shift-109f87c9518e72be.d: crates/bench/src/bin/ext_seasonal_shift.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_seasonal_shift-109f87c9518e72be.rmeta: crates/bench/src/bin/ext_seasonal_shift.rs Cargo.toml
+
+crates/bench/src/bin/ext_seasonal_shift.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_seasonal_shift-199ee08134a1e825.d: crates/bench/src/bin/ext_seasonal_shift.rs
+
+/root/repo/target/debug/deps/ext_seasonal_shift-199ee08134a1e825: crates/bench/src/bin/ext_seasonal_shift.rs
+
+crates/bench/src/bin/ext_seasonal_shift.rs:

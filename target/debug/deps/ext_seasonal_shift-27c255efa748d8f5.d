@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_seasonal_shift-27c255efa748d8f5.d: crates/bench/src/bin/ext_seasonal_shift.rs
+
+/root/repo/target/debug/deps/libext_seasonal_shift-27c255efa748d8f5.rmeta: crates/bench/src/bin/ext_seasonal_shift.rs
+
+crates/bench/src/bin/ext_seasonal_shift.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_seasonal_shift-5ddc2f39adf10c7c.d: crates/bench/src/bin/ext_seasonal_shift.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_seasonal_shift-5ddc2f39adf10c7c.rmeta: crates/bench/src/bin/ext_seasonal_shift.rs Cargo.toml
+
+crates/bench/src/bin/ext_seasonal_shift.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_seasonal_shift-6b9283d707664a77.d: crates/bench/src/bin/ext_seasonal_shift.rs
+
+/root/repo/target/debug/deps/ext_seasonal_shift-6b9283d707664a77: crates/bench/src/bin/ext_seasonal_shift.rs
+
+crates/bench/src/bin/ext_seasonal_shift.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_snip_vs_mip-0f07ebbf139d4999.d: crates/bench/src/bin/ext_snip_vs_mip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_snip_vs_mip-0f07ebbf139d4999.rmeta: crates/bench/src/bin/ext_snip_vs_mip.rs Cargo.toml
+
+crates/bench/src/bin/ext_snip_vs_mip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

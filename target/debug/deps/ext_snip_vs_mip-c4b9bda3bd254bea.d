@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_snip_vs_mip-c4b9bda3bd254bea.d: crates/bench/src/bin/ext_snip_vs_mip.rs
+
+/root/repo/target/debug/deps/ext_snip_vs_mip-c4b9bda3bd254bea: crates/bench/src/bin/ext_snip_vs_mip.rs
+
+crates/bench/src/bin/ext_snip_vs_mip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_snip_vs_mip-d9be532a447f9174.d: crates/bench/src/bin/ext_snip_vs_mip.rs
+
+/root/repo/target/debug/deps/ext_snip_vs_mip-d9be532a447f9174: crates/bench/src/bin/ext_snip_vs_mip.rs
+
+crates/bench/src/bin/ext_snip_vs_mip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_snip_vs_mip-ed9d529e5838f2ff.d: crates/bench/src/bin/ext_snip_vs_mip.rs
+
+/root/repo/target/debug/deps/libext_snip_vs_mip-ed9d529e5838f2ff.rmeta: crates/bench/src/bin/ext_snip_vs_mip.rs
+
+crates/bench/src/bin/ext_snip_vs_mip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_trace_driven-4a2f4ca22d0e7ac9.d: crates/bench/src/bin/ext_trace_driven.rs
+
+/root/repo/target/debug/deps/ext_trace_driven-4a2f4ca22d0e7ac9: crates/bench/src/bin/ext_trace_driven.rs
+
+crates/bench/src/bin/ext_trace_driven.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_trace_driven-82790f162013b4d7.d: crates/bench/src/bin/ext_trace_driven.rs
+
+/root/repo/target/debug/deps/ext_trace_driven-82790f162013b4d7: crates/bench/src/bin/ext_trace_driven.rs
+
+crates/bench/src/bin/ext_trace_driven.rs:

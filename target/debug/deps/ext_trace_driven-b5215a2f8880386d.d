@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_trace_driven-b5215a2f8880386d.d: crates/bench/src/bin/ext_trace_driven.rs
+
+/root/repo/target/debug/deps/libext_trace_driven-b5215a2f8880386d.rmeta: crates/bench/src/bin/ext_trace_driven.rs
+
+crates/bench/src/bin/ext_trace_driven.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_trace_driven-c3bf471beda30695.d: crates/bench/src/bin/ext_trace_driven.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_trace_driven-c3bf471beda30695.rmeta: crates/bench/src/bin/ext_trace_driven.rs Cargo.toml
+
+crates/bench/src/bin/ext_trace_driven.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

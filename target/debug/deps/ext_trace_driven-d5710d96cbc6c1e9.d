@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_trace_driven-d5710d96cbc6c1e9.d: crates/bench/src/bin/ext_trace_driven.rs
+
+/root/repo/target/debug/deps/ext_trace_driven-d5710d96cbc6c1e9: crates/bench/src/bin/ext_trace_driven.rs
+
+crates/bench/src/bin/ext_trace_driven.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_upsilon_validation-88c946b34f1349e6.d: crates/bench/src/bin/ext_upsilon_validation.rs
+
+/root/repo/target/debug/deps/ext_upsilon_validation-88c946b34f1349e6: crates/bench/src/bin/ext_upsilon_validation.rs
+
+crates/bench/src/bin/ext_upsilon_validation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_upsilon_validation-9d80ecec62a48fe3.d: crates/bench/src/bin/ext_upsilon_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_upsilon_validation-9d80ecec62a48fe3.rmeta: crates/bench/src/bin/ext_upsilon_validation.rs Cargo.toml
+
+crates/bench/src/bin/ext_upsilon_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

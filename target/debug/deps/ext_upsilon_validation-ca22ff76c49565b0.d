@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_upsilon_validation-ca22ff76c49565b0.d: crates/bench/src/bin/ext_upsilon_validation.rs
+
+/root/repo/target/debug/deps/libext_upsilon_validation-ca22ff76c49565b0.rmeta: crates/bench/src/bin/ext_upsilon_validation.rs
+
+crates/bench/src/bin/ext_upsilon_validation.rs:

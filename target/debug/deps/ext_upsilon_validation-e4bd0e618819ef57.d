@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_upsilon_validation-e4bd0e618819ef57.d: crates/bench/src/bin/ext_upsilon_validation.rs
+
+/root/repo/target/debug/deps/ext_upsilon_validation-e4bd0e618819ef57: crates/bench/src/bin/ext_upsilon_validation.rs
+
+crates/bench/src/bin/ext_upsilon_validation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_diurnal-4b8f5a7f33e4d24c.d: crates/bench/src/bin/fig3_diurnal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_diurnal-4b8f5a7f33e4d24c.rmeta: crates/bench/src/bin/fig3_diurnal.rs Cargo.toml
+
+crates/bench/src/bin/fig3_diurnal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

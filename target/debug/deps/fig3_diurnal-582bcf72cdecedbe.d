@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_diurnal-582bcf72cdecedbe.d: crates/bench/src/bin/fig3_diurnal.rs
+
+/root/repo/target/debug/deps/fig3_diurnal-582bcf72cdecedbe: crates/bench/src/bin/fig3_diurnal.rs
+
+crates/bench/src/bin/fig3_diurnal.rs:

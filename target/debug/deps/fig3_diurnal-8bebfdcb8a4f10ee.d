@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_diurnal-8bebfdcb8a4f10ee.d: crates/bench/src/bin/fig3_diurnal.rs
+
+/root/repo/target/debug/deps/fig3_diurnal-8bebfdcb8a4f10ee: crates/bench/src/bin/fig3_diurnal.rs
+
+crates/bench/src/bin/fig3_diurnal.rs:

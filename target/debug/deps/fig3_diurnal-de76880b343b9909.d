@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_diurnal-de76880b343b9909.d: crates/bench/src/bin/fig3_diurnal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_diurnal-de76880b343b9909.rmeta: crates/bench/src/bin/fig3_diurnal.rs Cargo.toml
+
+crates/bench/src/bin/fig3_diurnal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

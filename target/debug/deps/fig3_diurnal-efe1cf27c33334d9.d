@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_diurnal-efe1cf27c33334d9.d: crates/bench/src/bin/fig3_diurnal.rs
+
+/root/repo/target/debug/deps/libfig3_diurnal-efe1cf27c33334d9.rmeta: crates/bench/src/bin/fig3_diurnal.rs
+
+crates/bench/src/bin/fig3_diurnal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_benefit-1d949e21194619be.d: crates/bench/src/bin/fig4_benefit.rs
+
+/root/repo/target/debug/deps/fig4_benefit-1d949e21194619be: crates/bench/src/bin/fig4_benefit.rs
+
+crates/bench/src/bin/fig4_benefit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_benefit-771f5c8592c33d1f.d: crates/bench/src/bin/fig4_benefit.rs
+
+/root/repo/target/debug/deps/fig4_benefit-771f5c8592c33d1f: crates/bench/src/bin/fig4_benefit.rs
+
+crates/bench/src/bin/fig4_benefit.rs:

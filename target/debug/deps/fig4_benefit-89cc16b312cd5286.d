@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_benefit-89cc16b312cd5286.d: crates/bench/src/bin/fig4_benefit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_benefit-89cc16b312cd5286.rmeta: crates/bench/src/bin/fig4_benefit.rs Cargo.toml
+
+crates/bench/src/bin/fig4_benefit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_benefit-8d2c25ff5ca810d3.d: crates/bench/src/bin/fig4_benefit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_benefit-8d2c25ff5ca810d3.rmeta: crates/bench/src/bin/fig4_benefit.rs Cargo.toml
+
+crates/bench/src/bin/fig4_benefit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

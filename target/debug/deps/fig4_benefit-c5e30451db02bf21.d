@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_benefit-c5e30451db02bf21.d: crates/bench/src/bin/fig4_benefit.rs
+
+/root/repo/target/debug/deps/libfig4_benefit-c5e30451db02bf21.rmeta: crates/bench/src/bin/fig4_benefit.rs
+
+crates/bench/src/bin/fig4_benefit.rs:

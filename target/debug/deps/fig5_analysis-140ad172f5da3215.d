@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_analysis-140ad172f5da3215.d: crates/bench/src/bin/fig5_analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_analysis-140ad172f5da3215.rmeta: crates/bench/src/bin/fig5_analysis.rs Cargo.toml
+
+crates/bench/src/bin/fig5_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_analysis-37d591c1d42e7792.d: crates/bench/src/bin/fig5_analysis.rs
+
+/root/repo/target/debug/deps/fig5_analysis-37d591c1d42e7792: crates/bench/src/bin/fig5_analysis.rs
+
+crates/bench/src/bin/fig5_analysis.rs:

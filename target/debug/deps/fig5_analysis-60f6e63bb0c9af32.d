@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_analysis-60f6e63bb0c9af32.d: crates/bench/src/bin/fig5_analysis.rs
+
+/root/repo/target/debug/deps/libfig5_analysis-60f6e63bb0c9af32.rmeta: crates/bench/src/bin/fig5_analysis.rs
+
+crates/bench/src/bin/fig5_analysis.rs:

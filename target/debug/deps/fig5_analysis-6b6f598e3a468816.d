@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_analysis-6b6f598e3a468816.d: crates/bench/src/bin/fig5_analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_analysis-6b6f598e3a468816.rmeta: crates/bench/src/bin/fig5_analysis.rs Cargo.toml
+
+crates/bench/src/bin/fig5_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

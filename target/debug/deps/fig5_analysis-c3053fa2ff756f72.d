@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_analysis-c3053fa2ff756f72.d: crates/bench/src/bin/fig5_analysis.rs
+
+/root/repo/target/debug/deps/fig5_analysis-c3053fa2ff756f72: crates/bench/src/bin/fig5_analysis.rs
+
+crates/bench/src/bin/fig5_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_analysis-1727893215dfc8c9.d: crates/bench/src/bin/fig6_analysis.rs
+
+/root/repo/target/debug/deps/fig6_analysis-1727893215dfc8c9: crates/bench/src/bin/fig6_analysis.rs
+
+crates/bench/src/bin/fig6_analysis.rs:

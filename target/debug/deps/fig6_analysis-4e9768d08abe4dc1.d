@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_analysis-4e9768d08abe4dc1.d: crates/bench/src/bin/fig6_analysis.rs
+
+/root/repo/target/debug/deps/fig6_analysis-4e9768d08abe4dc1: crates/bench/src/bin/fig6_analysis.rs
+
+crates/bench/src/bin/fig6_analysis.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_analysis-a4d373e23d37dc51.d: crates/bench/src/bin/fig6_analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_analysis-a4d373e23d37dc51.rmeta: crates/bench/src/bin/fig6_analysis.rs Cargo.toml
+
+crates/bench/src/bin/fig6_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

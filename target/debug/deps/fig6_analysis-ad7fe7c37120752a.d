@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_analysis-ad7fe7c37120752a.d: crates/bench/src/bin/fig6_analysis.rs
+
+/root/repo/target/debug/deps/libfig6_analysis-ad7fe7c37120752a.rmeta: crates/bench/src/bin/fig6_analysis.rs
+
+crates/bench/src/bin/fig6_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_simulation-0d147fd3e0ae17a9.d: crates/bench/src/bin/fig7_simulation.rs
+
+/root/repo/target/debug/deps/fig7_simulation-0d147fd3e0ae17a9: crates/bench/src/bin/fig7_simulation.rs
+
+crates/bench/src/bin/fig7_simulation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_simulation-48750cf6bdda3a76.d: crates/bench/src/bin/fig7_simulation.rs
+
+/root/repo/target/debug/deps/fig7_simulation-48750cf6bdda3a76: crates/bench/src/bin/fig7_simulation.rs
+
+crates/bench/src/bin/fig7_simulation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_simulation-69667d048c32ba4a.d: crates/bench/src/bin/fig7_simulation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_simulation-69667d048c32ba4a.rmeta: crates/bench/src/bin/fig7_simulation.rs Cargo.toml
+
+crates/bench/src/bin/fig7_simulation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_simulation-a0f6c4e3540608b5.d: crates/bench/src/bin/fig7_simulation.rs
+
+/root/repo/target/debug/deps/libfig7_simulation-a0f6c4e3540608b5.rmeta: crates/bench/src/bin/fig7_simulation.rs
+
+crates/bench/src/bin/fig7_simulation.rs:

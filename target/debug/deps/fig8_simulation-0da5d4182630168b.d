@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_simulation-0da5d4182630168b.d: crates/bench/src/bin/fig8_simulation.rs
+
+/root/repo/target/debug/deps/fig8_simulation-0da5d4182630168b: crates/bench/src/bin/fig8_simulation.rs
+
+crates/bench/src/bin/fig8_simulation.rs:

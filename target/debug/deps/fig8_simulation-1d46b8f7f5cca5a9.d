@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_simulation-1d46b8f7f5cca5a9.d: crates/bench/src/bin/fig8_simulation.rs
+
+/root/repo/target/debug/deps/libfig8_simulation-1d46b8f7f5cca5a9.rmeta: crates/bench/src/bin/fig8_simulation.rs
+
+crates/bench/src/bin/fig8_simulation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_simulation-2578bea51fc7b5a2.d: crates/bench/src/bin/fig8_simulation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_simulation-2578bea51fc7b5a2.rmeta: crates/bench/src/bin/fig8_simulation.rs Cargo.toml
+
+crates/bench/src/bin/fig8_simulation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_simulation-c102f015e873e9e7.d: crates/bench/src/bin/fig8_simulation.rs
+
+/root/repo/target/debug/deps/fig8_simulation-c102f015e873e9e7: crates/bench/src/bin/fig8_simulation.rs
+
+crates/bench/src/bin/fig8_simulation.rs:

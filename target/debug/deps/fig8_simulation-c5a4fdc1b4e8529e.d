@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_simulation-c5a4fdc1b4e8529e.d: crates/bench/src/bin/fig8_simulation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_simulation-c5a4fdc1b4e8529e.rmeta: crates/bench/src/bin/fig8_simulation.rs Cargo.toml
+
+crates/bench/src/bin/fig8_simulation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/journal_roundtrip-2f45df8b40ce1de6.d: crates/replay/tests/journal_roundtrip.rs
+
+/root/repo/target/debug/deps/journal_roundtrip-2f45df8b40ce1de6: crates/replay/tests/journal_roundtrip.rs
+
+crates/replay/tests/journal_roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/journal_roundtrip-9a220d9357085021.d: crates/replay/tests/journal_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjournal_roundtrip-9a220d9357085021.rmeta: crates/replay/tests/journal_roundtrip.rs Cargo.toml
+
+crates/replay/tests/journal_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

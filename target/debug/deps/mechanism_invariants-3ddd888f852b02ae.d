@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mechanism_invariants-3ddd888f852b02ae.d: tests/mechanism_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmechanism_invariants-3ddd888f852b02ae.rmeta: tests/mechanism_invariants.rs Cargo.toml
+
+tests/mechanism_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

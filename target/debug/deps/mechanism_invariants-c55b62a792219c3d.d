@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mechanism_invariants-c55b62a792219c3d.d: tests/mechanism_invariants.rs
+
+/root/repo/target/debug/deps/mechanism_invariants-c55b62a792219c3d: tests/mechanism_invariants.rs
+
+tests/mechanism_invariants.rs:

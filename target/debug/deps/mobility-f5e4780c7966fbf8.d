@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mobility-f5e4780c7966fbf8.d: crates/bench/benches/mobility.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmobility-f5e4780c7966fbf8.rmeta: crates/bench/benches/mobility.rs Cargo.toml
+
+crates/bench/benches/mobility.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

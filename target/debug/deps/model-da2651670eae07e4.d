@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model-da2651670eae07e4.d: crates/bench/benches/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel-da2651670eae07e4.rmeta: crates/bench/benches/model.rs Cargo.toml
+
+crates/bench/benches/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

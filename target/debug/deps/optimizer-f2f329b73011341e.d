@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/optimizer-f2f329b73011341e.d: crates/bench/benches/optimizer.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboptimizer-f2f329b73011341e.rmeta: crates/bench/benches/optimizer.rs Cargo.toml
+
+crates/bench/benches/optimizer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/optimizer_cross_check-2ec764cc2498db11.d: tests/optimizer_cross_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboptimizer_cross_check-2ec764cc2498db11.rmeta: tests/optimizer_cross_check.rs Cargo.toml
+
+tests/optimizer_cross_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

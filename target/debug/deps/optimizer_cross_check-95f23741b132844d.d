@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/optimizer_cross_check-95f23741b132844d.d: tests/optimizer_cross_check.rs
+
+/root/repo/target/debug/deps/optimizer_cross_check-95f23741b132844d: tests/optimizer_cross_check.rs
+
+tests/optimizer_cross_check.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/probed_distribution_validation-0636b7c54ebd1a85.d: tests/probed_distribution_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprobed_distribution_validation-0636b7c54ebd1a85.rmeta: tests/probed_distribution_validation.rs Cargo.toml
+
+tests/probed_distribution_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

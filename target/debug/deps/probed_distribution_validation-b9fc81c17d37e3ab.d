@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probed_distribution_validation-b9fc81c17d37e3ab.d: tests/probed_distribution_validation.rs
+
+/root/repo/target/debug/deps/probed_distribution_validation-b9fc81c17d37e3ab: tests/probed_distribution_validation.rs
+
+tests/probed_distribution_validation.rs:

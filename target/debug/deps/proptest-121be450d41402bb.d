@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-121be450d41402bb.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/libproptest-121be450d41402bb.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/strategy.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/strategy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-fa93cb6ccb0ee548.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/libproptest-fa93cb6ccb0ee548.rlib: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/libproptest-fa93cb6ccb0ee548.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/strategy.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/strategy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/random_cross_check-629fb7473b6ec4aa.d: crates/opt/tests/random_cross_check.rs
+
+/root/repo/target/debug/deps/random_cross_check-629fb7473b6ec4aa: crates/opt/tests/random_cross_check.rs
+
+crates/opt/tests/random_cross_check.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/random_cross_check-6830cb81f66fdcc3.d: crates/opt/tests/random_cross_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/librandom_cross_check-6830cb81f66fdcc3.rmeta: crates/opt/tests/random_cross_check.rs Cargo.toml
+
+crates/opt/tests/random_cross_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheduler_properties-989454361935e850.d: crates/core/tests/scheduler_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheduler_properties-989454361935e850.rmeta: crates/core/tests/scheduler_properties.rs Cargo.toml
+
+crates/core/tests/scheduler_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

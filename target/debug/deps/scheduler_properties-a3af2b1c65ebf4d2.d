@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheduler_properties-a3af2b1c65ebf4d2.d: crates/core/tests/scheduler_properties.rs
+
+/root/repo/target/debug/deps/scheduler_properties-a3af2b1c65ebf4d2: crates/core/tests/scheduler_properties.rs
+
+crates/core/tests/scheduler_properties.rs:

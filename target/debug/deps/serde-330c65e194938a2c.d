@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-330c65e194938a2c.d: vendor/serde/src/lib.rs vendor/serde/src/cbor.rs vendor/serde/src/json.rs
+
+/root/repo/target/debug/deps/serde-330c65e194938a2c: vendor/serde/src/lib.rs vendor/serde/src/cbor.rs vendor/serde/src/json.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/cbor.rs:
+vendor/serde/src/json.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-bb17da705c06d873.d: vendor/serde/src/lib.rs vendor/serde/src/cbor.rs vendor/serde/src/json.rs
+
+/root/repo/target/debug/deps/libserde-bb17da705c06d873.rmeta: vendor/serde/src/lib.rs vendor/serde/src/cbor.rs vendor/serde/src/json.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/cbor.rs:
+vendor/serde/src/json.rs:

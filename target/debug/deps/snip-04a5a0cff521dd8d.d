@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/snip-04a5a0cff521dd8d.d: crates/replay/src/bin/snip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnip-04a5a0cff521dd8d.rmeta: crates/replay/src/bin/snip.rs Cargo.toml
+
+crates/replay/src/bin/snip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/snip-65402e780919d169.d: crates/replay/src/bin/snip.rs
+
+/root/repo/target/debug/deps/libsnip-65402e780919d169.rmeta: crates/replay/src/bin/snip.rs
+
+crates/replay/src/bin/snip.rs:

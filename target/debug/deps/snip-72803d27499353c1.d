@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/snip-72803d27499353c1.d: crates/replay/src/bin/snip.rs
+
+/root/repo/target/debug/deps/snip-72803d27499353c1: crates/replay/src/bin/snip.rs
+
+crates/replay/src/bin/snip.rs:

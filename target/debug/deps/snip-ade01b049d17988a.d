@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/snip-ade01b049d17988a.d: crates/replay/src/bin/snip.rs
+
+/root/repo/target/debug/deps/snip-ade01b049d17988a: crates/replay/src/bin/snip.rs
+
+crates/replay/src/bin/snip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/snip-b6048af989b00e3e.d: crates/replay/src/bin/snip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnip-b6048af989b00e3e.rmeta: crates/replay/src/bin/snip.rs Cargo.toml
+
+crates/replay/src/bin/snip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

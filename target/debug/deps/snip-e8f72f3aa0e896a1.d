@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/snip-e8f72f3aa0e896a1.d: crates/replay/src/bin/snip.rs
+
+/root/repo/target/debug/deps/snip-e8f72f3aa0e896a1: crates/replay/src/bin/snip.rs
+
+crates/replay/src/bin/snip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/snip_bench-031732c08bc6916a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsnip_bench-031732c08bc6916a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/snip_bench-0d9433f0df2916b1.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnip_bench-0d9433f0df2916b1.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/snip_bench-452318ec7cd58f9e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/snip_bench-452318ec7cd58f9e: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/snip_bench-709b26a6d4c59fe5.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnip_bench-709b26a6d4c59fe5.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

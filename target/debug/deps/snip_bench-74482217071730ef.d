@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/snip_bench-74482217071730ef.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsnip_bench-74482217071730ef.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsnip_bench-74482217071730ef.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

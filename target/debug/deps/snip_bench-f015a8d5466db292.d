@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/snip_bench-f015a8d5466db292.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsnip_bench-f015a8d5466db292.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsnip_bench-f015a8d5466db292.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

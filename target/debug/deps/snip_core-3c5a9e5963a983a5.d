@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/snip_core-3c5a9e5963a983a5.d: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/budget.rs crates/core/src/estimator.rs crates/core/src/hybrid.rs crates/core/src/scheduler.rs crates/core/src/snip_at.rs crates/core/src/snip_opt.rs crates/core/src/snip_rh.rs
+
+/root/repo/target/debug/deps/libsnip_core-3c5a9e5963a983a5.rlib: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/budget.rs crates/core/src/estimator.rs crates/core/src/hybrid.rs crates/core/src/scheduler.rs crates/core/src/snip_at.rs crates/core/src/snip_opt.rs crates/core/src/snip_rh.rs
+
+/root/repo/target/debug/deps/libsnip_core-3c5a9e5963a983a5.rmeta: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/budget.rs crates/core/src/estimator.rs crates/core/src/hybrid.rs crates/core/src/scheduler.rs crates/core/src/snip_at.rs crates/core/src/snip_opt.rs crates/core/src/snip_rh.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adaptive.rs:
+crates/core/src/budget.rs:
+crates/core/src/estimator.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/snip_at.rs:
+crates/core/src/snip_opt.rs:
+crates/core/src/snip_rh.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/snip_core-adf40fc97a7305fa.d: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/budget.rs crates/core/src/estimator.rs crates/core/src/hybrid.rs crates/core/src/scheduler.rs crates/core/src/snip_at.rs crates/core/src/snip_opt.rs crates/core/src/snip_rh.rs
+
+/root/repo/target/debug/deps/snip_core-adf40fc97a7305fa: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/budget.rs crates/core/src/estimator.rs crates/core/src/hybrid.rs crates/core/src/scheduler.rs crates/core/src/snip_at.rs crates/core/src/snip_opt.rs crates/core/src/snip_rh.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adaptive.rs:
+crates/core/src/budget.rs:
+crates/core/src/estimator.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/snip_at.rs:
+crates/core/src/snip_opt.rs:
+crates/core/src/snip_rh.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/snip_core-b24b17ab032c62cc.d: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/budget.rs crates/core/src/estimator.rs crates/core/src/hybrid.rs crates/core/src/scheduler.rs crates/core/src/snip_at.rs crates/core/src/snip_opt.rs crates/core/src/snip_rh.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnip_core-b24b17ab032c62cc.rmeta: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/budget.rs crates/core/src/estimator.rs crates/core/src/hybrid.rs crates/core/src/scheduler.rs crates/core/src/snip_at.rs crates/core/src/snip_opt.rs crates/core/src/snip_rh.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/adaptive.rs:
+crates/core/src/budget.rs:
+crates/core/src/estimator.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/snip_at.rs:
+crates/core/src/snip_opt.rs:
+crates/core/src/snip_rh.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

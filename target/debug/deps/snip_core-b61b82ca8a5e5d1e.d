@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/snip_core-b61b82ca8a5e5d1e.d: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/budget.rs crates/core/src/estimator.rs crates/core/src/hybrid.rs crates/core/src/scheduler.rs crates/core/src/snip_at.rs crates/core/src/snip_opt.rs crates/core/src/snip_rh.rs
+
+/root/repo/target/debug/deps/libsnip_core-b61b82ca8a5e5d1e.rlib: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/budget.rs crates/core/src/estimator.rs crates/core/src/hybrid.rs crates/core/src/scheduler.rs crates/core/src/snip_at.rs crates/core/src/snip_opt.rs crates/core/src/snip_rh.rs
+
+/root/repo/target/debug/deps/libsnip_core-b61b82ca8a5e5d1e.rmeta: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/budget.rs crates/core/src/estimator.rs crates/core/src/hybrid.rs crates/core/src/scheduler.rs crates/core/src/snip_at.rs crates/core/src/snip_opt.rs crates/core/src/snip_rh.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adaptive.rs:
+crates/core/src/budget.rs:
+crates/core/src/estimator.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/snip_at.rs:
+crates/core/src/snip_opt.rs:
+crates/core/src/snip_rh.rs:

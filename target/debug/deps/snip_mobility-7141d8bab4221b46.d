@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/snip_mobility-7141d8bab4221b46.d: crates/mobility/src/lib.rs crates/mobility/src/arrival.rs crates/mobility/src/diurnal.rs crates/mobility/src/external.rs crates/mobility/src/profile.rs crates/mobility/src/sampler.rs crates/mobility/src/synthetic.rs crates/mobility/src/trace.rs crates/mobility/src/transform.rs
+
+/root/repo/target/debug/deps/libsnip_mobility-7141d8bab4221b46.rlib: crates/mobility/src/lib.rs crates/mobility/src/arrival.rs crates/mobility/src/diurnal.rs crates/mobility/src/external.rs crates/mobility/src/profile.rs crates/mobility/src/sampler.rs crates/mobility/src/synthetic.rs crates/mobility/src/trace.rs crates/mobility/src/transform.rs
+
+/root/repo/target/debug/deps/libsnip_mobility-7141d8bab4221b46.rmeta: crates/mobility/src/lib.rs crates/mobility/src/arrival.rs crates/mobility/src/diurnal.rs crates/mobility/src/external.rs crates/mobility/src/profile.rs crates/mobility/src/sampler.rs crates/mobility/src/synthetic.rs crates/mobility/src/trace.rs crates/mobility/src/transform.rs
+
+crates/mobility/src/lib.rs:
+crates/mobility/src/arrival.rs:
+crates/mobility/src/diurnal.rs:
+crates/mobility/src/external.rs:
+crates/mobility/src/profile.rs:
+crates/mobility/src/sampler.rs:
+crates/mobility/src/synthetic.rs:
+crates/mobility/src/trace.rs:
+crates/mobility/src/transform.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/snip_mobility-9ca598792258b8ce.d: crates/mobility/src/lib.rs crates/mobility/src/arrival.rs crates/mobility/src/diurnal.rs crates/mobility/src/external.rs crates/mobility/src/profile.rs crates/mobility/src/sampler.rs crates/mobility/src/synthetic.rs crates/mobility/src/trace.rs crates/mobility/src/transform.rs
+
+/root/repo/target/debug/deps/libsnip_mobility-9ca598792258b8ce.rmeta: crates/mobility/src/lib.rs crates/mobility/src/arrival.rs crates/mobility/src/diurnal.rs crates/mobility/src/external.rs crates/mobility/src/profile.rs crates/mobility/src/sampler.rs crates/mobility/src/synthetic.rs crates/mobility/src/trace.rs crates/mobility/src/transform.rs
+
+crates/mobility/src/lib.rs:
+crates/mobility/src/arrival.rs:
+crates/mobility/src/diurnal.rs:
+crates/mobility/src/external.rs:
+crates/mobility/src/profile.rs:
+crates/mobility/src/sampler.rs:
+crates/mobility/src/synthetic.rs:
+crates/mobility/src/trace.rs:
+crates/mobility/src/transform.rs:

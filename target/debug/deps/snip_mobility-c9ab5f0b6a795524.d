@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/snip_mobility-c9ab5f0b6a795524.d: crates/mobility/src/lib.rs crates/mobility/src/arrival.rs crates/mobility/src/diurnal.rs crates/mobility/src/external.rs crates/mobility/src/profile.rs crates/mobility/src/sampler.rs crates/mobility/src/synthetic.rs crates/mobility/src/trace.rs crates/mobility/src/transform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnip_mobility-c9ab5f0b6a795524.rmeta: crates/mobility/src/lib.rs crates/mobility/src/arrival.rs crates/mobility/src/diurnal.rs crates/mobility/src/external.rs crates/mobility/src/profile.rs crates/mobility/src/sampler.rs crates/mobility/src/synthetic.rs crates/mobility/src/trace.rs crates/mobility/src/transform.rs Cargo.toml
+
+crates/mobility/src/lib.rs:
+crates/mobility/src/arrival.rs:
+crates/mobility/src/diurnal.rs:
+crates/mobility/src/external.rs:
+crates/mobility/src/profile.rs:
+crates/mobility/src/sampler.rs:
+crates/mobility/src/synthetic.rs:
+crates/mobility/src/trace.rs:
+crates/mobility/src/transform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

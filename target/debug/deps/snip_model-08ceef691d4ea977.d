@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/snip_model-08ceef691d4ea977.d: crates/model/src/lib.rs crates/model/src/analysis.rs crates/model/src/integrate.rs crates/model/src/latency.rs crates/model/src/length.rs crates/model/src/mip.rs crates/model/src/probed.rs crates/model/src/rush_hour.rs crates/model/src/slot.rs crates/model/src/snip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnip_model-08ceef691d4ea977.rmeta: crates/model/src/lib.rs crates/model/src/analysis.rs crates/model/src/integrate.rs crates/model/src/latency.rs crates/model/src/length.rs crates/model/src/mip.rs crates/model/src/probed.rs crates/model/src/rush_hour.rs crates/model/src/slot.rs crates/model/src/snip.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/analysis.rs:
+crates/model/src/integrate.rs:
+crates/model/src/latency.rs:
+crates/model/src/length.rs:
+crates/model/src/mip.rs:
+crates/model/src/probed.rs:
+crates/model/src/rush_hour.rs:
+crates/model/src/slot.rs:
+crates/model/src/snip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

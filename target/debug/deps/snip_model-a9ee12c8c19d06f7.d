@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/snip_model-a9ee12c8c19d06f7.d: crates/model/src/lib.rs crates/model/src/analysis.rs crates/model/src/integrate.rs crates/model/src/latency.rs crates/model/src/length.rs crates/model/src/mip.rs crates/model/src/probed.rs crates/model/src/rush_hour.rs crates/model/src/slot.rs crates/model/src/snip.rs
+
+/root/repo/target/debug/deps/libsnip_model-a9ee12c8c19d06f7.rmeta: crates/model/src/lib.rs crates/model/src/analysis.rs crates/model/src/integrate.rs crates/model/src/latency.rs crates/model/src/length.rs crates/model/src/mip.rs crates/model/src/probed.rs crates/model/src/rush_hour.rs crates/model/src/slot.rs crates/model/src/snip.rs
+
+crates/model/src/lib.rs:
+crates/model/src/analysis.rs:
+crates/model/src/integrate.rs:
+crates/model/src/latency.rs:
+crates/model/src/length.rs:
+crates/model/src/mip.rs:
+crates/model/src/probed.rs:
+crates/model/src/rush_hour.rs:
+crates/model/src/slot.rs:
+crates/model/src/snip.rs:

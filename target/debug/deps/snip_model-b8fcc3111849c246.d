@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/snip_model-b8fcc3111849c246.d: crates/model/src/lib.rs crates/model/src/analysis.rs crates/model/src/integrate.rs crates/model/src/latency.rs crates/model/src/length.rs crates/model/src/mip.rs crates/model/src/probed.rs crates/model/src/rush_hour.rs crates/model/src/slot.rs crates/model/src/snip.rs
+
+/root/repo/target/debug/deps/libsnip_model-b8fcc3111849c246.rlib: crates/model/src/lib.rs crates/model/src/analysis.rs crates/model/src/integrate.rs crates/model/src/latency.rs crates/model/src/length.rs crates/model/src/mip.rs crates/model/src/probed.rs crates/model/src/rush_hour.rs crates/model/src/slot.rs crates/model/src/snip.rs
+
+/root/repo/target/debug/deps/libsnip_model-b8fcc3111849c246.rmeta: crates/model/src/lib.rs crates/model/src/analysis.rs crates/model/src/integrate.rs crates/model/src/latency.rs crates/model/src/length.rs crates/model/src/mip.rs crates/model/src/probed.rs crates/model/src/rush_hour.rs crates/model/src/slot.rs crates/model/src/snip.rs
+
+crates/model/src/lib.rs:
+crates/model/src/analysis.rs:
+crates/model/src/integrate.rs:
+crates/model/src/latency.rs:
+crates/model/src/length.rs:
+crates/model/src/mip.rs:
+crates/model/src/probed.rs:
+crates/model/src/rush_hour.rs:
+crates/model/src/slot.rs:
+crates/model/src/snip.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/snip_opt-1a77c8e77a11c772.d: crates/opt/src/lib.rs crates/opt/src/allocate.rs crates/opt/src/curve.rs crates/opt/src/simplex.rs crates/opt/src/two_step.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnip_opt-1a77c8e77a11c772.rmeta: crates/opt/src/lib.rs crates/opt/src/allocate.rs crates/opt/src/curve.rs crates/opt/src/simplex.rs crates/opt/src/two_step.rs Cargo.toml
+
+crates/opt/src/lib.rs:
+crates/opt/src/allocate.rs:
+crates/opt/src/curve.rs:
+crates/opt/src/simplex.rs:
+crates/opt/src/two_step.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/snip_opt-536a07625aa06ce1.d: crates/opt/src/lib.rs crates/opt/src/allocate.rs crates/opt/src/curve.rs crates/opt/src/simplex.rs crates/opt/src/two_step.rs
+
+/root/repo/target/debug/deps/libsnip_opt-536a07625aa06ce1.rlib: crates/opt/src/lib.rs crates/opt/src/allocate.rs crates/opt/src/curve.rs crates/opt/src/simplex.rs crates/opt/src/two_step.rs
+
+/root/repo/target/debug/deps/libsnip_opt-536a07625aa06ce1.rmeta: crates/opt/src/lib.rs crates/opt/src/allocate.rs crates/opt/src/curve.rs crates/opt/src/simplex.rs crates/opt/src/two_step.rs
+
+crates/opt/src/lib.rs:
+crates/opt/src/allocate.rs:
+crates/opt/src/curve.rs:
+crates/opt/src/simplex.rs:
+crates/opt/src/two_step.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/snip_opt-92a9a8e9b29ded7b.d: crates/opt/src/lib.rs crates/opt/src/allocate.rs crates/opt/src/curve.rs crates/opt/src/simplex.rs crates/opt/src/two_step.rs
+
+/root/repo/target/debug/deps/snip_opt-92a9a8e9b29ded7b: crates/opt/src/lib.rs crates/opt/src/allocate.rs crates/opt/src/curve.rs crates/opt/src/simplex.rs crates/opt/src/two_step.rs
+
+crates/opt/src/lib.rs:
+crates/opt/src/allocate.rs:
+crates/opt/src/curve.rs:
+crates/opt/src/simplex.rs:
+crates/opt/src/two_step.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/snip_opt-b9e3e1c6329aaa61.d: crates/opt/src/lib.rs crates/opt/src/allocate.rs crates/opt/src/curve.rs crates/opt/src/simplex.rs crates/opt/src/two_step.rs
+
+/root/repo/target/debug/deps/libsnip_opt-b9e3e1c6329aaa61.rmeta: crates/opt/src/lib.rs crates/opt/src/allocate.rs crates/opt/src/curve.rs crates/opt/src/simplex.rs crates/opt/src/two_step.rs
+
+crates/opt/src/lib.rs:
+crates/opt/src/allocate.rs:
+crates/opt/src/curve.rs:
+crates/opt/src/simplex.rs:
+crates/opt/src/two_step.rs:

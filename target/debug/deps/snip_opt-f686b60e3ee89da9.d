@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/snip_opt-f686b60e3ee89da9.d: crates/opt/src/lib.rs crates/opt/src/allocate.rs crates/opt/src/curve.rs crates/opt/src/simplex.rs crates/opt/src/two_step.rs
+
+/root/repo/target/debug/deps/libsnip_opt-f686b60e3ee89da9.rlib: crates/opt/src/lib.rs crates/opt/src/allocate.rs crates/opt/src/curve.rs crates/opt/src/simplex.rs crates/opt/src/two_step.rs
+
+/root/repo/target/debug/deps/libsnip_opt-f686b60e3ee89da9.rmeta: crates/opt/src/lib.rs crates/opt/src/allocate.rs crates/opt/src/curve.rs crates/opt/src/simplex.rs crates/opt/src/two_step.rs
+
+crates/opt/src/lib.rs:
+crates/opt/src/allocate.rs:
+crates/opt/src/curve.rs:
+crates/opt/src/simplex.rs:
+crates/opt/src/two_step.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/snip_replay-05de0e7aa957ce1d.d: crates/replay/src/lib.rs crates/replay/src/diff.rs crates/replay/src/event.rs crates/replay/src/journal.rs crates/replay/src/record.rs crates/replay/src/replay.rs
+
+/root/repo/target/debug/deps/snip_replay-05de0e7aa957ce1d: crates/replay/src/lib.rs crates/replay/src/diff.rs crates/replay/src/event.rs crates/replay/src/journal.rs crates/replay/src/record.rs crates/replay/src/replay.rs
+
+crates/replay/src/lib.rs:
+crates/replay/src/diff.rs:
+crates/replay/src/event.rs:
+crates/replay/src/journal.rs:
+crates/replay/src/record.rs:
+crates/replay/src/replay.rs:

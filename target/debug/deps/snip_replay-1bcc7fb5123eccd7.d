@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/snip_replay-1bcc7fb5123eccd7.d: crates/replay/src/lib.rs crates/replay/src/diff.rs crates/replay/src/event.rs crates/replay/src/journal.rs crates/replay/src/record.rs crates/replay/src/replay.rs
+
+/root/repo/target/debug/deps/libsnip_replay-1bcc7fb5123eccd7.rlib: crates/replay/src/lib.rs crates/replay/src/diff.rs crates/replay/src/event.rs crates/replay/src/journal.rs crates/replay/src/record.rs crates/replay/src/replay.rs
+
+/root/repo/target/debug/deps/libsnip_replay-1bcc7fb5123eccd7.rmeta: crates/replay/src/lib.rs crates/replay/src/diff.rs crates/replay/src/event.rs crates/replay/src/journal.rs crates/replay/src/record.rs crates/replay/src/replay.rs
+
+crates/replay/src/lib.rs:
+crates/replay/src/diff.rs:
+crates/replay/src/event.rs:
+crates/replay/src/journal.rs:
+crates/replay/src/record.rs:
+crates/replay/src/replay.rs:

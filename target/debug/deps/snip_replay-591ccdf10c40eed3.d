@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/snip_replay-591ccdf10c40eed3.d: crates/replay/src/lib.rs crates/replay/src/diff.rs crates/replay/src/event.rs crates/replay/src/journal.rs crates/replay/src/record.rs crates/replay/src/replay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnip_replay-591ccdf10c40eed3.rmeta: crates/replay/src/lib.rs crates/replay/src/diff.rs crates/replay/src/event.rs crates/replay/src/journal.rs crates/replay/src/record.rs crates/replay/src/replay.rs Cargo.toml
+
+crates/replay/src/lib.rs:
+crates/replay/src/diff.rs:
+crates/replay/src/event.rs:
+crates/replay/src/journal.rs:
+crates/replay/src/record.rs:
+crates/replay/src/replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/snip_rh_repro-0b6b332ce2ddff3e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsnip_rh_repro-0b6b332ce2ddff3e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/snip_rh_repro-2536527989e9e7d6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsnip_rh_repro-2536527989e9e7d6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsnip_rh_repro-2536527989e9e7d6.rmeta: src/lib.rs
+
+src/lib.rs:

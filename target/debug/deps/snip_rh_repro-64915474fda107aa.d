@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/snip_rh_repro-64915474fda107aa.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnip_rh_repro-64915474fda107aa.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/snip_rh_repro-7182e9233ddf925a.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnip_rh_repro-7182e9233ddf925a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

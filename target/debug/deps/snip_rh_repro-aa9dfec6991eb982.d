@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/snip_rh_repro-aa9dfec6991eb982.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsnip_rh_repro-aa9dfec6991eb982.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsnip_rh_repro-aa9dfec6991eb982.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/snip_rh_repro-dacfcda5a5f44af0.d: src/lib.rs
+
+/root/repo/target/debug/deps/snip_rh_repro-dacfcda5a5f44af0: src/lib.rs
+
+src/lib.rs:

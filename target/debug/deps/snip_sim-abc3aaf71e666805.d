@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/snip_sim-abc3aaf71e666805.d: crates/sim/src/lib.rs crates/sim/src/buffer.rs crates/sim/src/config.rs crates/sim/src/energy.rs crates/sim/src/fleet.rs crates/sim/src/metrics.rs crates/sim/src/mip.rs crates/sim/src/node.rs crates/sim/src/observe.rs crates/sim/src/runner.rs
+
+/root/repo/target/debug/deps/snip_sim-abc3aaf71e666805: crates/sim/src/lib.rs crates/sim/src/buffer.rs crates/sim/src/config.rs crates/sim/src/energy.rs crates/sim/src/fleet.rs crates/sim/src/metrics.rs crates/sim/src/mip.rs crates/sim/src/node.rs crates/sim/src/observe.rs crates/sim/src/runner.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/buffer.rs:
+crates/sim/src/config.rs:
+crates/sim/src/energy.rs:
+crates/sim/src/fleet.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/mip.rs:
+crates/sim/src/node.rs:
+crates/sim/src/observe.rs:
+crates/sim/src/runner.rs:

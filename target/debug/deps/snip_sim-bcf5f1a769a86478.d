@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/snip_sim-bcf5f1a769a86478.d: crates/sim/src/lib.rs crates/sim/src/buffer.rs crates/sim/src/config.rs crates/sim/src/energy.rs crates/sim/src/fleet.rs crates/sim/src/metrics.rs crates/sim/src/mip.rs crates/sim/src/node.rs crates/sim/src/observe.rs crates/sim/src/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnip_sim-bcf5f1a769a86478.rmeta: crates/sim/src/lib.rs crates/sim/src/buffer.rs crates/sim/src/config.rs crates/sim/src/energy.rs crates/sim/src/fleet.rs crates/sim/src/metrics.rs crates/sim/src/mip.rs crates/sim/src/node.rs crates/sim/src/observe.rs crates/sim/src/runner.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/buffer.rs:
+crates/sim/src/config.rs:
+crates/sim/src/energy.rs:
+crates/sim/src/fleet.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/mip.rs:
+crates/sim/src/node.rs:
+crates/sim/src/observe.rs:
+crates/sim/src/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/snip_units-2fd625784a3d32a2.d: crates/units/src/lib.rs crates/units/src/data.rs crates/units/src/duty.rs crates/units/src/energy.rs crates/units/src/time.rs
+
+/root/repo/target/debug/deps/snip_units-2fd625784a3d32a2: crates/units/src/lib.rs crates/units/src/data.rs crates/units/src/duty.rs crates/units/src/energy.rs crates/units/src/time.rs
+
+crates/units/src/lib.rs:
+crates/units/src/data.rs:
+crates/units/src/duty.rs:
+crates/units/src/energy.rs:
+crates/units/src/time.rs:

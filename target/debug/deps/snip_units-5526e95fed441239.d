@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/snip_units-5526e95fed441239.d: crates/units/src/lib.rs crates/units/src/data.rs crates/units/src/duty.rs crates/units/src/energy.rs crates/units/src/time.rs
+
+/root/repo/target/debug/deps/libsnip_units-5526e95fed441239.rlib: crates/units/src/lib.rs crates/units/src/data.rs crates/units/src/duty.rs crates/units/src/energy.rs crates/units/src/time.rs
+
+/root/repo/target/debug/deps/libsnip_units-5526e95fed441239.rmeta: crates/units/src/lib.rs crates/units/src/data.rs crates/units/src/duty.rs crates/units/src/energy.rs crates/units/src/time.rs
+
+crates/units/src/lib.rs:
+crates/units/src/data.rs:
+crates/units/src/duty.rs:
+crates/units/src/energy.rs:
+crates/units/src/time.rs:

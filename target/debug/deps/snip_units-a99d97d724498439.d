@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/snip_units-a99d97d724498439.d: crates/units/src/lib.rs crates/units/src/data.rs crates/units/src/duty.rs crates/units/src/energy.rs crates/units/src/time.rs
+
+/root/repo/target/debug/deps/libsnip_units-a99d97d724498439.rmeta: crates/units/src/lib.rs crates/units/src/data.rs crates/units/src/duty.rs crates/units/src/energy.rs crates/units/src/time.rs
+
+crates/units/src/lib.rs:
+crates/units/src/data.rs:
+crates/units/src/duty.rs:
+crates/units/src/energy.rs:
+crates/units/src/time.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/snip_units-bdf7318e95ac7b1c.d: crates/units/src/lib.rs crates/units/src/data.rs crates/units/src/duty.rs crates/units/src/energy.rs crates/units/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnip_units-bdf7318e95ac7b1c.rmeta: crates/units/src/lib.rs crates/units/src/data.rs crates/units/src/duty.rs crates/units/src/energy.rs crates/units/src/time.rs Cargo.toml
+
+crates/units/src/lib.rs:
+crates/units/src/data.rs:
+crates/units/src/duty.rs:
+crates/units/src/energy.rs:
+crates/units/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

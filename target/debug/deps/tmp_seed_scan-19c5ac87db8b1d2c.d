@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tmp_seed_scan-19c5ac87db8b1d2c.d: tests/tmp_seed_scan.rs
+
+/root/repo/target/debug/deps/tmp_seed_scan-19c5ac87db8b1d2c: tests/tmp_seed_scan.rs
+
+tests/tmp_seed_scan.rs:

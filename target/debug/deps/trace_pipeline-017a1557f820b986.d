@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_pipeline-017a1557f820b986.d: tests/trace_pipeline.rs
+
+/root/repo/target/debug/deps/trace_pipeline-017a1557f820b986: tests/trace_pipeline.rs
+
+tests/trace_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_pipeline-8607cb35573dffc4.d: tests/trace_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_pipeline-8607cb35573dffc4.rmeta: tests/trace_pipeline.rs Cargo.toml
+
+tests/trace_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

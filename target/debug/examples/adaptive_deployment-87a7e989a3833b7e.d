@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_deployment-87a7e989a3833b7e.d: examples/adaptive_deployment.rs
+
+/root/repo/target/debug/examples/adaptive_deployment-87a7e989a3833b7e: examples/adaptive_deployment.rs
+
+examples/adaptive_deployment.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adaptive_deployment-e90e38a13a71d07e.d: examples/adaptive_deployment.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadaptive_deployment-e90e38a13a71d07e.rmeta: examples/adaptive_deployment.rs Cargo.toml
+
+examples/adaptive_deployment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capacity_planning-843b59d1da0153bb.d: examples/capacity_planning.rs
+
+/root/repo/target/debug/examples/capacity_planning-843b59d1da0153bb: examples/capacity_planning.rs
+
+examples/capacity_planning.rs:

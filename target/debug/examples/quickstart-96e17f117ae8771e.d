@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-96e17f117ae8771e.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-96e17f117ae8771e.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

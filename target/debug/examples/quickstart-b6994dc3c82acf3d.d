@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b6994dc3c82acf3d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b6994dc3c82acf3d: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/roadside_network-38bfacdfcd3084b8.d: examples/roadside_network.rs Cargo.toml
+
+/root/repo/target/debug/examples/libroadside_network-38bfacdfcd3084b8.rmeta: examples/roadside_network.rs Cargo.toml
+
+examples/roadside_network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/roadside_network-f336ac08f49de16c.d: examples/roadside_network.rs
+
+/root/repo/target/debug/examples/roadside_network-f336ac08f49de16c: examples/roadside_network.rs
+
+examples/roadside_network.rs:

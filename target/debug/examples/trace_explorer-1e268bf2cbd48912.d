@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_explorer-1e268bf2cbd48912.d: examples/trace_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_explorer-1e268bf2cbd48912.rmeta: examples/trace_explorer.rs Cargo.toml
+
+examples/trace_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

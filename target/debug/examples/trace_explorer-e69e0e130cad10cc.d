@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_explorer-e69e0e130cad10cc.d: examples/trace_explorer.rs
+
+/root/repo/target/debug/examples/trace_explorer-e69e0e130cad10cc: examples/trace_explorer.rs
+
+examples/trace_explorer.rs:

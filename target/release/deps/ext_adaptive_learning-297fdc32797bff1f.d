@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_adaptive_learning-297fdc32797bff1f.d: crates/bench/src/bin/ext_adaptive_learning.rs
+
+/root/repo/target/release/deps/ext_adaptive_learning-297fdc32797bff1f: crates/bench/src/bin/ext_adaptive_learning.rs
+
+crates/bench/src/bin/ext_adaptive_learning.rs:

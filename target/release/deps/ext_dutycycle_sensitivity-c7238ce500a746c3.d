@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_dutycycle_sensitivity-c7238ce500a746c3.d: crates/bench/src/bin/ext_dutycycle_sensitivity.rs
+
+/root/repo/target/release/deps/ext_dutycycle_sensitivity-c7238ce500a746c3: crates/bench/src/bin/ext_dutycycle_sensitivity.rs
+
+crates/bench/src/bin/ext_dutycycle_sensitivity.rs:

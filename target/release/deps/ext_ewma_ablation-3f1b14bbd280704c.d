@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_ewma_ablation-3f1b14bbd280704c.d: crates/bench/src/bin/ext_ewma_ablation.rs
+
+/root/repo/target/release/deps/ext_ewma_ablation-3f1b14bbd280704c: crates/bench/src/bin/ext_ewma_ablation.rs
+
+crates/bench/src/bin/ext_ewma_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_gating_ablation-9308bae69114899e.d: crates/bench/src/bin/ext_gating_ablation.rs
+
+/root/repo/target/release/deps/ext_gating_ablation-9308bae69114899e: crates/bench/src/bin/ext_gating_ablation.rs
+
+crates/bench/src/bin/ext_gating_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_hybrid_rh_at-d8cadc7d2f5c74e4.d: crates/bench/src/bin/ext_hybrid_rh_at.rs
+
+/root/repo/target/release/deps/ext_hybrid_rh_at-d8cadc7d2f5c74e4: crates/bench/src/bin/ext_hybrid_rh_at.rs
+
+crates/bench/src/bin/ext_hybrid_rh_at.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_lifetime-51efe775ec9a472d.d: crates/bench/src/bin/ext_lifetime.rs
+
+/root/repo/target/release/deps/ext_lifetime-51efe775ec9a472d: crates/bench/src/bin/ext_lifetime.rs
+
+crates/bench/src/bin/ext_lifetime.rs:

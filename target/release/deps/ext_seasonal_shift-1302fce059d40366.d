@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_seasonal_shift-1302fce059d40366.d: crates/bench/src/bin/ext_seasonal_shift.rs
+
+/root/repo/target/release/deps/ext_seasonal_shift-1302fce059d40366: crates/bench/src/bin/ext_seasonal_shift.rs
+
+crates/bench/src/bin/ext_seasonal_shift.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_snip_vs_mip-fb1e8dc6d355563d.d: crates/bench/src/bin/ext_snip_vs_mip.rs
+
+/root/repo/target/release/deps/ext_snip_vs_mip-fb1e8dc6d355563d: crates/bench/src/bin/ext_snip_vs_mip.rs
+
+crates/bench/src/bin/ext_snip_vs_mip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_trace_driven-d11acb9eb376ce5b.d: crates/bench/src/bin/ext_trace_driven.rs
+
+/root/repo/target/release/deps/ext_trace_driven-d11acb9eb376ce5b: crates/bench/src/bin/ext_trace_driven.rs
+
+crates/bench/src/bin/ext_trace_driven.rs:

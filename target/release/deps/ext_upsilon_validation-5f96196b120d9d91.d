@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_upsilon_validation-5f96196b120d9d91.d: crates/bench/src/bin/ext_upsilon_validation.rs
+
+/root/repo/target/release/deps/ext_upsilon_validation-5f96196b120d9d91: crates/bench/src/bin/ext_upsilon_validation.rs
+
+crates/bench/src/bin/ext_upsilon_validation.rs:

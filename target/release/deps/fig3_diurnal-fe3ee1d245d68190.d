@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_diurnal-fe3ee1d245d68190.d: crates/bench/src/bin/fig3_diurnal.rs
+
+/root/repo/target/release/deps/fig3_diurnal-fe3ee1d245d68190: crates/bench/src/bin/fig3_diurnal.rs
+
+crates/bench/src/bin/fig3_diurnal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_benefit-6967b88cb840206e.d: crates/bench/src/bin/fig4_benefit.rs
+
+/root/repo/target/release/deps/fig4_benefit-6967b88cb840206e: crates/bench/src/bin/fig4_benefit.rs
+
+crates/bench/src/bin/fig4_benefit.rs:

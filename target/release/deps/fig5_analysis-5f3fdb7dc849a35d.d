@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_analysis-5f3fdb7dc849a35d.d: crates/bench/src/bin/fig5_analysis.rs
+
+/root/repo/target/release/deps/fig5_analysis-5f3fdb7dc849a35d: crates/bench/src/bin/fig5_analysis.rs
+
+crates/bench/src/bin/fig5_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_analysis-60c2168d71110e6c.d: crates/bench/src/bin/fig6_analysis.rs
+
+/root/repo/target/release/deps/fig6_analysis-60c2168d71110e6c: crates/bench/src/bin/fig6_analysis.rs
+
+crates/bench/src/bin/fig6_analysis.rs:

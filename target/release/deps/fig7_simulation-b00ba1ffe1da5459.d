@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_simulation-b00ba1ffe1da5459.d: crates/bench/src/bin/fig7_simulation.rs
+
+/root/repo/target/release/deps/fig7_simulation-b00ba1ffe1da5459: crates/bench/src/bin/fig7_simulation.rs
+
+crates/bench/src/bin/fig7_simulation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_simulation-baf271b7f5691967.d: crates/bench/src/bin/fig8_simulation.rs
+
+/root/repo/target/release/deps/fig8_simulation-baf271b7f5691967: crates/bench/src/bin/fig8_simulation.rs
+
+crates/bench/src/bin/fig8_simulation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/model-8c95b21d785def01.d: crates/bench/benches/model.rs
+
+/root/repo/target/release/deps/model-8c95b21d785def01: crates/bench/benches/model.rs
+
+crates/bench/benches/model.rs:

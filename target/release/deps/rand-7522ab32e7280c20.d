@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-7522ab32e7280c20.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-7522ab32e7280c20.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-7522ab32e7280c20.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

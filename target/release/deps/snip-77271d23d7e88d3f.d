@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/snip-77271d23d7e88d3f.d: crates/replay/src/bin/snip.rs
+
+/root/repo/target/release/deps/snip-77271d23d7e88d3f: crates/replay/src/bin/snip.rs
+
+crates/replay/src/bin/snip.rs:

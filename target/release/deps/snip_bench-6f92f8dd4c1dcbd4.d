@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/snip_bench-6f92f8dd4c1dcbd4.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsnip_bench-6f92f8dd4c1dcbd4.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsnip_bench-6f92f8dd4c1dcbd4.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

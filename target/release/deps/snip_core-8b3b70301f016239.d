@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/snip_core-8b3b70301f016239.d: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/budget.rs crates/core/src/estimator.rs crates/core/src/hybrid.rs crates/core/src/scheduler.rs crates/core/src/snip_at.rs crates/core/src/snip_opt.rs crates/core/src/snip_rh.rs
+
+/root/repo/target/release/deps/libsnip_core-8b3b70301f016239.rlib: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/budget.rs crates/core/src/estimator.rs crates/core/src/hybrid.rs crates/core/src/scheduler.rs crates/core/src/snip_at.rs crates/core/src/snip_opt.rs crates/core/src/snip_rh.rs
+
+/root/repo/target/release/deps/libsnip_core-8b3b70301f016239.rmeta: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/budget.rs crates/core/src/estimator.rs crates/core/src/hybrid.rs crates/core/src/scheduler.rs crates/core/src/snip_at.rs crates/core/src/snip_opt.rs crates/core/src/snip_rh.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adaptive.rs:
+crates/core/src/budget.rs:
+crates/core/src/estimator.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/snip_at.rs:
+crates/core/src/snip_opt.rs:
+crates/core/src/snip_rh.rs:

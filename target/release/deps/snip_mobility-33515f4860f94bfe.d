@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/snip_mobility-33515f4860f94bfe.d: crates/mobility/src/lib.rs crates/mobility/src/arrival.rs crates/mobility/src/diurnal.rs crates/mobility/src/external.rs crates/mobility/src/profile.rs crates/mobility/src/sampler.rs crates/mobility/src/synthetic.rs crates/mobility/src/trace.rs crates/mobility/src/transform.rs
+
+/root/repo/target/release/deps/libsnip_mobility-33515f4860f94bfe.rlib: crates/mobility/src/lib.rs crates/mobility/src/arrival.rs crates/mobility/src/diurnal.rs crates/mobility/src/external.rs crates/mobility/src/profile.rs crates/mobility/src/sampler.rs crates/mobility/src/synthetic.rs crates/mobility/src/trace.rs crates/mobility/src/transform.rs
+
+/root/repo/target/release/deps/libsnip_mobility-33515f4860f94bfe.rmeta: crates/mobility/src/lib.rs crates/mobility/src/arrival.rs crates/mobility/src/diurnal.rs crates/mobility/src/external.rs crates/mobility/src/profile.rs crates/mobility/src/sampler.rs crates/mobility/src/synthetic.rs crates/mobility/src/trace.rs crates/mobility/src/transform.rs
+
+crates/mobility/src/lib.rs:
+crates/mobility/src/arrival.rs:
+crates/mobility/src/diurnal.rs:
+crates/mobility/src/external.rs:
+crates/mobility/src/profile.rs:
+crates/mobility/src/sampler.rs:
+crates/mobility/src/synthetic.rs:
+crates/mobility/src/trace.rs:
+crates/mobility/src/transform.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/snip_model-da0e55fe95e9763f.d: crates/model/src/lib.rs crates/model/src/analysis.rs crates/model/src/integrate.rs crates/model/src/latency.rs crates/model/src/length.rs crates/model/src/mip.rs crates/model/src/probed.rs crates/model/src/rush_hour.rs crates/model/src/slot.rs crates/model/src/snip.rs
+
+/root/repo/target/release/deps/libsnip_model-da0e55fe95e9763f.rlib: crates/model/src/lib.rs crates/model/src/analysis.rs crates/model/src/integrate.rs crates/model/src/latency.rs crates/model/src/length.rs crates/model/src/mip.rs crates/model/src/probed.rs crates/model/src/rush_hour.rs crates/model/src/slot.rs crates/model/src/snip.rs
+
+/root/repo/target/release/deps/libsnip_model-da0e55fe95e9763f.rmeta: crates/model/src/lib.rs crates/model/src/analysis.rs crates/model/src/integrate.rs crates/model/src/latency.rs crates/model/src/length.rs crates/model/src/mip.rs crates/model/src/probed.rs crates/model/src/rush_hour.rs crates/model/src/slot.rs crates/model/src/snip.rs
+
+crates/model/src/lib.rs:
+crates/model/src/analysis.rs:
+crates/model/src/integrate.rs:
+crates/model/src/latency.rs:
+crates/model/src/length.rs:
+crates/model/src/mip.rs:
+crates/model/src/probed.rs:
+crates/model/src/rush_hour.rs:
+crates/model/src/slot.rs:
+crates/model/src/snip.rs:

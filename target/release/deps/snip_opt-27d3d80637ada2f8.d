@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/snip_opt-27d3d80637ada2f8.d: crates/opt/src/lib.rs crates/opt/src/allocate.rs crates/opt/src/curve.rs crates/opt/src/simplex.rs crates/opt/src/two_step.rs
+
+/root/repo/target/release/deps/libsnip_opt-27d3d80637ada2f8.rlib: crates/opt/src/lib.rs crates/opt/src/allocate.rs crates/opt/src/curve.rs crates/opt/src/simplex.rs crates/opt/src/two_step.rs
+
+/root/repo/target/release/deps/libsnip_opt-27d3d80637ada2f8.rmeta: crates/opt/src/lib.rs crates/opt/src/allocate.rs crates/opt/src/curve.rs crates/opt/src/simplex.rs crates/opt/src/two_step.rs
+
+crates/opt/src/lib.rs:
+crates/opt/src/allocate.rs:
+crates/opt/src/curve.rs:
+crates/opt/src/simplex.rs:
+crates/opt/src/two_step.rs:

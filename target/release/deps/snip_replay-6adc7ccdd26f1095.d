@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/snip_replay-6adc7ccdd26f1095.d: crates/replay/src/lib.rs crates/replay/src/diff.rs crates/replay/src/event.rs crates/replay/src/journal.rs crates/replay/src/record.rs crates/replay/src/replay.rs
+
+/root/repo/target/release/deps/libsnip_replay-6adc7ccdd26f1095.rlib: crates/replay/src/lib.rs crates/replay/src/diff.rs crates/replay/src/event.rs crates/replay/src/journal.rs crates/replay/src/record.rs crates/replay/src/replay.rs
+
+/root/repo/target/release/deps/libsnip_replay-6adc7ccdd26f1095.rmeta: crates/replay/src/lib.rs crates/replay/src/diff.rs crates/replay/src/event.rs crates/replay/src/journal.rs crates/replay/src/record.rs crates/replay/src/replay.rs
+
+crates/replay/src/lib.rs:
+crates/replay/src/diff.rs:
+crates/replay/src/event.rs:
+crates/replay/src/journal.rs:
+crates/replay/src/record.rs:
+crates/replay/src/replay.rs:

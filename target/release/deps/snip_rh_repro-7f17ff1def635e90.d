@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/snip_rh_repro-7f17ff1def635e90.d: src/lib.rs
+
+/root/repo/target/release/deps/libsnip_rh_repro-7f17ff1def635e90.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsnip_rh_repro-7f17ff1def635e90.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/snip_sim-ca19f2162a7671e1.d: crates/sim/src/lib.rs crates/sim/src/buffer.rs crates/sim/src/config.rs crates/sim/src/energy.rs crates/sim/src/fleet.rs crates/sim/src/metrics.rs crates/sim/src/mip.rs crates/sim/src/node.rs crates/sim/src/observe.rs crates/sim/src/runner.rs
+
+/root/repo/target/release/deps/libsnip_sim-ca19f2162a7671e1.rlib: crates/sim/src/lib.rs crates/sim/src/buffer.rs crates/sim/src/config.rs crates/sim/src/energy.rs crates/sim/src/fleet.rs crates/sim/src/metrics.rs crates/sim/src/mip.rs crates/sim/src/node.rs crates/sim/src/observe.rs crates/sim/src/runner.rs
+
+/root/repo/target/release/deps/libsnip_sim-ca19f2162a7671e1.rmeta: crates/sim/src/lib.rs crates/sim/src/buffer.rs crates/sim/src/config.rs crates/sim/src/energy.rs crates/sim/src/fleet.rs crates/sim/src/metrics.rs crates/sim/src/mip.rs crates/sim/src/node.rs crates/sim/src/observe.rs crates/sim/src/runner.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/buffer.rs:
+crates/sim/src/config.rs:
+crates/sim/src/energy.rs:
+crates/sim/src/fleet.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/mip.rs:
+crates/sim/src/node.rs:
+crates/sim/src/observe.rs:
+crates/sim/src/runner.rs:

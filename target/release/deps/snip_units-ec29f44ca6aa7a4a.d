@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/snip_units-ec29f44ca6aa7a4a.d: crates/units/src/lib.rs crates/units/src/data.rs crates/units/src/duty.rs crates/units/src/energy.rs crates/units/src/time.rs
+
+/root/repo/target/release/deps/libsnip_units-ec29f44ca6aa7a4a.rlib: crates/units/src/lib.rs crates/units/src/data.rs crates/units/src/duty.rs crates/units/src/energy.rs crates/units/src/time.rs
+
+/root/repo/target/release/deps/libsnip_units-ec29f44ca6aa7a4a.rmeta: crates/units/src/lib.rs crates/units/src/data.rs crates/units/src/duty.rs crates/units/src/energy.rs crates/units/src/time.rs
+
+crates/units/src/lib.rs:
+crates/units/src/data.rs:
+crates/units/src/duty.rs:
+crates/units/src/energy.rs:
+crates/units/src/time.rs:

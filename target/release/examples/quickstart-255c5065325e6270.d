@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-255c5065325e6270.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-255c5065325e6270: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/roadside_network-9a62d2773ce925dd.d: examples/roadside_network.rs
+
+/root/repo/target/release/examples/roadside_network-9a62d2773ce925dd: examples/roadside_network.rs
+
+examples/roadside_network.rs:
