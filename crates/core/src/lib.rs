@@ -48,6 +48,7 @@
 
 pub mod adaptive;
 pub mod budget;
+pub mod dispatch;
 pub mod estimator;
 pub mod hybrid;
 pub mod scheduler;
@@ -57,9 +58,10 @@ pub mod snip_rh;
 
 pub use adaptive::{AdaptiveConfig, AdaptivePhase, AdaptiveSnipRh};
 pub use budget::EnergyLedger;
+pub use dispatch::MechanismScheduler;
 pub use estimator::Ewma;
 pub use hybrid::SnipRhPlusAt;
-pub use scheduler::{DecisionRecord, ProbeContext, ProbeScheduler, ProbedContactInfo};
+pub use scheduler::{DecisionRecord, ProbeContext, ProbeScheduler, ProbedContactInfo, SteadySpan};
 pub use snip_at::SnipAt;
 pub use snip_opt::SnipOptScheduler;
 pub use snip_rh::{LengthEstimation, SnipRh, SnipRhConfig};

@@ -51,6 +51,20 @@ pub struct DecisionRecord {
     pub duty_cycle: Option<DutyCycle>,
 }
 
+/// A stability guarantee for an *active* decision, used by fast-path
+/// drivers to batch consecutive probing cycles without re-consulting the
+/// scheduler (see [`ProbeScheduler::steady_span`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SteadySpan {
+    /// The decision is guaranteed unchanged for any wake-up strictly before
+    /// this instant…
+    pub until: SimTime,
+    /// …as long as the epoch's probing spend (`ctx.phi_spent_epoch`) stays
+    /// strictly below this bound; `None` when the decision does not depend
+    /// on the spend at all.
+    pub phi_below: Option<SimDuration>,
+}
+
 /// A SNIP scheduling mechanism.
 ///
 /// Implementations decide whether SNIP probing is active *right now* and at
@@ -82,6 +96,105 @@ pub trait ProbeScheduler {
 
     /// A short human-readable mechanism name ("SNIP-AT", "SNIP-RH", …).
     fn name(&self) -> &str;
+
+    /// Fast-path hint while the radio is **off**: an instant up to which the
+    /// scheduler *guarantees* [`decide`](ProbeScheduler::decide) would keep
+    /// returning off/`None`, letting the driver skip the wake-ups in between
+    /// instead of stepping through them one decision interval at a time.
+    ///
+    /// The guarantee must hold for every context with `now` in
+    /// `[ctx.now, returned)` whose `buffered_data` and `phi_spent_epoch` are
+    /// at least `ctx`'s (both are non-decreasing while the radio is off) and
+    /// with no intervening
+    /// [`record_probed_contact`](ProbeScheduler::record_probed_contact).
+    /// Return `None` when no such bound is known (e.g. the gate depends on
+    /// data arrival) — the driver then falls back to periodic wake-ups. The
+    /// default is `None`, which is always correct.
+    fn idle_until(&self, ctx: &ProbeContext) -> Option<SimTime> {
+        let _ = ctx;
+        None
+    }
+
+    /// Fast-path hint while the radio is **on**: a window within which the
+    /// scheduler *guarantees* [`decide`](ProbeScheduler::decide) would keep
+    /// returning the exact same duty-cycle, letting the driver run several
+    /// probing cycles per consultation.
+    ///
+    /// The guarantee must hold for every context with `now` in
+    /// `[ctx.now, span.until)` whose `buffered_data` is at least `ctx`'s and
+    /// whose `phi_spent_epoch` is below `span.phi_below` (when set), with no
+    /// intervening
+    /// [`record_probed_contact`](ProbeScheduler::record_probed_contact).
+    /// The default is `None` (no guarantee), which is always correct.
+    fn steady_span(&self, ctx: &ProbeContext) -> Option<SteadySpan> {
+        let _ = ctx;
+        None
+    }
+}
+
+/// Slot-of-epoch arithmetic shared by the fast-path hints of the concrete
+/// schedulers. All helpers follow the same tail convention as the slot
+/// lookups they mirror: when the epoch is not an exact multiple of the slot
+/// length, the last slot absorbs the remainder.
+pub(crate) mod slots {
+    use snip_units::{SimDuration, SimTime};
+
+    /// The first instant of the epoch after the one containing `now`.
+    pub(crate) fn next_epoch_start(now: SimTime, epoch: SimDuration) -> SimTime {
+        (now - now.time_in_epoch(epoch)) + epoch
+    }
+
+    /// The end of the (tail-capped) slot containing `now`, given `n` slots
+    /// of `slot_length` per `epoch`.
+    pub(crate) fn slot_end(
+        now: SimTime,
+        epoch: SimDuration,
+        slot_length: SimDuration,
+        n: usize,
+    ) -> SimTime {
+        let epoch_start = now - now.time_in_epoch(epoch);
+        let cur = slot_index(now, epoch, slot_length, n);
+        if cur + 1 >= n {
+            epoch_start + epoch
+        } else {
+            epoch_start + slot_length * (cur as u64 + 1)
+        }
+    }
+
+    /// The slot index containing `now` (tail-capped to `n - 1`).
+    pub(crate) fn slot_index(
+        now: SimTime,
+        epoch: SimDuration,
+        slot_length: SimDuration,
+        n: usize,
+    ) -> usize {
+        ((now.time_in_epoch(epoch) / slot_length) as usize).min(n - 1)
+    }
+
+    /// The start of the first slot strictly after `now`'s whose index
+    /// satisfies `marked`, scanning at most one full epoch ahead;
+    /// [`SimTime::MAX`] when no slot ever matches.
+    pub(crate) fn next_marked_start(
+        now: SimTime,
+        epoch: SimDuration,
+        slot_length: SimDuration,
+        n: usize,
+        marked: impl Fn(usize) -> bool,
+    ) -> SimTime {
+        let epoch_start = now - now.time_in_epoch(epoch);
+        let cur = slot_index(now, epoch, slot_length, n);
+        for k in 1..=n {
+            let s = (cur + k) % n;
+            if marked(s) {
+                return if cur + k < n {
+                    epoch_start + slot_length * (cur + k) as u64
+                } else {
+                    epoch_start + epoch + slot_length * s as u64
+                };
+            }
+        }
+        SimTime::MAX
+    }
 }
 
 impl<S: ProbeScheduler + ?Sized> ProbeScheduler for Box<S> {
@@ -95,6 +208,14 @@ impl<S: ProbeScheduler + ?Sized> ProbeScheduler for Box<S> {
 
     fn name(&self) -> &str {
         (**self).name()
+    }
+
+    fn idle_until(&self, ctx: &ProbeContext) -> Option<SimTime> {
+        (**self).idle_until(ctx)
+    }
+
+    fn steady_span(&self, ctx: &ProbeContext) -> Option<SteadySpan> {
+        (**self).steady_span(ctx)
     }
 }
 

@@ -9,10 +9,10 @@
 //! (`d0 ≤ Φmax/Tepoch`), and the gate makes that robust to mis-estimation.
 
 use snip_model::{ScenarioAnalysis, SlotProfile, SnipModel};
-use snip_units::{DutyCycle, SimDuration};
+use snip_units::{DutyCycle, SimDuration, SimTime};
 
 use crate::budget::EnergyLedger;
-use crate::scheduler::{ProbeContext, ProbeScheduler};
+use crate::scheduler::{ProbeContext, ProbeScheduler, SteadySpan};
 
 /// The SNIP-AT scheduler: a fixed duty-cycle, all the time.
 ///
@@ -72,9 +72,17 @@ impl SnipAt {
         phi_max: f64,
         zeta_target: f64,
     ) -> Self {
-        let analysis = ScenarioAnalysis::new(model, profile.clone(), phi_max);
         let epoch = profile.epoch().as_secs_f64();
         let budget_d = DutyCycle::clamped(phi_max / epoch);
+        // ζ(d) is monotone: when even the budget-bound duty-cycle misses the
+        // target, the minimal duty-cycle for the target certainly busts the
+        // budget — the outcome is `budget_d` without running the bisection
+        // (one capacity evaluation instead of ~65, the dominant cost of a
+        // tight-budget sweep point).
+        if profile.probed_capacity_uniform(&model, budget_d) < zeta_target {
+            return SnipAt::new(budget_d);
+        }
+        let analysis = ScenarioAnalysis::new(model, profile.clone(), phi_max);
         let d = match analysis.duty_cycle_for_target(zeta_target) {
             Some(d) if d.as_fraction() <= budget_d.as_fraction() => d,
             _ => budget_d,
@@ -106,6 +114,36 @@ impl ProbeScheduler for SnipAt {
 
     fn name(&self) -> &str {
         "SNIP-AT"
+    }
+
+    fn idle_until(&self, ctx: &ProbeContext) -> Option<SimTime> {
+        if self.duty_cycle.is_off() {
+            return Some(SimTime::MAX);
+        }
+        let ledger = self.ledger.as_ref()?;
+        if ledger.budget().is_zero() {
+            return Some(SimTime::MAX);
+        }
+        // The driver's ledger is authoritative (ours is only charged zeros);
+        // its spend resets at the next epoch boundary.
+        if ctx.phi_spent_epoch >= ledger.budget() {
+            return Some(crate::scheduler::slots::next_epoch_start(
+                ctx.now,
+                ledger.epoch(),
+            ));
+        }
+        None
+    }
+
+    fn steady_span(&self, ctx: &ProbeContext) -> Option<SteadySpan> {
+        let _ = ctx;
+        if self.duty_cycle.is_off() {
+            return None;
+        }
+        Some(SteadySpan {
+            until: SimTime::MAX,
+            phi_below: self.ledger.as_ref().map(EnergyLedger::budget),
+        })
     }
 }
 

@@ -11,7 +11,7 @@ use snip_model::{SlotProfile, SnipModel};
 use snip_opt::{OptPlan, TwoStepOptimizer};
 use snip_units::{DutyCycle, SimDuration, SimTime};
 
-use crate::scheduler::{ProbeContext, ProbeScheduler};
+use crate::scheduler::{ProbeContext, ProbeScheduler, SteadySpan};
 
 /// The SNIP-OPT playback scheduler.
 ///
@@ -106,6 +106,37 @@ impl ProbeScheduler for SnipOptScheduler {
 
     fn name(&self) -> &str {
         "SNIP-OPT"
+    }
+
+    fn idle_until(&self, ctx: &ProbeContext) -> Option<SimTime> {
+        // The plan is a pure function of the slot-of-epoch: an unfunded slot
+        // stays unfunded until the next funded one begins.
+        if !self.duty_cycle_at(ctx.now).is_off() {
+            return None;
+        }
+        let duties = self.plan.duty_cycles();
+        Some(crate::scheduler::slots::next_marked_start(
+            ctx.now,
+            self.epoch,
+            self.slot_length,
+            duties.len(),
+            |s| !duties[s].is_off(),
+        ))
+    }
+
+    fn steady_span(&self, ctx: &ProbeContext) -> Option<SteadySpan> {
+        if self.duty_cycle_at(ctx.now).is_off() {
+            return None;
+        }
+        Some(SteadySpan {
+            until: crate::scheduler::slots::slot_end(
+                ctx.now,
+                self.epoch,
+                self.slot_length,
+                self.plan.duty_cycles().len(),
+            ),
+            phi_below: None,
+        })
     }
 }
 

@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 use snip_units::{DutyCycle, SimDuration, SimTime};
 
 use crate::estimator::Ewma;
-use crate::scheduler::{ProbeContext, ProbeScheduler, ProbedContactInfo};
+use crate::scheduler::{ProbeContext, ProbeScheduler, ProbedContactInfo, SteadySpan};
 
 /// How SNIP-RH estimates the contact length from probed contacts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -287,6 +287,53 @@ impl ProbeScheduler for SnipRh {
 
     fn name(&self) -> &str {
         "SNIP-RH"
+    }
+
+    fn idle_until(&self, ctx: &ProbeContext) -> Option<SimTime> {
+        let n = self.config.rush_marks.len();
+        // Condition 1 failing is a pure function of time: off until the next
+        // marked slot begins, no matter what the buffer or ledger do.
+        if !self.in_rush_hour(ctx.now) {
+            return Some(crate::scheduler::slots::next_marked_start(
+                ctx.now,
+                self.config.epoch,
+                self.slot_length,
+                n,
+                |s| self.config.rush_marks[s],
+            ));
+        }
+        // Condition 2 failing depends on data arrival, which the scheduler
+        // cannot predict — no bound.
+        if ctx.buffered_data.as_airtime() < self.upload_threshold() {
+            return None;
+        }
+        // Condition 3: the epoch's spend only resets at the next epoch.
+        if ctx.phi_spent_epoch >= self.config.phi_max {
+            return Some(crate::scheduler::slots::next_epoch_start(
+                ctx.now,
+                self.config.epoch,
+            ));
+        }
+        None
+    }
+
+    fn steady_span(&self, ctx: &ProbeContext) -> Option<SteadySpan> {
+        // Within the current rush slot the mark cannot change, the knee
+        // duty-cycle and the upload threshold only move on probed-contact
+        // feedback, and condition 2 stays satisfied while the buffer only
+        // grows; condition 3 is delegated to the caller via `phi_below`.
+        if !self.in_rush_hour(ctx.now) {
+            return None;
+        }
+        Some(SteadySpan {
+            until: crate::scheduler::slots::slot_end(
+                ctx.now,
+                self.config.epoch,
+                self.slot_length,
+                self.config.rush_marks.len(),
+            ),
+            phi_below: Some(self.config.phi_max),
+        })
     }
 }
 

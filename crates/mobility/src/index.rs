@@ -1,0 +1,238 @@
+//! An epoch-bucketed index over a [`ContactTrace`].
+//!
+//! [`ContactIndex`] buckets the contacts by the epoch containing their
+//! start, in one pass over the trace. The simulator consumes the per-epoch
+//! census ([`ContactIndex::counts_per_epoch`]) at run startup — its *inner*
+//! loop advances a monotone cursor instead, since simulated time only moves
+//! forward. The point queries ([`ContactIndex::contact_at`],
+//! [`ContactIndex::next_contact_at_or_after`]) serve random-access
+//! consumers — analysis and tooling over long traces — where a plain
+//! trace's whole-list binary search touches every epoch.
+//!
+//! The index borrows the trace, so a single `Arc<ContactTrace>` shared
+//! across a parallel sweep can carry one cheap per-run index per worker.
+
+use snip_units::{SimDuration, SimTime};
+
+use crate::trace::{Contact, ContactTrace};
+
+/// An epoch-bucketed view of a [`ContactTrace`].
+///
+/// # Examples
+///
+/// ```
+/// use snip_mobility::{Contact, ContactIndex, ContactTrace};
+/// use snip_units::{SimDuration, SimTime};
+///
+/// let trace: ContactTrace = [
+///     Contact::new(SimTime::from_secs(10), SimDuration::from_secs(2)),
+///     Contact::new(SimTime::from_secs(90_000), SimDuration::from_secs(3)),
+/// ]
+/// .into_iter()
+/// .collect();
+/// let index = ContactIndex::new(&trace, SimDuration::from_hours(24));
+/// assert_eq!(index.counts_per_epoch(), &[1, 1]);
+/// assert!(index.contact_at(SimTime::from_secs(11)).is_some());
+/// assert!(index.contact_at(SimTime::from_secs(500)).is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ContactIndex<'t> {
+    trace: &'t ContactTrace,
+    epoch: SimDuration,
+    /// `bucket_first[e]` is the index of the first contact starting in epoch
+    /// `e` or later; one trailing entry holds `trace.len()`.
+    bucket_first: Vec<usize>,
+    /// Contacts starting in each epoch.
+    counts: Vec<u64>,
+}
+
+impl<'t> ContactIndex<'t> {
+    /// Builds the index in one pass over the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch` is zero.
+    #[must_use]
+    pub fn new(trace: &'t ContactTrace, epoch: SimDuration) -> Self {
+        assert!(!epoch.is_zero(), "epoch must be positive");
+        let epochs = trace
+            .contacts()
+            .last()
+            .map_or(0, |c| c.start.epoch_index(epoch) + 1) as usize;
+        let mut bucket_first = vec![0usize; epochs + 1];
+        let mut counts = vec![0u64; epochs];
+        let mut next_epoch = 0usize;
+        for (i, c) in trace.iter().enumerate() {
+            let e = c.start.epoch_index(epoch) as usize;
+            while next_epoch <= e {
+                bucket_first[next_epoch] = i;
+                next_epoch += 1;
+            }
+            counts[e] += 1;
+        }
+        while next_epoch <= epochs {
+            bucket_first[next_epoch] = trace.len();
+            next_epoch += 1;
+        }
+        ContactIndex {
+            trace,
+            epoch,
+            bucket_first,
+            counts,
+        }
+    }
+
+    /// The epoch length the index is bucketed by.
+    #[must_use]
+    pub fn epoch(&self) -> SimDuration {
+        self.epoch
+    }
+
+    /// Contacts *starting* in each epoch, from epoch 0 through the last
+    /// epoch with a contact. Empty for an empty trace.
+    #[must_use]
+    pub fn counts_per_epoch(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The range of contact indices whose start lies in epoch `e`
+    /// (empty for epochs beyond the trace).
+    #[must_use]
+    pub fn epoch_range(&self, e: u64) -> std::ops::Range<usize> {
+        let e = e as usize;
+        if e >= self.counts.len() {
+            return self.trace.len()..self.trace.len();
+        }
+        self.bucket_first[e]..self.bucket_first[e + 1]
+    }
+
+    /// The contact covering instant `t`, if any.
+    ///
+    /// Equivalent to [`ContactTrace::contact_at`] but searches only the
+    /// epoch containing `t` (plus one straddling predecessor).
+    #[must_use]
+    pub fn contact_at(&self, t: SimTime) -> Option<&'t Contact> {
+        let e = t.epoch_index(self.epoch) as usize;
+        if e >= self.counts.len() {
+            // Past the last epoch with contact starts: only the final
+            // contact can straddle this far (ends are strictly increasing
+            // in a non-overlapping trace).
+            return self.trace.contacts().last().filter(|c| c.contains(t));
+        }
+        let bucket = &self.trace.contacts()[self.bucket_first[e]..self.bucket_first[e + 1]];
+        let idx = bucket.partition_point(|c| c.end() <= t);
+        if let Some(c) = bucket.get(idx).filter(|c| c.contains(t)) {
+            return Some(c);
+        }
+        // A contact started in an earlier epoch may straddle into this one;
+        // traces are non-overlapping, so only the direct predecessor can.
+        self.trace.contacts()[..self.bucket_first[e]]
+            .last()
+            .filter(|c| c.contains(t))
+    }
+
+    /// The first contact starting at or after `t`, if any.
+    ///
+    /// Equivalent to [`ContactTrace::next_contact_at_or_after`] with
+    /// bucketed search.
+    #[must_use]
+    pub fn next_contact_at_or_after(&self, t: SimTime) -> Option<&'t Contact> {
+        let e = (t.epoch_index(self.epoch) as usize).min(self.counts.len());
+        if e >= self.counts.len() {
+            return None;
+        }
+        let bucket = &self.trace.contacts()[self.bucket_first[e]..self.bucket_first[e + 1]];
+        let idx = bucket.partition_point(|c| c.start < t);
+        match bucket.get(idx) {
+            Some(c) => Some(c),
+            // Nothing later in this epoch: the next epoch's first contact.
+            None => self.trace.contacts().get(self.bucket_first[e + 1]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::EpochProfile;
+    use crate::trace::TraceGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn day() -> SimDuration {
+        SimDuration::from_hours(24)
+    }
+
+    #[test]
+    fn empty_trace_indexes_cleanly() {
+        let trace = ContactTrace::new();
+        let index = ContactIndex::new(&trace, day());
+        assert!(index.counts_per_epoch().is_empty());
+        assert!(index.contact_at(SimTime::from_secs(10)).is_none());
+        assert!(index
+            .next_contact_at_or_after(SimTime::from_secs(10))
+            .is_none());
+        assert_eq!(index.epoch_range(0), 0..0);
+    }
+
+    #[test]
+    fn counts_match_a_manual_census() {
+        let trace = TraceGenerator::new(EpochProfile::roadside())
+            .epochs(5)
+            .generate(&mut StdRng::seed_from_u64(3));
+        let index = ContactIndex::new(&trace, day());
+        assert_eq!(index.counts_per_epoch().len(), 5);
+        for (e, &count) in index.counts_per_epoch().iter().enumerate() {
+            let manual = trace
+                .iter()
+                .filter(|c| c.start.epoch_index(day()) == e as u64)
+                .count() as u64;
+            assert_eq!(count, manual, "epoch {e}");
+            assert_eq!(index.epoch_range(e as u64).len() as u64, count);
+        }
+        let total: u64 = index.counts_per_epoch().iter().sum();
+        assert_eq!(total, trace.len() as u64);
+    }
+
+    #[test]
+    fn point_queries_agree_with_the_trace() {
+        let trace = TraceGenerator::new(EpochProfile::roadside())
+            .epochs(3)
+            .generate(&mut StdRng::seed_from_u64(8));
+        let index = ContactIndex::new(&trace, day());
+        // Probe a dense grid plus every contact's edges.
+        let mut probes: Vec<SimTime> = (0..(3 * 86_400))
+            .step_by(617)
+            .map(SimTime::from_secs)
+            .collect();
+        for c in trace.iter() {
+            probes.push(c.start);
+            probes.push(c.end());
+            probes.push(c.start + SimDuration::from_micros(1));
+        }
+        for t in probes {
+            assert_eq!(index.contact_at(t), trace.contact_at(t), "contact_at {t}");
+            assert_eq!(
+                index.next_contact_at_or_after(t),
+                trace.next_contact_at_or_after(t),
+                "next_contact_at_or_after {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn straddling_contact_is_found_from_the_next_epoch() {
+        // A contact beginning 1 s before midnight and lasting 10 s.
+        let trace: ContactTrace = [Contact::new(
+            SimTime::from_secs(86_399),
+            SimDuration::from_secs(10),
+        )]
+        .into_iter()
+        .collect();
+        let index = ContactIndex::new(&trace, day());
+        // Query inside epoch 1, covered only by epoch 0's last contact.
+        let t = SimTime::from_secs(86_404);
+        assert!(index.contact_at(t).is_some());
+        assert_eq!(index.contact_at(t), trace.contact_at(t));
+    }
+}

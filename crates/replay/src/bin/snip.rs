@@ -7,6 +7,8 @@
 //! snip replay  <journal> [--mechanism at|rh|opt]
 //! snip diff    <a> <b>
 //! snip convert <in> <out>
+//! snip bench   [--out BENCH_sweep.json] [--epochs N] [--threads N] [--seed S]
+//!              [--phi-max SECS] [--targets a,b,c]
 //! ```
 //!
 //! Journal format is chosen by extension: `.json`/`.jsonl` are JSON lines,
@@ -39,6 +41,7 @@ USAGE:
     snip replay  <journal> [--mechanism M]     re-execute and verify a journal
     snip diff    <a> <b>                       compare two journals
     snip convert <in> <out>                    translate jsonl <-> cbor
+    snip bench   [options]                     time the canonical paper sweep
 
 record options (defaults in brackets):
     --out <path>           journal to write (required)
@@ -53,6 +56,15 @@ record options (defaults in brackets):
 replay options:
     --mechanism <name>     override the recorded scheduler (at | rh | opt) —
                            a deliberate divergence demonstration
+
+bench options (defaults in brackets):
+    --out <path>           where to write the JSON report  [BENCH_sweep.json]
+    --epochs <n>           days per simulated point        [14]
+    --seed <n>             base seed                       [2011]
+    --phi-max <secs>       per-epoch probing budget        [86.4]
+    --threads <n>          parallel worker count           [SNIP_THREADS or #cores]
+    --repeat <n>           timing repetitions (best-of)    [3]
+    --targets <a,b,..>     ζtarget list, seconds           [paper: 16..56]
 
 Formats by extension: .json/.jsonl = JSON lines, anything else = CBOR
 (.snipj by convention).
@@ -71,6 +83,7 @@ fn main() -> ExitCode {
         "replay" => cmd_replay(rest),
         "diff" => cmd_diff(rest),
         "convert" => cmd_convert(rest),
+        "bench" => cmd_bench(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -487,6 +500,175 @@ fn cmd_convert(args: &[String]) -> Result<ExitCode, CliError> {
         writer.format(),
         n
     );
+    Ok(ExitCode::SUCCESS)
+}
+
+// -------------------------------------------------------------------- bench
+
+struct BenchOptions {
+    out: PathBuf,
+    epochs: u64,
+    seed: u64,
+    phi_max: f64,
+    threads: usize,
+    repeat: u32,
+    targets: Vec<f64>,
+}
+
+fn parse_bench_options(args: &[String]) -> Result<BenchOptions, CliError> {
+    let mut opts = BenchOptions {
+        out: PathBuf::from("BENCH_sweep.json"),
+        epochs: 14,
+        seed: 2011,
+        phi_max: 86.4,
+        threads: snip_sim::default_threads(),
+        repeat: 3,
+        targets: vec![16.0, 24.0, 32.0, 40.0, 48.0, 56.0],
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => opts.out = parse_value::<PathBuf>(flag, it.next())?,
+            "--epochs" => opts.epochs = parse_value(flag, it.next())?,
+            "--seed" => opts.seed = parse_value(flag, it.next())?,
+            "--phi-max" => opts.phi_max = parse_value(flag, it.next())?,
+            "--threads" => opts.threads = parse_value(flag, it.next())?,
+            "--repeat" => opts.repeat = parse_value(flag, it.next())?,
+            "--targets" => {
+                let raw: String = parse_value(flag, it.next())?;
+                opts.targets = raw
+                    .split(',')
+                    .map(|s| s.trim().parse::<f64>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| CliError::Usage(format!("invalid --targets list `{raw}`")))?;
+            }
+            other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+        }
+    }
+    if opts.epochs == 0 {
+        return Err(CliError::Usage("--epochs must be at least 1".into()));
+    }
+    if opts.threads == 0 {
+        return Err(CliError::Usage("--threads must be at least 1".into()));
+    }
+    if opts.repeat == 0 {
+        return Err(CliError::Usage("--repeat must be at least 1".into()));
+    }
+    if opts.targets.is_empty() {
+        return Err(CliError::Usage("--targets must name at least one".into()));
+    }
+    if !(opts.phi_max.is_finite() && opts.phi_max > 0.0) {
+        return Err(CliError::Usage("--phi-max must be positive".into()));
+    }
+    if opts.targets.iter().any(|t| !(t.is_finite() && *t > 0.0)) {
+        return Err(CliError::Usage("--targets must all be positive".into()));
+    }
+    Ok(opts)
+}
+
+/// Times the canonical Fig 7 sweep three ways — pre-optimization baseline,
+/// optimized sequential, optimized parallel — verifies that the optimized
+/// engines agree with each other bit-for-bit (and with the baseline up to
+/// float re-association), and writes the measurements as JSON.
+fn cmd_bench(args: &[String]) -> Result<ExitCode, CliError> {
+    use std::time::Instant;
+
+    let opts = parse_bench_options(args)?;
+    let runner = snip_sim::ScenarioRunner::new(
+        EpochProfile::roadside(),
+        SimConfig::paper_defaults().with_epochs(opts.epochs),
+        opts.phi_max,
+    )
+    .with_seed(opts.seed);
+    let points = opts.targets.len() * snip_sim::Mechanism::ALL.len();
+    eprintln!(
+        "benching {points} points ({} targets x 3 mechanisms, {} epochs each), {} threads",
+        opts.targets.len(),
+        opts.epochs,
+        opts.threads
+    );
+
+    // Best-of-N wall clock: robust to scheduling noise on busy hosts.
+    let timed = |f: &dyn Fn() -> Vec<snip_sim::SweepPoint>| {
+        let mut best = f64::INFINITY;
+        let mut out = Vec::new();
+        for _ in 0..opts.repeat {
+            let t = Instant::now();
+            out = f();
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        (out, best)
+    };
+    let (baseline, baseline_secs) = timed(&|| runner.sweep_baseline(&opts.targets));
+    eprintln!("  baseline (naive stepper, sequential): {baseline_secs:.3} s");
+    let (sequential, sequential_secs) = timed(&|| runner.sweep_parallel(&opts.targets, 1));
+    eprintln!("  optimized sequential:                 {sequential_secs:.3} s");
+    let (parallel, parallel_secs) = timed(&|| runner.sweep_parallel(&opts.targets, opts.threads));
+    eprintln!(
+        "  optimized parallel ({} threads):       {parallel_secs:.3} s",
+        opts.threads
+    );
+
+    // Determinism: parallel must equal sequential bit-for-bit.
+    let parallel_equals_sequential = sequential.len() == parallel.len()
+        && sequential.iter().zip(&parallel).all(|(a, b)| {
+            a.zeta_target == b.zeta_target
+                && a.mechanism == b.mechanism
+                && a.zeta == b.zeta
+                && a.phi == b.phi
+                && a.rho == b.rho
+        });
+    // Fidelity: the optimized engine must reproduce the baseline results
+    // (Φ re-associates batched float charges; everything else is exact).
+    let baseline_matches = baseline.len() == sequential.len()
+        && baseline
+            .iter()
+            .zip(&sequential)
+            .all(|(b, s)| b.zeta == s.zeta && (b.phi - s.phi).abs() <= 1e-9 * b.phi.max(1.0));
+
+    let speedup_vs_baseline = baseline_secs / parallel_secs;
+    let speedup_vs_sequential = sequential_secs / parallel_secs;
+    let report = format!(
+        "{{\n  \"bench\": \"sweep\",\n  \"schema_version\": 1,\n  \
+         \"host_cores\": {cores},\n  \"threads\": {threads},\n  \"repeat\": {repeat},\n  \
+         \"config\": {{\"epochs\": {epochs}, \"seed\": {seed}, \"phi_max_secs\": {phi_max}, \
+         \"zeta_targets\": [{targets}]}},\n  \
+         \"points\": {points},\n  \
+         \"baseline_sequential_secs\": {baseline_secs:.6},\n  \
+         \"sequential_secs\": {sequential_secs:.6},\n  \
+         \"parallel_secs\": {parallel_secs:.6},\n  \
+         \"points_per_sec_parallel\": {pps:.3},\n  \
+         \"speedup_parallel_vs_baseline\": {speedup_vs_baseline:.3},\n  \
+         \"speedup_parallel_vs_sequential\": {speedup_vs_sequential:.3},\n  \
+         \"determinism\": {{\"parallel_equals_sequential\": {parallel_equals_sequential}, \
+         \"optimized_matches_baseline\": {baseline_matches}}}\n}}\n",
+        cores = std::thread::available_parallelism().map_or(1, usize::from),
+        threads = opts.threads,
+        repeat = opts.repeat,
+        epochs = opts.epochs,
+        seed = opts.seed,
+        phi_max = opts.phi_max,
+        targets = opts
+            .targets
+            .iter()
+            .map(|t| format!("{t}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+        pps = points as f64 / parallel_secs,
+    );
+    std::fs::write(&opts.out, &report).map_err(fatal)?;
+    println!(
+        "wrote {}: {points} points, baseline {baseline_secs:.2} s -> parallel {parallel_secs:.2} s \
+         ({speedup_vs_baseline:.1}x vs baseline, {speedup_vs_sequential:.1}x vs sequential)",
+        opts.out.display()
+    );
+    if !(parallel_equals_sequential && baseline_matches) {
+        eprintln!(
+            "error: determinism check failed (see {})",
+            opts.out.display()
+        );
+        return Ok(ExitCode::FAILURE);
+    }
     Ok(ExitCode::SUCCESS)
 }
 

@@ -21,9 +21,16 @@ use snip_units::DutyCycle;
 
 /// The journal format version this crate writes and replays.
 ///
-/// Bump on any change to the event grammar or to event payload shapes;
-/// replay refuses journals from other versions rather than mis-verifying.
-pub const JOURNAL_VERSION: u32 = 1;
+/// Bump on any change to the event grammar, to event payload shapes, or to
+/// the simulator's event *cadence*; replay refuses journals from other
+/// versions rather than mis-verifying.
+///
+/// Version history:
+/// * 1 — initial grammar; one `Decision` per wake-up, one `Probe` per
+///   beacon.
+/// * 2 — fast-path simulator: provably-off wake-ups are elided, runs of
+///   empty probing cycles collapse into `ProbeBatch` events.
+pub const JOURNAL_VERSION: u32 = 2;
 
 /// A rebuildable description of the recorded scheduler.
 ///

@@ -360,7 +360,7 @@ mod tests {
             let mut reader = JournalReader::new(std::io::Cursor::new(bytes), format);
             let report = replay_run(&mut reader, None).unwrap();
             assert_eq!(report.metrics, recorded, "{format}");
-            assert!(report.events_verified > 1_000);
+            assert!(report.events_verified > 100);
             assert_eq!(report.header.mechanism, "SNIP-AT");
         }
     }

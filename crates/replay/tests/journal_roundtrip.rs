@@ -195,6 +195,7 @@ fn mutate(event: &mut SimEvent) {
                 Some(_) => None,
             };
         }
+        SimEvent::ProbeBatch { count, .. } => *count += 1,
         SimEvent::Probe { beacon_heard, .. } => *beacon_heard = !*beacon_heard,
         SimEvent::Upload { at, .. } => *at += SimDuration::from_micros(1),
         SimEvent::EpochEnd { metrics, .. } => metrics.phi += 1.0,

@@ -1,0 +1,122 @@
+//! A journal recorded for a parallel-sweep point replays bit-for-bit.
+//!
+//! The parallel sweep engine and the record/replay pipeline must describe
+//! the *same* run: recording the scheduler/config/seed combination of a
+//! sweep point must reproduce that point's metrics exactly, and the journal
+//! must then verify cleanly against a live re-execution.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use snip_core::SnipRhConfig;
+use snip_mobility::{EpochProfile, TraceGenerator};
+use snip_replay::event::{JournalHeader, SchedulerSpec};
+use snip_replay::journal::{JournalFormat, JournalReader, JournalWriter};
+use snip_replay::record::record_run;
+use snip_replay::replay::replay_run;
+use snip_sim::{Mechanism, ScenarioRunner, SimConfig, SimEvent};
+use snip_units::SimDuration;
+
+const SEED: u64 = 2011;
+const EPOCHS: u64 = 7;
+const PHI_MAX: f64 = 86.4;
+const TARGET: f64 = 16.0;
+
+/// The exact SNIP-RH spec `ScenarioRunner::mechanism_scheduler` builds for
+/// the roadside scenario.
+fn rh_spec(profile: &EpochProfile, config: &SimConfig) -> SchedulerSpec {
+    SchedulerSpec::Rh {
+        config: SnipRhConfig {
+            rush_marks: profile.rush_marks(),
+            epoch: config.epoch,
+            ton: config.ton,
+            phi_max: SimDuration::from_secs_f64(PHI_MAX),
+            ewma_weight: 0.1,
+            initial_contact_length: profile.mean_contact_length(),
+            length_estimation: snip_core::LengthEstimation::Exact,
+            min_duty_cycle: 1e-5,
+            duty_cycle_multiplier: 1.0,
+        },
+    }
+}
+
+#[test]
+fn parallel_sweep_point_records_and_replays_bit_for_bit() {
+    let profile = EpochProfile::roadside();
+    let config = SimConfig::paper_defaults().with_epochs(EPOCHS);
+    let runner = ScenarioRunner::new(profile.clone(), config.clone(), PHI_MAX).with_seed(SEED);
+
+    // The sweep point, computed by the parallel engine.
+    let points = runner.sweep_parallel(&[TARGET], 4);
+    let rh_point = points
+        .iter()
+        .find(|p| p.mechanism == Mechanism::SnipRh)
+        .expect("sweep covers SNIP-RH");
+
+    // Record the same run through the journal pipeline: same trace seed,
+    // same sim seed, same scheduler configuration.
+    let trace = TraceGenerator::new(profile.clone())
+        .epochs(EPOCHS)
+        .generate(&mut StdRng::seed_from_u64(SEED));
+    let run_config = config.clone().with_zeta_target_secs(TARGET);
+    let header = JournalHeader::new(
+        rh_spec(&profile, &run_config),
+        run_config,
+        SEED.wrapping_add(1),
+    )
+    .with_comment("parallel sweep point (SNIP-RH, zeta_target = 16)");
+    let mut writer = JournalWriter::new(Vec::new(), JournalFormat::Cbor);
+    let metrics = record_run(&mut writer, &header, &trace).expect("record");
+
+    // The recorded run IS the sweep point, bit for bit.
+    assert_eq!(metrics.mean_zeta_per_epoch(), rh_point.zeta, "ζ");
+    assert_eq!(metrics.mean_phi_per_epoch(), rh_point.phi, "Φ");
+    assert_eq!(metrics.overall_rho(), rh_point.rho, "ρ");
+
+    // And the journal replays cleanly: every event and the metrics trailer
+    // verify against a live re-execution.
+    let bytes = writer.into_inner();
+    let mut reader = JournalReader::new(std::io::Cursor::new(bytes), JournalFormat::Cbor);
+    let report = replay_run(&mut reader, None).expect("bit-for-bit replay");
+    assert_eq!(report.metrics, metrics);
+    assert!(report.events_verified > 0);
+}
+
+#[test]
+fn fast_path_journals_contain_probe_batches() {
+    // The v2 cadence: a two-week SNIP-RH journal elides provably-off
+    // wake-ups and batches empty probing cycles, so it is dominated by
+    // ProbeBatch/Probe events rather than per-minute Decisions.
+    let profile = EpochProfile::roadside();
+    let config = SimConfig::paper_defaults()
+        .with_epochs(2)
+        .with_zeta_target_secs(TARGET);
+    let trace = TraceGenerator::new(profile.clone())
+        .epochs(2)
+        .generate(&mut StdRng::seed_from_u64(SEED));
+    let header = JournalHeader::new(rh_spec(&profile, &config), config, SEED.wrapping_add(1));
+    let mut writer = JournalWriter::new(Vec::new(), JournalFormat::Cbor);
+    record_run(&mut writer, &header, &trace).expect("record");
+
+    let bytes = writer.into_inner();
+    let mut reader = JournalReader::new(std::io::Cursor::new(bytes), JournalFormat::Cbor);
+    let mut batches = 0u64;
+    let mut decisions = 0u64;
+    while let Some(event) = reader.next_event().expect("read") {
+        match event {
+            snip_replay::JournalEvent::Sim(SimEvent::ProbeBatch { count, .. }) => {
+                assert!(count > 0, "batches are never empty");
+                batches += 1;
+            }
+            snip_replay::JournalEvent::Sim(SimEvent::Decision(_)) => decisions += 1,
+            _ => {}
+        }
+    }
+    assert!(batches > 0, "rush hours with empty air must batch");
+    // Naive stepping would record ~1200 off-peak decisions per day; the
+    // fast path collapses each off-peak stretch into a single decision.
+    assert!(
+        decisions < 600,
+        "fast-path cadence should elide idle wake-ups, got {decisions}"
+    );
+}

@@ -135,15 +135,33 @@ impl Fleet {
     /// The per-node traces this fleet will simulate against.
     #[must_use]
     pub fn traces(&self) -> Vec<ContactTrace> {
-        self.nodes
-            .iter()
-            .enumerate()
-            .map(|(i, node)| {
-                TraceGenerator::new(node.profile.clone())
-                    .epochs(self.config.epochs)
-                    .generate(&mut StdRng::seed_from_u64(self.seed.wrapping_add(i as u64)))
-            })
-            .collect()
+        (0..self.nodes.len()).map(|i| self.node_trace(i)).collect()
+    }
+
+    /// Node `i`'s contact trace, derived from the fleet seed. The single
+    /// source of the per-node seed scheme — sequential and parallel runs
+    /// must agree on it bit for bit.
+    fn node_trace(&self, i: usize) -> ContactTrace {
+        TraceGenerator::new(self.nodes[i].profile.clone())
+            .epochs(self.config.epochs)
+            .generate(&mut StdRng::seed_from_u64(self.seed.wrapping_add(i as u64)))
+    }
+
+    /// Node `i`'s simulation RNG seed (beacon-loss draws).
+    fn node_sim_seed(&self, i: usize) -> u64 {
+        self.seed.wrapping_add(1_000 + i as u64)
+    }
+
+    /// Folds a finished run into the node's reported outcome.
+    fn node_outcome(node: &FleetNode, metrics: &RunMetrics) -> NodeOutcome {
+        let uploaded = metrics.mean_uploaded_per_epoch();
+        NodeOutcome {
+            name: node.name.clone(),
+            zeta: metrics.mean_zeta_per_epoch(),
+            phi: metrics.mean_phi_per_epoch(),
+            uploaded,
+            target_met: uploaded >= node.zeta_target * 0.9,
+        }
     }
 
     /// Runs the fleet, building one scheduler per node via `make_scheduler`
@@ -154,6 +172,29 @@ impl Fleet {
         F: FnMut(&FleetNode) -> S,
     {
         self.run_observed(make_scheduler, &mut crate::observe::NoopObserver)
+    }
+
+    /// [`Fleet::run`] sharded across up to `threads` workers, one node per
+    /// job.
+    ///
+    /// Nodes are independent by the §II reference model, and each derives
+    /// its trace and simulation RNG from the fleet seed exactly as the
+    /// sequential run does; outcomes are collected in fleet order, so the
+    /// report is bit-for-bit identical for every thread count.
+    pub fn run_parallel<S, F>(&self, make_scheduler: F, threads: usize) -> FleetReport
+    where
+        S: ProbeScheduler,
+        F: Fn(&FleetNode) -> S + Sync,
+    {
+        let outcomes = crate::parallel::parallel_map(self.nodes.len(), threads, |i| {
+            let node = &self.nodes[i];
+            let trace = self.node_trace(i);
+            let config = self.config.clone().with_zeta_target_secs(node.zeta_target);
+            let mut sim = Simulation::new(config, &trace, make_scheduler(node));
+            let metrics = sim.run(&mut StdRng::seed_from_u64(self.node_sim_seed(i)));
+            Self::node_outcome(node, &metrics)
+        });
+        FleetReport { nodes: outcomes }
     }
 
     /// [`Fleet::run`] with a recording hook: the observer sees one
@@ -209,20 +250,13 @@ impl Fleet {
             let config = self.config.clone().with_zeta_target_secs(node.zeta_target);
             let mut sim = Simulation::new(config, trace, make_scheduler(node));
             let metrics: RunMetrics = sim.run_observed(
-                &mut StdRng::seed_from_u64(self.seed.wrapping_add(1_000 + i as u64)),
+                &mut StdRng::seed_from_u64(self.node_sim_seed(i)),
                 &mut tracker,
             );
             if tracker.stopped {
                 break;
             }
-            let uploaded = metrics.mean_uploaded_per_epoch();
-            outcomes.push(NodeOutcome {
-                name: node.name.clone(),
-                zeta: metrics.mean_zeta_per_epoch(),
-                phi: metrics.mean_phi_per_epoch(),
-                uploaded,
-                target_met: uploaded >= node.zeta_target * 0.9,
-            });
+            outcomes.push(Self::node_outcome(node, &metrics));
         }
         FleetReport { nodes: outcomes }
     }

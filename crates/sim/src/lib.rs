@@ -52,6 +52,7 @@ pub mod metrics;
 pub mod mip;
 pub mod node;
 pub mod observe;
+pub mod parallel;
 pub mod runner;
 
 pub use buffer::DataBuffer;
@@ -62,4 +63,5 @@ pub use metrics::{EpochMetrics, RunMetrics};
 pub use mip::MipSimulation;
 pub use node::Simulation;
 pub use observe::{CollectingObserver, NoopObserver, ObserverFlow, SimEvent, SimObserver};
+pub use parallel::{default_threads, parallel_map};
 pub use runner::{Mechanism, ScenarioRunner, SweepPoint};

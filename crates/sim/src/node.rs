@@ -11,10 +11,38 @@
 //! Time advances event-to-event: probing cycles while the scheduler is
 //! active, `decision_interval` hops while it is idle, and a jump to the
 //! contact end after a successful probe.
+//!
+//! # Fast path
+//!
+//! The scheduler hints ([`ProbeScheduler::idle_until`] and
+//! [`ProbeScheduler::steady_span`]) let the simulator leap over provably
+//! uneventful stretches instead of grinding through them:
+//!
+//! * **Idle fast-forward** — while the radio is off, the simulator jumps to
+//!   the first `decision_interval` wake-up at which the decision could
+//!   change (e.g. the next rush-hour slot), rather than waking every
+//!   interval through hours of guaranteed-off time. The wake-up lands on
+//!   the same grid the naive stepper would use, so outcomes are identical.
+//!   Note the jump target comes from the *scheduler*, not from the next
+//!   contact: a rush-hour mechanism burns Φ probing empty air, and that
+//!   spend must be accounted even when no contact is near.
+//! * **Beacon batching** — while the decision is guaranteed steady, the
+//!   contact list (not the clock) drives the loop: the simulator computes
+//!   the first beacon that can land inside a contact and accounts all the
+//!   empty cycles before it in one step (`count × Ton` of Φ, one
+//!   [`SimEvent::ProbeBatch`]).
+//!
+//! With injected beacon loss the batched empty beacons do not consume RNG
+//! draws (the naive stepper draws one per beacon), so fast and naive runs
+//! follow different loss streams; each is individually deterministic and
+//! statistically equivalent. With `beacon_loss == 0` the fast path probes
+//! exactly the same contacts at the same instants as the naive stepper.
+//! [`Simulation::with_naive_stepping`] keeps the reference stepper
+//! available for cross-checks and baseline benchmarks.
 
 use rand::Rng;
 use snip_core::{ProbeContext, ProbeScheduler, ProbedContactInfo};
-use snip_mobility::ContactTrace;
+use snip_mobility::{ContactIndex, ContactTrace};
 use snip_units::{SimDuration, SimTime};
 
 use crate::buffer::DataBuffer;
@@ -30,6 +58,7 @@ pub struct Simulation<'a, S> {
     config: SimConfig,
     trace: &'a ContactTrace,
     scheduler: S,
+    naive: bool,
 }
 
 impl<'a, S: ProbeScheduler> Simulation<'a, S> {
@@ -40,7 +69,17 @@ impl<'a, S: ProbeScheduler> Simulation<'a, S> {
             config,
             trace,
             scheduler,
+            naive: false,
         }
+    }
+
+    /// Disables the fast path: every decision interval is stepped and every
+    /// beacon is simulated individually, ignoring the scheduler's hints.
+    /// The reference stepper for cross-checks and baseline benchmarks.
+    #[must_use]
+    pub fn with_naive_stepping(mut self) -> Self {
+        self.naive = true;
+        self
     }
 
     /// The scheduler (for inspecting learned state after a run).
@@ -70,16 +109,20 @@ impl<'a, S: ProbeScheduler> Simulation<'a, S> {
     ) -> RunMetrics {
         let horizon = self.config.horizon();
         let epoch = self.config.epoch;
+        let slot_len = epoch / 24;
+        let ton = self.config.ton;
+        let ton_secs = ton.as_secs_f64();
         let mut metrics = RunMetrics::with_epochs(self.config.epochs as usize);
         let mut buffer = DataBuffer::new(self.config.data_rate);
         let mut phi_in_epoch = SimDuration::ZERO;
         let mut current_epoch = 0u64;
 
-        // Contacts per epoch from the trace (denominator of the probe ratio).
-        for c in self.trace.iter() {
-            let idx = c.start.epoch_index(epoch);
-            if idx < self.config.epochs {
-                metrics.epoch_mut(idx as usize).contacts_total += 1;
+        // Contacts per epoch from the trace (denominator of the probe
+        // ratio), in one bucketed pass.
+        let index = ContactIndex::new(self.trace, epoch);
+        for (e, &n) in index.counts_per_epoch().iter().enumerate() {
+            if (e as u64) < self.config.epochs {
+                metrics.epoch_mut(e).contacts_total += n;
             }
         }
 
@@ -90,6 +133,11 @@ impl<'a, S: ProbeScheduler> Simulation<'a, S> {
                 }
             };
         }
+
+        // Simulated time only moves forward, so a monotone cursor into the
+        // contact list replaces a binary search per beacon.
+        let contacts = self.trace.contacts();
+        let mut cursor = 0usize;
 
         let mut now = SimTime::ZERO;
         while now < horizon {
@@ -115,30 +163,155 @@ impl<'a, S: ProbeScheduler> Simulation<'a, S> {
             };
             let decision = self.scheduler.decide_recorded(&ctx);
             emit!(SimEvent::Decision(decision));
-            let Some(duty_cycle) = decision.duty_cycle else {
-                now += self.config.decision_interval;
+            let active = match decision.duty_cycle {
+                Some(d) if !d.is_off() => Some(d),
+                _ => None,
+            };
+            let Some(duty_cycle) = active else {
+                // Idle: wake again one decision interval later — or, when
+                // the scheduler bounds its own silence, at the first
+                // wake-up on that same grid at which the decision could
+                // change. Skipped wake-ups are provably off, so nothing
+                // observable is lost.
+                let mut next = now + self.config.decision_interval;
+                if !self.naive {
+                    if let Some(until) = self.scheduler.idle_until(&ctx) {
+                        let until = until.min(horizon);
+                        if until > next {
+                            let di = self.config.decision_interval.as_micros();
+                            let steps = (until.as_micros() - now.as_micros()).div_ceil(di);
+                            next = now + SimDuration::from_micros(steps * di);
+                        }
+                    }
+                }
+                now = next;
                 continue;
             };
-            if duty_cycle.is_off() {
-                now += self.config.decision_interval;
+
+            // One probing cycle: radio on for Ton, beacon at window start.
+            // The 24-slot split here is the metrics ledger's own convention
+            // (RunMetrics defaults to 24 slots per epoch), independent of
+            // however many slots the scheduler divides its epoch into.
+            let cycle = duty_cycle.cycle_for_on(ton).max(ton);
+            let slot_idx = ((now.time_in_epoch(epoch) / slot_len) as usize).min(23);
+            while cursor < contacts.len() && contacts[cursor].end() <= now {
+                cursor += 1;
+            }
+
+            let steady = if self.naive {
+                None
+            } else {
+                self.scheduler.steady_span(&ctx)
+            };
+            if let Some(span) = steady {
+                // Fast path: the decision holds across a span, so the
+                // contact list drives the loop. Bound the batch to the
+                // current slot (per-slot and per-epoch ledgers stay exact),
+                // the scheduler's window, its spend bound, and the horizon.
+                let epoch_start = now - now.time_in_epoch(epoch);
+                let slot_end = if slot_idx >= 23 {
+                    epoch_start + epoch
+                } else {
+                    epoch_start + slot_len * (slot_idx as u64 + 1)
+                };
+                let span_end = span.until.min(slot_end).min(horizon);
+                let cycle_us = cycle.as_micros();
+                let gap = span_end.as_micros() - now.as_micros();
+                let mut k_max = gap.div_ceil(cycle_us).max(1);
+                if let Some(phi_below) = span.phi_below {
+                    // decide() already approved the first beacon, so at
+                    // least one is always sent.
+                    let room = phi_below
+                        .as_micros()
+                        .saturating_sub(phi_in_epoch.as_micros());
+                    k_max = k_max.min(room.div_ceil(ton.as_micros()).max(1));
+                }
+
+                // The first beacon `now + j·cycle`, `j < k_max`, landing
+                // inside a contact — the naive stepper's hit, computed
+                // directly.
+                let mut hit: Option<(u64, &snip_mobility::Contact)> = None;
+                let mut ci = cursor;
+                while let Some(c) = contacts.get(ci) {
+                    let j = if c.start <= now {
+                        0
+                    } else {
+                        (c.start.as_micros() - now.as_micros()).div_ceil(cycle_us)
+                    };
+                    if j >= k_max {
+                        break;
+                    }
+                    if now.as_micros() + j * cycle_us < c.end().as_micros() {
+                        hit = Some((j, c));
+                        break;
+                    }
+                    ci += 1;
+                }
+
+                let misses = hit.map_or(k_max, |(j, _)| j);
+                if misses > 0 {
+                    let em = metrics.epoch_mut(epoch_idx as usize);
+                    em.phi += ton_secs * misses as f64;
+                    em.beacons += misses;
+                    phi_in_epoch += ton * misses;
+                    metrics.charge_slot_phi(slot_idx, ton_secs * misses as f64);
+                    emit!(SimEvent::ProbeBatch {
+                        from: now,
+                        cycle,
+                        count: misses,
+                    });
+                }
+                let Some((j, &contact)) = hit else {
+                    now += SimDuration::from_micros(k_max * cycle_us);
+                    continue;
+                };
+                let at = now + SimDuration::from_micros(j * cycle_us);
+                let em = metrics.epoch_mut(epoch_idx as usize);
+                em.phi += ton_secs;
+                em.beacons += 1;
+                phi_in_epoch += ton;
+                metrics.charge_slot_phi(slot_idx, ton_secs);
+                let beacon_heard =
+                    self.config.beacon_loss == 0.0 || rng.gen::<f64>() >= self.config.beacon_loss;
+                let probed = if beacon_heard { Some(contact) } else { None };
+                emit!(SimEvent::Probe {
+                    at,
+                    beacon_heard,
+                    contact_start: probed.map(|c| c.start),
+                    contact_length: probed.map(|c| c.length),
+                    probed_duration: probed.map(|c| c.end() - at),
+                });
+                match probed {
+                    Some(contact) => {
+                        match self.probe_success(
+                            &mut metrics,
+                            &mut buffer,
+                            epoch_idx,
+                            slot_idx,
+                            at,
+                            contact,
+                            observer,
+                        ) {
+                            Some(next) => now = next,
+                            None => return metrics,
+                        }
+                    }
+                    None => now = at + cycle,
+                }
                 continue;
             }
 
-            // One probing cycle: radio on for Ton, beacon at window start.
-            let cycle = duty_cycle
-                .cycle_for_on(self.config.ton)
-                .max(self.config.ton);
-            let slot_idx = (now.time_in_epoch(epoch) / (epoch / 24)) as usize;
+            // Reference stepper: one beacon per consultation.
             let em = metrics.epoch_mut(epoch_idx as usize);
-            em.phi += self.config.ton.as_secs_f64();
+            em.phi += ton_secs;
             em.beacons += 1;
-            phi_in_epoch += self.config.ton;
-            metrics.charge_slot_phi(slot_idx.min(23), self.config.ton.as_secs_f64());
+            phi_in_epoch += ton;
+            metrics.charge_slot_phi(slot_idx, ton_secs);
 
             let beacon_heard =
                 self.config.beacon_loss == 0.0 || rng.gen::<f64>() >= self.config.beacon_loss;
             let probed = if beacon_heard {
-                self.trace.contact_at(now).copied()
+                contacts.get(cursor).filter(|c| c.contains(now)).copied()
             } else {
                 None
             };
@@ -152,29 +325,18 @@ impl<'a, S: ProbeScheduler> Simulation<'a, S> {
 
             match probed {
                 Some(contact) => {
-                    let probed_duration = contact.end() - now;
-                    let uploaded = buffer.upload(now, probed_duration);
-                    if !uploaded.is_zero() {
-                        emit!(SimEvent::Upload {
-                            at: now,
-                            airtime: uploaded,
-                        });
+                    match self.probe_success(
+                        &mut metrics,
+                        &mut buffer,
+                        epoch_idx,
+                        slot_idx,
+                        now,
+                        contact,
+                        observer,
+                    ) {
+                        Some(next) => now = next,
+                        None => return metrics,
                     }
-                    let em = metrics.epoch_mut(epoch_idx as usize);
-                    em.zeta += probed_duration.as_secs_f64();
-                    em.uploaded += uploaded.as_airtime_secs_f64();
-                    em.upload_on_time += probed_duration.as_secs_f64();
-                    em.contacts_probed += 1;
-                    metrics.charge_slot_zeta(slot_idx.min(23), probed_duration.as_secs_f64());
-                    self.scheduler.record_probed_contact(&ProbedContactInfo {
-                        probe_time: now,
-                        probed_duration,
-                        uploaded,
-                        contact_length: Some(contact.length),
-                    });
-                    // The radio serves the upload until the mobile node
-                    // leaves; probing resumes with a fresh cycle after that.
-                    now = contact.end();
                 }
                 None => {
                     now += cycle;
@@ -190,6 +352,48 @@ impl<'a, S: ProbeScheduler> Simulation<'a, S> {
             });
         }
         metrics
+    }
+
+    /// Accounts a successful probe: upload, metrics, scheduler feedback.
+    /// Returns the resumption time (the contact's end), or `None` if the
+    /// observer stopped the run.
+    #[allow(clippy::too_many_arguments)]
+    fn probe_success<O: SimObserver + ?Sized>(
+        &mut self,
+        metrics: &mut RunMetrics,
+        buffer: &mut DataBuffer,
+        epoch_idx: u64,
+        slot_idx: usize,
+        at: SimTime,
+        contact: snip_mobility::Contact,
+        observer: &mut O,
+    ) -> Option<SimTime> {
+        let probed_duration = contact.end() - at;
+        let uploaded = buffer.upload(at, probed_duration);
+        if !uploaded.is_zero() {
+            let stop = observer.observe(&SimEvent::Upload {
+                at,
+                airtime: uploaded,
+            }) == ObserverFlow::Stop;
+            if stop {
+                return None;
+            }
+        }
+        let em = metrics.epoch_mut(epoch_idx as usize);
+        em.zeta += probed_duration.as_secs_f64();
+        em.uploaded += uploaded.as_airtime_secs_f64();
+        em.upload_on_time += probed_duration.as_secs_f64();
+        em.contacts_probed += 1;
+        metrics.charge_slot_zeta(slot_idx, probed_duration.as_secs_f64());
+        self.scheduler.record_probed_contact(&ProbedContactInfo {
+            probe_time: at,
+            probed_duration,
+            uploaded,
+            contact_length: Some(contact.length),
+        });
+        // The radio serves the upload until the mobile node leaves; probing
+        // resumes with a fresh cycle after that.
+        Some(contact.end())
     }
 
     /// Consumes the simulation, returning the scheduler with its learned

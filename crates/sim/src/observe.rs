@@ -30,6 +30,20 @@ pub enum SimEvent {
     },
     /// The scheduler was consulted at a CPU wake-up.
     Decision(DecisionRecord),
+    /// A run of consecutive probing cycles that all found empty air (fast
+    /// path): `count` beacons from `from` at `cycle` spacing, none landing
+    /// inside a contact. Emitted in place of per-beacon [`SimEvent::Probe`]
+    /// events when the scheduler guarantees a steady decision across the
+    /// span; the probing overhead charged is `count × Ton`, exactly as if
+    /// the beacons had been reported one by one.
+    ProbeBatch {
+        /// When the first beacon of the run was sent.
+        from: SimTime,
+        /// The spacing between consecutive beacons.
+        cycle: SimDuration,
+        /// How many beacons were sent, all missing.
+        count: u64,
+    },
     /// A probing cycle transmitted its beacon.
     Probe {
         /// When the beacon was sent.
@@ -124,6 +138,11 @@ mod tests {
                 now: SimTime::from_secs(60),
                 duty_cycle: None,
             }),
+            SimEvent::ProbeBatch {
+                from: SimTime::from_secs(60),
+                cycle: SimDuration::from_secs(2),
+                count: 1_800,
+            },
             SimEvent::Probe {
                 at: SimTime::from_secs(61),
                 beacon_heard: true,

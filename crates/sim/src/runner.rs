@@ -7,11 +7,15 @@
 //! based on the simulated environment and incorporated into the codes"), and
 //! returns one [`SweepPoint`] per target.
 
+use std::sync::{Arc, OnceLock};
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use snip_core::{ProbeScheduler, SnipAt, SnipOptScheduler, SnipRh, SnipRhConfig};
+use snip_core::{
+    MechanismScheduler, ProbeScheduler, SnipAt, SnipOptScheduler, SnipRh, SnipRhConfig,
+};
 use snip_mobility::{ContactTrace, EpochProfile, TraceGenerator};
 use snip_model::SnipModel;
 use snip_units::SimDuration;
@@ -19,6 +23,7 @@ use snip_units::SimDuration;
 use crate::config::SimConfig;
 use crate::metrics::RunMetrics;
 use crate::node::Simulation;
+use crate::parallel::parallel_map;
 
 /// The scheduling mechanisms the paper compares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -62,6 +67,10 @@ pub struct SweepPoint {
 }
 
 /// Simulation harness over the paper's roadside scenario (or any profile).
+///
+/// The contact trace for the runner's seed is generated once, lazily, and
+/// shared (`Arc`) across every run — a sweep re-executes the simulation per
+/// `(mechanism, ζtarget)` point, not the trace generation.
 #[derive(Debug, Clone)]
 pub struct ScenarioRunner {
     profile: EpochProfile,
@@ -69,6 +78,8 @@ pub struct ScenarioRunner {
     model: SnipModel,
     phi_max_secs: f64,
     seed: u64,
+    /// Lazily generated trace for `seed`; reset whenever the seed changes.
+    trace_cache: OnceLock<Arc<ContactTrace>>,
 }
 
 impl ScenarioRunner {
@@ -87,6 +98,7 @@ impl ScenarioRunner {
             config,
             phi_max_secs,
             seed: 0x5eed,
+            trace_cache: OnceLock::new(),
         }
     }
 
@@ -107,7 +119,10 @@ impl ScenarioRunner {
     /// Overrides the RNG seed (trace and beacon-loss randomness).
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        if seed != self.seed {
+            self.seed = seed;
+            self.trace_cache = OnceLock::new();
+        }
         self
     }
 
@@ -120,29 +135,50 @@ impl ScenarioRunner {
     /// Generates the contact trace this runner simulates against.
     #[must_use]
     pub fn trace(&self) -> ContactTrace {
-        TraceGenerator::new(self.profile.clone())
-            .epochs(self.config.epochs)
-            .generate(&mut StdRng::seed_from_u64(self.seed))
+        (*self.trace_arc()).clone()
+    }
+
+    /// The shared, lazily generated contact trace for this runner's seed.
+    ///
+    /// Every run of this runner (and every point of a sweep) simulates
+    /// against this one trace; cloning the `Arc` is free.
+    #[must_use]
+    pub fn trace_arc(&self) -> Arc<ContactTrace> {
+        self.trace_cache
+            .get_or_init(|| {
+                Arc::new(
+                    TraceGenerator::new(self.profile.clone())
+                        .epochs(self.config.epochs)
+                        .generate(&mut StdRng::seed_from_u64(self.seed)),
+                )
+            })
+            .clone()
     }
 
     /// Builds the scheduler for a mechanism at a target, exactly as the
-    /// paper configures it.
+    /// paper configures it — boxed, for callers that need a trait object.
     #[must_use]
     pub fn scheduler(&self, mechanism: Mechanism, zeta_target: f64) -> Box<dyn ProbeScheduler> {
+        Box::new(self.mechanism_scheduler(mechanism, zeta_target))
+    }
+
+    /// [`ScenarioRunner::scheduler`] without the box: the statically
+    /// dispatched mechanism enum the hot loop monomorphizes over.
+    #[must_use]
+    pub fn mechanism_scheduler(
+        &self,
+        mechanism: Mechanism,
+        zeta_target: f64,
+    ) -> MechanismScheduler {
         let slot_profile = self.profile.to_slot_profile();
         match mechanism {
-            Mechanism::SnipAt => Box::new(SnipAt::for_target(
-                self.model,
-                &slot_profile,
-                self.phi_max_secs,
-                zeta_target,
-            )),
-            Mechanism::SnipOpt => Box::new(SnipOptScheduler::solve(
-                self.model,
-                slot_profile,
-                self.phi_max_secs,
-                zeta_target,
-            )),
+            Mechanism::SnipAt => {
+                SnipAt::for_target(self.model, &slot_profile, self.phi_max_secs, zeta_target).into()
+            }
+            Mechanism::SnipOpt => {
+                SnipOptScheduler::solve(self.model, slot_profile, self.phi_max_secs, zeta_target)
+                    .into()
+            }
             Mechanism::SnipRh => {
                 let config = SnipRhConfig {
                     rush_marks: self.profile.rush_marks(),
@@ -155,7 +191,7 @@ impl ScenarioRunner {
                     min_duty_cycle: 1e-5,
                     duty_cycle_multiplier: 1.0,
                 };
-                Box::new(SnipRh::new(config))
+                SnipRh::new(config).into()
             }
         }
     }
@@ -174,14 +210,28 @@ impl ScenarioRunner {
         zeta_target: f64,
         observer: &mut O,
     ) -> RunMetrics {
-        let trace = self.trace();
+        let trace = self.trace_arc();
         let config = self.config.clone().with_zeta_target_secs(zeta_target);
-        let scheduler = self.scheduler(mechanism, zeta_target);
+        let scheduler = self.mechanism_scheduler(mechanism, zeta_target);
         let mut sim = Simulation::new(config, &trace, scheduler);
         sim.run_observed(
             &mut StdRng::seed_from_u64(self.seed.wrapping_add(1)),
             observer,
         )
+    }
+
+    /// [`ScenarioRunner::run_one`] through the reference stepper (no fast
+    /// path, `Box<dyn>` dispatch, trace regenerated): the pre-optimization
+    /// baseline, kept for cross-checks and benchmark baselines.
+    #[must_use]
+    pub fn run_one_baseline(&self, mechanism: Mechanism, zeta_target: f64) -> RunMetrics {
+        let trace = TraceGenerator::new(self.profile.clone())
+            .epochs(self.config.epochs)
+            .generate(&mut StdRng::seed_from_u64(self.seed));
+        let config = self.config.clone().with_zeta_target_secs(zeta_target);
+        let scheduler = self.scheduler(mechanism, zeta_target);
+        let mut sim = Simulation::new(config, &trace, scheduler).with_naive_stepping();
+        sim.run(&mut StdRng::seed_from_u64(self.seed.wrapping_add(1)))
     }
 
     /// Runs one mechanism at one target over several independent seeds and
@@ -199,14 +249,31 @@ impl ScenarioRunner {
         zeta_target: f64,
         seeds: &[u64],
     ) -> (f64, f64, f64) {
+        self.run_seeds_parallel(mechanism, zeta_target, seeds, 1)
+    }
+
+    /// [`ScenarioRunner::run_seeds`] sharded across up to `threads` workers.
+    ///
+    /// Each seed's run is fully independent (own trace, own RNG), and the
+    /// per-seed metrics are reduced in seed order, so the result is
+    /// bit-for-bit identical for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty.
+    #[must_use]
+    pub fn run_seeds_parallel(
+        &self,
+        mechanism: Mechanism,
+        zeta_target: f64,
+        seeds: &[u64],
+        threads: usize,
+    ) -> (f64, f64, f64) {
         assert!(!seeds.is_empty(), "need at least one seed");
-        let runs: Vec<RunMetrics> = seeds
-            .iter()
-            .map(|&seed| {
-                let runner = self.clone().with_seed(seed);
-                runner.run_one(mechanism, zeta_target)
-            })
-            .collect();
+        let runs: Vec<RunMetrics> = parallel_map(seeds.len(), threads, |i| {
+            let runner = self.clone().with_seed(seeds[i]);
+            runner.run_one(mechanism, zeta_target)
+        });
         let zetas: Vec<f64> = runs.iter().map(RunMetrics::mean_zeta_per_epoch).collect();
         let mean_zeta = zetas.iter().sum::<f64>() / zetas.len() as f64;
         let sd = if zetas.len() > 1 {
@@ -220,13 +287,51 @@ impl ScenarioRunner {
         (mean_zeta, sd, mean_phi)
     }
 
-    /// Runs the full sweep: every mechanism at every target.
+    /// Runs the full sweep: every mechanism at every target, sequentially.
     #[must_use]
     pub fn sweep(&self, zeta_targets: &[f64]) -> Vec<SweepPoint> {
+        self.sweep_parallel(zeta_targets, 1)
+    }
+
+    /// [`ScenarioRunner::sweep`] sharded across up to `threads` workers.
+    ///
+    /// All points simulate against the one shared trace
+    /// ([`ScenarioRunner::trace_arc`]); each point seeds its own simulation
+    /// RNG exactly as the sequential sweep does, and results are collected
+    /// in sweep order — so the output is bit-for-bit identical for every
+    /// thread count, including 1.
+    #[must_use]
+    pub fn sweep_parallel(&self, zeta_targets: &[f64], threads: usize) -> Vec<SweepPoint> {
+        // Generate the shared trace up front so workers never race to
+        // initialize the cache (OnceLock would serialize them anyway; this
+        // keeps the first point's timing honest).
+        let _ = self.trace_arc();
+        let jobs: Vec<(f64, Mechanism)> = zeta_targets
+            .iter()
+            .flat_map(|&t| Mechanism::ALL.into_iter().map(move |m| (t, m)))
+            .collect();
+        parallel_map(jobs.len(), threads, |i| {
+            let (target, mechanism) = jobs[i];
+            let metrics = self.run_one(mechanism, target);
+            SweepPoint {
+                zeta_target: target,
+                mechanism,
+                zeta: metrics.mean_zeta_per_epoch(),
+                phi: metrics.mean_phi_per_epoch(),
+                rho: metrics.overall_rho(),
+            }
+        })
+    }
+
+    /// The pre-optimization sweep: sequential, naive stepping, boxed
+    /// dispatch, trace regenerated per point. The benchmark baseline that
+    /// [`ScenarioRunner::sweep_parallel`] is measured against.
+    #[must_use]
+    pub fn sweep_baseline(&self, zeta_targets: &[f64]) -> Vec<SweepPoint> {
         let mut points = Vec::with_capacity(zeta_targets.len() * Mechanism::ALL.len());
         for &target in zeta_targets {
             for mechanism in Mechanism::ALL {
-                let metrics = self.run_one(mechanism, target);
+                let metrics = self.run_one_baseline(mechanism, target);
                 points.push(SweepPoint {
                     zeta_target: target,
                     mechanism,

@@ -1,0 +1,146 @@
+//! Determinism proofs for the parallel sweep engine and the fast path.
+//!
+//! The contract: sharding a sweep across threads changes wall-clock time
+//! and nothing else. Every test here compares complete result sets
+//! bit-for-bit across thread counts, and the fast path against the naive
+//! reference stepper.
+
+use snip_core::{SnipRh, SnipRhConfig};
+use snip_mobility::EpochProfile;
+use snip_sim::{Fleet, FleetNode, Mechanism, ScenarioRunner, SimConfig, SweepPoint};
+use snip_units::SimDuration;
+
+const TARGETS: [f64; 3] = [16.0, 32.0, 48.0];
+
+fn paper_runner(epochs: u64) -> ScenarioRunner {
+    ScenarioRunner::new(
+        EpochProfile::roadside(),
+        SimConfig::paper_defaults().with_epochs(epochs),
+        86.4,
+    )
+    .with_seed(2011)
+}
+
+fn assert_points_identical(a: &[SweepPoint], b: &[SweepPoint], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: point counts");
+    for (pa, pb) in a.iter().zip(b) {
+        assert_eq!(pa.mechanism, pb.mechanism, "{label}");
+        assert_eq!(pa.zeta_target, pb.zeta_target, "{label}");
+        assert_eq!(
+            pa.zeta,
+            pb.zeta,
+            "{label}: ζ at ({}, {})",
+            pa.mechanism.label(),
+            pa.zeta_target
+        );
+        assert_eq!(
+            pa.phi,
+            pb.phi,
+            "{label}: Φ at ({}, {})",
+            pa.mechanism.label(),
+            pa.zeta_target
+        );
+        assert_eq!(pa.rho, pb.rho, "{label}: ρ");
+    }
+}
+
+#[test]
+fn sweep_parallel_is_bit_identical_across_thread_counts() {
+    let runner = paper_runner(7);
+    let sequential = runner.sweep(&TARGETS);
+    for threads in [1usize, 2, 8] {
+        let parallel = runner.sweep_parallel(&TARGETS, threads);
+        assert_points_identical(&sequential, &parallel, &format!("{threads} threads"));
+    }
+}
+
+#[test]
+fn fast_path_matches_the_naive_stepper() {
+    // With no beacon loss the fast path sends exactly the same beacons and
+    // probes exactly the same contacts as the reference stepper; ζ and the
+    // integer tallies are bit-identical, Φ differs only by float
+    // re-association of the batched `count × Ton` charges.
+    let runner = paper_runner(7);
+    for &target in &TARGETS {
+        for mechanism in Mechanism::ALL {
+            let fast = runner.run_one(mechanism, target);
+            let naive = runner.run_one_baseline(mechanism, target);
+            for (e, (f, n)) in fast.epochs().iter().zip(naive.epochs()).enumerate() {
+                let at = format!("{} ζt={target} epoch {e}", mechanism.label());
+                assert_eq!(f.zeta, n.zeta, "ζ {at}");
+                assert_eq!(f.contacts_probed, n.contacts_probed, "probed {at}");
+                assert_eq!(f.contacts_total, n.contacts_total, "total {at}");
+                assert_eq!(f.beacons, n.beacons, "beacons {at}");
+                assert_eq!(f.uploaded, n.uploaded, "uploaded {at}");
+                assert!(
+                    (f.phi - n.phi).abs() <= 1e-9 * n.phi.max(1.0),
+                    "Φ {at}: fast {} vs naive {}",
+                    f.phi,
+                    n.phi
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn run_seeds_parallel_is_bit_identical_across_thread_counts() {
+    let runner = paper_runner(5);
+    let seeds: Vec<u64> = (1..=6).collect();
+    let sequential = runner.run_seeds(Mechanism::SnipRh, 16.0, &seeds);
+    for threads in [2usize, 8] {
+        let parallel = runner.run_seeds_parallel(Mechanism::SnipRh, 16.0, &seeds, threads);
+        assert_eq!(sequential, parallel, "{threads} threads");
+    }
+}
+
+#[test]
+fn fleet_run_parallel_matches_sequential_run() {
+    let nodes = vec![
+        FleetNode::new("a", EpochProfile::roadside(), 8.0),
+        FleetNode::new("b", EpochProfile::roadside(), 12.0),
+        FleetNode::new("c", EpochProfile::roadside(), 4.0),
+    ];
+    let fleet = Fleet::new(nodes, SimConfig::paper_defaults().with_epochs(5)).with_seed(77);
+    let rh = |node: &FleetNode| {
+        SnipRh::new(
+            SnipRhConfig::paper_defaults(node.profile.rush_marks())
+                .with_phi_max(SimDuration::from_secs_f64(86.4)),
+        )
+    };
+    let sequential = fleet.run(rh);
+    for threads in [1usize, 2, 8] {
+        let parallel = fleet.run_parallel(rh, threads);
+        assert_eq!(sequential.nodes.len(), parallel.nodes.len());
+        for (s, p) in sequential.nodes.iter().zip(&parallel.nodes) {
+            assert_eq!(s.name, p.name, "{threads} threads");
+            assert_eq!(s.zeta, p.zeta, "{threads} threads: ζ of {}", s.name);
+            assert_eq!(s.phi, p.phi, "{threads} threads: Φ of {}", s.name);
+            assert_eq!(s.uploaded, p.uploaded, "{threads} threads");
+            assert_eq!(s.target_met, p.target_met, "{threads} threads");
+        }
+    }
+}
+
+#[test]
+fn beacon_loss_stays_statistically_consistent_on_the_fast_path() {
+    // The fast path draws loss only for beacons that can hit a contact, so
+    // it follows a different RNG stream than the naive stepper — but the
+    // loss process itself must still halve probed contacts at p = 0.5.
+    let runner = paper_runner(14);
+    let lossy = ScenarioRunner::new(
+        EpochProfile::roadside(),
+        SimConfig::paper_defaults().with_beacon_loss(0.5),
+        86.4,
+    )
+    .with_seed(2011);
+    let clean = runner.run_one(Mechanism::SnipAt, 16.0);
+    let half = lossy.run_one(Mechanism::SnipAt, 16.0);
+    let ratio = half.total_contacts_probed() as f64 / clean.total_contacts_probed() as f64;
+    assert!(
+        (ratio - 0.5).abs() < 0.15,
+        "p=0.5 probed ratio {ratio} (clean {}, lossy {})",
+        clean.total_contacts_probed(),
+        half.total_contacts_probed()
+    );
+}
