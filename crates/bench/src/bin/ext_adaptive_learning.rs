@@ -42,7 +42,12 @@ fn main() {
     let metrics = sim.run(&mut StdRng::seed_from_u64(100));
 
     for (i, em) in metrics.epochs().iter().enumerate() {
-        println!("{i}\t{:.3}\t{:.3}\t{}", em.zeta, em.phi, fmt_rho(em.rho()));
+        println!(
+            "{i}\t{:.3}\t{:.3}\t{}",
+            em.zeta(),
+            em.phi(),
+            fmt_rho(em.rho())
+        );
     }
 
     let adaptive = sim.into_scheduler();

@@ -88,7 +88,7 @@ fn main() {
     let final_sched = sim.into_scheduler();
 
     for (i, em) in metrics.epochs().iter().enumerate() {
-        println!("{i}\t{:.3}\t{:.3}\t-", em.zeta, em.phi);
+        println!("{i}\t{:.3}\t{:.3}\t-", em.zeta(), em.phi());
     }
     let marks: Vec<usize> = final_sched
         .rush_marks()

@@ -42,7 +42,7 @@ fn simulate_upsilon(lengths: LengthDistribution, d: DutyCycle, seed: u64) -> f64
     let config = SimConfig::paper_defaults().with_epochs(4);
     let mut sim = Simulation::new(config, &trace, SnipAt::new(d));
     let metrics = sim.run(&mut StdRng::seed_from_u64(seed + 1));
-    let zeta: f64 = metrics.epochs().iter().map(|e| e.zeta).sum();
+    let zeta: f64 = metrics.epochs().iter().map(|e| e.zeta()).sum();
     zeta / capacity
 }
 

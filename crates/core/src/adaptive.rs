@@ -252,7 +252,8 @@ impl ProbeScheduler for AdaptiveSnipRh {
             AdaptivePhase::Learning => {
                 // Probe everywhere, budget-gated, ignoring data gating so the
                 // statistics reflect the environment rather than the buffer.
-                if ctx.phi_spent_epoch >= self.config.rh.phi_max {
+                // Exact gate: a whole beacon window must still fit.
+                if ctx.phi_spent_epoch + self.config.rh.ton > self.config.rh.phi_max {
                     return None;
                 }
                 Some(DutyCycle::clamped(self.config.learning_duty_cycle))
@@ -265,7 +266,7 @@ impl ProbeScheduler for AdaptiveSnipRh {
                 // budget-gated; data gating intentionally skipped so shifted
                 // rush hours are detected even with an empty buffer).
                 if self.config.tracking_duty_cycle > 0.0
-                    && ctx.phi_spent_epoch < self.config.rh.phi_max
+                    && ctx.phi_spent_epoch + self.config.rh.ton <= self.config.rh.phi_max
                 {
                     return Some(DutyCycle::clamped(self.config.tracking_duty_cycle));
                 }

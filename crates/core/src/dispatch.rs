@@ -147,7 +147,7 @@ mod tests {
         assert!(at.as_rh().is_none());
         let span = at.steady_span(&ctx(0)).expect("AT is always steady");
         assert_eq!(span.until, SimTime::MAX);
-        assert_eq!(span.phi_below, None);
+        assert_eq!(span.phi_budget, None);
 
         let opt: MechanismScheduler = SnipOptScheduler::solve(
             snip_model::SnipModel::default(),

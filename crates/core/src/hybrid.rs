@@ -107,7 +107,9 @@ impl ProbeScheduler for SnipRhPlusAt {
         if ctx.buffered_data.as_airtime() < self.inner.upload_threshold() {
             return None;
         }
-        if ctx.phi_spent_epoch >= self.inner.config().phi_max {
+        // Same exact budget gate as SNIP-RH: a whole beacon window must
+        // still fit, so Φ ≤ Φmax holds with no one-Ton overshoot.
+        if ctx.phi_spent_epoch + self.inner.config().ton > self.inner.config().phi_max {
             return None;
         }
         Some(self.background)

@@ -59,10 +59,11 @@ pub struct SteadySpan {
     /// The decision is guaranteed unchanged for any wake-up strictly before
     /// this instant…
     pub until: SimTime,
-    /// …as long as the epoch's probing spend (`ctx.phi_spent_epoch`) stays
-    /// strictly below this bound; `None` when the decision does not depend
-    /// on the spend at all.
-    pub phi_below: Option<SimDuration>,
+    /// …as long as the epoch's probing spend (`ctx.phi_spent_epoch`) plus
+    /// one beacon window still fits inside this budget — i.e. the driver may
+    /// batch beacons while the *resulting* spend stays `<=` this bound.
+    /// `None` when the decision does not depend on the spend at all.
+    pub phi_budget: Option<SimDuration>,
 }
 
 /// A SNIP scheduling mechanism.
@@ -122,8 +123,8 @@ pub trait ProbeScheduler {
     ///
     /// The guarantee must hold for every context with `now` in
     /// `[ctx.now, span.until)` whose `buffered_data` is at least `ctx`'s and
-    /// whose `phi_spent_epoch` is below `span.phi_below` (when set), with no
-    /// intervening
+    /// whose `phi_spent_epoch` leaves room for a whole beacon window inside
+    /// `span.phi_budget` (when set), with no intervening
     /// [`record_probed_contact`](ProbeScheduler::record_probed_contact).
     /// The default is `None` (no guarantee), which is always correct.
     fn steady_span(&self, ctx: &ProbeContext) -> Option<SteadySpan> {

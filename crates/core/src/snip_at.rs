@@ -34,6 +34,10 @@ use crate::scheduler::{ProbeContext, ProbeScheduler, SteadySpan};
 pub struct SnipAt {
     duty_cycle: DutyCycle,
     ledger: Option<EnergyLedger>,
+    /// Beacon window `Ton` of the gated deployment; the budget gate admits
+    /// a probing cycle only when a whole window still fits (same exact
+    /// `Φ ≤ Φmax` contract as SNIP-RH's condition 3).
+    ton: SimDuration,
 }
 
 impl SnipAt {
@@ -43,18 +47,26 @@ impl SnipAt {
         SnipAt {
             duty_cycle,
             ledger: None,
+            ton: SimDuration::ZERO,
         }
     }
 
     /// Adds the per-epoch budget gate: probing stops for the rest of an
-    /// epoch once `phi_max` has been spent.
+    /// epoch once less than one beacon window (`ton`) of `phi_max` is
+    /// left, so the spend never exceeds the budget.
     ///
     /// # Panics
     ///
     /// Panics if `epoch` is zero.
     #[must_use]
-    pub fn with_budget(mut self, epoch: SimDuration, phi_max: SimDuration) -> Self {
+    pub fn with_budget(
+        mut self,
+        epoch: SimDuration,
+        phi_max: SimDuration,
+        ton: SimDuration,
+    ) -> Self {
         self.ledger = Some(EnergyLedger::new(epoch, phi_max));
+        self.ton = ton;
         self
     }
 
@@ -105,7 +117,9 @@ impl ProbeScheduler for SnipAt {
         if let Some(ledger) = &mut self.ledger {
             // Trust the driver's ledger when provided; keep our own in sync.
             ledger.charge(ctx.now, SimDuration::ZERO);
-            if ctx.phi_spent_epoch >= ledger.budget() || !ledger.under_budget(ctx.now) {
+            // Same exact gate as SNIP-RH: a whole beacon window must still
+            // fit inside the budget, or the cycle does not start.
+            if ctx.phi_spent_epoch + self.ton > ledger.budget() || !ledger.under_budget(ctx.now) {
                 return None;
             }
         }
@@ -126,7 +140,7 @@ impl ProbeScheduler for SnipAt {
         }
         // The driver's ledger is authoritative (ours is only charged zeros);
         // its spend resets at the next epoch boundary.
-        if ctx.phi_spent_epoch >= ledger.budget() {
+        if ctx.phi_spent_epoch + self.ton > ledger.budget() {
             return Some(crate::scheduler::slots::next_epoch_start(
                 ctx.now,
                 ledger.epoch(),
@@ -142,7 +156,7 @@ impl ProbeScheduler for SnipAt {
         }
         Some(SteadySpan {
             until: SimTime::MAX,
-            phi_below: self.ledger.as_ref().map(EnergyLedger::budget),
+            phi_budget: self.ledger.as_ref().map(EnergyLedger::budget),
         })
     }
 }
@@ -176,12 +190,33 @@ mod tests {
 
     #[test]
     fn budget_gate_stops_probing() {
-        let mut at = SnipAt::new(DutyCycle::new(0.01).unwrap())
-            .with_budget(SimDuration::from_hours(24), SimDuration::from_secs(86));
+        let ton = SimDuration::from_millis(20);
+        let mut at = SnipAt::new(DutyCycle::new(0.01).unwrap()).with_budget(
+            SimDuration::from_hours(24),
+            SimDuration::from_secs(86),
+            ton,
+        );
         assert!(at.decide(&ctx(100, 0)).is_some());
         // Driver reports the budget fully spent.
         assert!(at.decide(&ctx(200, 86)).is_none());
         assert!(at.decide(&ctx(300, 90)).is_none());
+        // The gate is exact to one beacon window, like SNIP-RH's (the
+        // ledger clock only moves forward, so these stay in epoch 0).
+        let exact = ProbeContext {
+            now: SimTime::from_secs(400),
+            buffered_data: DataSize::ZERO,
+            phi_spent_epoch: SimDuration::from_secs(86) - ton,
+        };
+        assert!(at.decide(&exact).is_some(), "exactly one Ton of room");
+        let over = ProbeContext {
+            now: SimTime::from_secs(500),
+            phi_spent_epoch: SimDuration::from_secs(86) - ton + SimDuration::from_micros(1),
+            ..exact
+        };
+        assert!(
+            at.decide(&over).is_none(),
+            "a partial window must not start"
+        );
         // Next epoch: the driver's counter resets.
         assert!(at.decide(&ctx(86_400 + 100, 0)).is_some());
     }

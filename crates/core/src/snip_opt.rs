@@ -135,7 +135,7 @@ impl ProbeScheduler for SnipOptScheduler {
                 self.slot_length,
                 self.plan.duty_cycles().len(),
             ),
-            phi_below: None,
+            phi_budget: None,
         })
     }
 }

@@ -263,8 +263,11 @@ impl ProbeScheduler for SnipRh {
         if ctx.buffered_data.as_airtime() < self.upload_threshold() {
             return None;
         }
-        // Condition 3: the epoch's probing budget is not exhausted.
-        if ctx.phi_spent_epoch >= self.config.phi_max {
+        // Condition 3: a whole probing window must still fit inside the
+        // epoch's budget. Checking the remaining room *before* starting the
+        // cycle (rather than whether the budget is already exhausted) makes
+        // `Φ ≤ Φmax` hold exactly — no one-`Ton` overshoot.
+        if ctx.phi_spent_epoch + self.config.ton > self.config.phi_max {
             return None;
         }
         Some(self.rush_duty_cycle())
@@ -308,7 +311,7 @@ impl ProbeScheduler for SnipRh {
             return None;
         }
         // Condition 3: the epoch's spend only resets at the next epoch.
-        if ctx.phi_spent_epoch >= self.config.phi_max {
+        if ctx.phi_spent_epoch + self.config.ton > self.config.phi_max {
             return Some(crate::scheduler::slots::next_epoch_start(
                 ctx.now,
                 self.config.epoch,
@@ -321,7 +324,7 @@ impl ProbeScheduler for SnipRh {
         // Within the current rush slot the mark cannot change, the knee
         // duty-cycle and the upload threshold only move on probed-contact
         // feedback, and condition 2 stays satisfied while the buffer only
-        // grows; condition 3 is delegated to the caller via `phi_below`.
+        // grows; condition 3 is delegated to the caller via `phi_budget`.
         if !self.in_rush_hour(ctx.now) {
             return None;
         }
@@ -332,7 +335,7 @@ impl ProbeScheduler for SnipRh {
                 self.slot_length,
                 self.config.rush_marks.len(),
             ),
-            phi_below: Some(self.config.phi_max),
+            phi_budget: Some(self.config.phi_max),
         })
     }
 }
@@ -406,6 +409,31 @@ mod tests {
         let phi_max_s = 86; // paper_defaults: 86.4 s
         assert!(rh.decide(&ctx(8 * 3_600, 10, 0)).is_some());
         assert!(rh.decide(&ctx(8 * 3_600, 10, phi_max_s + 1)).is_none());
+    }
+
+    #[test]
+    fn budget_gate_is_exact_to_one_beacon_window() {
+        // The gate admits a cycle only if a whole Ton still fits: the last
+        // admissible spend is Φmax − Ton, one microsecond more is refused.
+        let mut rh = rh();
+        let phi_max = rh.config().phi_max;
+        let ton = rh.config().ton;
+        let at_knee = ProbeContext {
+            now: SimTime::from_secs(8 * 3_600),
+            buffered_data: DataSize::from_airtime_secs(10),
+            phi_spent_epoch: phi_max - ton,
+        };
+        assert!(rh.decide(&at_knee).is_some(), "exactly one Ton of room");
+        let over = ProbeContext {
+            phi_spent_epoch: phi_max - ton + SimDuration::from_micros(1),
+            ..at_knee
+        };
+        assert!(
+            rh.decide(&over).is_none(),
+            "a partial window must not start"
+        );
+        // idle_until agrees: with less than a Ton of room, off to next epoch.
+        assert!(rh.idle_until(&over).is_some());
     }
 
     #[test]

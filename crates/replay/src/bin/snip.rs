@@ -59,6 +59,9 @@ replay options:
 
 bench options (defaults in brackets):
     --out <path>           where to write the JSON report  [BENCH_sweep.json]
+    --history <path>       JSONL file each run appends to; the bench
+                           trajectory across commits (`none` disables)
+                                                           [BENCH_history.jsonl]
     --epochs <n>           days per simulated point        [14]
     --seed <n>             base seed                       [2011]
     --phi-max <secs>       per-epoch probing budget        [86.4]
@@ -507,6 +510,7 @@ fn cmd_convert(args: &[String]) -> Result<ExitCode, CliError> {
 
 struct BenchOptions {
     out: PathBuf,
+    history: Option<PathBuf>,
     epochs: u64,
     seed: u64,
     phi_max: f64,
@@ -518,6 +522,7 @@ struct BenchOptions {
 fn parse_bench_options(args: &[String]) -> Result<BenchOptions, CliError> {
     let mut opts = BenchOptions {
         out: PathBuf::from("BENCH_sweep.json"),
+        history: Some(PathBuf::from("BENCH_history.jsonl")),
         epochs: 14,
         seed: 2011,
         phi_max: 86.4,
@@ -529,6 +534,10 @@ fn parse_bench_options(args: &[String]) -> Result<BenchOptions, CliError> {
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--out" => opts.out = parse_value::<PathBuf>(flag, it.next())?,
+            "--history" => {
+                let raw: String = parse_value(flag, it.next())?;
+                opts.history = (raw != "none").then(|| PathBuf::from(raw));
+            }
             "--epochs" => opts.epochs = parse_value(flag, it.next())?,
             "--seed" => opts.seed = parse_value(flag, it.next())?,
             "--phi-max" => opts.phi_max = parse_value(flag, it.next())?,
@@ -567,9 +576,10 @@ fn parse_bench_options(args: &[String]) -> Result<BenchOptions, CliError> {
 }
 
 /// Times the canonical Fig 7 sweep three ways — pre-optimization baseline,
-/// optimized sequential, optimized parallel — verifies that the optimized
-/// engines agree with each other bit-for-bit (and with the baseline up to
-/// float re-association), and writes the measurements as JSON.
+/// optimized sequential, optimized parallel — verifies that all three agree
+/// bit-for-bit (metrics are exact integer-µs ledgers, so the optimized
+/// engines must reproduce even the baseline's Φ exactly), and writes the
+/// measurements as JSON.
 fn cmd_bench(args: &[String]) -> Result<ExitCode, CliError> {
     use std::time::Instant;
 
@@ -619,12 +629,12 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, CliError> {
                 && a.rho == b.rho
         });
     // Fidelity: the optimized engine must reproduce the baseline results
-    // (Φ re-associates batched float charges; everything else is exact).
+    // bit-for-bit — metrics are integer-µs ledgers, so Φ is exact too.
     let baseline_matches = baseline.len() == sequential.len()
         && baseline
             .iter()
             .zip(&sequential)
-            .all(|(b, s)| b.zeta == s.zeta && (b.phi - s.phi).abs() <= 1e-9 * b.phi.max(1.0));
+            .all(|(b, s)| b.zeta == s.zeta && b.phi == s.phi);
 
     let speedup_vs_baseline = baseline_secs / parallel_secs;
     let speedup_vs_sequential = sequential_secs / parallel_secs;
@@ -662,6 +672,17 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, CliError> {
          ({speedup_vs_baseline:.1}x vs baseline, {speedup_vs_sequential:.1}x vs sequential)",
         opts.out.display()
     );
+    if let Some(history) = &opts.history {
+        append_bench_history(
+            history,
+            &opts,
+            points,
+            baseline_secs,
+            sequential_secs,
+            parallel_secs,
+            parallel_equals_sequential && baseline_matches,
+        )?;
+    }
     if !(parallel_equals_sequential && baseline_matches) {
         eprintln!(
             "error: determinism check failed (see {})",
@@ -670,6 +691,86 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, CliError> {
         return Ok(ExitCode::FAILURE);
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// Appends one compact JSONL entry for this run to the tracked bench
+/// history and diffs it against the previous entry, so a perf regression
+/// shows up as a line-by-line trajectory in the repo rather than a lost
+/// one-off report.
+fn append_bench_history(
+    path: &Path,
+    opts: &BenchOptions,
+    points: usize,
+    baseline_secs: f64,
+    sequential_secs: f64,
+    parallel_secs: f64,
+    deterministic: bool,
+) -> Result<(), CliError> {
+    use std::io::Write as _;
+    use std::time::{SystemTime, UNIX_EPOCH};
+
+    // The previous entry (if any) is this run's comparison baseline.
+    let previous = std::fs::read_to_string(path).ok().and_then(|text| {
+        text.lines()
+            .rev()
+            .find(|l| !l.trim().is_empty())
+            .map(String::from)
+    });
+
+    let unix_secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let entry = format!(
+        "{{\"schema_version\": 1, \"unix_secs\": {unix_secs}, \"points\": {points}, \
+         \"epochs\": {epochs}, \"seed\": {seed}, \"threads\": {threads}, \"repeat\": {repeat}, \
+         \"baseline_sequential_secs\": {baseline_secs:.6}, \
+         \"sequential_secs\": {sequential_secs:.6}, \"parallel_secs\": {parallel_secs:.6}, \
+         \"points_per_sec_parallel\": {pps:.3}, \"deterministic\": {deterministic}}}",
+        epochs = opts.epochs,
+        seed = opts.seed,
+        threads = opts.threads,
+        repeat = opts.repeat,
+        pps = points as f64 / parallel_secs,
+    );
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(fatal)?;
+    writeln!(file, "{entry}").map_err(fatal)?;
+
+    match previous {
+        None => println!("started {} with its first entry", path.display()),
+        Some(prev) => {
+            println!("appended to {} — previous entry:", path.display());
+            println!("  - {prev}");
+            println!("  + {entry}");
+            // A crude but dependency-free regression probe: compare the
+            // parallel wall-clock against the previous entry when the
+            // workload shape matches.
+            let field = |line: &str, key: &str| -> Option<f64> {
+                let tag = format!("\"{key}\": ");
+                let rest = &line[line.find(&tag)? + tag.len()..];
+                let end = rest.find([',', '}'])?;
+                rest[..end].trim().parse().ok()
+            };
+            let same_shape = field(&prev, "points") == Some(points as f64)
+                && field(&prev, "epochs") == Some(opts.epochs as f64)
+                && field(&prev, "threads") == Some(opts.threads as f64);
+            if let (true, Some(prev_secs)) = (same_shape, field(&prev, "parallel_secs")) {
+                let ratio = parallel_secs / prev_secs.max(1e-9);
+                if ratio > 1.25 {
+                    eprintln!(
+                        "warning: parallel sweep is {ratio:.2}x slower than the previous \
+                         entry ({parallel_secs:.3} s vs {prev_secs:.3} s)"
+                    );
+                } else {
+                    println!("parallel sweep vs previous entry: {ratio:.2}x");
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 // ------------------------------------------------------------------ display
@@ -686,8 +787,8 @@ fn print_metrics(mechanism: &str, metrics: &RunMetrics) {
         let _ = writeln!(
             out,
             "{i}\t{:.3}\t{:.3}\t{}",
-            em.zeta,
-            em.phi,
+            em.zeta(),
+            em.phi(),
             em.rho().map_or_else(|| "-".into(), |r| format!("{r:.3}")),
         );
     }

@@ -30,7 +30,21 @@ use snip_units::DutyCycle;
 ///   beacon.
 /// * 2 — fast-path simulator: provably-off wake-ups are elided, runs of
 ///   empty probing cycles collapse into `ProbeBatch` events.
-pub const JOURNAL_VERSION: u32 = 2;
+/// * 3 — exact integer-µs metrics ledgers: `EpochEnd`/`RunEnd` metric
+///   payloads carry integer microseconds (`zeta_us`, `slot_phi_us`, …)
+///   instead of float seconds, and SNIP-RH's budget gate checks the room
+///   for a whole `Ton` before each cycle (`Φ ≤ Φmax` exactly). Version 2
+///   journals are still read: their float-second metric records normalize
+///   to the nearest microsecond at decode time, which recovers the exact
+///   ledgers (v2's accumulated f64 drift is orders of magnitude below half
+///   a microsecond), so v2 SNIP-AT/OPT journals replay bit-for-bit.
+///   A v2 *SNIP-RH* journal whose run ever hit the budget gate diverges at
+///   that first gated decision — exactly what first-divergence reporting is
+///   for.
+pub const JOURNAL_VERSION: u32 = 3;
+
+/// The oldest journal version this crate can still read and replay.
+pub const MIN_SUPPORTED_JOURNAL_VERSION: u32 = 2;
 
 /// A rebuildable description of the recorded scheduler.
 ///

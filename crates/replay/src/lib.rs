@@ -5,7 +5,10 @@
 //! seed S". This crate makes each such run a *shareable artifact* — a
 //! versioned event journal holding the input contact trace, every scheduler
 //! decision, probe outcome and upload, the per-epoch ζ/Φ/ρ metrics, and
-//! enough header metadata to re-execute the whole thing:
+//! enough header metadata to re-execute the whole thing. Metric records are
+//! exact integer-µs ledgers (journal v3), so replay asserts *equality* on
+//! ζ/Φ — no tolerance; v2 journals (float-second metrics) are still read,
+//! normalized to microseconds at decode time:
 //!
 //! * [`record::record_run`] — run a simulation, streaming every event to a
 //!   journal (JSONL or CBOR, autodetected by extension, O(1) memory).
@@ -62,7 +65,9 @@ pub mod record;
 pub mod replay;
 
 pub use diff::{diff_journals, DiffReport, FirstDifference};
-pub use event::{JournalEvent, JournalHeader, SchedulerSpec, JOURNAL_VERSION};
+pub use event::{
+    JournalEvent, JournalHeader, SchedulerSpec, JOURNAL_VERSION, MIN_SUPPORTED_JOURNAL_VERSION,
+};
 pub use journal::{convert, JournalError, JournalFormat, JournalReader, JournalWriter};
 pub use record::{record_run, RecordError, Recorder};
 pub use replay::{replay_run, Divergence, ReplayError, ReplayReport};

@@ -25,7 +25,9 @@ use rand::SeedableRng;
 use snip_mobility::{Contact, ContactTrace};
 use snip_sim::{ObserverFlow, RunMetrics, SimEvent, SimObserver, Simulation};
 
-use crate::event::{JournalEvent, JournalHeader, SchedulerSpec, JOURNAL_VERSION};
+use crate::event::{
+    JournalEvent, JournalHeader, SchedulerSpec, JOURNAL_VERSION, MIN_SUPPORTED_JOURNAL_VERSION,
+};
 use crate::journal::{JournalError, JournalReader};
 
 /// A first-divergence report: where replay and journal disagree.
@@ -88,7 +90,8 @@ impl fmt::Display for ReplayError {
             }
             ReplayError::UnsupportedVersion { found } => write!(
                 f,
-                "unsupported journal version {found} (this build replays version {JOURNAL_VERSION})"
+                "unsupported journal version {found} (this build replays versions \
+                 {MIN_SUPPORTED_JOURNAL_VERSION}..={JOURNAL_VERSION})"
             ),
             ReplayError::Malformed(msg) => write!(f, "malformed journal: {msg}"),
             ReplayError::Divergence(d) => d.fmt(f),
@@ -188,7 +191,11 @@ fn read_preamble<R: BufRead>(
         }
         None => return Err(ReplayError::MissingHeader),
     };
-    if header.version != JOURNAL_VERSION {
+    // Version 2 journals carry float-second metric records; the decoder
+    // already normalized them to integer µs (see `EpochMetrics`'s legacy
+    // deserialization), so both supported versions verify with the same
+    // exact comparisons.
+    if !(MIN_SUPPORTED_JOURNAL_VERSION..=JOURNAL_VERSION).contains(&header.version) {
         return Err(ReplayError::UnsupportedVersion {
             found: header.version,
         });

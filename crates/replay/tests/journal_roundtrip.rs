@@ -198,7 +198,7 @@ fn mutate(event: &mut SimEvent) {
         SimEvent::ProbeBatch { count, .. } => *count += 1,
         SimEvent::Probe { beacon_heard, .. } => *beacon_heard = !*beacon_heard,
         SimEvent::Upload { at, .. } => *at += SimDuration::from_micros(1),
-        SimEvent::EpochEnd { metrics, .. } => metrics.phi += 1.0,
+        SimEvent::EpochEnd { metrics, .. } => metrics.charge_phi(SimDuration::from_secs(1)),
     }
 }
 
@@ -217,8 +217,9 @@ fn roadside_acceptance_record_then_replay() {
     let report = replay_bytes(bytes, JournalFormat::Cbor).expect("clean replay");
     assert_eq!(report.metrics, recorded);
     for (a, b) in report.metrics.epochs().iter().zip(recorded.epochs()) {
-        assert_eq!(a.zeta.to_bits(), b.zeta.to_bits());
-        assert_eq!(a.phi.to_bits(), b.phi.to_bits());
+        // Integer-µs ledgers: equality IS bit-for-bit.
+        assert_eq!(a.zeta_exact(), b.zeta_exact());
+        assert_eq!(a.phi_exact(), b.phi_exact());
         assert_eq!(
             a.rho().map(f64::to_bits),
             b.rho().map(f64::to_bits),

@@ -80,13 +80,9 @@ impl EnergyBreakdown {
     pub fn of_run(metrics: &RunMetrics, radio: &RadioEnergyModel, epoch: SimDuration) -> Self {
         assert!(!metrics.is_empty(), "need at least one epoch of metrics");
         let epochs = metrics.len() as f64;
-        let phi: f64 = metrics.epochs().iter().map(|e| e.phi).sum::<f64>() / epochs;
-        let up: f64 = metrics
-            .epochs()
-            .iter()
-            .map(|e| e.upload_on_time)
-            .sum::<f64>()
-            / epochs;
+        let totals = metrics.totals();
+        let phi: f64 = totals.phi() / epochs;
+        let up: f64 = totals.upload_on_time() / epochs;
         let on = phi + up;
         let epoch_secs = epoch.as_secs_f64();
         assert!(
@@ -123,20 +119,21 @@ impl EnergyBreakdown {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metrics::{EpochMetrics, RunMetrics};
+    use crate::metrics::RunMetrics;
 
     fn run_with(phi: f64, upload: f64) -> RunMetrics {
         let mut m = RunMetrics::with_epochs(2);
         for i in 0..2 {
-            *m.epoch_mut(i) = EpochMetrics {
-                zeta: upload,
-                phi,
-                uploaded: upload,
-                upload_on_time: upload,
-                contacts_total: 10,
-                contacts_probed: 5,
-                beacons: 100,
-            };
+            let em = m.epoch_mut(i);
+            em.charge_zeta(snip_units::SimDuration::from_secs_f64(upload));
+            em.charge_phi(snip_units::SimDuration::from_secs_f64(phi));
+            em.charge_uploaded(snip_units::DataSize::from_airtime(
+                snip_units::SimDuration::from_secs_f64(upload),
+            ));
+            em.charge_upload_on_time(snip_units::SimDuration::from_secs_f64(upload));
+            em.contacts_total = 10;
+            em.contacts_probed = 5;
+            em.beacons = 100;
         }
         m
     }

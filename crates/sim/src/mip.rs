@@ -107,13 +107,13 @@ impl MipSimulation {
         // Contacts arrive in time order, so epochs complete in order too.
         let mut current_epoch = 0u64;
 
-        // Listening overhead is deterministic: d × epoch seconds per epoch,
-        // plus one beacon transmitted per on-window is *mobile* energy and
-        // not charged to the sensor.
-        let phi_per_epoch = duty_cycle.as_fraction() * epoch.as_secs_f64();
+        // Listening overhead is deterministic: d × epoch per epoch (exact
+        // integer µs), plus one beacon transmitted per on-window is *mobile*
+        // energy and not charged to the sensor.
+        let phi_per_epoch = duty_cycle.on_time_over(epoch);
         for i in 0..self.config.epochs as usize {
             let em = metrics.epoch_mut(i);
-            em.phi = phi_per_epoch;
+            em.charge_phi(phi_per_epoch);
             if !duty_cycle.is_off() {
                 em.beacons = epoch / duty_cycle.cycle_for_on(self.config.ton);
             }
@@ -188,9 +188,9 @@ impl MipSimulation {
             if let Some(at) = discovery {
                 let probed = contact.end() - at;
                 let em = metrics.epoch_mut(epoch_idx);
-                em.zeta += probed.as_secs_f64();
+                em.charge_zeta(probed);
                 em.contacts_probed += 1;
-                em.upload_on_time += probed.as_secs_f64();
+                em.charge_upload_on_time(probed);
             }
         }
         for e in current_epoch..self.config.epochs {

@@ -36,8 +36,10 @@
 //! draws (the naive stepper draws one per beacon), so fast and naive runs
 //! follow different loss streams; each is individually deterministic and
 //! statistically equivalent. With `beacon_loss == 0` the fast path probes
-//! exactly the same contacts at the same instants as the naive stepper.
-//! [`Simulation::with_naive_stepping`] keeps the reference stepper
+//! exactly the same contacts at the same instants as the naive stepper and
+//! produces *bit-identical* metrics: all ledgers are exact integer µs, so
+//! a batched `count × Ton` charge is the same integer as `count` single
+//! charges. [`Simulation::with_naive_stepping`] keeps the reference stepper
 //! available for cross-checks and baseline benchmarks.
 
 use rand::Rng;
@@ -111,10 +113,8 @@ impl<'a, S: ProbeScheduler> Simulation<'a, S> {
         let epoch = self.config.epoch;
         let slot_len = epoch / 24;
         let ton = self.config.ton;
-        let ton_secs = ton.as_secs_f64();
         let mut metrics = RunMetrics::with_epochs(self.config.epochs as usize);
         let mut buffer = DataBuffer::new(self.config.data_rate);
-        let mut phi_in_epoch = SimDuration::ZERO;
         let mut current_epoch = 0u64;
 
         // Contacts per epoch from the trace (denominator of the probe
@@ -141,7 +141,6 @@ impl<'a, S: ProbeScheduler> Simulation<'a, S> {
 
         let mut now = SimTime::ZERO;
         while now < horizon {
-            // Epoch rollover resets the probing ledger the scheduler sees.
             let epoch_idx = now.epoch_index(epoch);
             if epoch_idx > current_epoch {
                 // Epochs the cursor moved past are final: report them.
@@ -153,9 +152,12 @@ impl<'a, S: ProbeScheduler> Simulation<'a, S> {
                     });
                 }
                 current_epoch = epoch_idx;
-                phi_in_epoch = SimDuration::ZERO;
             }
 
+            // The scheduler sees the current epoch's exact Φ ledger — the
+            // single source of the per-epoch spend (it resets at rollover
+            // because each epoch has its own ledger entry).
+            let phi_in_epoch = metrics.epochs()[epoch_idx as usize].phi_exact();
             let ctx = ProbeContext {
                 now,
                 buffered_data: buffer.available(now),
@@ -218,13 +220,15 @@ impl<'a, S: ProbeScheduler> Simulation<'a, S> {
                 let cycle_us = cycle.as_micros();
                 let gap = span_end.as_micros() - now.as_micros();
                 let mut k_max = gap.div_ceil(cycle_us).max(1);
-                if let Some(phi_below) = span.phi_below {
-                    // decide() already approved the first beacon, so at
-                    // least one is always sent.
-                    let room = phi_below
+                if let Some(phi_budget) = span.phi_budget {
+                    // Whole beacons that fit inside the remaining budget —
+                    // floor, so the batched spend never exceeds it. decide()
+                    // already approved the first beacon (it checked the room
+                    // for one Ton), so at least one is always sent.
+                    let room = phi_budget
                         .as_micros()
                         .saturating_sub(phi_in_epoch.as_micros());
-                    k_max = k_max.min(room.div_ceil(ton.as_micros()).max(1));
+                    k_max = k_max.min((room / ton.as_micros()).max(1));
                 }
 
                 // The first beacon `now + j·cycle`, `j < k_max`, landing
@@ -250,11 +254,12 @@ impl<'a, S: ProbeScheduler> Simulation<'a, S> {
 
                 let misses = hit.map_or(k_max, |(j, _)| j);
                 if misses > 0 {
+                    // `Ton × misses` in exact integer µs: bit-identical to
+                    // the naive stepper's `misses` one-at-a-time charges.
                     let em = metrics.epoch_mut(epoch_idx as usize);
-                    em.phi += ton_secs * misses as f64;
+                    em.charge_phi(ton * misses);
                     em.beacons += misses;
-                    phi_in_epoch += ton * misses;
-                    metrics.charge_slot_phi(slot_idx, ton_secs * misses as f64);
+                    metrics.charge_slot_phi(slot_idx, ton * misses);
                     emit!(SimEvent::ProbeBatch {
                         from: now,
                         cycle,
@@ -267,10 +272,9 @@ impl<'a, S: ProbeScheduler> Simulation<'a, S> {
                 };
                 let at = now + SimDuration::from_micros(j * cycle_us);
                 let em = metrics.epoch_mut(epoch_idx as usize);
-                em.phi += ton_secs;
+                em.charge_phi(ton);
                 em.beacons += 1;
-                phi_in_epoch += ton;
-                metrics.charge_slot_phi(slot_idx, ton_secs);
+                metrics.charge_slot_phi(slot_idx, ton);
                 let beacon_heard =
                     self.config.beacon_loss == 0.0 || rng.gen::<f64>() >= self.config.beacon_loss;
                 let probed = if beacon_heard { Some(contact) } else { None };
@@ -303,10 +307,9 @@ impl<'a, S: ProbeScheduler> Simulation<'a, S> {
 
             // Reference stepper: one beacon per consultation.
             let em = metrics.epoch_mut(epoch_idx as usize);
-            em.phi += ton_secs;
+            em.charge_phi(ton);
             em.beacons += 1;
-            phi_in_epoch += ton;
-            metrics.charge_slot_phi(slot_idx, ton_secs);
+            metrics.charge_slot_phi(slot_idx, ton);
 
             let beacon_heard =
                 self.config.beacon_loss == 0.0 || rng.gen::<f64>() >= self.config.beacon_loss;
@@ -380,11 +383,11 @@ impl<'a, S: ProbeScheduler> Simulation<'a, S> {
             }
         }
         let em = metrics.epoch_mut(epoch_idx as usize);
-        em.zeta += probed_duration.as_secs_f64();
-        em.uploaded += uploaded.as_airtime_secs_f64();
-        em.upload_on_time += probed_duration.as_secs_f64();
+        em.charge_zeta(probed_duration);
+        em.charge_uploaded(uploaded);
+        em.charge_upload_on_time(probed_duration);
         em.contacts_probed += 1;
-        metrics.charge_slot_zeta(slot_idx, probed_duration.as_secs_f64());
+        metrics.charge_slot_zeta(slot_idx, probed_duration);
         self.scheduler.record_probed_contact(&ProbedContactInfo {
             probe_time: at,
             probed_duration,
@@ -509,7 +512,7 @@ mod tests {
         // Every probed contact lies inside a rush-hour slot: probing never
         // exceeds rush-time × knee duty-cycle.
         for em in metrics.epochs() {
-            assert!(em.phi <= 4.0 * 3_600.0 * 0.011, "Φ = {}", em.phi);
+            assert!(em.phi() <= 4.0 * 3_600.0 * 0.011, "Φ = {}", em.phi());
         }
         assert!(metrics.total_contacts_probed() > 0);
     }
@@ -525,12 +528,12 @@ mod tests {
         let mut sim = Simulation::new(config, &trace, rh);
         let metrics = sim.run(&mut StdRng::seed_from_u64(6));
         for (i, em) in metrics.epochs().iter().enumerate() {
-            // One in-flight cycle of slack: the gate is checked before each
-            // cycle, so the worst overshoot is a single Ton.
+            // The gate checks the remaining room for a whole Ton before
+            // each cycle, so Φ ≤ Φmax holds *exactly* — no in-flight slack.
             assert!(
-                em.phi <= 86.4 + 0.021,
+                em.phi_exact() <= phi_max,
                 "epoch {i}: Φ = {} exceeds the budget",
-                em.phi
+                em.phi()
             );
         }
     }
@@ -578,9 +581,9 @@ mod tests {
         );
         let metrics = sim.run(&mut StdRng::seed_from_u64(10));
         assert_eq!(metrics.total_contacts_probed(), 0);
-        assert_eq!(metrics.epochs()[0].zeta, 0.0);
+        assert_eq!(metrics.epochs()[0].zeta_exact(), SimDuration::ZERO);
         // The radio still cycles, so Φ accrues.
-        assert!(metrics.epochs()[0].phi > 0.0);
+        assert!(metrics.epochs()[0].phi() > 0.0);
     }
 
     #[test]
@@ -600,7 +603,7 @@ mod tests {
         );
         let metrics = sim.run(&mut StdRng::seed_from_u64(11));
         assert_eq!(metrics.total_contacts_probed(), 1);
-        let zeta = metrics.epochs()[0].zeta;
+        let zeta = metrics.epochs()[0].zeta();
         assert!((zeta - 10.0).abs() < 0.05, "Tprobed = {zeta}");
     }
 
@@ -621,9 +624,9 @@ mod tests {
         let rh_metrics = rh_sim.run(&mut StdRng::seed_from_u64(31));
         let rush_phi: f64 = [7usize, 8, 17, 18]
             .iter()
-            .map(|&h| rh_metrics.slot_phi()[h])
+            .map(|&h| rh_metrics.slot_phi()[h].as_secs_f64())
             .sum();
-        let total_phi: f64 = rh_metrics.slot_phi().iter().sum();
+        let total_phi: f64 = rh_metrics.slot_phi_secs().iter().sum();
         assert!(total_phi > 0.0);
         assert!(
             rush_phi / total_phi > 0.999,
@@ -636,16 +639,16 @@ mod tests {
         let at_metrics = at_sim.run(&mut StdRng::seed_from_u64(31));
         let at_rush: f64 = [7usize, 8, 17, 18]
             .iter()
-            .map(|&h| at_metrics.slot_phi()[h])
+            .map(|&h| at_metrics.slot_phi()[h].as_secs_f64())
             .sum();
-        let at_total: f64 = at_metrics.slot_phi().iter().sum();
+        let at_total: f64 = at_metrics.slot_phi_secs().iter().sum();
         // 4 of 24 slots ≈ 16.7% of a uniform spread.
         let share = at_rush / at_total;
         assert!(share > 0.10 && share < 0.25, "AT rush share {share}");
-        // ζ ledger totals agree with the epoch metrics.
-        let slot_zeta: f64 = at_metrics.slot_zeta().iter().sum();
-        let epoch_zeta: f64 = at_metrics.epochs().iter().map(|e| e.zeta).sum();
-        assert!((slot_zeta - epoch_zeta).abs() < 1e-9);
+        // ζ ledger totals agree with the epoch metrics *exactly* — both are
+        // integer ledgers fed by the same charges.
+        let slot_zeta: SimDuration = at_metrics.slot_zeta().iter().copied().sum();
+        assert_eq!(slot_zeta, at_metrics.total_zeta());
     }
 
     #[test]

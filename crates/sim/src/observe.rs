@@ -156,10 +156,11 @@ mod tests {
             },
             SimEvent::EpochEnd {
                 epoch: 0,
-                metrics: EpochMetrics {
-                    zeta: 8.8,
-                    phi: 86.4,
-                    ..EpochMetrics::default()
+                metrics: {
+                    let mut em = EpochMetrics::default();
+                    em.charge_zeta(SimDuration::from_secs_f64(8.8));
+                    em.charge_phi(SimDuration::from_secs_f64(86.4));
+                    em
                 },
             },
         ];

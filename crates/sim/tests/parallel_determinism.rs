@@ -57,9 +57,10 @@ fn sweep_parallel_is_bit_identical_across_thread_counts() {
 #[test]
 fn fast_path_matches_the_naive_stepper() {
     // With no beacon loss the fast path sends exactly the same beacons and
-    // probes exactly the same contacts as the reference stepper; ζ and the
-    // integer tallies are bit-identical, Φ differs only by float
-    // re-association of the batched `count × Ton` charges.
+    // probes exactly the same contacts as the reference stepper — and all
+    // metrics are exact integer-µs ledgers, so *every* quantity, Φ
+    // included, is bit-identical: the batched `count × Ton` charge is the
+    // same integer as `count` one-at-a-time charges.
     let runner = paper_runner(7);
     for &target in &TARGETS {
         for mechanism in Mechanism::ALL {
@@ -67,18 +68,20 @@ fn fast_path_matches_the_naive_stepper() {
             let naive = runner.run_one_baseline(mechanism, target);
             for (e, (f, n)) in fast.epochs().iter().zip(naive.epochs()).enumerate() {
                 let at = format!("{} ζt={target} epoch {e}", mechanism.label());
-                assert_eq!(f.zeta, n.zeta, "ζ {at}");
+                assert_eq!(f.zeta_exact(), n.zeta_exact(), "ζ {at}");
+                assert_eq!(f.phi_exact(), n.phi_exact(), "Φ {at}");
                 assert_eq!(f.contacts_probed, n.contacts_probed, "probed {at}");
                 assert_eq!(f.contacts_total, n.contacts_total, "total {at}");
                 assert_eq!(f.beacons, n.beacons, "beacons {at}");
-                assert_eq!(f.uploaded, n.uploaded, "uploaded {at}");
-                assert!(
-                    (f.phi - n.phi).abs() <= 1e-9 * n.phi.max(1.0),
-                    "Φ {at}: fast {} vs naive {}",
-                    f.phi,
-                    n.phi
-                );
+                assert_eq!(f.uploaded_exact(), n.uploaded_exact(), "uploaded {at}");
             }
+            // Whole-run equality covers the per-slot ledgers too.
+            assert_eq!(
+                fast,
+                naive,
+                "{} ζt={target}: full ledgers must be identical",
+                mechanism.label()
+            );
         }
     }
 }

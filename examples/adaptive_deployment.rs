@@ -88,7 +88,7 @@ fn main() {
             x if x == shift_epoch => "<- environment shifts +2 h",
             _ => "",
         };
-        println!("{i:>3} {:>7.1} {:>7.1}    {note}", em.zeta, em.phi);
+        println!("{i:>3} {:>7.1} {:>7.1}    {note}", em.zeta(), em.phi());
     }
 
     let marks: Vec<usize> = sched

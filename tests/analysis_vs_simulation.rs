@@ -135,10 +135,13 @@ fn opt_plan_predictions_hold_in_simulation() {
     let metrics = runner.run_one(Mechanism::SnipOpt, 40.0);
     // Plan predicts ζ = 40, Φ = 120 exactly; simulation adds trace noise
     // (across seeds the realization lands at 34–37 s under the vendored
-    // deterministic RNG, a ~15% shortfall from the oracle plan).
+    // deterministic RNG, a ~15% shortfall from the oracle plan). This seed
+    // realizes ζ = 33.75 — a property of the RNG stream, not of metrics
+    // accounting (the exact integer ledgers changed it by < 1 µs), so the
+    // window is tightened back only to 7 s, not the original 6 s.
     let zeta = metrics.mean_zeta_per_epoch();
     let phi = metrics.mean_phi_per_epoch();
-    assert!((zeta - 40.0).abs() < 8.0, "ζ = {zeta}");
+    assert!((zeta - 40.0).abs() < 7.0, "ζ = {zeta}");
     assert!((phi - 120.0).abs() < 10.0, "Φ = {phi}");
 }
 

@@ -23,19 +23,19 @@ fn rush_marks() -> Vec<bool> {
     m
 }
 
-/// SNIP-RH never exceeds its per-epoch energy budget (condition 3), with at
-/// most one in-flight beacon window of slack, across budgets and targets.
+/// SNIP-RH never exceeds its per-epoch energy budget (condition 3) —
+/// exactly, with zero slack: the gate admits a probing cycle only when a
+/// whole beacon window still fits, across budgets and targets.
 #[test]
 fn snip_rh_budget_invariant_across_configurations() {
     let trace = TraceGenerator::new(EpochProfile::roadside())
         .epochs(6)
         .generate(&mut StdRng::seed_from_u64(601));
     for phi_max in [10.0, 86.4, 300.0] {
+        let phi_max_exact = SimDuration::from_secs_f64(phi_max);
         for target in [8.0, 16.0, 56.0] {
-            let rh = SnipRh::new(
-                SnipRhConfig::paper_defaults(rush_marks())
-                    .with_phi_max(SimDuration::from_secs_f64(phi_max)),
-            );
+            let rh =
+                SnipRh::new(SnipRhConfig::paper_defaults(rush_marks()).with_phi_max(phi_max_exact));
             let config = SimConfig::paper_defaults()
                 .with_epochs(6)
                 .with_zeta_target_secs(target);
@@ -43,9 +43,9 @@ fn snip_rh_budget_invariant_across_configurations() {
             let metrics = sim.run(&mut StdRng::seed_from_u64(602));
             for (i, em) in metrics.epochs().iter().enumerate() {
                 assert!(
-                    em.phi <= phi_max + 0.021,
+                    em.phi_exact() <= phi_max_exact,
                     "Φmax={phi_max}, target={target}, epoch {i}: Φ = {}",
-                    em.phi
+                    em.phi()
                 );
             }
         }
@@ -59,7 +59,7 @@ fn uploads_never_exceed_generation() {
     for mechanism in Mechanism::ALL {
         for target in [16.0, 40.0] {
             let metrics = runner.run_one(mechanism, target);
-            let uploaded: f64 = metrics.epochs().iter().map(|e| e.uploaded).sum();
+            let uploaded: f64 = metrics.totals().uploaded();
             let generated = target * metrics.len() as f64;
             assert!(
                 uploaded <= generated + 1e-6,
@@ -75,14 +75,17 @@ fn uploads_never_exceed_generation() {
 fn zeta_bounded_by_trace_capacity() {
     let runner = ScenarioRunner::paper(864.0).with_seed(604);
     let trace = runner.trace();
-    let capacity = trace.total_capacity().as_secs_f64();
+    let capacity = trace.total_capacity();
     for mechanism in Mechanism::ALL {
         let metrics = runner.run_one(mechanism, 56.0);
-        let zeta: f64 = metrics.epochs().iter().map(|e| e.zeta).sum();
+        // Exact ledger comparison: probed time can never exceed offered
+        // time, with no float-rounding escape hatch.
         assert!(
-            zeta <= capacity,
-            "{}: probed {zeta} > trace capacity {capacity}",
-            mechanism.label()
+            metrics.total_zeta() <= capacity,
+            "{}: probed {} > trace capacity {}",
+            mechanism.label(),
+            metrics.total_zeta(),
+            capacity
         );
     }
 }
@@ -155,12 +158,12 @@ fn adaptive_converges_toward_oracle_rush_hours() {
     let mut oracle_sim = Simulation::new(config, &trace, oracle);
     let oracle = oracle_sim.run(&mut StdRng::seed_from_u64(609));
 
-    // Compare the settled tail (last 10 epochs).
+    // Compare the settled tail (last 10 epochs): exact ledger merge, with
+    // ρ routed through `EpochMetrics::rho()` so a zero-ζ tail is a `None`
+    // (and a loud failure here), never an epsilon-inflated explosion.
     let tail = |m: &snip_rh_repro::snip_sim::RunMetrics| {
-        let eps = &m.epochs()[10..];
-        let zeta: f64 = eps.iter().map(|e| e.zeta).sum();
-        let phi: f64 = eps.iter().map(|e| e.phi).sum();
-        (zeta, phi / zeta.max(1e-9))
+        let sum: snip_rh_repro::snip_sim::EpochMetrics = m.epochs()[10..].iter().copied().sum();
+        (sum.zeta(), sum.rho().expect("tail epochs probed nothing"))
     };
     let (a_zeta, a_rho) = tail(&adaptive);
     let (o_zeta, o_rho) = tail(&oracle);
@@ -226,7 +229,12 @@ fn hybrid_dominates_rh_above_the_rush_ceiling() {
         rh.mean_zeta_per_epoch()
     );
     for em in hy.epochs() {
-        assert!(em.phi <= 864.0 + 0.021, "hybrid over budget: {}", em.phi);
+        // The hybrid inherits SNIP-RH's exact gate: Φ ≤ Φmax, zero slack.
+        assert!(
+            em.phi_exact() <= phi_max,
+            "hybrid over budget: {}",
+            em.phi()
+        );
     }
     // The background costs energy: the hybrid's ρ is worse, by design.
     assert!(hy.overall_rho().unwrap() > rh.overall_rho().unwrap());
