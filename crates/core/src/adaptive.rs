@@ -17,7 +17,7 @@
 use serde::{Deserialize, Serialize};
 use snip_units::{DutyCycle, SimTime};
 
-use crate::scheduler::{ProbeContext, ProbeScheduler, ProbedContactInfo};
+use crate::scheduler::{slots, ProbeContext, ProbeScheduler, ProbedContactInfo, SteadySpan};
 use crate::snip_rh::{SnipRh, SnipRhConfig};
 
 /// Which phase the adaptive scheduler is in.
@@ -306,6 +306,77 @@ impl ProbeScheduler for AdaptiveSnipRh {
     fn name(&self) -> &str {
         "Adaptive-SNIP-RH"
     }
+
+    fn idle_until(&self, ctx: &ProbeContext) -> Option<SimTime> {
+        let cfg = &self.config.rh;
+        let budget_gated = ctx.phi_spent_epoch + cfg.ton > cfg.phi_max;
+        match self.phase {
+            // Learning probes everywhere: the only off state is budget
+            // exhaustion, and the spend resets at the next epoch boundary —
+            // which is also exactly where the phase may switch, so the
+            // bound never skips over a behavioural change.
+            AdaptivePhase::Learning => {
+                budget_gated.then(|| slots::next_epoch_start(ctx.now, cfg.epoch))
+            }
+            AdaptivePhase::RushHour => {
+                if budget_gated {
+                    // The knee and the tracking trickle share the exact
+                    // budget gate; both stay off until the next epoch
+                    // (where the marks may also relearn — the bound stops
+                    // exactly there).
+                    return Some(slots::next_epoch_start(ctx.now, cfg.epoch));
+                }
+                if self.config.tracking_duty_cycle > 0.0 {
+                    // Budget OK ⇒ the trickle keeps the radio on somewhere:
+                    // there is no provably-idle stretch to skip.
+                    return None;
+                }
+                // Tracking disabled: the marks never relearn after the
+                // switch, so the inner SNIP-RH's bounds are exact.
+                self.inner.idle_until(ctx)
+            }
+        }
+    }
+
+    fn steady_span(&self, ctx: &ProbeContext) -> Option<SteadySpan> {
+        let cfg = &self.config.rh;
+        match self.phase {
+            // One flat learning duty-cycle, budget-gated only; the phase
+            // can switch no earlier than the next epoch boundary.
+            AdaptivePhase::Learning => Some(SteadySpan {
+                until: slots::next_epoch_start(ctx.now, cfg.epoch),
+                phi_budget: Some(cfg.phi_max),
+            }),
+            AdaptivePhase::RushHour => {
+                if self.inner.in_rush_hour(ctx.now) {
+                    if ctx.buffered_data.as_airtime() < self.inner.upload_threshold() {
+                        // Active only via the trickle: data arriving
+                        // mid-span would flip the decision to the knee, so
+                        // no constant-duty-cycle guarantee exists.
+                        return None;
+                    }
+                    // Knee probing: the inner span (to the slot end, under
+                    // the shared budget) is exact; marks relearn at epoch
+                    // boundaries, never inside a slot.
+                    self.inner.steady_span(ctx)
+                } else if self.config.tracking_duty_cycle > 0.0 {
+                    // The trickle is flat and ungated by data; the mark of
+                    // the current slot cannot change before the slot ends.
+                    Some(SteadySpan {
+                        until: slots::slot_end(
+                            ctx.now,
+                            cfg.epoch,
+                            self.inner.slot_length(),
+                            cfg.rush_marks.len(),
+                        ),
+                        phi_budget: Some(cfg.phi_max),
+                    })
+                } else {
+                    None
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -507,5 +578,80 @@ mod tests {
     fn name_is_stable() {
         let a = AdaptiveSnipRh::new(AdaptiveConfig::paper_sketch(24, 4));
         assert_eq!(a.name(), "Adaptive-SNIP-RH");
+    }
+
+    /// Learns rush hours 7/8/17/18 over three epochs and rolls into the
+    /// rush-hour phase (first decision of epoch 3 triggers the switch).
+    fn learned(tracking: f64) -> AdaptiveSnipRh {
+        let mut cfg = AdaptiveConfig::paper_sketch(24, 4);
+        cfg.tracking_duty_cycle = tracking;
+        let mut a = AdaptiveSnipRh::new(cfg);
+        for epoch in 0..3 {
+            feed_epoch(&mut a, epoch, &[7, 8, 17, 18], 12);
+        }
+        let _ = a.decide(&ctx(3 * 86_400 + 60, 5, 0));
+        assert_eq!(a.phase(), AdaptivePhase::RushHour);
+        a
+    }
+
+    #[test]
+    fn learning_hints_span_the_epoch_under_the_budget() {
+        let a = AdaptiveSnipRh::new(AdaptiveConfig::paper_sketch(24, 4));
+        // Active at 3 AM: a flat learning duty-cycle to the epoch end.
+        let active = ctx(3 * 3_600, 0, 0);
+        let span = a.steady_span(&active).unwrap();
+        assert_eq!(span.until, SimTime::from_secs(86_400));
+        assert_eq!(span.phi_budget, Some(a.inner().config().phi_max));
+        assert_eq!(a.idle_until(&active), None);
+        // Budget spent: idle exactly to the epoch boundary.
+        let gated = ctx(3 * 3_600, 0, 90_000);
+        assert_eq!(a.idle_until(&gated), Some(SimTime::from_secs(86_400)));
+    }
+
+    #[test]
+    fn tracking_phase_never_goes_idle_while_budget_remains() {
+        let mut a = learned(0.000_5);
+        // Off-peak noon: the trickle is active, steady to the slot end.
+        let noon = ctx(3 * 86_400 + 12 * 3_600, 10, 0);
+        assert!(a.decide(&noon).is_some());
+        assert_eq!(a.idle_until(&noon), None);
+        let span = a.steady_span(&noon).unwrap();
+        assert_eq!(span.until, SimTime::from_secs(3 * 86_400 + 13 * 3_600));
+        // Budget spent: idle to the next epoch (marks may relearn there).
+        let gated = ctx(3 * 86_400 + 12 * 3_600, 10, 90_000);
+        assert!(a.decide(&gated).is_none());
+        assert_eq!(a.idle_until(&gated), Some(SimTime::from_secs(4 * 86_400)));
+    }
+
+    #[test]
+    fn tracking_disabled_delegates_idle_bounds_to_the_inner_rh() {
+        let mut a = learned(0.0);
+        // Off-peak with tracking off: idle until the next learned mark.
+        let noon = ctx(3 * 86_400 + 12 * 3_600, 10, 0);
+        assert!(a.decide(&noon).is_none());
+        assert_eq!(
+            a.idle_until(&noon),
+            Some(SimTime::from_secs(3 * 86_400 + 17 * 3_600)),
+            "slot 17 is the next learned rush hour"
+        );
+        assert_eq!(a.steady_span(&noon), None);
+    }
+
+    #[test]
+    fn rush_slot_span_requires_the_data_gate_to_hold() {
+        let mut a = learned(0.000_5);
+        // Teach the inner RH an upload threshold (~1 s per contact).
+        for k in 0..20 {
+            a.record_probed_contact(&probed_at(3 * 86_400 + 7 * 3_600 + 60 * (k + 1), 2.0));
+        }
+        let rush_starved = ctx(3 * 86_400 + 8 * 3_600, 0, 0);
+        // Starved in a rush slot the trickle still probes, but the decision
+        // would jump to the knee as soon as data arrives: no steady span.
+        assert!(a.decide(&rush_starved).is_some());
+        assert_eq!(a.steady_span(&rush_starved), None);
+        // With data in hand the knee is steady to the slot end.
+        let rush_fed = ctx(3 * 86_400 + 8 * 3_600, 10, 0);
+        let span = a.steady_span(&rush_fed).unwrap();
+        assert_eq!(span.until, SimTime::from_secs(3 * 86_400 + 9 * 3_600));
     }
 }

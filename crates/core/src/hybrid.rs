@@ -15,9 +15,9 @@
 //! (engineer-provided); it trades a small constant energy floor for
 //! robustness to thin rush hours.
 
-use snip_units::{DutyCycle, SimDuration};
+use snip_units::{DutyCycle, SimDuration, SimTime};
 
-use crate::scheduler::{ProbeContext, ProbeScheduler, ProbedContactInfo};
+use crate::scheduler::{slots, ProbeContext, ProbeScheduler, ProbedContactInfo, SteadySpan};
 use crate::snip_rh::{SnipRh, SnipRhConfig};
 
 /// The SNIP-RH+AT hybrid scheduler (§IX future work).
@@ -122,6 +122,38 @@ impl ProbeScheduler for SnipRhPlusAt {
     fn name(&self) -> &str {
         "SNIP-RH+AT"
     }
+
+    fn idle_until(&self, ctx: &ProbeContext) -> Option<SimTime> {
+        let cfg = self.inner.config();
+        // Rush knee and background SNIP-AT share the exact budget gate: once
+        // less than one Ton of Φmax remains, the node is silent everywhere
+        // until the spend resets at the next epoch.
+        if ctx.phi_spent_epoch + cfg.ton > cfg.phi_max {
+            return Some(slots::next_epoch_start(ctx.now, cfg.epoch));
+        }
+        // With budget in hand, the only off state is the data gate (shared
+        // by both branches), and data arrival cannot be bounded.
+        None
+    }
+
+    fn steady_span(&self, ctx: &ProbeContext) -> Option<SteadySpan> {
+        // The active decision is `max(knee, background)` inside a rush slot
+        // and `background` outside — constant within one slot: the mark
+        // cannot change mid-slot, the knee and the upload threshold only
+        // move on probed-contact feedback, condition 2 stays satisfied
+        // while the buffer grows, and condition 3 is delegated via
+        // `phi_budget`.
+        let cfg = self.inner.config();
+        Some(SteadySpan {
+            until: slots::slot_end(
+                ctx.now,
+                cfg.epoch,
+                self.inner.slot_length(),
+                cfg.rush_marks.len(),
+            ),
+            phi_budget: Some(cfg.phi_max),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -205,5 +237,31 @@ mod tests {
     #[should_panic(expected = "background duty-cycle")]
     fn zero_background_rejected() {
         let _ = SnipRhPlusAt::new(SnipRhConfig::paper_defaults(marks()), 0.0);
+    }
+
+    #[test]
+    fn idle_until_bounds_budget_exhaustion_to_the_epoch() {
+        let h = hybrid();
+        // Budget spent at noon of day 2: silent until day 3 begins.
+        let gated = ctx(2 * 86_400 + 12 * 3_600, 10, 87);
+        assert_eq!(
+            h.idle_until(&gated),
+            Some(SimTime::from_secs(3 * 86_400)),
+            "budget gate holds for the rest of the epoch"
+        );
+        // Budget in hand: the background can probe — no idle bound.
+        assert_eq!(h.idle_until(&ctx(12 * 3_600, 10, 0)), None);
+    }
+
+    #[test]
+    fn steady_span_covers_one_slot_under_the_budget() {
+        let h = hybrid();
+        // Off-peak: the background duty-cycle is steady to the slot end.
+        let span = h.steady_span(&ctx(12 * 3_600 + 600, 10, 0)).unwrap();
+        assert_eq!(span.until, SimTime::from_secs(13 * 3_600));
+        assert_eq!(span.phi_budget, Some(h.inner().config().phi_max));
+        // Rush hour: same shape (the max(knee, background) is constant).
+        let span = h.steady_span(&ctx(8 * 3_600, 10, 0)).unwrap();
+        assert_eq!(span.until, SimTime::from_secs(9 * 3_600));
     }
 }

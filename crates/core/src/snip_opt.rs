@@ -8,7 +8,7 @@
 //! containing the current time.
 
 use snip_model::{SlotProfile, SnipModel};
-use snip_opt::{OptPlan, TwoStepOptimizer};
+use snip_opt::OptPlan;
 use snip_units::{DutyCycle, SimDuration, SimTime};
 
 use crate::scheduler::{ProbeContext, ProbeScheduler, SteadySpan};
@@ -69,14 +69,20 @@ impl SnipOptScheduler {
 
     /// Solves the two-step optimization and wraps the resulting plan.
     ///
+    /// Solves go through the process-wide plan cache
+    /// ([`snip_opt::solve_cached`]): a sweep revisiting the same
+    /// `(profile, Φmax, ζtarget)` point — or a fleet of same-profile nodes
+    /// — reuses the first solve's plan instead of re-solving (~1 ms each).
+    /// Cache keys are the exact inputs, so the plan is bit-identical to an
+    /// uncached solve.
+    ///
     /// # Panics
     ///
     /// Panics if `phi_max` or `zeta_target` is not positive.
     #[must_use]
     pub fn solve(model: SnipModel, profile: SlotProfile, phi_max: f64, zeta_target: f64) -> Self {
-        let optimizer = TwoStepOptimizer::new(model, profile);
-        let plan = optimizer.solve(phi_max, zeta_target);
-        Self::new(plan, optimizer.profile())
+        let plan = snip_opt::solve_cached(model, &profile, phi_max, zeta_target);
+        Self::new(plan, &profile)
     }
 
     /// The underlying plan.
@@ -206,8 +212,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "cover every slot")]
     fn mismatched_plan_rejected() {
-        let plan =
-            TwoStepOptimizer::new(SnipModel::default(), SlotProfile::roadside()).solve(86.4, 16.0);
+        let plan = snip_opt::TwoStepOptimizer::new(SnipModel::default(), SlotProfile::roadside())
+            .solve(86.4, 16.0);
         // A profile with a different slot count.
         let other = SlotProfile::new(vec![snip_model::SlotSpec::empty(SimDuration::from_hours(
             1,

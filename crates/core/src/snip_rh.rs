@@ -224,6 +224,14 @@ impl SnipRh {
         SimDuration::from_secs_f64(self.upload_per_contact.value_or(0.0).max(0.0))
     }
 
+    /// The slot length `Tepoch / N` this scheduler's gates and hints
+    /// divide the epoch by — the single source for wrappers whose own
+    /// hints must agree with [`SnipRh::in_rush_hour`] bit-exactly.
+    #[must_use]
+    pub fn slot_length(&self) -> SimDuration {
+        self.slot_length
+    }
+
     /// The slot index containing `now`.
     #[must_use]
     pub fn slot_index_at(&self, now: SimTime) -> usize {

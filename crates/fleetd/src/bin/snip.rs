@@ -1,4 +1,5 @@
-//! `snip` — deterministic record/replay for SNIP simulations.
+//! `snip` — deterministic record/replay and fleet-scale runs for SNIP
+//! simulations.
 //!
 //! ```text
 //! snip record  --out run.snipj [--scenario roadside|crawdad] [--mechanism at|rh|opt]
@@ -6,9 +7,11 @@
 //!              [--beacon-loss P]
 //! snip replay  <journal> [--mechanism at|rh|opt]
 //! snip diff    <a> <b>
-//! snip convert <in> <out>
+//! snip convert <in> <out> [--to-v3]
+//! snip fleet   --spec <file> [--workers K] [--shard-size N] [--verify] [--out PATH]
+//! snip fleet-worker                (internal: spawned by `snip fleet`)
 //! snip bench   [--out BENCH_sweep.json] [--epochs N] [--threads N] [--seed S]
-//!              [--phi-max SECS] [--targets a,b,c]
+//!              [--phi-max SECS] [--targets a,b,c] [--fleet K]
 //! ```
 //!
 //! Journal format is chosen by extension: `.json`/`.jsonl` are JSON lines,
@@ -23,24 +26,30 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use snip_core::{SnipAt, SnipRhConfig};
+use snip_fleetd::{example_spec, FleetDriver, FleetOutput, FleetSpec};
 use snip_mobility::{ContactTrace, EpochProfile, SyntheticSightings, TraceGenerator};
 use snip_model::SnipModel;
 use snip_replay::diff::diff_journals;
 use snip_replay::event::{JournalHeader, SchedulerSpec};
-use snip_replay::journal::{convert, JournalReader, JournalWriter};
+use snip_replay::journal::{convert, upgrade_to_v3, JournalReader, JournalWriter};
 use snip_replay::record::record_run;
 use snip_replay::replay::{replay_run, ReplayError};
 use snip_sim::{RunMetrics, SimConfig};
 use snip_units::{DutyCycle, SimDuration};
 
 const USAGE: &str = "\
-snip — deterministic record/replay for SNIP simulations
+snip — deterministic record/replay and fleet-scale runs for SNIP simulations
 
 USAGE:
     snip record  --out <journal> [options]     record a simulation run
     snip replay  <journal> [--mechanism M]     re-execute and verify a journal
     snip diff    <a> <b>                       compare two journals
-    snip convert <in> <out>                    translate jsonl <-> cbor
+    snip convert <in> <out> [--to-v3]          translate jsonl <-> cbor
+                                               (--to-v3 migrates v2 journals)
+    snip fleet   --spec <file> [options]       run a fleet spec across worker
+                                               subprocesses
+    snip fleet-worker                          internal: serve shards over
+                                               stdin/stdout (spawned by fleet)
     snip bench   [options]                     time the canonical paper sweep
 
 record options (defaults in brackets):
@@ -57,6 +66,16 @@ replay options:
     --mechanism <name>     override the recorded scheduler (at | rh | opt) —
                            a deliberate divergence demonstration
 
+fleet options (defaults in brackets):
+    --spec <path>          JSON fleet spec (required; see --example)
+    --workers <k>          worker subprocesses               [SNIP_THREADS or #cores]
+    --shard-size <n>       jobs per shard                    [jobs/(4*workers)]
+    --timeout-secs <s>     per-shard worker timeout          [600]
+    --out <path>           write the merged report as JSON
+    --verify               also run single-process and require bit-identical
+                           output (exit 1 on any difference)
+    --example              print a sample spec and exit
+
 bench options (defaults in brackets):
     --out <path>           where to write the JSON report  [BENCH_sweep.json]
     --history <path>       JSONL file each run appends to; the bench
@@ -68,6 +87,9 @@ bench options (defaults in brackets):
     --threads <n>          parallel worker count           [SNIP_THREADS or #cores]
     --repeat <n>           timing repetitions (best-of)    [3]
     --targets <a,b,..>     ζtarget list, seconds           [paper: 16..56]
+    --fleet <k>            also run the sweep through the multi-process
+                           fleet driver with k workers and record
+                           fleet points/sec                [off]
 
 Formats by extension: .json/.jsonl = JSON lines, anything else = CBOR
 (.snipj by convention).
@@ -86,6 +108,8 @@ fn main() -> ExitCode {
         "replay" => cmd_replay(rest),
         "diff" => cmd_diff(rest),
         "convert" => cmd_convert(rest),
+        "fleet" => cmd_fleet(rest),
+        "fleet-worker" => cmd_fleet_worker(rest),
         "bench" => cmd_bench(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -487,23 +511,197 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, CliError> {
 }
 
 fn cmd_convert(args: &[String]) -> Result<ExitCode, CliError> {
-    let [input, output] = args else {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut to_v3 = false;
+    for arg in args {
+        match arg.as_str() {
+            "--to-v3" => to_v3 = true,
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown flag `{flag}`")))
+            }
+            _ => paths.push(arg),
+        }
+    }
+    let [input, output] = paths[..] else {
         return Err(CliError::Usage(
             "convert needs an input and an output path".into(),
         ));
     };
     let mut reader = JournalReader::open(Path::new(input)).map_err(fatal)?;
     let mut writer = JournalWriter::create(Path::new(output)).map_err(fatal)?;
-    let n = convert(&mut reader, &mut writer).map_err(fatal)?;
+    let n = if to_v3 {
+        upgrade_to_v3(&mut reader, &mut writer).map_err(fatal)?
+    } else {
+        convert(&mut reader, &mut writer).map_err(fatal)?
+    };
     println!(
-        "converted {} ({}) -> {} ({}): {} events",
+        "converted {} ({}) -> {} ({}{}): {} events",
         input,
         reader.format(),
         output,
         writer.format(),
+        if to_v3 { ", migrated to v3" } else { "" },
         n
     );
     Ok(ExitCode::SUCCESS)
+}
+
+// -------------------------------------------------------------------- fleet
+
+struct FleetOptions {
+    spec: PathBuf,
+    workers: usize,
+    shard_size: Option<u64>,
+    timeout_secs: u64,
+    out: Option<PathBuf>,
+    verify: bool,
+}
+
+fn parse_fleet_options(args: &[String]) -> Result<Option<FleetOptions>, CliError> {
+    let mut opts = FleetOptions {
+        spec: PathBuf::new(),
+        workers: snip_sim::default_threads(),
+        shard_size: None,
+        timeout_secs: 600,
+        out: None,
+        verify: false,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--spec" => opts.spec = parse_value::<PathBuf>(flag, it.next())?,
+            "--workers" => opts.workers = parse_value(flag, it.next())?,
+            "--shard-size" => opts.shard_size = Some(parse_value(flag, it.next())?),
+            "--timeout-secs" => opts.timeout_secs = parse_value(flag, it.next())?,
+            "--out" => opts.out = Some(parse_value::<PathBuf>(flag, it.next())?),
+            "--verify" => opts.verify = true,
+            "--example" => return Ok(None),
+            other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+        }
+    }
+    if opts.spec.as_os_str().is_empty() {
+        return Err(CliError::Usage(
+            "fleet needs --spec <file> (try --example)".into(),
+        ));
+    }
+    if opts.workers == 0 {
+        return Err(CliError::Usage("--workers must be at least 1".into()));
+    }
+    if opts.shard_size == Some(0) {
+        return Err(CliError::Usage("--shard-size must be at least 1".into()));
+    }
+    if opts.timeout_secs == 0 {
+        return Err(CliError::Usage("--timeout-secs must be at least 1".into()));
+    }
+    Ok(Some(opts))
+}
+
+/// Renders the merged output as JSON (the journal codec, so the file is
+/// exactly the serde shape of the report).
+fn fleet_output_json(output: &FleetOutput) -> String {
+    use serde::Serialize as _;
+    let mut text = serde::json::to_string(&output.to_value());
+    text.push('\n');
+    text
+}
+
+fn cmd_fleet(args: &[String]) -> Result<ExitCode, CliError> {
+    let Some(opts) = parse_fleet_options(args)? else {
+        use serde::Serialize as _;
+        println!("{}", serde::json::to_string(&example_spec().to_value()));
+        return Ok(ExitCode::SUCCESS);
+    };
+    let text = std::fs::read_to_string(&opts.spec)
+        .map_err(|e| fatal(format!("{}: {e}", opts.spec.display())))?;
+    let spec = FleetSpec::from_json(&text).map_err(CliError::Usage)?;
+    let mut driver = FleetDriver::new(spec.clone(), opts.workers)
+        .map_err(CliError::Usage)?
+        .with_shard_timeout(std::time::Duration::from_secs(opts.timeout_secs));
+    if let Some(shard_size) = opts.shard_size {
+        driver = driver.with_shard_size(shard_size);
+    }
+
+    eprintln!(
+        "fleet `{}`: {} jobs across {} workers",
+        spec.name,
+        spec.job_count(),
+        opts.workers
+    );
+    let run = driver.run().map_err(fatal)?;
+    println!(
+        "fleet `{}` done: {} jobs in {} shards on {} workers \
+         ({} lost, {} shards reassigned)",
+        spec.name,
+        run.stats.jobs,
+        run.stats.shards,
+        run.stats.workers,
+        run.stats.workers_lost,
+        run.stats.shards_reassigned,
+    );
+    print_fleet_output(&run.output);
+
+    if let Some(out) = &opts.out {
+        std::fs::write(out, fleet_output_json(&run.output)).map_err(fatal)?;
+        println!("wrote {}", out.display());
+    }
+    if opts.verify {
+        let reference = snip_fleetd::JobRunner::new(&spec).run_sequential();
+        if reference == run.output {
+            println!("verify: distributed output is bit-identical to the sequential run");
+        } else {
+            eprintln!("error: distributed output differs from the sequential run");
+            return Ok(ExitCode::FAILURE);
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Summarizes the merged output on stdout.
+fn print_fleet_output(output: &FleetOutput) {
+    match output {
+        FleetOutput::Fleet(report) => {
+            println!("node\tzeta\tphi\tuploaded\ttarget_met");
+            for n in &report.nodes {
+                println!(
+                    "{}\t{:.3}\t{:.3}\t{:.3}\t{}",
+                    n.name, n.zeta, n.phi, n.uploaded, n.target_met
+                );
+            }
+            println!(
+                "{} of {} nodes meet their target; mean phi {:.3} s",
+                report.nodes_meeting_target(),
+                report.nodes.len(),
+                report.mean_phi()
+            );
+        }
+        FleetOutput::Sweep(points) => {
+            println!("zeta_target\tmechanism\tzeta\tphi\trho");
+            for p in points {
+                println!(
+                    "{}\t{}\t{:.3}\t{:.3}\t{}",
+                    p.zeta_target,
+                    p.mechanism.label(),
+                    p.zeta,
+                    p.phi,
+                    p.rho.map_or_else(|| "-".into(), |r| format!("{r:.3}")),
+                );
+            }
+        }
+    }
+}
+
+fn cmd_fleet_worker(args: &[String]) -> Result<ExitCode, CliError> {
+    if !args.is_empty() {
+        return Err(CliError::Usage(
+            "fleet-worker takes no arguments (it is spawned by `snip fleet`)".into(),
+        ));
+    }
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    match snip_fleetd::run_worker(stdin.lock(), stdout.lock(), u64::from(std::process::id())) {
+        Ok(_) => Ok(ExitCode::SUCCESS),
+        Err(e) => Err(fatal(e)),
+    }
 }
 
 // -------------------------------------------------------------------- bench
@@ -517,6 +715,7 @@ struct BenchOptions {
     threads: usize,
     repeat: u32,
     targets: Vec<f64>,
+    fleet_workers: Option<usize>,
 }
 
 fn parse_bench_options(args: &[String]) -> Result<BenchOptions, CliError> {
@@ -529,6 +728,7 @@ fn parse_bench_options(args: &[String]) -> Result<BenchOptions, CliError> {
         threads: snip_sim::default_threads(),
         repeat: 3,
         targets: vec![16.0, 24.0, 32.0, 40.0, 48.0, 56.0],
+        fleet_workers: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -543,6 +743,7 @@ fn parse_bench_options(args: &[String]) -> Result<BenchOptions, CliError> {
             "--phi-max" => opts.phi_max = parse_value(flag, it.next())?,
             "--threads" => opts.threads = parse_value(flag, it.next())?,
             "--repeat" => opts.repeat = parse_value(flag, it.next())?,
+            "--fleet" => opts.fleet_workers = Some(parse_value(flag, it.next())?),
             "--targets" => {
                 let raw: String = parse_value(flag, it.next())?;
                 opts.targets = raw
@@ -571,6 +772,9 @@ fn parse_bench_options(args: &[String]) -> Result<BenchOptions, CliError> {
     }
     if opts.targets.iter().any(|t| !(t.is_finite() && *t > 0.0)) {
         return Err(CliError::Usage("--targets must all be positive".into()));
+    }
+    if opts.fleet_workers == Some(0) {
+        return Err(CliError::Usage("--fleet must be at least 1".into()));
     }
     Ok(opts)
 }
@@ -619,6 +823,41 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, CliError> {
         opts.threads
     );
 
+    // Optional: the same sweep through the multi-process fleet driver —
+    // the deployment-scale points/sec figure (spawn + pipe overhead
+    // included), plus its own bit-exactness gate against the sequential
+    // sweep.
+    let fleet_bench = match opts.fleet_workers {
+        None => None,
+        Some(workers) => {
+            let spec = FleetSpec {
+                name: "bench-sweep".into(),
+                seed: opts.seed,
+                epochs: opts.epochs,
+                phi_max_secs: opts.phi_max,
+                job: snip_fleetd::JobSpec::Sweep {
+                    profile: EpochProfile::roadside(),
+                    zeta_targets: opts.targets.clone(),
+                },
+            };
+            let driver = FleetDriver::new(spec, workers).map_err(CliError::Usage)?;
+            let mut best = f64::INFINITY;
+            let mut output = None;
+            for _ in 0..opts.repeat {
+                let t = Instant::now();
+                let run = driver.run().map_err(fatal)?;
+                best = best.min(t.elapsed().as_secs_f64());
+                output = Some(run.output);
+            }
+            let matches = match output {
+                Some(FleetOutput::Sweep(ref fleet_points)) => fleet_points == &sequential,
+                _ => false,
+            };
+            eprintln!("  fleet driver ({workers} workers):           {best:.3} s");
+            Some((workers, best, matches))
+        }
+    };
+
     // Determinism: parallel must equal sequential bit-for-bit.
     let parallel_equals_sequential = sequential.len() == parallel.len()
         && sequential.iter().zip(&parallel).all(|(a, b)| {
@@ -638,6 +877,19 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, CliError> {
 
     let speedup_vs_baseline = baseline_secs / parallel_secs;
     let speedup_vs_sequential = sequential_secs / parallel_secs;
+    // SNIP-OPT plan-cache effectiveness across everything this process
+    // solved (the sweep re-solves each (profile, Φmax, ζtarget) point
+    // once; every repetition after the first should hit).
+    let cache = snip_opt::plan_cache_stats();
+    let fleet_fields = match fleet_bench {
+        None => String::new(),
+        Some((workers, secs, matches)) => format!(
+            "  \"fleet_workers\": {workers},\n  \"fleet_secs\": {secs:.6},\n  \
+             \"points_per_sec_fleet\": {fleet_pps:.3},\n  \
+             \"fleet_matches_sequential\": {matches},\n",
+            fleet_pps = points as f64 / secs,
+        ),
+    };
     let report = format!(
         "{{\n  \"bench\": \"sweep\",\n  \"schema_version\": 1,\n  \
          \"host_cores\": {cores},\n  \"threads\": {threads},\n  \"repeat\": {repeat},\n  \
@@ -649,7 +901,9 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, CliError> {
          \"parallel_secs\": {parallel_secs:.6},\n  \
          \"points_per_sec_parallel\": {pps:.3},\n  \
          \"speedup_parallel_vs_baseline\": {speedup_vs_baseline:.3},\n  \
-         \"speedup_parallel_vs_sequential\": {speedup_vs_sequential:.3},\n  \
+         \"speedup_parallel_vs_sequential\": {speedup_vs_sequential:.3},\n\
+         {fleet_fields}  \
+         \"opt_plan_cache\": {{\"hits\": {cache_hits}, \"misses\": {cache_misses}}},\n  \
          \"determinism\": {{\"parallel_equals_sequential\": {parallel_equals_sequential}, \
          \"optimized_matches_baseline\": {baseline_matches}}}\n}}\n",
         cores = std::thread::available_parallelism().map_or(1, usize::from),
@@ -665,6 +919,8 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, CliError> {
             .collect::<Vec<_>>()
             .join(", "),
         pps = points as f64 / parallel_secs,
+        cache_hits = cache.hits,
+        cache_misses = cache.misses,
     );
     std::fs::write(&opts.out, &report).map_err(fatal)?;
     println!(
@@ -672,6 +928,7 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, CliError> {
          ({speedup_vs_baseline:.1}x vs baseline, {speedup_vs_sequential:.1}x vs sequential)",
         opts.out.display()
     );
+    let fleet_ok = fleet_bench.is_none_or(|(_, _, matches)| matches);
     if let Some(history) = &opts.history {
         append_bench_history(
             history,
@@ -680,10 +937,11 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, CliError> {
             baseline_secs,
             sequential_secs,
             parallel_secs,
-            parallel_equals_sequential && baseline_matches,
+            fleet_bench,
+            parallel_equals_sequential && baseline_matches && fleet_ok,
         )?;
     }
-    if !(parallel_equals_sequential && baseline_matches) {
+    if !(parallel_equals_sequential && baseline_matches && fleet_ok) {
         eprintln!(
             "error: determinism check failed (see {})",
             opts.out.display()
@@ -697,6 +955,7 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, CliError> {
 /// history and diffs it against the previous entry, so a perf regression
 /// shows up as a line-by-line trajectory in the repo rather than a lost
 /// one-off report.
+#[allow(clippy::too_many_arguments)]
 fn append_bench_history(
     path: &Path,
     opts: &BenchOptions,
@@ -704,6 +963,7 @@ fn append_bench_history(
     baseline_secs: f64,
     sequential_secs: f64,
     parallel_secs: f64,
+    fleet_bench: Option<(usize, f64, bool)>,
     deterministic: bool,
 ) -> Result<(), CliError> {
     use std::io::Write as _;
@@ -720,12 +980,21 @@ fn append_bench_history(
     let unix_secs = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
+    let fleet_fields = match fleet_bench {
+        None => String::new(),
+        Some((workers, secs, _)) => format!(
+            ", \"fleet_workers\": {workers}, \"fleet_secs\": {secs:.6}, \
+             \"points_per_sec_fleet\": {fleet_pps:.3}",
+            fleet_pps = points as f64 / secs,
+        ),
+    };
     let entry = format!(
         "{{\"schema_version\": 1, \"unix_secs\": {unix_secs}, \"points\": {points}, \
          \"epochs\": {epochs}, \"seed\": {seed}, \"threads\": {threads}, \"repeat\": {repeat}, \
          \"baseline_sequential_secs\": {baseline_secs:.6}, \
          \"sequential_secs\": {sequential_secs:.6}, \"parallel_secs\": {parallel_secs:.6}, \
-         \"points_per_sec_parallel\": {pps:.3}, \"deterministic\": {deterministic}}}",
+         \"points_per_sec_parallel\": {pps:.3}{fleet_fields}, \
+         \"deterministic\": {deterministic}}}",
         epochs = opts.epochs,
         seed = opts.seed,
         threads = opts.threads,

@@ -1,0 +1,521 @@
+//! The coordinator: spawn workers, deal shards, steal back from the dead.
+//!
+//! [`FleetDriver::run`] cuts the spec's job list into contiguous shards,
+//! spawns `workers` subprocesses (`snip fleet-worker`, a re-exec of the
+//! current binary), and serves the shard queue pull-style: each worker
+//! gets a new shard the moment it returns the previous one, so uneven
+//! shard costs balance themselves (work stealing by idle-worker pull).
+//! A worker that crashes, hangs past the shard timeout, or speaks out of
+//! protocol is killed and counted lost — its in-flight shard goes back on
+//! the queue for a healthy worker.
+//!
+//! **Determinism:** job `i` is a pure function of `(spec, i)` (per-node
+//! traces and RNG seeds derive from the spec exactly as in-process runs
+//! derive them), results are stored by shard ordinal and merged in index
+//! order, and metrics travel as exact integer-µs ledgers. The merged
+//! output is therefore bit-identical to [`JobRunner::run_sequential`] for
+//! every worker count and every steal/kill interleaving.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use snip_replay::frame::{FrameError, FrameReader, FrameWriter};
+use snip_sim::RunMetrics;
+
+use crate::proto::{CoordinatorMsg, WorkerMsg, PROTOCOL_VERSION};
+use crate::spec::{FleetOutput, FleetSpec, JobRunner};
+
+/// One contiguous slice of the job list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Shard {
+    id: u64,
+    start: u64,
+    end: u64,
+}
+
+/// Deliberate failure injection, for exercising the steal path in tests
+/// and drills: the coordinator kills one of its own workers after it has
+/// returned `after_shards` results, as if it had crashed mid-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultInjection {
+    /// Kill worker `worker` once it has completed `after_shards` shards.
+    KillWorker {
+        /// Zero-based worker index to kill.
+        worker: usize,
+        /// Results the worker is allowed to deliver first.
+        after_shards: u64,
+    },
+}
+
+/// Why a fleet run failed.
+#[derive(Debug)]
+pub enum DriverError {
+    /// A worker subprocess could not be spawned at all.
+    Spawn {
+        /// Zero-based worker index.
+        worker: usize,
+        /// The OS error.
+        error: io::Error,
+    },
+    /// Workers died faster than shards could be reassigned; the listed
+    /// shard ordinals never completed.
+    Incomplete {
+        /// Shards with no result.
+        missing: Vec<u64>,
+        /// Workers lost along the way.
+        workers_lost: usize,
+    },
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverError::Spawn { worker, error } => {
+                write!(f, "could not spawn fleet worker {worker}: {error}")
+            }
+            DriverError::Incomplete {
+                missing,
+                workers_lost,
+            } => write!(
+                f,
+                "fleet run incomplete: {} shard(s) unfinished after losing {workers_lost} \
+                 worker(s) (ids {missing:?})",
+                missing.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+/// Counters describing how a fleet run went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriverStats {
+    /// Jobs simulated.
+    pub jobs: u64,
+    /// Shards the job list was cut into.
+    pub shards: u64,
+    /// Workers spawned.
+    pub workers: usize,
+    /// Workers that crashed, hung, or broke protocol.
+    pub workers_lost: usize,
+    /// Shards that had to be re-queued from a lost worker.
+    pub shards_reassigned: u64,
+}
+
+/// A completed fleet run: the merged output plus the run counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetRun {
+    /// The merged, index-ordered output.
+    pub output: FleetOutput,
+    /// How the run went.
+    pub stats: DriverStats,
+}
+
+/// The multi-process fleet driver. See the module docs.
+pub struct FleetDriver {
+    spec: FleetSpec,
+    workers: usize,
+    shard_size: u64,
+    worker_command: Option<(PathBuf, Vec<String>)>,
+    shard_timeout: Duration,
+    fault: Option<FaultInjection>,
+}
+
+impl FleetDriver {
+    /// Creates a driver for a spec with `workers` subprocesses.
+    ///
+    /// # Errors
+    ///
+    /// Returns the spec's validation complaint, or one about `workers`.
+    pub fn new(spec: FleetSpec, workers: usize) -> Result<Self, String> {
+        spec.validate()?;
+        if workers == 0 {
+            return Err("need at least one worker".into());
+        }
+        let jobs = spec.job_count();
+        Ok(FleetDriver {
+            spec,
+            workers,
+            // Default granularity: ~4 shards per worker, so the queue has
+            // enough pieces for stealing without drowning in round-trips.
+            shard_size: (jobs / (workers as u64 * 4)).max(1),
+            worker_command: None,
+            shard_timeout: Duration::from_secs(600),
+            fault: None,
+        })
+    }
+
+    /// Overrides the jobs-per-shard granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_size` is zero.
+    #[must_use]
+    pub fn with_shard_size(mut self, shard_size: u64) -> Self {
+        assert!(shard_size > 0, "shard size must be at least 1");
+        self.shard_size = shard_size;
+        self
+    }
+
+    /// Overrides the worker command (default: the current executable with
+    /// the single argument `fleet-worker`).
+    #[must_use]
+    pub fn with_worker_command(mut self, program: impl Into<PathBuf>, args: Vec<String>) -> Self {
+        self.worker_command = Some((program.into(), args));
+        self
+    }
+
+    /// Overrides the per-shard response timeout (a worker silent for this
+    /// long is declared hung, killed, and its shard re-queued).
+    #[must_use]
+    pub fn with_shard_timeout(mut self, timeout: Duration) -> Self {
+        self.shard_timeout = timeout;
+        self
+    }
+
+    /// Arms a deliberate worker kill (tests and failure drills).
+    #[must_use]
+    pub fn with_fault(mut self, fault: FaultInjection) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// The shard list for this driver's spec and granularity.
+    fn shards(&self) -> Vec<Shard> {
+        let jobs = self.spec.job_count();
+        (0..jobs)
+            .step_by(self.shard_size as usize)
+            .enumerate()
+            .map(|(id, start)| Shard {
+                id: id as u64,
+                start,
+                end: (start + self.shard_size).min(jobs),
+            })
+            .collect()
+    }
+
+    /// Resolves the worker command line.
+    fn command(&self) -> Result<(PathBuf, Vec<String>), io::Error> {
+        match &self.worker_command {
+            Some((program, args)) => Ok((program.clone(), args.clone())),
+            None => Ok((std::env::current_exe()?, vec!["fleet-worker".into()])),
+        }
+    }
+
+    /// Runs the fleet and merges the shard results in index order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError`] when no worker could be spawned or when
+    /// every worker died with shards still unfinished.
+    #[allow(clippy::too_many_lines)]
+    pub fn run(&self) -> Result<FleetRun, DriverError> {
+        let runner = JobRunner::new(&self.spec);
+        let shards = self.shards();
+        let total = shards.len() as u64;
+        let (program, args) = self
+            .command()
+            .map_err(|error| DriverError::Spawn { worker: 0, error })?;
+
+        let queue = Mutex::new(shards.iter().copied().collect::<VecDeque<Shard>>());
+        let wakeup = Condvar::new();
+        let results: Vec<Mutex<Option<Vec<RunMetrics>>>> =
+            shards.iter().map(|_| Mutex::new(None)).collect();
+        let completed = AtomicU64::new(0);
+        let lost = AtomicUsize::new(0);
+        let reassigned = AtomicU64::new(0);
+        let spawn_failure: Mutex<Option<(usize, io::Error)>> = Mutex::new(None);
+
+        // A lost worker's in-flight shard goes back on the queue for the
+        // next idle worker — the steal.
+        let requeue = |shard: Shard| {
+            queue.lock().expect("shard queue poisoned").push_back(shard);
+            reassigned.fetch_add(1, Ordering::Relaxed);
+            wakeup.notify_all();
+        };
+        // Blocks until a shard is available or the run is over; `None`
+        // means all shards completed (time to shut the worker down).
+        let next_shard = || -> Option<Shard> {
+            let mut q = queue.lock().expect("shard queue poisoned");
+            loop {
+                if let Some(shard) = q.pop_front() {
+                    return Some(shard);
+                }
+                if completed.load(Ordering::SeqCst) >= total {
+                    return None;
+                }
+                // Re-check periodically as a hang backstop: every shard is
+                // either queued, completed, or held by a live handler that
+                // re-queues it on its way out.
+                let (guard, _timeout) = wakeup
+                    .wait_timeout(q, Duration::from_millis(200))
+                    .expect("shard queue poisoned");
+                q = guard;
+            }
+        };
+        let finish_shard = |shard: Shard, metrics: Vec<RunMetrics>| {
+            *results[shard.id as usize]
+                .lock()
+                .expect("result slot poisoned") = Some(metrics);
+            completed.fetch_add(1, Ordering::SeqCst);
+            wakeup.notify_all();
+        };
+
+        // More workers than shards would only spawn processes that
+        // handshake and immediately shut down.
+        let workers_to_spawn = self.workers.min(shards.len().max(1));
+        std::thread::scope(|scope| {
+            for worker_idx in 0..workers_to_spawn {
+                let program = &program;
+                let args = &args;
+                let requeue = &requeue;
+                let next_shard = &next_shard;
+                let finish_shard = &finish_shard;
+                let lost = &lost;
+                let spawn_failure = &spawn_failure;
+                scope.spawn(move || {
+                    let mut child = match Command::new(program)
+                        .args(args)
+                        .stdin(Stdio::piped())
+                        .stdout(Stdio::piped())
+                        .stderr(Stdio::inherit())
+                        .spawn()
+                    {
+                        Ok(child) => child,
+                        Err(error) => {
+                            let mut slot = spawn_failure.lock().expect("spawn slot poisoned");
+                            if slot.is_none() {
+                                *slot = Some((worker_idx, error));
+                            }
+                            lost.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    };
+                    let (outcome, reader) = self.drive_worker(
+                        worker_idx,
+                        &mut child,
+                        requeue,
+                        next_shard,
+                        finish_shard,
+                    );
+                    if outcome.is_err() {
+                        lost.fetch_add(1, Ordering::Relaxed);
+                        let _ = child.kill();
+                    }
+                    // Kill/exit closes the worker's stdout, so the reader
+                    // thread sees EOF and joins promptly.
+                    let _ = child.wait();
+                    let _ = reader.join();
+                });
+            }
+        });
+
+        if let Some((worker, error)) = spawn_failure
+            .lock()
+            .expect("spawn slot poisoned")
+            .take()
+            .filter(|_| completed.load(Ordering::SeqCst) < total)
+        {
+            return Err(DriverError::Spawn { worker, error });
+        }
+
+        let workers_lost = lost.load(Ordering::Relaxed);
+        let mut metrics: Vec<RunMetrics> = Vec::with_capacity(self.spec.job_count() as usize);
+        let mut missing = Vec::new();
+        for (id, slot) in results.iter().enumerate() {
+            match slot.lock().expect("result slot poisoned").take() {
+                Some(shard_metrics) => metrics.extend(shard_metrics),
+                None => missing.push(id as u64),
+            }
+        }
+        if !missing.is_empty() {
+            return Err(DriverError::Incomplete {
+                missing,
+                workers_lost,
+            });
+        }
+
+        Ok(FleetRun {
+            output: runner.merge(&metrics),
+            stats: DriverStats {
+                jobs: self.spec.job_count(),
+                shards: total,
+                workers: workers_to_spawn,
+                workers_lost,
+                shards_reassigned: reassigned.load(Ordering::Relaxed),
+            },
+        })
+    }
+
+    /// Speaks the protocol with one worker until the queue drains or the
+    /// worker is lost. `Err(())` means the worker must be counted lost
+    /// (any in-flight shard has already been re-queued). The returned
+    /// handle is the stdout reader thread; join it only after the child
+    /// has been killed or waited, or a hung worker would block the join.
+    fn drive_worker(
+        &self,
+        worker_idx: usize,
+        child: &mut Child,
+        requeue: &dyn Fn(Shard),
+        next_shard: &dyn Fn() -> Option<Shard>,
+        finish_shard: &dyn Fn(Shard, Vec<RunMetrics>),
+    ) -> (Result<(), ()>, std::thread::JoinHandle<()>) {
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut tx = FrameWriter::new(stdin);
+
+        // Frames arrive through a channel so shard waits can time out
+        // (a hung worker must not hang the coordinator).
+        let (frames_tx, frames_rx) = mpsc::channel::<Result<WorkerMsg, FrameError>>();
+        let reader = std::thread::spawn(move || {
+            let mut rx = FrameReader::new(BufReader::new(stdout));
+            loop {
+                match rx.recv::<WorkerMsg>() {
+                    Ok(Some(msg)) => {
+                        if frames_tx.send(Ok(msg)).is_err() {
+                            break;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        let _ = frames_tx.send(Err(e));
+                        break;
+                    }
+                }
+            }
+        });
+        let recv_reply = |timeout: Duration| -> Option<WorkerMsg> {
+            match frames_rx.recv_timeout(timeout) {
+                Ok(Ok(msg)) => Some(msg),
+                Ok(Err(_)) | Err(_) => None,
+            }
+        };
+
+        let handshake = tx.send(&CoordinatorMsg::Init {
+            protocol: PROTOCOL_VERSION,
+            spec: self.spec.clone(),
+        });
+        let ready = handshake.is_ok()
+            && matches!(
+                recv_reply(self.shard_timeout),
+                Some(WorkerMsg::Ready { protocol, .. }) if protocol == PROTOCOL_VERSION
+            );
+        if !ready {
+            return (Err(()), reader);
+        }
+
+        let mut done_here = 0u64;
+        let mut outcome = Ok(());
+        loop {
+            let Some(shard) = next_shard() else {
+                let _ = tx.send(&CoordinatorMsg::Shutdown);
+                break;
+            };
+            if tx
+                .send(&CoordinatorMsg::Shard {
+                    id: shard.id,
+                    start: shard.start,
+                    end: shard.end,
+                })
+                .is_err()
+            {
+                requeue(shard);
+                outcome = Err(());
+                break;
+            }
+            match recv_reply(self.shard_timeout) {
+                Some(WorkerMsg::ShardDone { id, metrics })
+                    if id == shard.id && metrics.len() as u64 == shard.end - shard.start =>
+                {
+                    finish_shard(shard, metrics);
+                    done_here += 1;
+                    if let Some(FaultInjection::KillWorker {
+                        worker,
+                        after_shards,
+                    }) = self.fault
+                    {
+                        if worker == worker_idx && done_here == after_shards {
+                            // The drill: this worker "crashes" now; its
+                            // next assignment will fail and be stolen.
+                            let _ = child.kill();
+                        }
+                    }
+                }
+                _ => {
+                    // Wrong reply, broken frame, EOF, or timeout: the
+                    // worker is lost and the shard goes back on the queue.
+                    requeue(shard);
+                    outcome = Err(());
+                    break;
+                }
+            }
+        }
+        drop(frames_rx);
+        (outcome, reader)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::example_spec;
+
+    #[test]
+    fn shard_cutting_covers_the_job_list_exactly() {
+        let driver = FleetDriver::new(example_spec(), 2)
+            .unwrap()
+            .with_shard_size(3);
+        let shards = driver.shards();
+        assert_eq!(shards.len(), 2, "4 jobs at 3 per shard");
+        assert_eq!(
+            shards[0],
+            Shard {
+                id: 0,
+                start: 0,
+                end: 3
+            }
+        );
+        assert_eq!(
+            shards[1],
+            Shard {
+                id: 1,
+                start: 3,
+                end: 4
+            }
+        );
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(FleetDriver::new(example_spec(), 0).is_err());
+        let mut bad = example_spec();
+        bad.epochs = 0;
+        assert!(FleetDriver::new(bad, 2).is_err());
+    }
+
+    #[test]
+    fn default_shard_size_is_sane() {
+        // 4 jobs, 2 workers: granularity clamps to at least 1.
+        let driver = FleetDriver::new(example_spec(), 2).unwrap();
+        assert_eq!(driver.shard_size, 1);
+    }
+
+    #[test]
+    fn unspawnable_worker_command_is_a_spawn_error() {
+        let driver = FleetDriver::new(example_spec(), 1)
+            .unwrap()
+            .with_worker_command("/nonexistent/snip-worker-binary", vec![]);
+        match driver.run() {
+            Err(DriverError::Spawn { worker: 0, .. }) => {}
+            other => panic!("expected a spawn error, got {other:?}"),
+        }
+    }
+}

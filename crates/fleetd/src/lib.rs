@@ -1,0 +1,43 @@
+//! `snip-fleetd`: a multi-process, work-stealing fleet driver with
+//! deterministic shard merge.
+//!
+//! `Fleet::run_parallel` (snip-sim) shards a fleet across threads inside
+//! one process; the paper's target deployments (10⁵+ probing nodes) call
+//! for more. This crate adds the process level: a **coordinator** cuts a
+//! [`FleetSpec`] — a deployment fleet or a Fig 7/8 sweep grid — into
+//! contiguous shards and deals them to **worker subprocesses** (`snip
+//! fleet-worker`, re-execs of the current binary) over length-prefixed
+//! JSON frames (the journal codec on a pipe, [`snip_replay::frame`]).
+//!
+//! * **Work stealing** — workers pull: each `ShardDone` immediately earns
+//!   the next shard off the shared queue, so slow shards and fast workers
+//!   balance without any static partition. A crashed, hung, or
+//!   out-of-protocol worker is killed and its in-flight shard goes back
+//!   on the queue for a healthy worker.
+//! * **Deterministic merge** — job `i` is a pure function of
+//!   `(spec, i)`; results carry exact integer-µs [`RunMetrics`] ledgers
+//!   and merge in index order. The output is bit-identical to the
+//!   sequential [`Fleet::run`]/[`ScenarioRunner::sweep`] for every worker
+//!   count, steal order, and kill interleaving — `assert_eq!`, not
+//!   "approximately".
+//!
+//! The `snip` CLI (hosted here, at the top of the workspace) surfaces the
+//! driver as `snip fleet --spec <file> --workers <k>` and
+//! `snip bench --fleet <k>`.
+//!
+//! [`RunMetrics`]: snip_sim::RunMetrics
+//! [`Fleet::run`]: snip_sim::Fleet::run
+//! [`ScenarioRunner::sweep`]: snip_sim::ScenarioRunner::sweep
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod proto;
+pub mod spec;
+pub mod worker;
+
+pub use coordinator::{DriverError, DriverStats, FaultInjection, FleetDriver, FleetRun};
+pub use proto::{CoordinatorMsg, WorkerMsg, PROTOCOL_VERSION};
+pub use spec::{example_spec, FleetOutput, FleetSpec, JobRunner, JobSpec, NodeSpec};
+pub use worker::{run_worker, WorkerError, WorkerSummary};

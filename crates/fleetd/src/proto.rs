@@ -1,0 +1,118 @@
+//! The coordinator↔worker wire protocol.
+//!
+//! Messages travel as length-prefixed JSON frames
+//! ([`snip_replay::frame`]) over the worker's stdin/stdout pipes. The
+//! conversation is strictly alternating after the handshake:
+//!
+//! ```text
+//! coordinator → worker   Init { protocol, spec }
+//! worker → coordinator   Ready { protocol, pid }
+//! repeat:
+//!   coordinator → worker   Shard { id, start, end }
+//!   worker → coordinator   ShardDone { id, metrics }
+//! coordinator → worker   Shutdown
+//! ```
+//!
+//! Results carry full exact-ledger [`RunMetrics`] (the journal codec's
+//! integer-µs shape), never floats-of-floats, so the coordinator's merge
+//! is bit-identical to an in-process run. Anything out of grammar — a
+//! version mismatch, a `ShardDone` for the wrong shard, a truncated
+//! frame — is a protocol error, and the coordinator treats the worker as
+//! lost (its shard goes back on the queue).
+
+use serde::{Deserialize, Serialize};
+use snip_sim::RunMetrics;
+
+use crate::spec::FleetSpec;
+
+/// The frame-protocol version. Bump on any message-shape change; both
+/// sides refuse mismatches rather than mis-parsing.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Messages the coordinator sends to a worker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CoordinatorMsg {
+    /// The handshake: protocol version plus the complete job spec.
+    Init {
+        /// [`PROTOCOL_VERSION`] of the coordinator.
+        protocol: u32,
+        /// The job every shard is cut from.
+        spec: FleetSpec,
+    },
+    /// One shard assignment: jobs `start..end` of the spec's job list.
+    Shard {
+        /// Shard ordinal (merge key).
+        id: u64,
+        /// First job index (inclusive).
+        start: u64,
+        /// Last job index (exclusive).
+        end: u64,
+    },
+    /// No more work; the worker exits cleanly.
+    Shutdown,
+}
+
+/// Messages a worker sends to the coordinator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkerMsg {
+    /// Handshake response.
+    Ready {
+        /// [`PROTOCOL_VERSION`] of the worker binary.
+        protocol: u32,
+        /// The worker's OS process id (diagnostics).
+        pid: u64,
+    },
+    /// A completed shard: one exact-ledger metrics entry per job, in job
+    /// order.
+    ShardDone {
+        /// The shard ordinal being answered.
+        id: u64,
+        /// `metrics[k]` belongs to job `start + k`.
+        metrics: Vec<RunMetrics>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::example_spec;
+    use snip_replay::frame::{FrameReader, FrameWriter};
+
+    #[test]
+    fn messages_round_trip_through_frames() {
+        let msgs_out = [
+            CoordinatorMsg::Init {
+                protocol: PROTOCOL_VERSION,
+                spec: example_spec(),
+            },
+            CoordinatorMsg::Shard {
+                id: 3,
+                start: 6,
+                end: 8,
+            },
+            CoordinatorMsg::Shutdown,
+        ];
+        let mut buf = Vec::new();
+        {
+            let mut w = FrameWriter::new(&mut buf);
+            for m in &msgs_out {
+                w.send(m).unwrap();
+            }
+        }
+        let mut r = FrameReader::new(std::io::Cursor::new(buf));
+        for m in &msgs_out {
+            assert_eq!(r.recv::<CoordinatorMsg>().unwrap().as_ref(), Some(m));
+        }
+        assert!(r.recv::<CoordinatorMsg>().unwrap().is_none());
+
+        let reply = WorkerMsg::ShardDone {
+            id: 3,
+            metrics: vec![RunMetrics::with_epochs(2); 2],
+        };
+        assert_eq!(
+            WorkerMsg::from_value(&reply.to_value()).unwrap(),
+            reply,
+            "worker messages survive the codec"
+        );
+    }
+}

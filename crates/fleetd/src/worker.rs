@@ -1,0 +1,230 @@
+//! The worker half of the fleet protocol (`snip fleet-worker`).
+//!
+//! A worker is a re-exec of the current binary with its stdin/stdout
+//! wired to the coordinator. It receives the spec once, then serves
+//! shard requests until `Shutdown` (or EOF — a vanished coordinator is a
+//! clean stop, not a crash: the coordinator owns failure handling, the
+//! worker just computes). All simulation happens through
+//! [`JobRunner::run_job`], the same pure function of `(spec, index)` the
+//! coordinator's verification path uses.
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use snip_replay::frame::{FrameError, FrameReader, FrameWriter};
+
+use crate::proto::{CoordinatorMsg, WorkerMsg, PROTOCOL_VERSION};
+use crate::spec::JobRunner;
+
+/// Why a worker gave up.
+#[derive(Debug)]
+pub enum WorkerError {
+    /// The pipe broke or carried a malformed frame.
+    Frame(FrameError),
+    /// The coordinator spoke out of grammar (bad version, bad spec, a
+    /// shard out of range…).
+    Protocol(String),
+}
+
+impl fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkerError::Frame(e) => write!(f, "worker pipe error: {e}"),
+            WorkerError::Protocol(msg) => write!(f, "worker protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkerError {}
+
+impl From<FrameError> for WorkerError {
+    fn from(e: FrameError) -> Self {
+        WorkerError::Frame(e)
+    }
+}
+
+/// What a finished worker did (diagnostics/tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// Shards completed.
+    pub shards: u64,
+    /// Jobs simulated.
+    pub jobs: u64,
+}
+
+/// Serves the worker side of the protocol over the given streams until
+/// `Shutdown` or a clean EOF.
+///
+/// # Errors
+///
+/// Returns [`WorkerError`] on a broken pipe, a malformed frame, or an
+/// out-of-grammar coordinator.
+pub fn run_worker<R: BufRead, W: Write>(
+    input: R,
+    output: W,
+    pid: u64,
+) -> Result<WorkerSummary, WorkerError> {
+    let mut rx = FrameReader::new(input);
+    let mut tx = FrameWriter::new(output);
+
+    let runner = match rx.recv::<CoordinatorMsg>()? {
+        Some(CoordinatorMsg::Init { protocol, spec }) => {
+            if protocol != PROTOCOL_VERSION {
+                return Err(WorkerError::Protocol(format!(
+                    "coordinator speaks protocol {protocol}, worker speaks {PROTOCOL_VERSION}"
+                )));
+            }
+            spec.validate().map_err(WorkerError::Protocol)?;
+            JobRunner::new(&spec)
+        }
+        Some(other) => {
+            return Err(WorkerError::Protocol(format!(
+                "expected Init as the first message, got {other:?}"
+            )))
+        }
+        None => {
+            return Err(WorkerError::Protocol(
+                "coordinator closed the pipe before Init".into(),
+            ))
+        }
+    };
+    tx.send(&WorkerMsg::Ready {
+        protocol: PROTOCOL_VERSION,
+        pid,
+    })?;
+
+    let mut summary = WorkerSummary { shards: 0, jobs: 0 };
+    loop {
+        match rx.recv::<CoordinatorMsg>()? {
+            Some(CoordinatorMsg::Shard { id, start, end }) => {
+                if start >= end || end > runner.job_count() {
+                    return Err(WorkerError::Protocol(format!(
+                        "shard {id} range {start}..{end} is invalid for {} jobs",
+                        runner.job_count()
+                    )));
+                }
+                let metrics = (start..end).map(|i| runner.run_job(i)).collect();
+                tx.send(&WorkerMsg::ShardDone { id, metrics })?;
+                summary.shards += 1;
+                summary.jobs += end - start;
+            }
+            Some(CoordinatorMsg::Shutdown) | None => return Ok(summary),
+            Some(other) => {
+                return Err(WorkerError::Protocol(format!(
+                    "unexpected mid-run message {other:?}"
+                )))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{example_spec, FleetSpec, JobRunner};
+    use snip_sim::RunMetrics;
+
+    fn small_spec() -> FleetSpec {
+        FleetSpec {
+            epochs: 2,
+            ..example_spec()
+        }
+    }
+
+    fn coordinator_script(msgs: &[CoordinatorMsg]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut w = FrameWriter::new(&mut buf);
+        for m in msgs {
+            w.send(m).unwrap();
+        }
+        buf
+    }
+
+    #[test]
+    fn worker_serves_shards_and_shuts_down() {
+        let spec = small_spec();
+        let script = coordinator_script(&[
+            CoordinatorMsg::Init {
+                protocol: PROTOCOL_VERSION,
+                spec: spec.clone(),
+            },
+            CoordinatorMsg::Shard {
+                id: 0,
+                start: 0,
+                end: 2,
+            },
+            CoordinatorMsg::Shard {
+                id: 1,
+                start: 2,
+                end: 4,
+            },
+            CoordinatorMsg::Shutdown,
+        ]);
+        let mut out = Vec::new();
+        let summary = run_worker(std::io::Cursor::new(script), &mut out, 7).unwrap();
+        assert_eq!(summary, WorkerSummary { shards: 2, jobs: 4 });
+
+        let mut replies = FrameReader::new(std::io::Cursor::new(out));
+        assert_eq!(
+            replies.recv::<WorkerMsg>().unwrap(),
+            Some(WorkerMsg::Ready {
+                protocol: PROTOCOL_VERSION,
+                pid: 7
+            })
+        );
+        let runner = JobRunner::new(&spec);
+        let mut merged: Vec<RunMetrics> = Vec::new();
+        for id in 0..2u64 {
+            match replies.recv::<WorkerMsg>().unwrap() {
+                Some(WorkerMsg::ShardDone { id: got, metrics }) => {
+                    assert_eq!(got, id);
+                    merged.extend(metrics);
+                }
+                other => panic!("expected ShardDone, got {other:?}"),
+            }
+        }
+        // The worker's shard metrics are bit-identical to in-process runs.
+        let reference: Vec<RunMetrics> = (0..4).map(|i| runner.run_job(i)).collect();
+        assert_eq!(merged, reference);
+    }
+
+    #[test]
+    fn protocol_violations_are_refused() {
+        // Version mismatch.
+        let script = coordinator_script(&[CoordinatorMsg::Init {
+            protocol: PROTOCOL_VERSION + 1,
+            spec: small_spec(),
+        }]);
+        let err = run_worker(std::io::Cursor::new(script), Vec::new(), 1).unwrap_err();
+        assert!(matches!(err, WorkerError::Protocol(_)), "{err}");
+
+        // Out-of-range shard.
+        let script = coordinator_script(&[
+            CoordinatorMsg::Init {
+                protocol: PROTOCOL_VERSION,
+                spec: small_spec(),
+            },
+            CoordinatorMsg::Shard {
+                id: 0,
+                start: 0,
+                end: 99,
+            },
+        ]);
+        let err = run_worker(std::io::Cursor::new(script), Vec::new(), 1).unwrap_err();
+        assert!(matches!(err, WorkerError::Protocol(_)), "{err}");
+
+        // No Init at all.
+        let err = run_worker(std::io::Cursor::new(Vec::new()), Vec::new(), 1).unwrap_err();
+        assert!(matches!(err, WorkerError::Protocol(_)), "{err}");
+    }
+
+    #[test]
+    fn coordinator_eof_is_a_clean_stop() {
+        let script = coordinator_script(&[CoordinatorMsg::Init {
+            protocol: PROTOCOL_VERSION,
+            spec: small_spec(),
+        }]);
+        let summary = run_worker(std::io::Cursor::new(script), Vec::new(), 1).unwrap();
+        assert_eq!(summary, WorkerSummary { shards: 0, jobs: 0 });
+    }
+}

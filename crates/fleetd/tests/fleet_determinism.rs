@@ -1,0 +1,168 @@
+//! End-to-end fleetd determinism: real worker subprocesses, real pipes.
+//!
+//! The acceptance bar for the distributed driver: the same spec run with
+//! 1, 2 and 4 workers — and with a worker killed mid-run — produces
+//! output `assert_eq!`-identical to the single-process reference
+//! ([`JobRunner::run_sequential`], i.e. `Fleet::run` /
+//! `ScenarioRunner::sweep`). Metrics are exact integer-µs ledgers, so
+//! equality here is bit-for-bit, not a tolerance.
+
+use std::time::Duration;
+
+use snip_fleetd::{
+    FaultInjection, FleetDriver, FleetOutput, FleetSpec, JobRunner, JobSpec, NodeSpec,
+};
+use snip_mobility::{EpochProfile, LengthDistribution};
+use snip_sim::Mechanism;
+use snip_units::SimDuration;
+
+/// The `snip` binary built alongside this test — the real worker re-exec.
+const SNIP_BIN: &str = env!("CARGO_BIN_EXE_snip");
+
+fn driver(spec: &FleetSpec, workers: usize) -> FleetDriver {
+    FleetDriver::new(spec.clone(), workers)
+        .expect("valid spec")
+        .with_worker_command(SNIP_BIN, vec!["fleet-worker".into()])
+        .with_shard_timeout(Duration::from_secs(120))
+        .with_shard_size(1)
+}
+
+/// A six-node fleet over two distinct contact processes.
+fn fleet_spec(mechanism: Mechanism) -> FleetSpec {
+    let quiet = EpochProfile::roadside_with(
+        SimDuration::from_secs(600),
+        SimDuration::from_secs(3_600),
+        LengthDistribution::paper_normal(SimDuration::from_secs(3)),
+    );
+    let nodes = (0..6)
+        .map(|i| NodeSpec {
+            name: format!("site-{i}"),
+            profile: if i % 2 == 0 {
+                EpochProfile::roadside()
+            } else {
+                quiet.clone()
+            },
+            zeta_target: 4.0 + 2.0 * f64::from(i),
+        })
+        .collect();
+    FleetSpec {
+        name: "determinism-fleet".into(),
+        seed: 2011,
+        epochs: 3,
+        phi_max_secs: 86.4,
+        job: JobSpec::Fleet { mechanism, nodes },
+    }
+}
+
+fn sweep_spec() -> FleetSpec {
+    FleetSpec {
+        name: "determinism-sweep".into(),
+        seed: 77,
+        epochs: 2,
+        phi_max_secs: 86.4,
+        job: JobSpec::Sweep {
+            profile: EpochProfile::roadside(),
+            zeta_targets: vec![16.0, 32.0],
+        },
+    }
+}
+
+#[test]
+fn fleet_output_is_bit_identical_for_one_two_and_four_workers() {
+    let spec = fleet_spec(Mechanism::SnipRh);
+    let reference = JobRunner::new(&spec).run_sequential();
+    for workers in [1usize, 2, 4] {
+        let run = driver(&spec, workers).run().expect("fleet run succeeds");
+        assert_eq!(
+            run.output, reference,
+            "{workers} workers must reproduce the sequential ledgers exactly"
+        );
+        assert_eq!(run.stats.workers, workers);
+        assert_eq!(run.stats.workers_lost, 0);
+        assert_eq!(run.stats.jobs, 6);
+    }
+}
+
+#[test]
+fn sweep_output_is_bit_identical_across_worker_counts() {
+    let spec = sweep_spec();
+    let reference = JobRunner::new(&spec).run_sequential();
+    let FleetOutput::Sweep(ref points) = reference else {
+        panic!("sweep spec produces sweep points");
+    };
+    assert_eq!(points.len(), 6, "2 targets x 3 mechanisms");
+    for workers in [1usize, 3] {
+        let run = driver(&spec, workers).run().expect("sweep run succeeds");
+        assert_eq!(run.output, reference, "{workers} workers");
+    }
+}
+
+#[test]
+fn killed_worker_mid_run_is_stolen_from_and_output_is_unchanged() {
+    // Enough single-job shards that the queue cannot possibly be drained
+    // by the surviving worker in the instant between the fault kill and
+    // the dead worker's next (failing) assignment.
+    let mut spec = fleet_spec(Mechanism::SnipRh);
+    let JobSpec::Fleet { ref mut nodes, .. } = spec.job else {
+        unreachable!("fleet spec");
+    };
+    for i in 6..16 {
+        nodes.push(NodeSpec {
+            name: format!("site-{i}"),
+            profile: EpochProfile::roadside(),
+            zeta_target: 8.0,
+        });
+    }
+    let reference = JobRunner::new(&spec).run_sequential();
+    // Worker 0 "crashes" after delivering one shard; its next assignment
+    // must be re-queued and finished by worker 1.
+    let run = driver(&spec, 2)
+        .with_fault(FaultInjection::KillWorker {
+            worker: 0,
+            after_shards: 1,
+        })
+        .run()
+        .expect("the surviving worker finishes the fleet");
+    assert_eq!(
+        run.output, reference,
+        "a mid-run worker kill must not change a single bit of the report"
+    );
+    assert_eq!(run.stats.jobs, 16);
+    assert_eq!(run.stats.workers_lost, 1, "the killed worker is counted");
+    assert!(
+        run.stats.shards_reassigned >= 1,
+        "the dead worker's shard was stolen ({:?})",
+        run.stats
+    );
+}
+
+#[test]
+fn losing_every_worker_reports_incomplete() {
+    let spec = fleet_spec(Mechanism::SnipRh);
+    // A "worker" that ignores the protocol and exits immediately: `true`
+    // reads nothing, writes nothing.
+    let result = FleetDriver::new(spec, 2)
+        .expect("valid spec")
+        .with_worker_command("/bin/sh", vec!["-c".into(), "exit 0".into()])
+        .with_shard_timeout(Duration::from_secs(30))
+        .run();
+    match result {
+        Err(snip_fleetd::DriverError::Incomplete { workers_lost, .. }) => {
+            assert_eq!(workers_lost, 2);
+        }
+        other => panic!("expected Incomplete, got {other:?}"),
+    }
+}
+
+#[test]
+fn every_mechanism_survives_the_distributed_path() {
+    // SNIP-AT and SNIP-OPT shard and merge exactly too (their schedulers
+    // are rebuilt per node inside each worker process).
+    for mechanism in [Mechanism::SnipAt, Mechanism::SnipOpt] {
+        let mut spec = fleet_spec(mechanism);
+        spec.epochs = 2;
+        let reference = JobRunner::new(&spec).run_sequential();
+        let run = driver(&spec, 2).run().expect("fleet run succeeds");
+        assert_eq!(run.output, reference, "{mechanism:?}");
+    }
+}

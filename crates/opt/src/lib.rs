@@ -20,6 +20,9 @@
 //!   the allocator in tests and available for ad-hoc LPs.
 //! * [`two_step`] — the full SNIP-OPT procedure returning a per-slot
 //!   duty-cycle plan.
+//! * [`cache`] — process-wide memoization of solved plans keyed on the
+//!   exact `(model, profile, Φmax, ζtarget)` inputs, so repeated sweep
+//!   points skip the ~1 ms re-solve.
 //!
 //! # Example
 //!
@@ -38,11 +41,13 @@
 #![warn(missing_docs)]
 
 pub mod allocate;
+pub mod cache;
 pub mod curve;
 pub mod simplex;
 pub mod two_step;
 
 pub use allocate::{Allocation, GreedyAllocator};
+pub use cache::{plan_cache_stats, solve_cached, PlanCacheStats};
 pub use curve::CapacityCurve;
 pub use simplex::{LinearProgram, SimplexError, SimplexSolution};
 pub use two_step::{OptPlan, TwoStepOptimizer};

@@ -1,0 +1,275 @@
+//! Length-prefixed message frames over byte streams (pipes, sockets).
+//!
+//! The fleet driver (`snip-fleetd`) talks to its worker subprocesses over
+//! plain stdin/stdout pipes. Frames reuse the journal's JSONL encoding for
+//! payloads — the same shortest-round-trip [`serde::json`] codec the
+//! journals use, so anything that can live in a journal can cross a pipe
+//! bit-for-bit — and add an explicit length prefix so a truncated or
+//! interleaved stream is a detectable error rather than a mis-parse:
+//!
+//! ```text
+//! <decimal payload byte length> '\n' <payload JSON> '\n'
+//! ```
+//!
+//! Both sides stream one frame at a time with O(frame) memory; the writer
+//! flushes after every frame (pipes are request/response, not bulk logs).
+//!
+//! ```
+//! use serde::Value;
+//! use snip_replay::frame::{FrameReader, FrameWriter};
+//!
+//! let mut buf = Vec::new();
+//! FrameWriter::new(&mut buf).send_value(&Value::U64(7)).unwrap();
+//! let mut reader = FrameReader::new(std::io::Cursor::new(buf));
+//! assert_eq!(reader.recv_value().unwrap(), Some(Value::U64(7)));
+//! assert_eq!(reader.recv_value().unwrap(), None);
+//! ```
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+use serde::{json, Deserialize, Serialize, Value};
+
+/// Frames larger than this are refused — a corrupt length prefix must not
+/// turn into a multi-gigabyte allocation. Generous for real traffic: the
+/// largest fleetd frame is a shard of `RunMetrics`, a few hundred KiB.
+pub const MAX_FRAME_BYTES: u64 = 256 * 1024 * 1024;
+
+/// A framing, I/O or codec error.
+#[derive(Debug)]
+pub enum FrameError {
+    /// An I/O failure on the underlying stream.
+    Io(io::Error),
+    /// A malformed frame: bad length prefix, bad JSON, missing terminator,
+    /// or a payload that does not decode to the expected message shape.
+    Codec(String),
+    /// The stream ended inside a frame.
+    Truncated,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
+            FrameError::Codec(msg) => write!(f, "frame codec error: {msg}"),
+            FrameError::Truncated => write!(f, "stream ended inside a frame"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl From<serde::Error> for FrameError {
+    fn from(e: serde::Error) -> Self {
+        FrameError::Codec(e.to_string())
+    }
+}
+
+/// Writes length-prefixed JSON frames, flushing after each one.
+pub struct FrameWriter<W: Write> {
+    out: W,
+    frames: u64,
+}
+
+impl<W: Write> FrameWriter<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> Self {
+        FrameWriter { out, frames: 0 }
+    }
+
+    /// Frames written so far.
+    #[must_use]
+    pub fn frames_written(&self) -> u64 {
+        self.frames
+    }
+
+    /// Sends one pre-encoded value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::Io`] on write or flush failure.
+    pub fn send_value(&mut self, value: &Value) -> Result<(), FrameError> {
+        let payload = json::to_string(value);
+        let bytes = payload.as_bytes();
+        writeln!(self.out, "{}", bytes.len())?;
+        self.out.write_all(bytes)?;
+        self.out.write_all(b"\n")?;
+        self.out.flush()?;
+        self.frames += 1;
+        Ok(())
+    }
+
+    /// Sends one message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::Io`] on write or flush failure.
+    pub fn send<T: Serialize>(&mut self, msg: &T) -> Result<(), FrameError> {
+        self.send_value(&msg.to_value())
+    }
+}
+
+/// Reads length-prefixed JSON frames.
+pub struct FrameReader<R: BufRead> {
+    input: R,
+    frames: u64,
+}
+
+impl<R: BufRead> FrameReader<R> {
+    /// Wraps a reader.
+    pub fn new(input: R) -> Self {
+        FrameReader { input, frames: 0 }
+    }
+
+    /// Frames read so far.
+    #[must_use]
+    pub fn frames_read(&self) -> u64 {
+        self.frames
+    }
+
+    /// Reads the next frame's value; `Ok(None)` on a clean end of stream
+    /// (EOF exactly at a frame boundary).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError`] on I/O failure, a malformed frame, or a
+    /// stream that ends mid-frame.
+    pub fn recv_value(&mut self) -> Result<Option<Value>, FrameError> {
+        let mut prefix = String::new();
+        if self.input.read_line(&mut prefix)? == 0 {
+            return Ok(None); // clean EOF between frames
+        }
+        let trimmed = prefix.trim();
+        let len: u64 = trimmed
+            .parse()
+            .map_err(|_| FrameError::Codec(format!("bad frame length prefix `{trimmed}`")))?;
+        if len > MAX_FRAME_BYTES {
+            return Err(FrameError::Codec(format!(
+                "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+            )));
+        }
+        let mut payload = vec![0u8; len as usize];
+        self.input
+            .read_exact(&mut payload)
+            .map_err(|e| match e.kind() {
+                io::ErrorKind::UnexpectedEof => FrameError::Truncated,
+                _ => FrameError::Io(e),
+            })?;
+        let mut terminator = [0u8; 1];
+        match self.input.read_exact(&mut terminator) {
+            Ok(()) if terminator == *b"\n" => {}
+            Ok(_) => {
+                return Err(FrameError::Codec(
+                    "frame payload not followed by a newline terminator".into(),
+                ))
+            }
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                return Err(FrameError::Truncated)
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+        let text = std::str::from_utf8(&payload)
+            .map_err(|_| FrameError::Codec("frame payload is not UTF-8".into()))?;
+        let value = json::from_str(text)?;
+        self.frames += 1;
+        Ok(Some(value))
+    }
+
+    /// Reads and decodes the next frame; `Ok(None)` on a clean end of
+    /// stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError`] as [`FrameReader::recv_value`], plus
+    /// [`FrameError::Codec`] when the payload does not decode as `T`.
+    pub fn recv<T: Deserialize>(&mut self) -> Result<Option<T>, FrameError> {
+        match self.recv_value()? {
+            None => Ok(None),
+            Some(v) => Ok(Some(T::from_value(&v)?)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let values = [
+            Value::U64(1),
+            Value::Str("two\nlines".into()),
+            Value::Seq(vec![Value::F64(86.4), Value::Bool(true)]),
+        ];
+        let mut buf = Vec::new();
+        {
+            let mut w = FrameWriter::new(&mut buf);
+            for v in &values {
+                w.send_value(v).unwrap();
+            }
+            assert_eq!(w.frames_written(), 3);
+        }
+        let mut r = FrameReader::new(Cursor::new(buf));
+        for v in &values {
+            assert_eq!(r.recv_value().unwrap().as_ref(), Some(v));
+        }
+        assert!(r.recv_value().unwrap().is_none());
+        assert_eq!(r.frames_read(), 3);
+    }
+
+    #[test]
+    fn truncated_payload_is_an_error() {
+        let mut buf = Vec::new();
+        FrameWriter::new(&mut buf)
+            .send_value(&Value::Str("payload".into()))
+            .unwrap();
+        buf.truncate(buf.len() - 4);
+        let mut r = FrameReader::new(Cursor::new(buf));
+        assert!(matches!(r.recv_value(), Err(FrameError::Truncated)));
+    }
+
+    #[test]
+    fn missing_terminator_is_an_error() {
+        let mut buf = Vec::new();
+        FrameWriter::new(&mut buf)
+            .send_value(&Value::U64(9))
+            .unwrap();
+        let last = buf.len() - 1;
+        buf[last] = b'x';
+        let mut r = FrameReader::new(Cursor::new(buf));
+        assert!(matches!(r.recv_value(), Err(FrameError::Codec(_))));
+    }
+
+    #[test]
+    fn bad_length_prefix_is_an_error() {
+        let mut r = FrameReader::new(Cursor::new(b"not-a-number\n{}\n".to_vec()));
+        assert!(matches!(r.recv_value(), Err(FrameError::Codec(_))));
+        let mut r = FrameReader::new(Cursor::new(b"99999999999999999999\n".to_vec()));
+        assert!(matches!(r.recv_value(), Err(FrameError::Codec(_))));
+    }
+
+    #[test]
+    fn oversized_frame_is_refused_before_allocation() {
+        let huge = format!("{}\n", MAX_FRAME_BYTES + 1);
+        let mut r = FrameReader::new(Cursor::new(huge.into_bytes()));
+        assert!(matches!(r.recv_value(), Err(FrameError::Codec(_))));
+    }
+
+    #[test]
+    fn typed_round_trip() {
+        use snip_sim::RunMetrics;
+        let metrics = RunMetrics::with_epochs(2);
+        let mut buf = Vec::new();
+        FrameWriter::new(&mut buf).send(&metrics).unwrap();
+        let mut r = FrameReader::new(Cursor::new(buf));
+        let back: RunMetrics = r.recv().unwrap().expect("one frame");
+        assert_eq!(back, metrics);
+    }
+}

@@ -271,6 +271,60 @@ pub fn convert<R: BufRead, W: Write>(
     Ok(count)
 }
 
+/// [`convert`], additionally migrating a version-2 journal to version 3
+/// (the `snip convert --to-v3` path, part of the v2 sunset).
+///
+/// Decoding already normalizes v2's legacy float-second metric records to
+/// the exact integer-µs ledgers, so the only remaining v2 artifact is the
+/// header stamp: this re-stamps it to version 3 and re-encodes every
+/// event, producing a journal byte-identical to what a v3 recorder would
+/// have written. Version-3 inputs pass through unchanged (idempotent);
+/// any other version is refused — an unsupported journal must not be
+/// laundered into a "migrated" one.
+///
+/// Returns the number of events converted.
+///
+/// # Errors
+///
+/// Returns [`JournalError`] on read/write failure, on a journal that does
+/// not start with a header, or on a header version outside `{2, 3}`.
+pub fn upgrade_to_v3<R: BufRead, W: Write>(
+    reader: &mut JournalReader<R>,
+    writer: &mut JournalWriter<W>,
+) -> Result<u64, JournalError> {
+    use crate::event::JOURNAL_VERSION;
+
+    let mut count = 0u64;
+    match reader.next_event()? {
+        Some(JournalEvent::Header(mut header)) => {
+            match header.version {
+                2 => header.version = JOURNAL_VERSION,
+                v if v == JOURNAL_VERSION => {}
+                other => {
+                    return Err(JournalError::Codec(format!(
+                        "cannot migrate journal version {other} to v3 (only v2 and v3 inputs)"
+                    )))
+                }
+            }
+            writer.write(&JournalEvent::Header(header))?;
+            count += 1;
+        }
+        Some(other) => {
+            return Err(JournalError::Codec(format!(
+                "journal does not start with a Header (got {})",
+                other.kind()
+            )))
+        }
+        None => return Err(JournalError::Codec("journal is empty".into())),
+    }
+    while let Some(event) = reader.next_event()? {
+        writer.write(&event)?;
+        count += 1;
+    }
+    writer.flush()?;
+    Ok(count)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

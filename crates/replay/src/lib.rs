@@ -19,8 +19,10 @@
 //! * [`diff::diff_journals`] — compare two journals without re-running.
 //! * [`journal::convert`] — translate between the text and binary formats.
 //!
-//! The `snip` binary (this crate's CLI) exposes all four as `snip record`,
-//! `snip replay`, `snip diff` and `snip convert`.
+//! The `snip` binary (hosted by the `snip-fleetd` crate, the top of the
+//! workspace) exposes all four as `snip record`, `snip replay`, `snip diff`
+//! and `snip convert`. The [`frame`] module carries the same JSON encoding
+//! over length-prefixed pipe frames — the fleet driver's wire protocol.
 //!
 //! # Example
 //!
@@ -60,6 +62,7 @@
 
 pub mod diff;
 pub mod event;
+pub mod frame;
 pub mod journal;
 pub mod record;
 pub mod replay;
@@ -68,6 +71,9 @@ pub use diff::{diff_journals, DiffReport, FirstDifference};
 pub use event::{
     JournalEvent, JournalHeader, SchedulerSpec, JOURNAL_VERSION, MIN_SUPPORTED_JOURNAL_VERSION,
 };
-pub use journal::{convert, JournalError, JournalFormat, JournalReader, JournalWriter};
+pub use frame::{FrameError, FrameReader, FrameWriter};
+pub use journal::{
+    convert, upgrade_to_v3, JournalError, JournalFormat, JournalReader, JournalWriter,
+};
 pub use record::{record_run, RecordError, Recorder};
 pub use replay::{replay_run, Divergence, ReplayError, ReplayReport};

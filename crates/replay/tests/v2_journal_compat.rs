@@ -219,6 +219,62 @@ fn versions_before_2_and_after_3_are_refused() {
 }
 
 #[test]
+fn v2_migration_round_trips_to_the_exact_v3_bytes() {
+    // The sunset path: `snip convert --to-v3` must turn a v2 journal into
+    // exactly the journal a v3 recorder would have written — byte for
+    // byte, because decode already normalizes the legacy float metrics to
+    // the integer ledgers and the header re-stamp is the only other
+    // difference.
+    let (v3, recorded) = record_v3_jsonl();
+    let v2 = downgrade_to_v2(&v3);
+
+    let mut reader = JournalReader::new(Cursor::new(v2), JournalFormat::Jsonl);
+    let mut writer = JournalWriter::new(Vec::new(), JournalFormat::Jsonl);
+    let n = snip_replay::upgrade_to_v3(&mut reader, &mut writer).expect("v2 migrates");
+    assert!(n > 0);
+    let migrated = writer.into_inner();
+    assert_eq!(
+        migrated, v3,
+        "migrated v2 journal must equal the native v3 recording byte-for-byte"
+    );
+
+    // And the migrated journal replays clean with the exact metrics.
+    let mut reader = JournalReader::new(Cursor::new(migrated.clone()), JournalFormat::Jsonl);
+    let report = replay_run(&mut reader, None).expect("migrated journal replays");
+    assert_eq!(report.header.version, snip_replay::JOURNAL_VERSION);
+    assert_eq!(report.metrics, recorded);
+
+    // Migration is idempotent: v3 in, identical v3 out.
+    let mut reader = JournalReader::new(Cursor::new(migrated.clone()), JournalFormat::Jsonl);
+    let mut writer = JournalWriter::new(Vec::new(), JournalFormat::Jsonl);
+    snip_replay::upgrade_to_v3(&mut reader, &mut writer).expect("v3 passes through");
+    assert_eq!(writer.into_inner(), migrated);
+}
+
+#[test]
+fn migration_refuses_unsupported_versions_and_headerless_streams() {
+    let (v3, _) = record_v3_jsonl();
+    // Stamp an unsupported version into the header.
+    let text = std::str::from_utf8(&v3).unwrap();
+    let patched = text.replacen("\"version\":3", "\"version\":1", 1);
+    let mut reader = JournalReader::new(Cursor::new(patched.into_bytes()), JournalFormat::Jsonl);
+    let mut writer = JournalWriter::new(Vec::new(), JournalFormat::Jsonl);
+    let err = snip_replay::upgrade_to_v3(&mut reader, &mut writer).unwrap_err();
+    assert!(err.to_string().contains("cannot migrate"), "{err}");
+
+    // A stream that does not start with a header.
+    let headerless: Vec<u8> = text
+        .split_once('\n')
+        .expect("journal has lines")
+        .1
+        .as_bytes()
+        .to_vec();
+    let mut reader = JournalReader::new(Cursor::new(headerless), JournalFormat::Jsonl);
+    let mut writer = JournalWriter::new(Vec::new(), JournalFormat::Jsonl);
+    assert!(snip_replay::upgrade_to_v3(&mut reader, &mut writer).is_err());
+}
+
+#[test]
 fn downgraded_stream_still_decodes_event_for_event() {
     // Sanity on the legacy decoder itself: every downgraded line parses
     // into the same JournalEvent as its v3 counterpart (header aside).

@@ -47,7 +47,7 @@ impl FleetNode {
 }
 
 /// One node's outcome within a fleet run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NodeOutcome {
     /// The node's name.
     pub name: String,
@@ -62,7 +62,7 @@ pub struct NodeOutcome {
 }
 
 /// Aggregated fleet results.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetReport {
     /// Per-node outcomes, in fleet order.
     pub nodes: Vec<NodeOutcome>,
@@ -164,6 +164,48 @@ impl Fleet {
         }
     }
 
+    /// Runs node `i` alone and returns its full exact-ledger metrics —
+    /// the shard unit of a distributed fleet run. Uses the identical
+    /// per-node trace/seed derivation as [`Fleet::run`], so the metrics
+    /// are bit-for-bit the ones the sequential run would have produced,
+    /// no matter which process or host executes the node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn run_node<S: ProbeScheduler>(&self, i: usize, scheduler: S) -> RunMetrics {
+        let node = &self.nodes[i];
+        let trace = self.node_trace(i);
+        let config = self.config.clone().with_zeta_target_secs(node.zeta_target);
+        let mut sim = Simulation::new(config, &trace, scheduler);
+        sim.run(&mut StdRng::seed_from_u64(self.node_sim_seed(i)))
+    }
+
+    /// Assembles a [`FleetReport`] from per-node metrics in fleet order —
+    /// the merge half of [`Fleet::run_node`]. Outcomes are derived exactly
+    /// as [`Fleet::run`] derives them, so a report merged from shards
+    /// equals the sequential report whenever the metrics do.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `metrics` does not carry one entry per fleet node.
+    #[must_use]
+    pub fn report_from_metrics(&self, metrics: &[RunMetrics]) -> FleetReport {
+        assert_eq!(
+            metrics.len(),
+            self.nodes.len(),
+            "need exactly one metrics entry per fleet node"
+        );
+        FleetReport {
+            nodes: self
+                .nodes
+                .iter()
+                .zip(metrics)
+                .map(|(node, m)| Self::node_outcome(node, m))
+                .collect(),
+        }
+    }
+
     /// Runs the fleet, building one scheduler per node via `make_scheduler`
     /// (which receives the node so it can read its profile and target).
     pub fn run<S, F>(&self, make_scheduler: F) -> FleetReport
@@ -188,10 +230,7 @@ impl Fleet {
     {
         let outcomes = crate::parallel::parallel_map(self.nodes.len(), threads, |i| {
             let node = &self.nodes[i];
-            let trace = self.node_trace(i);
-            let config = self.config.clone().with_zeta_target_secs(node.zeta_target);
-            let mut sim = Simulation::new(config, &trace, make_scheduler(node));
-            let metrics = sim.run(&mut StdRng::seed_from_u64(self.node_sim_seed(i)));
+            let metrics = self.run_node(i, make_scheduler(node));
             Self::node_outcome(node, &metrics)
         });
         FleetReport { nodes: outcomes }
@@ -343,6 +382,24 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn empty_fleet_rejected() {
         let _ = Fleet::new(Vec::new(), SimConfig::paper_defaults());
+    }
+
+    #[test]
+    fn sharded_run_node_merge_equals_the_sequential_run() {
+        // The distributed-driver contract: per-node shards merged in fleet
+        // order reproduce Fleet::run exactly (outcomes included).
+        let fleet = make_fleet();
+        let metrics: Vec<RunMetrics> = (0..fleet.nodes().len())
+            .map(|i| fleet.run_node(i, rh_for(&fleet.nodes()[i])))
+            .collect();
+        let merged = fleet.report_from_metrics(&metrics);
+        assert_eq!(merged, fleet.run(rh_for));
+    }
+
+    #[test]
+    #[should_panic(expected = "one metrics entry per fleet node")]
+    fn short_metrics_list_rejected() {
+        let _ = make_fleet().report_from_metrics(&[RunMetrics::with_epochs(7)]);
     }
 
     #[test]

@@ -181,6 +181,20 @@ impl Serialize for EpochMetrics {
     }
 }
 
+/// Warns (once per process) that the legacy float-seconds metric decoder
+/// fired: journal v2 is on its sunset path, and every surviving v2 journal
+/// should be migrated while the decoder still exists.
+fn warn_legacy_metrics_once() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        eprintln!(
+            "warning: decoded legacy float-seconds metrics (journal v2); v2 read support \
+             is deprecated and will be removed — migrate journals with \
+             `snip convert --to-v3 <in> <out>`"
+        );
+    });
+}
+
 /// Converts a legacy (journal v2) float-seconds field to the exact ledger
 /// representation, rejecting values `SimDuration::from_secs_f64` would
 /// panic on — a corrupt journal must surface as a decode error, not abort
@@ -205,6 +219,9 @@ impl Deserialize for EpochMetrics {
             .as_map()
             .ok_or_else(|| serde::Error::expected("EpochMetrics map", v))?;
         let legacy = v.get("zeta_us").is_none();
+        if legacy {
+            warn_legacy_metrics_once();
+        }
         let dur = |new: &str, old: &str| -> Result<SimDuration, serde::Error> {
             if legacy {
                 legacy_secs(serde::__field(map, old, "EpochMetrics")?, old)
@@ -459,6 +476,9 @@ impl Deserialize for RunMetrics {
             .as_map()
             .ok_or_else(|| serde::Error::expected("RunMetrics map", v))?;
         let legacy = v.get("slot_phi_us").is_none();
+        if legacy {
+            warn_legacy_metrics_once();
+        }
         let slots = |new: &str, old: &str| -> Result<Vec<SimDuration>, serde::Error> {
             if legacy {
                 let secs: Vec<f64> = serde::__field(map, old, "RunMetrics")?;

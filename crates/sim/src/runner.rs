@@ -52,7 +52,7 @@ impl Mechanism {
 }
 
 /// One row of a Fig 7/8 sweep: a mechanism's metrics at one target.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepPoint {
     /// The capacity target `ζtarget`, seconds.
     pub zeta_target: f64,
@@ -293,6 +293,37 @@ impl ScenarioRunner {
         self.sweep_parallel(zeta_targets, 1)
     }
 
+    /// The sweep's job list — one `(ζtarget, mechanism)` pair per point, in
+    /// sweep order. The single source of the point ordering: in-process
+    /// sweeps and distributed shard drivers must partition the exact same
+    /// list for their merged outputs to compare.
+    #[must_use]
+    pub fn sweep_jobs(zeta_targets: &[f64]) -> Vec<(f64, Mechanism)> {
+        zeta_targets
+            .iter()
+            .flat_map(|&t| Mechanism::ALL.into_iter().map(move |m| (t, m)))
+            .collect()
+    }
+
+    /// Folds one run's exact-ledger metrics into its [`SweepPoint`] row —
+    /// the merge half of a sharded sweep. Derivations match
+    /// [`ScenarioRunner::sweep`]'s exactly, so a point computed from a
+    /// shard's metrics equals the in-process point whenever the ledgers do.
+    #[must_use]
+    pub fn point_from_metrics(
+        zeta_target: f64,
+        mechanism: Mechanism,
+        metrics: &RunMetrics,
+    ) -> SweepPoint {
+        SweepPoint {
+            zeta_target,
+            mechanism,
+            zeta: metrics.mean_zeta_per_epoch(),
+            phi: metrics.mean_phi_per_epoch(),
+            rho: metrics.overall_rho(),
+        }
+    }
+
     /// [`ScenarioRunner::sweep`] sharded across up to `threads` workers.
     ///
     /// All points simulate against the one shared trace
@@ -306,20 +337,11 @@ impl ScenarioRunner {
         // initialize the cache (OnceLock would serialize them anyway; this
         // keeps the first point's timing honest).
         let _ = self.trace_arc();
-        let jobs: Vec<(f64, Mechanism)> = zeta_targets
-            .iter()
-            .flat_map(|&t| Mechanism::ALL.into_iter().map(move |m| (t, m)))
-            .collect();
+        let jobs = Self::sweep_jobs(zeta_targets);
         parallel_map(jobs.len(), threads, |i| {
             let (target, mechanism) = jobs[i];
             let metrics = self.run_one(mechanism, target);
-            SweepPoint {
-                zeta_target: target,
-                mechanism,
-                zeta: metrics.mean_zeta_per_epoch(),
-                phi: metrics.mean_phi_per_epoch(),
-                rho: metrics.overall_rho(),
-            }
+            Self::point_from_metrics(target, mechanism, &metrics)
         })
     }
 

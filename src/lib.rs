@@ -13,8 +13,10 @@
 //! * [`snip_opt`] — the SNIP-OPT two-step optimizer.
 //! * [`snip_core`] — the SNIP-AT / SNIP-OPT / SNIP-RH schedulers.
 //! * [`snip_sim`] — the discrete-event simulator (COOJA substitute).
+//! * [`snip_fleetd`] — the multi-process work-stealing fleet driver.
 
 pub use snip_core;
+pub use snip_fleetd;
 pub use snip_mobility;
 pub use snip_model;
 pub use snip_opt;

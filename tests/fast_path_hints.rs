@@ -1,0 +1,120 @@
+//! Fast-path fidelity for the extension schedulers.
+//!
+//! PR 2 gave `AdaptiveSnipRh` and `SnipRhPlusAt` safe `None` hint
+//! fallbacks, which kept them correct but naive-stepped. Now that both
+//! implement `idle_until`/`steady_span`, the simulator's idle fast-forward
+//! and beacon batching engage — and with zero beacon loss the fast path
+//! must reproduce the reference stepper's exact integer-µs ledgers
+//! bit-for-bit, learned state included.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use snip_rh_repro::snip_core::{AdaptiveConfig, AdaptiveSnipRh, SnipRhConfig, SnipRhPlusAt};
+use snip_rh_repro::snip_mobility::{ContactTrace, EpochProfile, TraceGenerator};
+use snip_rh_repro::snip_sim::{RunMetrics, SimConfig, Simulation};
+use snip_rh_repro::snip_units::SimDuration;
+
+fn roadside_trace(epochs: u64, seed: u64) -> ContactTrace {
+    TraceGenerator::new(EpochProfile::roadside())
+        .epochs(epochs)
+        .generate(&mut StdRng::seed_from_u64(seed))
+}
+
+fn run_both<S, F>(trace: &ContactTrace, config: &SimConfig, make: F) -> (RunMetrics, RunMetrics)
+where
+    S: snip_rh_repro::snip_core::ProbeScheduler,
+    F: Fn() -> S,
+{
+    let mut fast = Simulation::new(config.clone(), trace, make());
+    let fast_metrics = fast.run(&mut StdRng::seed_from_u64(7));
+    let mut naive = Simulation::new(config.clone(), trace, make()).with_naive_stepping();
+    let naive_metrics = naive.run(&mut StdRng::seed_from_u64(7));
+    (fast_metrics, naive_metrics)
+}
+
+#[test]
+fn adaptive_fast_path_is_bit_identical_to_naive_stepping() {
+    let trace = roadside_trace(10, 301);
+    let config = SimConfig::paper_defaults()
+        .with_epochs(10)
+        .with_zeta_target_secs(16.0);
+    for tracking in [0.000_5, 0.0] {
+        let (fast, naive) = run_both(&trace, &config, || {
+            let mut cfg = AdaptiveConfig::paper_sketch(24, 4);
+            cfg.rh.phi_max = SimDuration::from_secs_f64(86.4);
+            cfg.tracking_duty_cycle = tracking;
+            AdaptiveSnipRh::new(cfg)
+        });
+        assert_eq!(fast, naive, "tracking = {tracking}");
+        assert!(fast.total_contacts_probed() > 0);
+    }
+}
+
+#[test]
+fn hybrid_fast_path_is_bit_identical_to_naive_stepping() {
+    let trace = roadside_trace(10, 302);
+    let config = SimConfig::paper_defaults()
+        .with_epochs(10)
+        .with_zeta_target_secs(24.0);
+    for phi_max_secs in [86.4, 864.0] {
+        let (fast, naive) = run_both(&trace, &config, || {
+            SnipRhPlusAt::new(
+                SnipRhConfig::paper_defaults(EpochProfile::roadside().rush_marks())
+                    .with_phi_max(SimDuration::from_secs_f64(phi_max_secs)),
+                0.002,
+            )
+        });
+        assert_eq!(fast, naive, "phi_max = {phi_max_secs}");
+        assert!(fast.total_contacts_probed() > 0);
+    }
+}
+
+#[test]
+fn hybrid_learned_state_matches_across_steppers() {
+    // Metrics equality plus learned-state equality: the schedulers saw the
+    // same probed contacts in the same order.
+    let trace = roadside_trace(6, 303);
+    let config = SimConfig::paper_defaults()
+        .with_epochs(6)
+        .with_zeta_target_secs(16.0);
+    let make = || {
+        SnipRhPlusAt::new(
+            SnipRhConfig::paper_defaults(EpochProfile::roadside().rush_marks())
+                .with_phi_max(SimDuration::from_secs_f64(86.4)),
+            0.002,
+        )
+    };
+    let mut fast = Simulation::new(config.clone(), &trace, make());
+    let _ = fast.run(&mut StdRng::seed_from_u64(9));
+    let mut naive = Simulation::new(config, &trace, make()).with_naive_stepping();
+    let _ = naive.run(&mut StdRng::seed_from_u64(9));
+    let (f, n) = (fast.into_scheduler(), naive.into_scheduler());
+    assert_eq!(
+        f.inner().mean_contact_length(),
+        n.inner().mean_contact_length()
+    );
+    assert_eq!(f.inner().upload_threshold(), n.inner().upload_threshold());
+}
+
+#[test]
+fn adaptive_learned_marks_match_across_steppers() {
+    let trace = roadside_trace(8, 304);
+    let config = SimConfig::paper_defaults()
+        .with_epochs(8)
+        .with_zeta_target_secs(16.0);
+    let make = || {
+        let mut cfg = AdaptiveConfig::paper_sketch(24, 4);
+        cfg.rh.phi_max = SimDuration::from_secs(864);
+        cfg.learning_duty_cycle = 0.005;
+        AdaptiveSnipRh::new(cfg)
+    };
+    let mut fast = Simulation::new(config.clone(), &trace, make());
+    let _ = fast.run(&mut StdRng::seed_from_u64(11));
+    let mut naive = Simulation::new(config, &trace, make()).with_naive_stepping();
+    let _ = naive.run(&mut StdRng::seed_from_u64(11));
+    let (f, n) = (fast.into_scheduler(), naive.into_scheduler());
+    assert_eq!(f.phase(), n.phase());
+    assert_eq!(f.rush_marks(), n.rush_marks());
+    assert_eq!(f.slot_capacity(), n.slot_capacity());
+}
