@@ -9,9 +9,11 @@
 //! snip diff    <a> <b>
 //! snip convert <in> <out> [--to-v3]
 //! snip fleet   --spec <file> [--workers K] [--shard-size N] [--verify] [--out PATH]
-//! snip fleet-worker                (internal: spawned by `snip fleet`)
+//! snip fleet-serve --spec <file> --listen ADDR --token-file F [--verify] [--out PATH]
+//! snip fleet-worker [--connect ADDR --token-file F]
+//!                                  (no flags: spawned by `snip fleet` over stdio)
 //! snip bench   [--out BENCH_sweep.json] [--epochs N] [--threads N] [--seed S]
-//!              [--phi-max SECS] [--targets a,b,c] [--fleet K]
+//!              [--phi-max SECS] [--targets a,b,c] [--fleet K] [--fleet-tcp K]
 //! ```
 //!
 //! Journal format is chosen by extension: `.json`/`.jsonl` are JSON lines,
@@ -45,11 +47,15 @@ USAGE:
     snip replay  <journal> [--mechanism M]     re-execute and verify a journal
     snip diff    <a> <b>                       compare two journals
     snip convert <in> <out> [--to-v3]          translate jsonl <-> cbor
-                                               (--to-v3 migrates v2 journals)
+                                               (--to-v3: require/stamp the v3
+                                               format; v2 is no longer read)
     snip fleet   --spec <file> [options]       run a fleet spec across worker
                                                subprocesses
-    snip fleet-worker                          internal: serve shards over
-                                               stdin/stdout (spawned by fleet)
+    snip fleet-serve --spec <file> [options]   multi-host coordinator: listen
+                                               for dialing workers over TCP
+    snip fleet-worker [--connect ADDR]         serve shards: over stdin/stdout
+                                               (spawned by fleet) or by dialing
+                                               a fleet-serve coordinator
     snip bench   [options]                     time the canonical paper sweep
 
 record options (defaults in brackets):
@@ -70,11 +76,26 @@ fleet options (defaults in brackets):
     --spec <path>          JSON fleet spec (required; see --example)
     --workers <k>          worker subprocesses               [SNIP_THREADS or #cores]
     --shard-size <n>       jobs per shard                    [jobs/(4*workers)]
-    --timeout-secs <s>     per-shard worker timeout          [600]
+    --timeout-secs <s>     per-shard worker timeout, also bounds every
+                           handshake phase                   [600]
     --out <path>           write the merged report as JSON
     --verify               also run single-process and require bit-identical
                            output (exit 1 on any difference)
     --example              print a sample spec and exit
+
+fleet-serve options (fleet options above, plus):
+    --listen <addr>        address to listen on (required; port 0 picks an
+                           ephemeral port — see --addr-file)
+    --token-file <path>    file holding the shared worker secret (required;
+                           contents are trimmed)
+    --addr-file <path>     write the bound address (for scripts that need
+                           the ephemeral port)
+
+fleet-worker options:
+    (none)                 serve over stdin/stdout (spawned by `snip fleet`)
+    --connect <addr>       dial a fleet-serve coordinator over TCP
+    --token-file <path>    shared secret for --connect (or the
+                           SNIP_FLEET_TOKEN environment variable)
 
 bench options (defaults in brackets):
     --out <path>           where to write the JSON report  [BENCH_sweep.json]
@@ -90,6 +111,10 @@ bench options (defaults in brackets):
     --fleet <k>            also run the sweep through the multi-process
                            fleet driver with k workers and record
                            fleet points/sec                [off]
+    --fleet-tcp <k>        also run the sweep through the TCP fleet
+                           driver (localhost, k dialing workers, full
+                           token + spec-hash handshake) and record
+                           fleet_tcp points/sec            [off]
 
 Formats by extension: .json/.jsonl = JSON lines, anything else = CBOR
 (.snipj by convention).
@@ -109,6 +134,7 @@ fn main() -> ExitCode {
         "diff" => cmd_diff(rest),
         "convert" => cmd_convert(rest),
         "fleet" => cmd_fleet(rest),
+        "fleet-serve" => cmd_fleet_serve(rest),
         "fleet-worker" => cmd_fleet_worker(rest),
         "bench" => cmd_bench(rest),
         "help" | "--help" | "-h" => {
@@ -555,9 +581,14 @@ struct FleetOptions {
     timeout_secs: u64,
     out: Option<PathBuf>,
     verify: bool,
+    /// fleet-serve only: listen address, token file, optional bound-address
+    /// report file.
+    listen: Option<String>,
+    token_file: Option<PathBuf>,
+    addr_file: Option<PathBuf>,
 }
 
-fn parse_fleet_options(args: &[String]) -> Result<Option<FleetOptions>, CliError> {
+fn parse_fleet_options(args: &[String], serve: bool) -> Result<Option<FleetOptions>, CliError> {
     let mut opts = FleetOptions {
         spec: PathBuf::new(),
         workers: snip_sim::default_threads(),
@@ -565,6 +596,9 @@ fn parse_fleet_options(args: &[String]) -> Result<Option<FleetOptions>, CliError
         timeout_secs: 600,
         out: None,
         verify: false,
+        listen: None,
+        token_file: None,
+        addr_file: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -575,14 +609,23 @@ fn parse_fleet_options(args: &[String]) -> Result<Option<FleetOptions>, CliError
             "--timeout-secs" => opts.timeout_secs = parse_value(flag, it.next())?,
             "--out" => opts.out = Some(parse_value::<PathBuf>(flag, it.next())?),
             "--verify" => opts.verify = true,
-            "--example" => return Ok(None),
+            "--example" if !serve => return Ok(None),
+            "--listen" if serve => opts.listen = Some(parse_value(flag, it.next())?),
+            "--token-file" if serve => {
+                opts.token_file = Some(parse_value::<PathBuf>(flag, it.next())?);
+            }
+            "--addr-file" if serve => {
+                opts.addr_file = Some(parse_value::<PathBuf>(flag, it.next())?);
+            }
             other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
         }
     }
     if opts.spec.as_os_str().is_empty() {
-        return Err(CliError::Usage(
-            "fleet needs --spec <file> (try --example)".into(),
-        ));
+        return Err(CliError::Usage(if serve {
+            "fleet-serve needs --spec <file>".into()
+        } else {
+            "fleet needs --spec <file> (try --example)".into()
+        }));
     }
     if opts.workers == 0 {
         return Err(CliError::Usage("--workers must be at least 1".into()));
@@ -593,7 +636,29 @@ fn parse_fleet_options(args: &[String]) -> Result<Option<FleetOptions>, CliError
     if opts.timeout_secs == 0 {
         return Err(CliError::Usage("--timeout-secs must be at least 1".into()));
     }
+    if serve && opts.listen.is_none() {
+        return Err(CliError::Usage("fleet-serve needs --listen <addr>".into()));
+    }
+    if serve && opts.token_file.is_none() {
+        return Err(CliError::Usage(
+            "fleet-serve needs --token-file <path> (workers must authenticate)".into(),
+        ));
+    }
     Ok(Some(opts))
+}
+
+/// Reads and trims a shared-secret token file.
+fn read_token(path: &Path) -> Result<String, CliError> {
+    let raw = std::fs::read_to_string(path)
+        .map_err(|e| fatal(format!("token file {}: {e}", path.display())))?;
+    let token = raw.trim().to_string();
+    if token.is_empty() {
+        return Err(CliError::Usage(format!(
+            "token file {} is empty",
+            path.display()
+        )));
+    }
+    Ok(token)
 }
 
 /// Renders the merged output as JSON (the journal codec, so the file is
@@ -605,38 +670,27 @@ fn fleet_output_json(output: &FleetOutput) -> String {
     text
 }
 
-fn cmd_fleet(args: &[String]) -> Result<ExitCode, CliError> {
-    let Some(opts) = parse_fleet_options(args)? else {
-        use serde::Serialize as _;
-        println!("{}", serde::json::to_string(&example_spec().to_value()));
-        return Ok(ExitCode::SUCCESS);
-    };
-    let text = std::fs::read_to_string(&opts.spec)
-        .map_err(|e| fatal(format!("{}: {e}", opts.spec.display())))?;
-    let spec = FleetSpec::from_json(&text).map_err(CliError::Usage)?;
-    let mut driver = FleetDriver::new(spec.clone(), opts.workers)
-        .map_err(CliError::Usage)?
-        .with_shard_timeout(std::time::Duration::from_secs(opts.timeout_secs));
-    if let Some(shard_size) = opts.shard_size {
-        driver = driver.with_shard_size(shard_size);
-    }
-
-    eprintln!(
-        "fleet `{}`: {} jobs across {} workers",
-        spec.name,
-        spec.job_count(),
-        opts.workers
-    );
+/// Shared tail of `fleet` and `fleet-serve`: run the driver, report,
+/// write `--out`, check `--verify`.
+fn run_fleet_driver(
+    driver: &FleetDriver,
+    spec: &FleetSpec,
+    opts: &FleetOptions,
+) -> Result<ExitCode, CliError> {
     let run = driver.run().map_err(fatal)?;
     println!(
         "fleet `{}` done: {} jobs in {} shards on {} workers \
-         ({} lost, {} shards reassigned)",
+         ({} lost, {} rejected, {} shards reassigned, {} plans shipped, \
+         {} cross-worker plan hits)",
         spec.name,
         run.stats.jobs,
         run.stats.shards,
         run.stats.workers,
         run.stats.workers_lost,
+        run.stats.peers_rejected,
         run.stats.shards_reassigned,
+        run.stats.plans_shipped,
+        run.stats.plan_seed_hits,
     );
     print_fleet_output(&run.output);
 
@@ -645,7 +699,7 @@ fn cmd_fleet(args: &[String]) -> Result<ExitCode, CliError> {
         println!("wrote {}", out.display());
     }
     if opts.verify {
-        let reference = snip_fleetd::JobRunner::new(&spec).run_sequential();
+        let reference = snip_fleetd::JobRunner::new(spec).run_sequential();
         if reference == run.output {
             println!("verify: distributed output is bit-identical to the sequential run");
         } else {
@@ -654,6 +708,66 @@ fn cmd_fleet(args: &[String]) -> Result<ExitCode, CliError> {
         }
     }
     Ok(ExitCode::SUCCESS)
+}
+
+fn load_fleet_spec(opts: &FleetOptions) -> Result<FleetSpec, CliError> {
+    let text = std::fs::read_to_string(&opts.spec)
+        .map_err(|e| fatal(format!("{}: {e}", opts.spec.display())))?;
+    FleetSpec::from_json(&text).map_err(CliError::Usage)
+}
+
+fn build_driver(spec: &FleetSpec, opts: &FleetOptions) -> Result<FleetDriver, CliError> {
+    let mut driver = FleetDriver::new(spec.clone(), opts.workers)
+        .map_err(CliError::Usage)?
+        .with_shard_timeout(std::time::Duration::from_secs(opts.timeout_secs));
+    if let Some(shard_size) = opts.shard_size {
+        driver = driver.with_shard_size(shard_size);
+    }
+    Ok(driver)
+}
+
+fn cmd_fleet(args: &[String]) -> Result<ExitCode, CliError> {
+    let Some(opts) = parse_fleet_options(args, false)? else {
+        use serde::Serialize as _;
+        println!("{}", serde::json::to_string(&example_spec().to_value()));
+        return Ok(ExitCode::SUCCESS);
+    };
+    let spec = load_fleet_spec(&opts)?;
+    let driver = build_driver(&spec, &opts)?;
+    eprintln!(
+        "fleet `{}`: {} jobs across {} workers",
+        spec.name,
+        spec.job_count(),
+        opts.workers
+    );
+    run_fleet_driver(&driver, &spec, &opts)
+}
+
+fn cmd_fleet_serve(args: &[String]) -> Result<ExitCode, CliError> {
+    let Some(opts) = parse_fleet_options(args, true)? else {
+        unreachable!("--example is not a fleet-serve flag");
+    };
+    let token = read_token(opts.token_file.as_deref().expect("parser enforces"))?;
+    let spec = load_fleet_spec(&opts)?;
+    let driver = build_driver(&spec, &opts)?
+        .with_tcp(snip_fleetd::TcpConfig {
+            listen: opts.listen.clone().expect("parser enforces"),
+            token,
+            spawn_workers: false,
+        })
+        .map_err(|e| fatal(format!("could not bind listener: {e}")))?;
+    let addr = driver.local_addr().expect("tcp driver knows its address");
+    eprintln!(
+        "fleet-serve `{}`: listening on {addr} for dialing workers \
+         ({} jobs; spec hash {:#018x})",
+        spec.name,
+        spec.job_count(),
+        spec.spec_hash(),
+    );
+    if let Some(addr_file) = &opts.addr_file {
+        std::fs::write(addr_file, format!("{addr}\n")).map_err(fatal)?;
+    }
+    run_fleet_driver(&driver, &spec, &opts)
 }
 
 /// Summarizes the merged output on stdout.
@@ -691,14 +805,56 @@ fn print_fleet_output(output: &FleetOutput) {
 }
 
 fn cmd_fleet_worker(args: &[String]) -> Result<ExitCode, CliError> {
-    if !args.is_empty() {
-        return Err(CliError::Usage(
-            "fleet-worker takes no arguments (it is spawned by `snip fleet`)".into(),
-        ));
+    let mut connect: Option<String> = None;
+    let mut token_file: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--connect" => connect = Some(parse_value(flag, it.next())?),
+            "--token-file" => token_file = Some(parse_value::<PathBuf>(flag, it.next())?),
+            other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+        }
     }
-    let stdin = std::io::stdin();
-    let stdout = std::io::stdout();
-    match snip_fleetd::run_worker(stdin.lock(), stdout.lock(), u64::from(std::process::id())) {
+    let pid = u64::from(std::process::id());
+    let result = match connect {
+        None => {
+            if token_file.is_some() {
+                return Err(CliError::Usage(
+                    "--token-file only applies with --connect (stdio workers are \
+                     spawned by their coordinator)"
+                        .into(),
+                ));
+            }
+            snip_fleetd::run_worker(
+                std::io::BufReader::new(std::io::stdin()),
+                std::io::stdout(),
+                pid,
+            )
+        }
+        Some(addr) => {
+            let addr: std::net::SocketAddr = addr
+                .parse()
+                .map_err(|_| CliError::Usage(format!("invalid --connect address `{addr}`")))?;
+            let token = match token_file {
+                Some(path) => read_token(&path)?,
+                None => std::env::var(snip_fleetd::TOKEN_ENV_VAR).map_err(|_| {
+                    CliError::Usage(format!(
+                        "--connect needs --token-file <path> (or {})",
+                        snip_fleetd::TOKEN_ENV_VAR
+                    ))
+                })?,
+            };
+            snip_fleetd::run_worker_tcp(
+                &snip_fleetd::ConnectOptions {
+                    addr,
+                    token,
+                    retry_for: std::time::Duration::from_secs(10),
+                },
+                pid,
+            )
+        }
+    };
+    match result {
         Ok(_) => Ok(ExitCode::SUCCESS),
         Err(e) => Err(fatal(e)),
     }
@@ -716,6 +872,7 @@ struct BenchOptions {
     repeat: u32,
     targets: Vec<f64>,
     fleet_workers: Option<usize>,
+    fleet_tcp_workers: Option<usize>,
 }
 
 fn parse_bench_options(args: &[String]) -> Result<BenchOptions, CliError> {
@@ -729,6 +886,7 @@ fn parse_bench_options(args: &[String]) -> Result<BenchOptions, CliError> {
         repeat: 3,
         targets: vec![16.0, 24.0, 32.0, 40.0, 48.0, 56.0],
         fleet_workers: None,
+        fleet_tcp_workers: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -744,6 +902,7 @@ fn parse_bench_options(args: &[String]) -> Result<BenchOptions, CliError> {
             "--threads" => opts.threads = parse_value(flag, it.next())?,
             "--repeat" => opts.repeat = parse_value(flag, it.next())?,
             "--fleet" => opts.fleet_workers = Some(parse_value(flag, it.next())?),
+            "--fleet-tcp" => opts.fleet_tcp_workers = Some(parse_value(flag, it.next())?),
             "--targets" => {
                 let raw: String = parse_value(flag, it.next())?;
                 opts.targets = raw
@@ -776,7 +935,22 @@ fn parse_bench_options(args: &[String]) -> Result<BenchOptions, CliError> {
     if opts.fleet_workers == Some(0) {
         return Err(CliError::Usage("--fleet must be at least 1".into()));
     }
+    if opts.fleet_tcp_workers == Some(0) {
+        return Err(CliError::Usage("--fleet-tcp must be at least 1".into()));
+    }
     Ok(opts)
+}
+
+/// A locally unique shared secret for self-spawned bench fleets. Not a
+/// cryptographic token — the workers are children of this very process on
+/// the loopback interface; the token exists to exercise the same
+/// authenticated handshake multi-host fleets use.
+fn bench_fleet_token() -> String {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos());
+    format!("bench-{nanos:032x}-{}", std::process::id())
 }
 
 /// Times the canonical Fig 7 sweep three ways — pre-optimization baseline,
@@ -824,37 +998,79 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, CliError> {
     );
 
     // Optional: the same sweep through the multi-process fleet driver —
-    // the deployment-scale points/sec figure (spawn + pipe overhead
+    // the deployment-scale points/sec figure (spawn + transport overhead
     // included), plus its own bit-exactness gate against the sequential
-    // sweep.
+    // sweep. `--fleet` uses pipe dispatch, `--fleet-tcp` the full TCP
+    // path (localhost dial-in, token + spec-hash handshake).
+    #[derive(Clone, Copy)]
+    struct FleetBench {
+        workers: usize,
+        secs: f64,
+        matches: bool,
+        stats: snip_fleetd::DriverStats,
+    }
+    let bench_spec = || FleetSpec {
+        name: "bench-sweep".into(),
+        seed: opts.seed,
+        epochs: opts.epochs,
+        phi_max_secs: opts.phi_max,
+        job: snip_fleetd::JobSpec::Sweep {
+            profile: EpochProfile::roadside(),
+            zeta_targets: opts.targets.clone(),
+        },
+    };
+    let measure_fleet = |driver: &FleetDriver, workers: usize| -> Result<FleetBench, CliError> {
+        let mut best = f64::INFINITY;
+        let mut output = None;
+        let mut stats = None;
+        for _ in 0..opts.repeat {
+            let t = Instant::now();
+            let run = driver.run().map_err(fatal)?;
+            best = best.min(t.elapsed().as_secs_f64());
+            output = Some(run.output);
+            stats = Some(run.stats);
+        }
+        let matches = match output {
+            Some(FleetOutput::Sweep(ref fleet_points)) => fleet_points == &sequential,
+            _ => false,
+        };
+        Ok(FleetBench {
+            workers,
+            secs: best,
+            matches,
+            stats: stats.expect("repeat >= 1"),
+        })
+    };
     let fleet_bench = match opts.fleet_workers {
         None => None,
         Some(workers) => {
-            let spec = FleetSpec {
-                name: "bench-sweep".into(),
-                seed: opts.seed,
-                epochs: opts.epochs,
-                phi_max_secs: opts.phi_max,
-                job: snip_fleetd::JobSpec::Sweep {
-                    profile: EpochProfile::roadside(),
-                    zeta_targets: opts.targets.clone(),
-                },
-            };
-            let driver = FleetDriver::new(spec, workers).map_err(CliError::Usage)?;
-            let mut best = f64::INFINITY;
-            let mut output = None;
-            for _ in 0..opts.repeat {
-                let t = Instant::now();
-                let run = driver.run().map_err(fatal)?;
-                best = best.min(t.elapsed().as_secs_f64());
-                output = Some(run.output);
-            }
-            let matches = match output {
-                Some(FleetOutput::Sweep(ref fleet_points)) => fleet_points == &sequential,
-                _ => false,
-            };
-            eprintln!("  fleet driver ({workers} workers):           {best:.3} s");
-            Some((workers, best, matches))
+            let driver = FleetDriver::new(bench_spec(), workers).map_err(CliError::Usage)?;
+            let bench = measure_fleet(&driver, workers)?;
+            eprintln!(
+                "  fleet driver ({workers} workers):           {:.3} s",
+                bench.secs
+            );
+            Some(bench)
+        }
+    };
+    let fleet_tcp_bench = match opts.fleet_tcp_workers {
+        None => None,
+        Some(workers) => {
+            let driver = FleetDriver::new(bench_spec(), workers)
+                .map_err(CliError::Usage)?
+                .with_tcp(snip_fleetd::TcpConfig {
+                    listen: "127.0.0.1:0".into(),
+                    token: bench_fleet_token(),
+                    spawn_workers: true,
+                })
+                .map_err(|e| fatal(format!("could not bind bench listener: {e}")))?;
+            let bench = measure_fleet(&driver, workers)?;
+            eprintln!(
+                "  fleet driver, TCP ({workers} workers):      {:.3} s \
+                 ({} plans shipped, {} cross-worker hits)",
+                bench.secs, bench.stats.plans_shipped, bench.stats.plan_seed_hits
+            );
+            Some(bench)
         }
     };
 
@@ -881,15 +1097,29 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, CliError> {
     // solved (the sweep re-solves each (profile, Φmax, ζtarget) point
     // once; every repetition after the first should hit).
     let cache = snip_opt::plan_cache_stats();
-    let fleet_fields = match fleet_bench {
-        None => String::new(),
-        Some((workers, secs, matches)) => format!(
-            "  \"fleet_workers\": {workers},\n  \"fleet_secs\": {secs:.6},\n  \
-             \"points_per_sec_fleet\": {fleet_pps:.3},\n  \
-             \"fleet_matches_sequential\": {matches},\n",
-            fleet_pps = points as f64 / secs,
-        ),
+    let fleet_report_fields = |prefix: &str, bench: Option<&FleetBench>| -> String {
+        match bench {
+            None => String::new(),
+            Some(b) => format!(
+                "  \"{prefix}_workers\": {workers},\n  \"{prefix}_secs\": {secs:.6},\n  \
+                 \"points_per_sec_{prefix}\": {pps:.3},\n  \
+                 \"{prefix}_matches_sequential\": {matches},\n  \
+                 \"{prefix}_plan_cache\": {{\"shipped\": {shipped}, \
+                 \"cross_worker_hits\": {hits}}},\n",
+                workers = b.workers,
+                secs = b.secs,
+                pps = points as f64 / b.secs,
+                matches = b.matches,
+                shipped = b.stats.plans_shipped,
+                hits = b.stats.plan_seed_hits,
+            ),
+        }
     };
+    let fleet_fields = format!(
+        "{}{}",
+        fleet_report_fields("fleet", fleet_bench.as_ref()),
+        fleet_report_fields("fleet_tcp", fleet_tcp_bench.as_ref()),
+    );
     let report = format!(
         "{{\n  \"bench\": \"sweep\",\n  \"schema_version\": 1,\n  \
          \"host_cores\": {cores},\n  \"threads\": {threads},\n  \"repeat\": {repeat},\n  \
@@ -928,8 +1158,11 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, CliError> {
          ({speedup_vs_baseline:.1}x vs baseline, {speedup_vs_sequential:.1}x vs sequential)",
         opts.out.display()
     );
-    let fleet_ok = fleet_bench.is_none_or(|(_, _, matches)| matches);
+    let fleet_ok =
+        fleet_bench.is_none_or(|b| b.matches) && fleet_tcp_bench.is_none_or(|b| b.matches);
     if let Some(history) = &opts.history {
+        let history_fleet = fleet_bench.map(|b| (b.workers, b.secs));
+        let history_fleet_tcp = fleet_tcp_bench.map(|b| (b.workers, b.secs));
         append_bench_history(
             history,
             &opts,
@@ -937,7 +1170,8 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, CliError> {
             baseline_secs,
             sequential_secs,
             parallel_secs,
-            fleet_bench,
+            history_fleet,
+            history_fleet_tcp,
             parallel_equals_sequential && baseline_matches && fleet_ok,
         )?;
     }
@@ -963,7 +1197,8 @@ fn append_bench_history(
     baseline_secs: f64,
     sequential_secs: f64,
     parallel_secs: f64,
-    fleet_bench: Option<(usize, f64, bool)>,
+    fleet_bench: Option<(usize, f64)>,
+    fleet_tcp_bench: Option<(usize, f64)>,
     deterministic: bool,
 ) -> Result<(), CliError> {
     use std::io::Write as _;
@@ -980,14 +1215,21 @@ fn append_bench_history(
     let unix_secs = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
-    let fleet_fields = match fleet_bench {
-        None => String::new(),
-        Some((workers, secs, _)) => format!(
-            ", \"fleet_workers\": {workers}, \"fleet_secs\": {secs:.6}, \
-             \"points_per_sec_fleet\": {fleet_pps:.3}",
-            fleet_pps = points as f64 / secs,
-        ),
+    let history_fields = |prefix: &str, bench: Option<(usize, f64)>| -> String {
+        match bench {
+            None => String::new(),
+            Some((workers, secs)) => format!(
+                ", \"{prefix}_workers\": {workers}, \"{prefix}_secs\": {secs:.6}, \
+                 \"points_per_sec_{prefix}\": {pps:.3}",
+                pps = points as f64 / secs,
+            ),
+        }
     };
+    let fleet_fields = format!(
+        "{}{}",
+        history_fields("fleet", fleet_bench),
+        history_fields("fleet_tcp", fleet_tcp_bench),
+    );
     let entry = format!(
         "{{\"schema_version\": 1, \"unix_secs\": {unix_secs}, \"points\": {points}, \
          \"epochs\": {epochs}, \"seed\": {seed}, \"threads\": {threads}, \"repeat\": {repeat}, \

@@ -1,36 +1,49 @@
-//! The coordinator: spawn workers, deal shards, steal back from the dead.
+//! The coordinator: admit peers, deal shards, steal back from the dead.
 //!
-//! [`FleetDriver::run`] cuts the spec's job list into contiguous shards,
-//! spawns `workers` subprocesses (`snip fleet-worker`, a re-exec of the
-//! current binary), and serves the shard queue pull-style: each worker
-//! gets a new shard the moment it returns the previous one, so uneven
-//! shard costs balance themselves (work stealing by idle-worker pull).
-//! A worker that crashes, hangs past the shard timeout, or speaks out of
-//! protocol is killed and counted lost — its in-flight shard goes back on
-//! the queue for a healthy worker.
+//! [`FleetDriver::run`] cuts the spec's job list into contiguous shards
+//! and serves the shard queue pull-style over whatever transport its
+//! peers arrive on: each worker gets a new shard the moment it returns
+//! the previous one, so uneven shard costs balance themselves (work
+//! stealing by idle-worker pull). A peer that crashes, hangs past the
+//! shard timeout, stalls inside the handshake, or speaks out of protocol
+//! is severed and counted lost — its in-flight shard goes back on the
+//! queue for a healthy worker. Two dispatch modes share every line of
+//! the drive loop:
+//!
+//! * **Pipe** (default): the coordinator spawns `workers` subprocesses
+//!   (`snip fleet-worker`, re-execs of the current binary) and frames the
+//!   protocol over their stdio ([`PipeTransport`]).
+//! * **TCP** ([`FleetDriver::with_tcp`]): the coordinator listens, and
+//!   remote `snip fleet-worker --connect` processes dial in, authenticate
+//!   with the shared token, and pass the spec-hash handshake. Late
+//!   joiners are admitted mid-run; a dead socket is exactly a killed
+//!   worker (shard re-queued). With
+//!   [`TcpConfig::spawn_workers`] the coordinator also spawns local
+//!   dialing workers itself (bench and smoke-test mode).
 //!
 //! **Determinism:** job `i` is a pure function of `(spec, i)` (per-node
 //! traces and RNG seeds derive from the spec exactly as in-process runs
 //! derive them), results are stored by shard ordinal and merged in index
 //! order, and metrics travel as exact integer-µs ledgers. The merged
 //! output is therefore bit-identical to [`JobRunner::run_sequential`] for
-//! every worker count and every steal/kill interleaving.
+//! every transport, worker count, and steal/kill interleaving.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
-use std::io::{self, BufReader};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use snip_replay::frame::{FrameError, FrameReader, FrameWriter};
+use snip_opt::OptPlan;
 use snip_sim::RunMetrics;
 
-use crate::proto::{CoordinatorMsg, WorkerMsg, PROTOCOL_VERSION};
+use crate::proto::{CoordinatorMsg, PlanEntry, WorkerMsg, PROTOCOL_VERSION};
 use crate::spec::{FleetOutput, FleetSpec, JobRunner};
+use crate::transport::{recv_msg, send_msg, PipeTransport, RecvError, TcpTransport, Transport};
 
 /// One contiguous slice of the job list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,15 +54,18 @@ struct Shard {
 }
 
 /// Deliberate failure injection, for exercising the steal path in tests
-/// and drills: the coordinator kills one of its own workers after it has
-/// returned `after_shards` results, as if it had crashed mid-run.
+/// and drills: the coordinator severs one of its own peers' transports
+/// after it has returned `after_shards` results — a killed subprocess on
+/// pipes, a dead socket on TCP, indistinguishable from a crash either
+/// way.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultInjection {
-    /// Kill worker `worker` once it has completed `after_shards` shards.
+    /// Sever peer `worker` once it has completed `after_shards` shards.
     KillWorker {
-        /// Zero-based worker index to kill.
+        /// Zero-based peer index (spawn order on pipes, admission order
+        /// on TCP) to sever.
         worker: usize,
-        /// Results the worker is allowed to deliver first.
+        /// Results the peer is allowed to deliver first.
         after_shards: u64,
     },
 }
@@ -64,8 +80,8 @@ pub enum DriverError {
         /// The OS error.
         error: io::Error,
     },
-    /// Workers died faster than shards could be reassigned; the listed
-    /// shard ordinals never completed.
+    /// Workers died (or never arrived) faster than shards could be
+    /// reassigned; the listed shard ordinals never completed.
     Incomplete {
         /// Shards with no result.
         missing: Vec<u64>,
@@ -102,12 +118,23 @@ pub struct DriverStats {
     pub jobs: u64,
     /// Shards the job list was cut into.
     pub shards: u64,
-    /// Workers spawned.
+    /// Workers admitted through the `Init`/`Ready` handshake (on either
+    /// transport) — peers that could actually have served shards.
     pub workers: usize,
-    /// Workers that crashed, hung, or broke protocol.
+    /// Workers lost: admitted peers that crashed, hung, or broke
+    /// protocol — plus, on pipes, the coordinator's own spawned re-execs
+    /// that failed to spawn or to complete the handshake.
     pub workers_lost: usize,
+    /// Peers refused before admission: bad token, protocol skew, spec-hash
+    /// mismatch, or a handshake that stalled past the shard timeout.
+    pub peers_rejected: usize,
     /// Shards that had to be re-queued from a lost worker.
     pub shards_reassigned: u64,
+    /// SNIP-OPT plan entries shipped to workers (`Init` + `Shard`).
+    pub plans_shipped: u64,
+    /// Worker-side solves answered by coordinator-shipped plans — the
+    /// cross-worker cache hits the plan shipping exists for.
+    pub plan_seed_hits: u64,
 }
 
 /// A completed fleet run: the merged output plus the run counters.
@@ -119,7 +146,43 @@ pub struct FleetRun {
     pub stats: DriverStats,
 }
 
-/// The multi-process fleet driver. See the module docs.
+/// TCP dispatch configuration ([`FleetDriver::with_tcp`]).
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Address to bind the coordinator's listener on (`127.0.0.1:0`
+    /// picks an ephemeral port; read it back with
+    /// [`FleetDriver::local_addr`]).
+    pub listen: String,
+    /// The shared secret every dialing worker must present in `Join`.
+    pub token: String,
+    /// Also spawn `workers` local dialing worker subprocesses (the token
+    /// travels to them through the `SNIP_FLEET_TOKEN` environment
+    /// variable, never argv). Off for `snip fleet-serve`, where remote
+    /// workers dial in on their own.
+    pub spawn_workers: bool,
+}
+
+/// Environment variable a spawned dialing worker reads its token from.
+pub const TOKEN_ENV_VAR: &str = "SNIP_FLEET_TOKEN";
+
+/// Upper bound on how long an accepted peer may dawdle before `Join`.
+/// Kept well under the shard timeout: pre-auth peers hold a thread and a
+/// socket, and a stranger should not get to hold either for the length
+/// of a shard.
+const JOIN_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Most connections allowed to sit in the pre-auth (pre-`Join`) phase at
+/// once; accepts beyond it are closed immediately. Honest fleets
+/// authenticate within milliseconds, so this only throttles floods.
+const MAX_PREAUTH_PEERS: usize = 64;
+
+struct TcpState {
+    listener: TcpListener,
+    token: String,
+    spawn_workers: bool,
+}
+
+/// The transport-generic fleet driver. See the module docs.
 pub struct FleetDriver {
     spec: FleetSpec,
     workers: usize,
@@ -127,6 +190,151 @@ pub struct FleetDriver {
     worker_command: Option<(PathBuf, Vec<String>)>,
     shard_timeout: Duration,
     fault: Option<FaultInjection>,
+    tcp: Option<TcpState>,
+    /// SNIP-OPT plans accumulated from workers, persisted across `run`
+    /// calls on the same driver (repeated bench runs re-ship warm plans).
+    plans: Mutex<PlanStore>,
+}
+
+/// The coordinator's accumulated plan set plus a generation counter, so
+/// a peer that is already up to date skips the per-shard rescan.
+#[derive(Default)]
+struct PlanStore {
+    map: HashMap<String, OptPlan>,
+    /// Bumped whenever `map` gains an entry.
+    generation: u64,
+}
+
+/// Everything one run's peers share: the shard queue, the result slots,
+/// and the lifecycle counters.
+struct RunState {
+    queue: Mutex<VecDeque<Shard>>,
+    wakeup: Condvar,
+    results: Vec<Mutex<Option<Vec<RunMetrics>>>>,
+    total: u64,
+    completed: AtomicU64,
+    /// Set when the run gives up (no peers, nothing happening): peers
+    /// drain out through `next_shard` returning `None`.
+    aborted: AtomicBool,
+    admitted: AtomicUsize,
+    lost: AtomicUsize,
+    rejected: AtomicUsize,
+    reassigned: AtomicU64,
+    plans_shipped: AtomicU64,
+    seed_hits: AtomicU64,
+    active_peers: AtomicUsize,
+    /// Peers accepted but not yet past `Join` (capped at
+    /// [`MAX_PREAUTH_PEERS`]).
+    preauth_peers: AtomicUsize,
+    last_activity: Mutex<Instant>,
+}
+
+impl RunState {
+    fn new(shards: &[Shard]) -> Self {
+        RunState {
+            queue: Mutex::new(shards.iter().copied().collect()),
+            wakeup: Condvar::new(),
+            results: shards.iter().map(|_| Mutex::new(None)).collect(),
+            total: shards.len() as u64,
+            completed: AtomicU64::new(0),
+            aborted: AtomicBool::new(false),
+            admitted: AtomicUsize::new(0),
+            lost: AtomicUsize::new(0),
+            rejected: AtomicUsize::new(0),
+            reassigned: AtomicU64::new(0),
+            plans_shipped: AtomicU64::new(0),
+            seed_hits: AtomicU64::new(0),
+            active_peers: AtomicUsize::new(0),
+            preauth_peers: AtomicUsize::new(0),
+            last_activity: Mutex::new(Instant::now()),
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.completed.load(Ordering::SeqCst) >= self.total
+    }
+
+    fn over(&self) -> bool {
+        self.finished() || self.aborted.load(Ordering::SeqCst)
+    }
+
+    fn abort(&self) {
+        self.aborted.store(true, Ordering::SeqCst);
+        self.wakeup.notify_all();
+    }
+
+    fn touch(&self) {
+        *self.last_activity.lock().expect("activity clock poisoned") = Instant::now();
+    }
+
+    fn idle_for(&self) -> Duration {
+        self.last_activity
+            .lock()
+            .expect("activity clock poisoned")
+            .elapsed()
+    }
+
+    /// A lost peer's in-flight shard goes back on the queue for the next
+    /// idle worker — the steal.
+    fn requeue(&self, shard: Shard) {
+        self.queue
+            .lock()
+            .expect("shard queue poisoned")
+            .push_back(shard);
+        self.reassigned.fetch_add(1, Ordering::Relaxed);
+        self.wakeup.notify_all();
+    }
+
+    /// Blocks until a shard is available or the run is over; `None` means
+    /// the run completed (or aborted) and the peer should shut down.
+    fn next_shard(&self) -> Option<Shard> {
+        let mut q = self.queue.lock().expect("shard queue poisoned");
+        loop {
+            if let Some(shard) = q.pop_front() {
+                return Some(shard);
+            }
+            if self.over() {
+                return None;
+            }
+            // Re-check periodically as a hang backstop: every shard is
+            // either queued, completed, or held by a live handler that
+            // re-queues it on its way out.
+            let (guard, _timeout) = self
+                .wakeup
+                .wait_timeout(q, Duration::from_millis(200))
+                .expect("shard queue poisoned");
+            q = guard;
+        }
+    }
+
+    fn finish_shard(&self, shard: Shard, metrics: Vec<RunMetrics>) {
+        *self.results[shard.id as usize]
+            .lock()
+            .expect("result slot poisoned") = Some(metrics);
+        self.completed.fetch_add(1, Ordering::SeqCst);
+        self.touch();
+        self.wakeup.notify_all();
+    }
+}
+
+/// How a peer's service ended.
+enum PeerOutcome {
+    /// Served until the queue drained (or joined after the finish line).
+    Finished,
+    /// Never made it through `Init`/`Ready`.
+    HandshakeFailed,
+    /// Admitted, then crashed/hung/spoke out of protocol.
+    Lost,
+}
+
+/// Constant-time token comparison (length aside): a byte-wise early exit
+/// would hand a dialing stranger a timing oracle on the shared secret.
+fn token_matches(presented: &str, expected: &str) -> bool {
+    let (a, b) = (presented.as_bytes(), expected.as_bytes());
+    if a.len() != b.len() {
+        return false;
+    }
+    a.iter().zip(b).fold(0u8, |acc, (x, y)| acc | (x ^ y)) == 0
 }
 
 impl FleetDriver {
@@ -150,6 +358,8 @@ impl FleetDriver {
             worker_command: None,
             shard_timeout: Duration::from_secs(600),
             fault: None,
+            tcp: None,
+            plans: Mutex::new(PlanStore::default()),
         })
     }
 
@@ -166,26 +376,55 @@ impl FleetDriver {
     }
 
     /// Overrides the worker command (default: the current executable with
-    /// the single argument `fleet-worker`).
+    /// the single argument `fleet-worker`). In TCP spawn mode the driver
+    /// appends `--connect <addr>` to these arguments.
     #[must_use]
     pub fn with_worker_command(mut self, program: impl Into<PathBuf>, args: Vec<String>) -> Self {
         self.worker_command = Some((program.into(), args));
         self
     }
 
-    /// Overrides the per-shard response timeout (a worker silent for this
-    /// long is declared hung, killed, and its shard re-queued).
+    /// Overrides the per-shard response timeout. The same bound applies
+    /// to every handshake phase — a peer that connects and then stalls
+    /// before `Join` or `Ready` is dropped when it expires, instead of
+    /// holding a worker slot forever — and, on TCP, to how long the run
+    /// keeps waiting with no live peers before giving up as
+    /// [`DriverError::Incomplete`].
     #[must_use]
     pub fn with_shard_timeout(mut self, timeout: Duration) -> Self {
         self.shard_timeout = timeout;
         self
     }
 
-    /// Arms a deliberate worker kill (tests and failure drills).
+    /// Arms a deliberate peer sever (tests and failure drills).
     #[must_use]
     pub fn with_fault(mut self, fault: FaultInjection) -> Self {
         self.fault = Some(fault);
         self
+    }
+
+    /// Switches the driver to TCP dispatch: bind the listener now (so the
+    /// address is known before the run), admit dialing workers during
+    /// [`FleetDriver::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the OS bind error.
+    pub fn with_tcp(mut self, config: TcpConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.listen)?;
+        listener.set_nonblocking(true)?;
+        self.tcp = Some(TcpState {
+            listener,
+            token: config.token,
+            spawn_workers: config.spawn_workers,
+        });
+        Ok(self)
+    }
+
+    /// The bound listener address (TCP mode only).
+    #[must_use]
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.tcp.as_ref().and_then(|t| t.listener.local_addr().ok())
     }
 
     /// The shard list for this driver's spec and granularity.
@@ -215,122 +454,22 @@ impl FleetDriver {
     /// # Errors
     ///
     /// Returns [`DriverError`] when no worker could be spawned or when
-    /// every worker died with shards still unfinished.
-    #[allow(clippy::too_many_lines)]
+    /// every worker died (or, on TCP, none arrived) with shards still
+    /// unfinished.
     pub fn run(&self) -> Result<FleetRun, DriverError> {
         let runner = JobRunner::new(&self.spec);
         let shards = self.shards();
-        let total = shards.len() as u64;
-        let (program, args) = self
-            .command()
-            .map_err(|error| DriverError::Spawn { worker: 0, error })?;
+        let state = RunState::new(&shards);
 
-        let queue = Mutex::new(shards.iter().copied().collect::<VecDeque<Shard>>());
-        let wakeup = Condvar::new();
-        let results: Vec<Mutex<Option<Vec<RunMetrics>>>> =
-            shards.iter().map(|_| Mutex::new(None)).collect();
-        let completed = AtomicU64::new(0);
-        let lost = AtomicUsize::new(0);
-        let reassigned = AtomicU64::new(0);
-        let spawn_failure: Mutex<Option<(usize, io::Error)>> = Mutex::new(None);
-
-        // A lost worker's in-flight shard goes back on the queue for the
-        // next idle worker — the steal.
-        let requeue = |shard: Shard| {
-            queue.lock().expect("shard queue poisoned").push_back(shard);
-            reassigned.fetch_add(1, Ordering::Relaxed);
-            wakeup.notify_all();
-        };
-        // Blocks until a shard is available or the run is over; `None`
-        // means all shards completed (time to shut the worker down).
-        let next_shard = || -> Option<Shard> {
-            let mut q = queue.lock().expect("shard queue poisoned");
-            loop {
-                if let Some(shard) = q.pop_front() {
-                    return Some(shard);
-                }
-                if completed.load(Ordering::SeqCst) >= total {
-                    return None;
-                }
-                // Re-check periodically as a hang backstop: every shard is
-                // either queued, completed, or held by a live handler that
-                // re-queues it on its way out.
-                let (guard, _timeout) = wakeup
-                    .wait_timeout(q, Duration::from_millis(200))
-                    .expect("shard queue poisoned");
-                q = guard;
-            }
-        };
-        let finish_shard = |shard: Shard, metrics: Vec<RunMetrics>| {
-            *results[shard.id as usize]
-                .lock()
-                .expect("result slot poisoned") = Some(metrics);
-            completed.fetch_add(1, Ordering::SeqCst);
-            wakeup.notify_all();
-        };
-
-        // More workers than shards would only spawn processes that
-        // handshake and immediately shut down.
-        let workers_to_spawn = self.workers.min(shards.len().max(1));
-        std::thread::scope(|scope| {
-            for worker_idx in 0..workers_to_spawn {
-                let program = &program;
-                let args = &args;
-                let requeue = &requeue;
-                let next_shard = &next_shard;
-                let finish_shard = &finish_shard;
-                let lost = &lost;
-                let spawn_failure = &spawn_failure;
-                scope.spawn(move || {
-                    let mut child = match Command::new(program)
-                        .args(args)
-                        .stdin(Stdio::piped())
-                        .stdout(Stdio::piped())
-                        .stderr(Stdio::inherit())
-                        .spawn()
-                    {
-                        Ok(child) => child,
-                        Err(error) => {
-                            let mut slot = spawn_failure.lock().expect("spawn slot poisoned");
-                            if slot.is_none() {
-                                *slot = Some((worker_idx, error));
-                            }
-                            lost.fetch_add(1, Ordering::Relaxed);
-                            return;
-                        }
-                    };
-                    let (outcome, reader) = self.drive_worker(
-                        worker_idx,
-                        &mut child,
-                        requeue,
-                        next_shard,
-                        finish_shard,
-                    );
-                    if outcome.is_err() {
-                        lost.fetch_add(1, Ordering::Relaxed);
-                        let _ = child.kill();
-                    }
-                    // Kill/exit closes the worker's stdout, so the reader
-                    // thread sees EOF and joins promptly.
-                    let _ = child.wait();
-                    let _ = reader.join();
-                });
-            }
-        });
-
-        if let Some((worker, error)) = spawn_failure
-            .lock()
-            .expect("spawn slot poisoned")
-            .take()
-            .filter(|_| completed.load(Ordering::SeqCst) < total)
-        {
-            return Err(DriverError::Spawn { worker, error });
+        match &self.tcp {
+            None => self.run_pipe(&state)?,
+            Some(tcp) => self.run_tcp(tcp, &state)?,
         }
 
-        let workers_lost = lost.load(Ordering::Relaxed);
+        let workers_lost = state.lost.load(Ordering::Relaxed);
         let mut metrics: Vec<RunMetrics> = Vec::with_capacity(self.spec.job_count() as usize);
         let mut missing = Vec::new();
-        for (id, slot) in results.iter().enumerate() {
+        for (id, slot) in state.results.iter().enumerate() {
             match slot.lock().expect("result slot poisoned").take() {
                 Some(shard_metrics) => metrics.extend(shard_metrics),
                 None => missing.push(id as u64),
@@ -347,95 +486,391 @@ impl FleetDriver {
             output: runner.merge(&metrics),
             stats: DriverStats {
                 jobs: self.spec.job_count(),
-                shards: total,
-                workers: workers_to_spawn,
+                shards: state.total,
+                workers: state.admitted.load(Ordering::Relaxed),
                 workers_lost,
-                shards_reassigned: reassigned.load(Ordering::Relaxed),
+                peers_rejected: state.rejected.load(Ordering::Relaxed),
+                shards_reassigned: state.reassigned.load(Ordering::Relaxed),
+                plans_shipped: state.plans_shipped.load(Ordering::Relaxed),
+                plan_seed_hits: state.seed_hits.load(Ordering::Relaxed),
             },
         })
     }
 
-    /// Speaks the protocol with one worker until the queue drains or the
-    /// worker is lost. `Err(())` means the worker must be counted lost
-    /// (any in-flight shard has already been re-queued). The returned
-    /// handle is the stdout reader thread; join it only after the child
-    /// has been killed or waited, or a hung worker would block the join.
-    fn drive_worker(
-        &self,
-        worker_idx: usize,
-        child: &mut Child,
-        requeue: &dyn Fn(Shard),
-        next_shard: &dyn Fn() -> Option<Shard>,
-        finish_shard: &dyn Fn(Shard, Vec<RunMetrics>),
-    ) -> (Result<(), ()>, std::thread::JoinHandle<()>) {
-        let stdin = child.stdin.take().expect("piped stdin");
-        let stdout = child.stdout.take().expect("piped stdout");
-        let mut tx = FrameWriter::new(stdin);
+    /// Pipe dispatch: spawn the workers, drive each over its stdio.
+    fn run_pipe(&self, state: &RunState) -> Result<(), DriverError> {
+        let (program, args) = self
+            .command()
+            .map_err(|error| DriverError::Spawn { worker: 0, error })?;
+        let spawn_failure: Mutex<Option<(usize, io::Error)>> = Mutex::new(None);
 
-        // Frames arrive through a channel so shard waits can time out
-        // (a hung worker must not hang the coordinator).
-        let (frames_tx, frames_rx) = mpsc::channel::<Result<WorkerMsg, FrameError>>();
-        let reader = std::thread::spawn(move || {
-            let mut rx = FrameReader::new(BufReader::new(stdout));
-            loop {
-                match rx.recv::<WorkerMsg>() {
-                    Ok(Some(msg)) => {
-                        if frames_tx.send(Ok(msg)).is_err() {
-                            break;
+        // More workers than shards would only spawn processes that
+        // handshake and immediately shut down.
+        let workers_to_spawn = self.workers.min(state.results.len().max(1));
+        std::thread::scope(|scope| {
+            for worker_idx in 0..workers_to_spawn {
+                let program = &program;
+                let args = &args;
+                let spawn_failure = &spawn_failure;
+                scope.spawn(move || {
+                    let mut transport = match PipeTransport::spawn(program, args) {
+                        Ok(t) => t,
+                        Err(error) => {
+                            let mut slot = spawn_failure.lock().expect("spawn slot poisoned");
+                            if slot.is_none() {
+                                *slot = Some((worker_idx, error));
+                            }
+                            state.lost.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    };
+                    match self.drive_peer(worker_idx, &mut transport, state) {
+                        PeerOutcome::Finished => {}
+                        // A spawned pipe worker that fails its handshake
+                        // was still one of our own workers: count it lost.
+                        PeerOutcome::HandshakeFailed | PeerOutcome::Lost => {
+                            state.lost.fetch_add(1, Ordering::Relaxed);
+                            transport.sever();
                         }
                     }
-                    Ok(None) => break,
-                    Err(e) => {
-                        let _ = frames_tx.send(Err(e));
+                });
+            }
+        });
+
+        if let Some((worker, error)) = spawn_failure
+            .lock()
+            .expect("spawn slot poisoned")
+            .take()
+            .filter(|_| !state.finished())
+        {
+            return Err(DriverError::Spawn { worker, error });
+        }
+        Ok(())
+    }
+
+    /// TCP dispatch: optionally spawn local dialing workers, then admit
+    /// and drive every peer that makes it through the handshake.
+    fn run_tcp(&self, tcp: &TcpState, state: &RunState) -> Result<(), DriverError> {
+        let mut children: Vec<Child> = Vec::new();
+        if tcp.spawn_workers {
+            let addr = tcp
+                .listener
+                .local_addr()
+                .map_err(|error| DriverError::Spawn { worker: 0, error })?;
+            let (program, mut args) = self
+                .command()
+                .map_err(|error| DriverError::Spawn { worker: 0, error })?;
+            args.push("--connect".into());
+            args.push(addr.to_string());
+            let to_spawn = self.workers.min(state.results.len().max(1));
+            for worker in 0..to_spawn {
+                match Command::new(&program)
+                    .args(&args)
+                    .env(TOKEN_ENV_VAR, &tcp.token)
+                    .stdin(Stdio::null())
+                    .stdout(Stdio::null())
+                    .stderr(Stdio::inherit())
+                    .spawn()
+                {
+                    Ok(child) => children.push(child),
+                    Err(error) => {
+                        for mut child in children {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                        }
+                        return Err(DriverError::Spawn { worker, error });
+                    }
+                }
+            }
+        }
+
+        state.touch();
+        std::thread::scope(|scope| {
+            let mut next_idx = 0usize;
+            loop {
+                if state.over() {
+                    break;
+                }
+                // The give-up clause: no live peers and nothing has
+                // happened for a full shard timeout — nobody is coming.
+                if state.active_peers.load(Ordering::SeqCst) == 0
+                    && state.idle_for() > self.shard_timeout
+                {
+                    state.abort();
+                    break;
+                }
+                match tcp.listener.accept() {
+                    // A connection flood must not hold a thread and a
+                    // socket per stranger: past the pre-auth cap, close
+                    // on arrival.
+                    Ok((stream, _addr))
+                        if state.preauth_peers.load(Ordering::SeqCst) >= MAX_PREAUTH_PEERS =>
+                    {
+                        drop(stream);
+                        state.rejected.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok((stream, _addr)) => {
+                        state.touch();
+                        let idx = next_idx;
+                        next_idx += 1;
+                        state.active_peers.fetch_add(1, Ordering::SeqCst);
+                        state.preauth_peers.fetch_add(1, Ordering::SeqCst);
+                        scope.spawn(move || {
+                            match TcpTransport::accept(stream) {
+                                Ok(mut transport) => {
+                                    self.drive_tcp_peer(idx, &mut transport, state, &tcp.token);
+                                }
+                                Err(_) => {
+                                    state.preauth_peers.fetch_sub(1, Ordering::SeqCst);
+                                    state.rejected.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            state.active_peers.fetch_sub(1, Ordering::SeqCst);
+                            state.touch();
+                        });
+                    }
+                    // Nonblocking listener: no pending connection.
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(20)),
+                }
+            }
+        });
+
+        // The listener outlives the run (the driver can run again), so
+        // late dialers still sitting in the accept backlog must be closed
+        // now: otherwise they wait for an `Init` nobody will send, and the
+        // next run would inherit their stale connections.
+        Self::drain_backlog(&tcp.listener);
+
+        // Reap spawned workers: Shutdown (or the dropped/drained sockets)
+        // ends them; anything still alive after a grace period is killed.
+        let grace = Instant::now() + Duration::from_secs(10);
+        for mut child in children {
+            loop {
+                Self::drain_backlog(&tcp.listener);
+                match child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if Instant::now() < grace => {
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                    _ => {
+                        let _ = child.kill();
+                        let _ = child.wait();
                         break;
                     }
                 }
             }
-        });
-        let recv_reply = |timeout: Duration| -> Option<WorkerMsg> {
-            match frames_rx.recv_timeout(timeout) {
-                Ok(Ok(msg)) => Some(msg),
-                Ok(Err(_)) | Err(_) => None,
-            }
-        };
+        }
+        Ok(())
+    }
 
-        let handshake = tx.send(&CoordinatorMsg::Init {
+    /// Accepts every connection pending on the (nonblocking) listener,
+    /// tells each "no work for you" with a `Shutdown` frame, and closes
+    /// it — so peers that dialed too late exit cleanly instead of
+    /// waiting forever for an `Init` nobody will send.
+    fn drain_backlog(listener: &TcpListener) {
+        use snip_replay::frame::FrameWriter;
+        while let Ok((stream, _)) = listener.accept() {
+            // The accepted socket inherits the listener's nonblocking
+            // flag on macOS/BSD/Windows; the farewell write must not be
+            // torn by a spurious WouldBlock.
+            let _ = stream.set_nonblocking(false);
+            let _ = FrameWriter::new(&stream).send(&CoordinatorMsg::Shutdown);
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    /// Authenticates one dialed-in peer, then hands it to the shared
+    /// drive loop. The `Join` wait is bounded by `min(shard timeout,
+    /// JOIN_TIMEOUT)`: an unauthenticated peer is the cheapest thing to
+    /// stall with, so it gets seconds, not the shard budget.
+    fn drive_tcp_peer(
+        &self,
+        worker_idx: usize,
+        transport: &mut dyn Transport,
+        state: &RunState,
+        token: &str,
+    ) {
+        let join_window = self.shard_timeout.min(JOIN_TIMEOUT);
+        let join = self.recv_peer_within(transport, state, join_window);
+        state.preauth_peers.fetch_sub(1, Ordering::SeqCst);
+        match join {
+            Some(WorkerMsg::Join {
+                protocol,
+                token: presented,
+                pid: _,
+            }) if protocol == PROTOCOL_VERSION && token_matches(&presented, token) => {
+                transport.unlock_frame_limit();
+            }
+            // Bad token, version skew, garbage, a stall, or EOF: sever
+            // without revealing which check failed.
+            _ => {
+                transport.sever();
+                state.rejected.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        match self.drive_peer(worker_idx, transport, state) {
+            PeerOutcome::Finished => {}
+            PeerOutcome::HandshakeFailed => {
+                state.rejected.fetch_add(1, Ordering::Relaxed);
+            }
+            PeerOutcome::Lost => {
+                state.lost.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Receives the peer's next message, bounded by the shard timeout and
+    /// sliced so the wait also ends promptly when the run finishes.
+    fn recv_peer(&self, transport: &mut dyn Transport, state: &RunState) -> Option<WorkerMsg> {
+        self.recv_peer_within(transport, state, self.shard_timeout)
+    }
+
+    /// [`Self::recv_peer`] with an explicit bound (the pre-auth `Join`
+    /// wait uses a much shorter one than the shard timeout).
+    fn recv_peer_within(
+        &self,
+        transport: &mut dyn Transport,
+        state: &RunState,
+        timeout: Duration,
+    ) -> Option<WorkerMsg> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let slice = (deadline - now).min(Duration::from_millis(200));
+            match recv_msg::<WorkerMsg>(transport, Some(slice)) {
+                Ok(Some(msg)) => return Some(msg),
+                Ok(None) => return None, // EOF
+                Err(RecvError::TimedOut) => {
+                    if state.over() {
+                        return None;
+                    }
+                }
+                Err(RecvError::Frame(_)) => return None,
+            }
+        }
+    }
+
+    /// Plans the peer has not been sent yet; marks them shipped. The
+    /// store's generation counter makes the warm steady state — nothing
+    /// new since this peer's last assignment — an O(1) check instead of
+    /// a full rescan under the lock.
+    fn plans_for(
+        &self,
+        shipped: &mut HashSet<String>,
+        seen_generation: &mut u64,
+        state: &RunState,
+    ) -> Vec<PlanEntry> {
+        let store = self.plans.lock().expect("plan set poisoned");
+        if store.generation == *seen_generation {
+            return Vec::new();
+        }
+        let delta: Vec<PlanEntry> = store
+            .map
+            .iter()
+            .filter(|(key, _)| !shipped.contains(*key))
+            .map(|(key, plan)| PlanEntry {
+                key: key.clone(),
+                plan: plan.clone(),
+            })
+            .collect();
+        *seen_generation = store.generation;
+        drop(store);
+        for entry in &delta {
+            shipped.insert(entry.key.clone());
+        }
+        state
+            .plans_shipped
+            .fetch_add(delta.len() as u64, Ordering::Relaxed);
+        delta
+    }
+
+    /// Speaks the post-authentication protocol with one peer until the
+    /// queue drains or the peer is lost (any in-flight shard re-queued
+    /// first). Transport-generic: this is the whole worker lifecycle for
+    /// pipes and TCP both.
+    fn drive_peer(
+        &self,
+        worker_idx: usize,
+        transport: &mut dyn Transport,
+        state: &RunState,
+    ) -> PeerOutcome {
+        let spec_hash = self.spec.spec_hash();
+        let mut shipped = HashSet::new();
+        let mut seen_generation = u64::MAX; // force the Init scan
+        let init = CoordinatorMsg::Init {
             protocol: PROTOCOL_VERSION,
             spec: self.spec.clone(),
-        });
-        let ready = handshake.is_ok()
-            && matches!(
-                recv_reply(self.shard_timeout),
-                Some(WorkerMsg::Ready { protocol, .. }) if protocol == PROTOCOL_VERSION
-            );
-        if !ready {
-            return (Err(()), reader);
+            spec_hash,
+            plans: self.plans_for(&mut shipped, &mut seen_generation, state),
+        };
+        if send_msg(transport, &init).is_err() {
+            transport.sever();
+            return PeerOutcome::HandshakeFailed;
         }
+        match self.recv_peer(transport, state) {
+            Some(WorkerMsg::Ready {
+                protocol,
+                pid: _,
+                spec_hash: echoed,
+            }) if protocol == PROTOCOL_VERSION && echoed == spec_hash => {}
+            _ => {
+                transport.sever();
+                // A joiner that was still shaking hands when the run
+                // finished is neither lost nor rejected.
+                return if state.over() {
+                    PeerOutcome::Finished
+                } else {
+                    PeerOutcome::HandshakeFailed
+                };
+            }
+        }
+        state.admitted.fetch_add(1, Ordering::Relaxed);
 
         let mut done_here = 0u64;
-        let mut outcome = Ok(());
         loop {
-            let Some(shard) = next_shard() else {
-                let _ = tx.send(&CoordinatorMsg::Shutdown);
-                break;
+            let Some(shard) = state.next_shard() else {
+                let _ = send_msg(transport, &CoordinatorMsg::Shutdown);
+                return PeerOutcome::Finished;
             };
-            if tx
-                .send(&CoordinatorMsg::Shard {
-                    id: shard.id,
-                    start: shard.start,
-                    end: shard.end,
-                })
-                .is_err()
-            {
-                requeue(shard);
-                outcome = Err(());
-                break;
+            let assignment = CoordinatorMsg::Shard {
+                id: shard.id,
+                start: shard.start,
+                end: shard.end,
+                plans: self.plans_for(&mut shipped, &mut seen_generation, state),
+            };
+            if send_msg(transport, &assignment).is_err() {
+                state.requeue(shard);
+                transport.sever();
+                return PeerOutcome::Lost;
             }
-            match recv_reply(self.shard_timeout) {
-                Some(WorkerMsg::ShardDone { id, metrics })
-                    if id == shard.id && metrics.len() as u64 == shard.end - shard.start =>
-                {
-                    finish_shard(shard, metrics);
+            match self.recv_peer(transport, state) {
+                Some(WorkerMsg::ShardDone {
+                    id,
+                    metrics,
+                    plans,
+                    seeded_hits,
+                }) if id == shard.id && metrics.len() as u64 == shard.end - shard.start => {
+                    {
+                        let mut store = self.plans.lock().expect("plan set poisoned");
+                        for entry in plans {
+                            shipped.insert(entry.key.clone());
+                            if let std::collections::hash_map::Entry::Vacant(slot) =
+                                store.map.entry(entry.key)
+                            {
+                                slot.insert(entry.plan);
+                                store.generation += 1;
+                            }
+                        }
+                    }
+                    state.seed_hits.fetch_add(seeded_hits, Ordering::Relaxed);
+                    state.finish_shard(shard, metrics);
                     done_here += 1;
                     if let Some(FaultInjection::KillWorker {
                         worker,
@@ -443,23 +878,21 @@ impl FleetDriver {
                     }) = self.fault
                     {
                         if worker == worker_idx && done_here == after_shards {
-                            // The drill: this worker "crashes" now; its
-                            // next assignment will fail and be stolen.
-                            let _ = child.kill();
+                            // The drill: this peer "crashes" now; its next
+                            // assignment will fail and be stolen.
+                            transport.sever();
                         }
                     }
                 }
                 _ => {
-                    // Wrong reply, broken frame, EOF, or timeout: the
-                    // worker is lost and the shard goes back on the queue.
-                    requeue(shard);
-                    outcome = Err(());
-                    break;
+                    // Wrong reply, broken frame, EOF, or timeout: the peer
+                    // is lost and the shard goes back on the queue.
+                    state.requeue(shard);
+                    transport.sever();
+                    return PeerOutcome::Lost;
                 }
             }
         }
-        drop(frames_rx);
-        (outcome, reader)
     }
 }
 
@@ -517,5 +950,29 @@ mod tests {
             Err(DriverError::Spawn { worker: 0, .. }) => {}
             other => panic!("expected a spawn error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn tcp_driver_binds_and_reports_its_address() {
+        let driver = FleetDriver::new(example_spec(), 1)
+            .unwrap()
+            .with_tcp(TcpConfig {
+                listen: "127.0.0.1:0".into(),
+                token: "secret".into(),
+                spawn_workers: false,
+            })
+            .expect("ephemeral bind succeeds");
+        let addr = driver.local_addr().expect("tcp mode knows its address");
+        assert_eq!(addr.ip().to_string(), "127.0.0.1");
+        assert_ne!(addr.port(), 0);
+    }
+
+    #[test]
+    fn token_comparison_is_exact() {
+        assert!(token_matches("abc", "abc"));
+        assert!(!token_matches("abc", "abd"));
+        assert!(!token_matches("abc", "abcd"));
+        assert!(!token_matches("", "x"));
+        assert!(token_matches("", ""));
     }
 }

@@ -1,43 +1,95 @@
 //! The coordinator↔worker wire protocol.
 //!
 //! Messages travel as length-prefixed JSON frames
-//! ([`snip_replay::frame`]) over the worker's stdin/stdout pipes. The
-//! conversation is strictly alternating after the handshake:
+//! ([`snip_replay::frame`]) over any [`Transport`](crate::transport) —
+//! the stdin/stdout pipes of a spawned worker or a TCP socket a remote
+//! worker dialed in on. The conversation is strictly alternating after
+//! the handshake:
 //!
 //! ```text
-//! coordinator → worker   Init { protocol, spec }
-//! worker → coordinator   Ready { protocol, pid }
+//! (TCP only)
+//! worker → coordinator   Join { protocol, token, pid }
+//! (all transports)
+//! coordinator → worker   Init { protocol, spec, spec_hash, plans }
+//! worker → coordinator   Ready { protocol, pid, spec_hash }
 //! repeat:
-//!   coordinator → worker   Shard { id, start, end }
-//!   worker → coordinator   ShardDone { id, metrics }
+//!   coordinator → worker   Shard { id, start, end, plans }
+//!   worker → coordinator   ShardDone { id, metrics, plans, seeded_hits }
 //! coordinator → worker   Shutdown
 //! ```
+//!
+//! **Authentication and identity.** A worker dialing in over TCP
+//! authenticates first: `Join` carries the shared secret from the
+//! coordinator's `--token-file`, and the coordinator severs the
+//! connection on any mismatch without revealing whether the token or the
+//! protocol was wrong. Both handshake messages then pin the *job
+//! identity*: `Init` carries the coordinator's [`FleetSpec::spec_hash`]
+//! next to the spec (so a spec corrupted in flight is detected by the
+//! worker), and `Ready` echoes the hash the worker computed from the spec
+//! it actually received (so the coordinator never deals shards to a
+//! worker that decoded a different job). Spawned pipe workers skip `Join`
+//! — the coordinator created their stdio, there is nothing to
+//! authenticate — but the spec-hash exchange is identical.
+//!
+//! **Plan shipping.** `Init` and `Shard` carry the coordinator's
+//! accumulated set of solved SNIP-OPT plans (only entries the receiving
+//! worker has not been sent yet), and `ShardDone` returns plans the
+//! worker solved itself plus how many solves its seeded entries answered
+//! — so a same-profile fleet solves each plan once globally, and the
+//! cross-worker reuse is observable in `snip bench --fleet`.
 //!
 //! Results carry full exact-ledger [`RunMetrics`] (the journal codec's
 //! integer-µs shape), never floats-of-floats, so the coordinator's merge
 //! is bit-identical to an in-process run. Anything out of grammar — a
-//! version mismatch, a `ShardDone` for the wrong shard, a truncated
-//! frame — is a protocol error, and the coordinator treats the worker as
-//! lost (its shard goes back on the queue).
+//! version mismatch, a bad token, a wrong spec hash, a `ShardDone` for
+//! the wrong shard, a truncated frame — is a protocol error, and the
+//! coordinator treats the peer as lost (its shard goes back on the
+//! queue).
 
 use serde::{Deserialize, Serialize};
+use snip_opt::OptPlan;
 use snip_sim::RunMetrics;
 
 use crate::spec::FleetSpec;
 
 /// The frame-protocol version. Bump on any message-shape change; both
 /// sides refuse mismatches rather than mis-parsing.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// Version history:
+/// * 1 — pipe-only: `Init { protocol, spec }` / `Ready { protocol, pid }`.
+/// * 2 — transport-generic dispatch: `Join` (TCP authentication),
+///   spec-hash exchange in `Init`/`Ready`, SNIP-OPT plan shipping in
+///   `Init`/`Shard`/`ShardDone`.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// One solved SNIP-OPT plan under its exact cache key, as shipped between
+/// processes. The key is the solver's own bit-exact composite (model +
+/// profile JSON + raw scalar bits), opaque to the protocol; both sides
+/// compute keys with the same code version, which the handshake enforces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanEntry {
+    /// The plan cache key ([`snip_opt::solve_cached`]'s exact-input key).
+    pub key: String,
+    /// The solved plan.
+    pub plan: OptPlan,
+}
 
 /// Messages the coordinator sends to a worker.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum CoordinatorMsg {
-    /// The handshake: protocol version plus the complete job spec.
+    /// The handshake: protocol version plus the complete job spec, its
+    /// digest, and every plan the coordinator has accumulated so far.
     Init {
         /// [`PROTOCOL_VERSION`] of the coordinator.
         protocol: u32,
         /// The job every shard is cut from.
         spec: FleetSpec,
+        /// [`FleetSpec::spec_hash`] of `spec` as the coordinator encoded
+        /// it — the worker recomputes it from the decoded spec and refuses
+        /// a mismatch.
+        spec_hash: u64,
+        /// Warm SNIP-OPT plans to seed the worker's cache with.
+        plans: Vec<PlanEntry>,
     },
     /// One shard assignment: jobs `start..end` of the spec's job list.
     Shard {
@@ -47,6 +99,8 @@ pub enum CoordinatorMsg {
         start: u64,
         /// Last job index (exclusive).
         end: u64,
+        /// Plans accumulated since this worker was last sent any.
+        plans: Vec<PlanEntry>,
     },
     /// No more work; the worker exits cleanly.
     Shutdown,
@@ -55,20 +109,38 @@ pub enum CoordinatorMsg {
 /// Messages a worker sends to the coordinator.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum WorkerMsg {
+    /// A remote worker's opening message: authenticate before anything
+    /// else crosses the socket. Pipe workers never send this.
+    Join {
+        /// [`PROTOCOL_VERSION`] of the worker binary.
+        protocol: u32,
+        /// The shared secret (`--token-file` contents, trimmed).
+        token: String,
+        /// The worker's OS process id (diagnostics).
+        pid: u64,
+    },
     /// Handshake response.
     Ready {
         /// [`PROTOCOL_VERSION`] of the worker binary.
         protocol: u32,
         /// The worker's OS process id (diagnostics).
         pid: u64,
+        /// [`FleetSpec::spec_hash`] recomputed from the spec the worker
+        /// decoded — must equal the hash `Init` announced.
+        spec_hash: u64,
     },
     /// A completed shard: one exact-ledger metrics entry per job, in job
-    /// order.
+    /// order, plus the worker's newly solved plans.
     ShardDone {
         /// The shard ordinal being answered.
         id: u64,
         /// `metrics[k]` belongs to job `start + k`.
         metrics: Vec<RunMetrics>,
+        /// Plans this worker solved that it has not reported before.
+        plans: Vec<PlanEntry>,
+        /// Solves during this shard answered by coordinator-seeded plans
+        /// (cross-worker cache hits).
+        seeded_hits: u64,
     },
 }
 
@@ -80,15 +152,19 @@ mod tests {
 
     #[test]
     fn messages_round_trip_through_frames() {
+        let spec = example_spec();
         let msgs_out = [
             CoordinatorMsg::Init {
                 protocol: PROTOCOL_VERSION,
-                spec: example_spec(),
+                spec: spec.clone(),
+                spec_hash: spec.spec_hash(),
+                plans: vec![],
             },
             CoordinatorMsg::Shard {
                 id: 3,
                 start: 6,
                 end: 8,
+                plans: vec![],
             },
             CoordinatorMsg::Shutdown,
         ];
@@ -108,11 +184,44 @@ mod tests {
         let reply = WorkerMsg::ShardDone {
             id: 3,
             metrics: vec![RunMetrics::with_epochs(2); 2],
+            plans: vec![],
+            seeded_hits: 0,
         };
         assert_eq!(
             WorkerMsg::from_value(&reply.to_value()).unwrap(),
             reply,
             "worker messages survive the codec"
+        );
+    }
+
+    #[test]
+    fn join_and_plans_round_trip() {
+        let join = WorkerMsg::Join {
+            protocol: PROTOCOL_VERSION,
+            token: "a-shared-secret".into(),
+            pid: 41,
+        };
+        assert_eq!(WorkerMsg::from_value(&join.to_value()).unwrap(), join);
+
+        let plan = snip_opt::solve_cached(
+            snip_model::SnipModel::default(),
+            &snip_model::SlotProfile::roadside(),
+            86.4,
+            16.0,
+        );
+        let msg = CoordinatorMsg::Shard {
+            id: 0,
+            start: 0,
+            end: 1,
+            plans: vec![PlanEntry {
+                key: "some|exact|key".into(),
+                plan,
+            }],
+        };
+        assert_eq!(
+            CoordinatorMsg::from_value(&msg.to_value()).unwrap(),
+            msg,
+            "plans survive the codec bit-for-bit"
         );
     }
 }

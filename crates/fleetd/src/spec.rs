@@ -123,6 +123,23 @@ impl FleetSpec {
         }
     }
 
+    /// A stable 64-bit digest of the complete spec (FNV-1a over its
+    /// canonical JSON encoding). Both sides of the fleet handshake exchange
+    /// it so a worker joining the wrong run — or a spec corrupted in
+    /// flight — is refused before any shard is dealt, never merged.
+    #[must_use]
+    pub fn spec_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let canonical = serde::json::to_string(&self.to_value());
+        let mut hash = FNV_OFFSET;
+        for byte in canonical.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        hash
+    }
+
     /// Parses a spec from JSON text (the `--spec` file format).
     ///
     /// # Errors

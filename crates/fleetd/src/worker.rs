@@ -1,36 +1,47 @@
 //! The worker half of the fleet protocol (`snip fleet-worker`).
 //!
-//! A worker is a re-exec of the current binary with its stdin/stdout
-//! wired to the coordinator. It receives the spec once, then serves
-//! shard requests until `Shutdown` (or EOF — a vanished coordinator is a
-//! clean stop, not a crash: the coordinator owns failure handling, the
-//! worker just computes). All simulation happens through
-//! [`JobRunner::run_job`], the same pure function of `(spec, index)` the
-//! coordinator's verification path uses.
+//! A worker serves shards over any [`Transport`]: the stdin/stdout pipes
+//! of a coordinator-spawned re-exec, or a TCP socket it dialed with
+//! `snip fleet-worker --connect ADDR --token-file F`. It receives the
+//! spec once (verifying the coordinator's spec hash against the spec it
+//! actually decoded), seeds its SNIP-OPT plan cache with whatever the
+//! coordinator has accumulated, then serves shard requests until
+//! `Shutdown` (or EOF — a vanished coordinator is a clean stop, not a
+//! crash: the coordinator owns failure handling, the worker just
+//! computes). All simulation happens through [`JobRunner::run_job`], the
+//! same pure function of `(spec, index)` the coordinator's verification
+//! path uses, so every transport yields bit-identical metrics.
 
+use std::collections::HashSet;
 use std::fmt;
 use std::io::{BufRead, Write};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
 
-use snip_replay::frame::{FrameError, FrameReader, FrameWriter};
+use snip_replay::frame::FrameError;
 
-use crate::proto::{CoordinatorMsg, WorkerMsg, PROTOCOL_VERSION};
+use crate::proto::{CoordinatorMsg, PlanEntry, WorkerMsg, PROTOCOL_VERSION};
 use crate::spec::JobRunner;
+use crate::transport::{recv_msg, send_msg, StreamTransport, TcpTransport, Transport};
 
 /// Why a worker gave up.
 #[derive(Debug)]
 pub enum WorkerError {
-    /// The pipe broke or carried a malformed frame.
+    /// The transport broke or carried a malformed frame.
     Frame(FrameError),
     /// The coordinator spoke out of grammar (bad version, bad spec, a
-    /// shard out of range…).
+    /// spec-hash mismatch, a shard out of range…).
     Protocol(String),
+    /// The coordinator could not be reached (TCP dial mode).
+    Connect(std::io::Error),
 }
 
 impl fmt::Display for WorkerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            WorkerError::Frame(e) => write!(f, "worker pipe error: {e}"),
+            WorkerError::Frame(e) => write!(f, "worker transport error: {e}"),
             WorkerError::Protocol(msg) => write!(f, "worker protocol error: {msg}"),
+            WorkerError::Connect(e) => write!(f, "worker could not reach the coordinator: {e}"),
         }
     }
 }
@@ -43,6 +54,27 @@ impl From<FrameError> for WorkerError {
     }
 }
 
+impl From<crate::transport::RecvError> for WorkerError {
+    fn from(e: crate::transport::RecvError) -> Self {
+        match e {
+            crate::transport::RecvError::Frame(fe) => WorkerError::Frame(fe),
+            crate::transport::RecvError::TimedOut => WorkerError::Protocol(
+                "coordinator went silent past the worker's receive deadline \
+                 (host down or network partition?)"
+                    .into(),
+            ),
+        }
+    }
+}
+
+/// How long a *dialing* worker lets the coordinator stay silent before
+/// assuming its host is gone (a powered-off coordinator never sends a
+/// FIN, so EOF alone cannot be relied on across hosts). Generous: in the
+/// pull model the coordinator answers every `ShardDone` immediately, so
+/// real gaps are milliseconds. Pipe workers have no such deadline — a
+/// vanished parent closes the pipe, which is a reliable EOF.
+pub const COORDINATOR_SILENCE_TIMEOUT: Duration = Duration::from_secs(600);
+
 /// What a finished worker did (diagnostics/tests).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorkerSummary {
@@ -52,30 +84,71 @@ pub struct WorkerSummary {
     pub jobs: u64,
 }
 
-/// Serves the worker side of the protocol over the given streams until
-/// `Shutdown` or a clean EOF.
+/// Serves the worker side of the protocol over the given transport until
+/// `Shutdown` or a clean EOF. `join_token` (TCP dial mode) is sent as the
+/// opening `Join` authentication message; pipe workers pass `None`.
 ///
 /// # Errors
 ///
-/// Returns [`WorkerError`] on a broken pipe, a malformed frame, or an
-/// out-of-grammar coordinator.
-pub fn run_worker<R: BufRead, W: Write>(
-    input: R,
-    output: W,
+/// Returns [`WorkerError`] on a broken transport, a malformed frame, or
+/// an out-of-grammar coordinator.
+pub fn serve(
+    transport: &mut dyn Transport,
     pid: u64,
+    join_token: Option<&str>,
 ) -> Result<WorkerSummary, WorkerError> {
-    let mut rx = FrameReader::new(input);
-    let mut tx = FrameWriter::new(output);
+    // Remote coordinators can vanish without a trace (host power-off,
+    // partition); bound every wait so the worker process can be relied
+    // on to exit on its own.
+    let recv_window = join_token.map(|_| COORDINATOR_SILENCE_TIMEOUT);
+    if let Some(token) = join_token {
+        send_msg(
+            transport,
+            &WorkerMsg::Join {
+                protocol: PROTOCOL_VERSION,
+                token: token.to_string(),
+                pid,
+            },
+        )?;
+    }
 
-    let runner = match rx.recv::<CoordinatorMsg>()? {
-        Some(CoordinatorMsg::Init { protocol, spec }) => {
+    let runner = match recv_msg::<CoordinatorMsg>(transport, recv_window)? {
+        Some(CoordinatorMsg::Init {
+            protocol,
+            spec,
+            spec_hash,
+            plans,
+        }) => {
             if protocol != PROTOCOL_VERSION {
                 return Err(WorkerError::Protocol(format!(
                     "coordinator speaks protocol {protocol}, worker speaks {PROTOCOL_VERSION}"
                 )));
             }
             spec.validate().map_err(WorkerError::Protocol)?;
-            JobRunner::new(&spec)
+            let local_hash = spec.spec_hash();
+            if local_hash != spec_hash {
+                return Err(WorkerError::Protocol(format!(
+                    "spec hash mismatch: coordinator announced {spec_hash:#018x}, the decoded \
+                     spec hashes to {local_hash:#018x} (corrupted spec or skewed codec)"
+                )));
+            }
+            seed_plans(&plans);
+            let runner = JobRunner::new(&spec);
+            send_msg(
+                transport,
+                &WorkerMsg::Ready {
+                    protocol: PROTOCOL_VERSION,
+                    pid,
+                    spec_hash: local_hash,
+                },
+            )?;
+            runner
+        }
+        // A dialing worker can be turned away politely: the coordinator's
+        // run was already complete when it got to this connection. No
+        // work, no error.
+        Some(CoordinatorMsg::Shutdown) if join_token.is_some() => {
+            return Ok(WorkerSummary { shards: 0, jobs: 0 })
         }
         Some(other) => {
             return Err(WorkerError::Protocol(format!(
@@ -84,27 +157,59 @@ pub fn run_worker<R: BufRead, W: Write>(
         }
         None => {
             return Err(WorkerError::Protocol(
-                "coordinator closed the pipe before Init".into(),
+                "coordinator closed the transport before Init (a dialing worker was \
+                 refused — wrong token, version skew — or the coordinator vanished)"
+                    .into(),
             ))
         }
     };
-    tx.send(&WorkerMsg::Ready {
-        protocol: PROTOCOL_VERSION,
-        pid,
-    })?;
+
+    // Plans already known to the coordinator (everything it seeded plus
+    // everything in this process before the run) are never reported back.
+    let mut reported: HashSet<String> = snip_opt::cached_plans()
+        .into_iter()
+        .map(|(key, _)| key)
+        .collect();
 
     let mut summary = WorkerSummary { shards: 0, jobs: 0 };
     loop {
-        match rx.recv::<CoordinatorMsg>()? {
-            Some(CoordinatorMsg::Shard { id, start, end }) => {
+        match recv_msg::<CoordinatorMsg>(transport, recv_window)? {
+            Some(CoordinatorMsg::Shard {
+                id,
+                start,
+                end,
+                plans,
+            }) => {
                 if start >= end || end > runner.job_count() {
                     return Err(WorkerError::Protocol(format!(
                         "shard {id} range {start}..{end} is invalid for {} jobs",
                         runner.job_count()
                     )));
                 }
+                seed_plans(&plans);
+                for entry in &plans {
+                    reported.insert(entry.key.clone());
+                }
+                let seeded_before = snip_opt::plan_cache_stats().seeded_hits;
                 let metrics = (start..end).map(|i| runner.run_job(i)).collect();
-                tx.send(&WorkerMsg::ShardDone { id, metrics })?;
+                let seeded_hits = snip_opt::plan_cache_stats().seeded_hits - seeded_before;
+                let new_plans: Vec<PlanEntry> =
+                    snip_opt::cached_plans_where(|key| !reported.contains(key))
+                        .into_iter()
+                        .map(|(key, plan)| PlanEntry { key, plan })
+                        .collect();
+                for entry in &new_plans {
+                    reported.insert(entry.key.clone());
+                }
+                send_msg(
+                    transport,
+                    &WorkerMsg::ShardDone {
+                        id,
+                        metrics,
+                        plans: new_plans,
+                        seeded_hits,
+                    },
+                )?;
                 summary.shards += 1;
                 summary.jobs += end - start;
             }
@@ -118,16 +223,82 @@ pub fn run_worker<R: BufRead, W: Write>(
     }
 }
 
+fn seed_plans(plans: &[PlanEntry]) {
+    for entry in plans {
+        snip_opt::seed_plan(entry.key.clone(), entry.plan.clone());
+    }
+}
+
+/// Serves the worker protocol over a reader/writer pair (the spawned
+/// worker's stdin/stdout, or in-memory streams in tests). No `Join` is
+/// sent: a piped worker was spawned by its coordinator.
+///
+/// # Errors
+///
+/// Returns [`WorkerError`] as [`serve`].
+pub fn run_worker<R: BufRead + Send + 'static, W: Write + Send>(
+    input: R,
+    output: W,
+    pid: u64,
+) -> Result<WorkerSummary, WorkerError> {
+    let mut transport = StreamTransport::new(input, output, "stdio");
+    serve(&mut transport, pid, None)
+}
+
+/// How a remote worker reaches its coordinator.
+#[derive(Debug, Clone)]
+pub struct ConnectOptions {
+    /// The coordinator's `--listen` address.
+    pub addr: SocketAddr,
+    /// Shared secret (the coordinator's `--token-file` contents).
+    pub token: String,
+    /// Keep retrying refused connections for this long (the coordinator
+    /// may still be binding when the worker starts).
+    pub retry_for: Duration,
+}
+
+/// Dials the coordinator and serves shards over TCP until `Shutdown`.
+///
+/// # Errors
+///
+/// Returns [`WorkerError::Connect`] when the coordinator stays
+/// unreachable past the retry window, otherwise as [`serve`].
+pub fn run_worker_tcp(opts: &ConnectOptions, pid: u64) -> Result<WorkerSummary, WorkerError> {
+    let deadline = Instant::now() + opts.retry_for;
+    let mut transport = loop {
+        match TcpTransport::connect(&opts.addr) {
+            Ok(t) => break t,
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(e) => return Err(WorkerError::Connect(e)),
+        }
+    };
+    serve(&mut transport, pid, Some(&opts.token))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::spec::{example_spec, FleetSpec, JobRunner};
+    use snip_replay::frame::{FrameReader, FrameWriter};
     use snip_sim::RunMetrics;
+    use std::sync::{Arc, Mutex};
 
     fn small_spec() -> FleetSpec {
         FleetSpec {
             epochs: 2,
             ..example_spec()
+        }
+    }
+
+    fn init_msg(spec: &FleetSpec) -> CoordinatorMsg {
+        CoordinatorMsg::Init {
+            protocol: PROTOCOL_VERSION,
+            spec: spec.clone(),
+            spec_hash: spec.spec_hash(),
+            plans: vec![],
         }
     }
 
@@ -140,43 +311,66 @@ mod tests {
         buf
     }
 
+    /// A clonable in-memory sink (the pump thread owns the input, so the
+    /// test needs shared access to the output side only).
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn run_scripted(script: Vec<u8>, pid: u64) -> (Result<WorkerSummary, WorkerError>, Vec<u8>) {
+        let out = SharedBuf::default();
+        let result = run_worker(std::io::Cursor::new(script), out.clone(), pid);
+        let bytes = out.0.lock().unwrap().clone();
+        (result, bytes)
+    }
+
     #[test]
     fn worker_serves_shards_and_shuts_down() {
         let spec = small_spec();
         let script = coordinator_script(&[
-            CoordinatorMsg::Init {
-                protocol: PROTOCOL_VERSION,
-                spec: spec.clone(),
-            },
+            init_msg(&spec),
             CoordinatorMsg::Shard {
                 id: 0,
                 start: 0,
                 end: 2,
+                plans: vec![],
             },
             CoordinatorMsg::Shard {
                 id: 1,
                 start: 2,
                 end: 4,
+                plans: vec![],
             },
             CoordinatorMsg::Shutdown,
         ]);
-        let mut out = Vec::new();
-        let summary = run_worker(std::io::Cursor::new(script), &mut out, 7).unwrap();
-        assert_eq!(summary, WorkerSummary { shards: 2, jobs: 4 });
+        let (summary, out) = run_scripted(script, 7);
+        assert_eq!(summary.unwrap(), WorkerSummary { shards: 2, jobs: 4 });
 
         let mut replies = FrameReader::new(std::io::Cursor::new(out));
         assert_eq!(
             replies.recv::<WorkerMsg>().unwrap(),
             Some(WorkerMsg::Ready {
                 protocol: PROTOCOL_VERSION,
-                pid: 7
+                pid: 7,
+                spec_hash: spec.spec_hash(),
             })
         );
         let runner = JobRunner::new(&spec);
         let mut merged: Vec<RunMetrics> = Vec::new();
         for id in 0..2u64 {
             match replies.recv::<WorkerMsg>().unwrap() {
-                Some(WorkerMsg::ShardDone { id: got, metrics }) => {
+                Some(WorkerMsg::ShardDone {
+                    id: got, metrics, ..
+                }) => {
                     assert_eq!(got, id);
                     merged.extend(metrics);
                 }
@@ -191,40 +385,69 @@ mod tests {
     #[test]
     fn protocol_violations_are_refused() {
         // Version mismatch.
+        let spec = small_spec();
         let script = coordinator_script(&[CoordinatorMsg::Init {
             protocol: PROTOCOL_VERSION + 1,
-            spec: small_spec(),
+            spec: spec.clone(),
+            spec_hash: spec.spec_hash(),
+            plans: vec![],
         }]);
-        let err = run_worker(std::io::Cursor::new(script), Vec::new(), 1).unwrap_err();
-        assert!(matches!(err, WorkerError::Protocol(_)), "{err}");
+        let (err, _) = run_scripted(script, 1);
+        assert!(matches!(err.unwrap_err(), WorkerError::Protocol(_)));
 
         // Out-of-range shard.
         let script = coordinator_script(&[
-            CoordinatorMsg::Init {
-                protocol: PROTOCOL_VERSION,
-                spec: small_spec(),
-            },
+            init_msg(&spec),
             CoordinatorMsg::Shard {
                 id: 0,
                 start: 0,
                 end: 99,
+                plans: vec![],
             },
         ]);
-        let err = run_worker(std::io::Cursor::new(script), Vec::new(), 1).unwrap_err();
-        assert!(matches!(err, WorkerError::Protocol(_)), "{err}");
+        let (err, _) = run_scripted(script, 1);
+        assert!(matches!(err.unwrap_err(), WorkerError::Protocol(_)));
 
         // No Init at all.
-        let err = run_worker(std::io::Cursor::new(Vec::new()), Vec::new(), 1).unwrap_err();
-        assert!(matches!(err, WorkerError::Protocol(_)), "{err}");
+        let (err, _) = run_scripted(Vec::new(), 1);
+        assert!(matches!(err.unwrap_err(), WorkerError::Protocol(_)));
+    }
+
+    #[test]
+    fn wrong_spec_hash_is_refused() {
+        let spec = small_spec();
+        let script = coordinator_script(&[CoordinatorMsg::Init {
+            protocol: PROTOCOL_VERSION,
+            spec: spec.clone(),
+            spec_hash: spec.spec_hash() ^ 1,
+            plans: vec![],
+        }]);
+        let (err, out) = run_scripted(script, 1);
+        match err.unwrap_err() {
+            WorkerError::Protocol(msg) => assert!(msg.contains("spec hash mismatch"), "{msg}"),
+            other => panic!("expected a protocol error, got {other:?}"),
+        }
+        assert!(out.is_empty(), "no Ready may be sent for a bad spec hash");
     }
 
     #[test]
     fn coordinator_eof_is_a_clean_stop() {
-        let script = coordinator_script(&[CoordinatorMsg::Init {
-            protocol: PROTOCOL_VERSION,
-            spec: small_spec(),
-        }]);
-        let summary = run_worker(std::io::Cursor::new(script), Vec::new(), 1).unwrap();
-        assert_eq!(summary, WorkerSummary { shards: 0, jobs: 0 });
+        let script = coordinator_script(&[init_msg(&small_spec())]);
+        let (summary, _) = run_scripted(script, 1);
+        assert_eq!(summary.unwrap(), WorkerSummary { shards: 0, jobs: 0 });
+    }
+
+    #[test]
+    fn unreachable_coordinator_is_a_connect_error() {
+        // A port nothing listens on; one quick retry window.
+        let opts = ConnectOptions {
+            addr: "127.0.0.1:1".parse().unwrap(),
+            token: "t".into(),
+            retry_for: Duration::from_millis(50),
+        };
+        match run_worker_tcp(&opts, 1) {
+            Err(WorkerError::Connect(_)) => {}
+            other => panic!("expected a connect error, got {other:?}"),
+        }
     }
 }

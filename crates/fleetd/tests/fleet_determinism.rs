@@ -1,16 +1,18 @@
-//! End-to-end fleetd determinism: real worker subprocesses, real pipes.
+//! End-to-end fleetd determinism: real worker subprocesses over real
+//! transports — stdio pipes and localhost TCP sockets with the full
+//! token + spec-hash handshake.
 //!
-//! The acceptance bar for the distributed driver: the same spec run with
-//! 1, 2 and 4 workers — and with a worker killed mid-run — produces
-//! output `assert_eq!`-identical to the single-process reference
-//! ([`JobRunner::run_sequential`], i.e. `Fleet::run` /
-//! `ScenarioRunner::sweep`). Metrics are exact integer-µs ledgers, so
-//! equality here is bit-for-bit, not a tolerance.
+//! The acceptance bar for the distributed driver: the same spec run over
+//! *either transport* with 1, 2 and 4 workers — and with a peer severed
+//! mid-run — produces output `assert_eq!`-identical to the
+//! single-process reference ([`JobRunner::run_sequential`], i.e.
+//! `Fleet::run` / `ScenarioRunner::sweep`). Metrics are exact integer-µs
+//! ledgers, so equality here is bit-for-bit, not a tolerance.
 
 use std::time::Duration;
 
 use snip_fleetd::{
-    FaultInjection, FleetDriver, FleetOutput, FleetSpec, JobRunner, JobSpec, NodeSpec,
+    FaultInjection, FleetDriver, FleetOutput, FleetSpec, JobRunner, JobSpec, NodeSpec, TcpConfig,
 };
 use snip_mobility::{EpochProfile, LengthDistribution};
 use snip_sim::Mechanism;
@@ -19,12 +21,34 @@ use snip_units::SimDuration;
 /// The `snip` binary built alongside this test — the real worker re-exec.
 const SNIP_BIN: &str = env!("CARGO_BIN_EXE_snip");
 
-fn driver(spec: &FleetSpec, workers: usize) -> FleetDriver {
-    FleetDriver::new(spec.clone(), workers)
+/// Which dispatch path a test run takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dispatch {
+    /// Spawned re-execs over stdio (`PipeTransport`).
+    Pipe,
+    /// Self-spawned workers dialing a localhost listener
+    /// (`TcpTransport`, full authenticated handshake).
+    Tcp,
+}
+
+const BOTH: [Dispatch; 2] = [Dispatch::Pipe, Dispatch::Tcp];
+
+fn driver(spec: &FleetSpec, workers: usize, dispatch: Dispatch) -> FleetDriver {
+    let base = FleetDriver::new(spec.clone(), workers)
         .expect("valid spec")
         .with_worker_command(SNIP_BIN, vec!["fleet-worker".into()])
         .with_shard_timeout(Duration::from_secs(120))
-        .with_shard_size(1)
+        .with_shard_size(1);
+    match dispatch {
+        Dispatch::Pipe => base,
+        Dispatch::Tcp => base
+            .with_tcp(TcpConfig {
+                listen: "127.0.0.1:0".into(),
+                token: "determinism-suite-token".into(),
+                spawn_workers: true,
+            })
+            .expect("ephemeral localhost bind"),
+    }
 }
 
 /// A six-node fleet over two distinct contact processes.
@@ -71,15 +95,30 @@ fn sweep_spec() -> FleetSpec {
 fn fleet_output_is_bit_identical_for_one_two_and_four_workers() {
     let spec = fleet_spec(Mechanism::SnipRh);
     let reference = JobRunner::new(&spec).run_sequential();
-    for workers in [1usize, 2, 4] {
-        let run = driver(&spec, workers).run().expect("fleet run succeeds");
-        assert_eq!(
-            run.output, reference,
-            "{workers} workers must reproduce the sequential ledgers exactly"
-        );
-        assert_eq!(run.stats.workers, workers);
-        assert_eq!(run.stats.workers_lost, 0);
-        assert_eq!(run.stats.jobs, 6);
+    for dispatch in BOTH {
+        for workers in [1usize, 2, 4] {
+            let run = driver(&spec, workers, dispatch)
+                .run()
+                .expect("fleet run succeeds");
+            assert_eq!(
+                run.output, reference,
+                "{workers} workers over {dispatch:?} must reproduce the sequential \
+                 ledgers exactly"
+            );
+            match dispatch {
+                Dispatch::Pipe => assert_eq!(run.stats.workers, workers, "pipe spawns exactly"),
+                // TCP counts *admitted* peers: a fast worker can drain the
+                // queue before every dialing peer finishes its handshake.
+                Dispatch::Tcp => assert!(
+                    (1..=workers).contains(&run.stats.workers),
+                    "tcp admits between 1 and {workers}, got {:?}",
+                    run.stats
+                ),
+            }
+            assert_eq!(run.stats.workers_lost, 0, "{dispatch:?}");
+            assert_eq!(run.stats.peers_rejected, 0, "{dispatch:?}");
+            assert_eq!(run.stats.jobs, 6);
+        }
     }
 }
 
@@ -91,17 +130,21 @@ fn sweep_output_is_bit_identical_across_worker_counts() {
         panic!("sweep spec produces sweep points");
     };
     assert_eq!(points.len(), 6, "2 targets x 3 mechanisms");
-    for workers in [1usize, 3] {
-        let run = driver(&spec, workers).run().expect("sweep run succeeds");
-        assert_eq!(run.output, reference, "{workers} workers");
+    for dispatch in BOTH {
+        for workers in [1usize, 3] {
+            let run = driver(&spec, workers, dispatch)
+                .run()
+                .expect("sweep run succeeds");
+            assert_eq!(run.output, reference, "{workers} workers over {dispatch:?}");
+        }
     }
 }
 
 #[test]
 fn killed_worker_mid_run_is_stolen_from_and_output_is_unchanged() {
     // Enough single-job shards that the queue cannot possibly be drained
-    // by the surviving worker in the instant between the fault kill and
-    // the dead worker's next (failing) assignment.
+    // by the surviving worker in the instant between the fault sever and
+    // the dead peer's next (failing) assignment.
     let mut spec = fleet_spec(Mechanism::SnipRh);
     let JobSpec::Fleet { ref mut nodes, .. } = spec.job else {
         unreachable!("fleet spec");
@@ -114,26 +157,42 @@ fn killed_worker_mid_run_is_stolen_from_and_output_is_unchanged() {
         });
     }
     let reference = JobRunner::new(&spec).run_sequential();
-    // Worker 0 "crashes" after delivering one shard; its next assignment
-    // must be re-queued and finished by worker 1.
-    let run = driver(&spec, 2)
-        .with_fault(FaultInjection::KillWorker {
-            worker: 0,
-            after_shards: 1,
-        })
-        .run()
-        .expect("the surviving worker finishes the fleet");
-    assert_eq!(
-        run.output, reference,
-        "a mid-run worker kill must not change a single bit of the report"
-    );
-    assert_eq!(run.stats.jobs, 16);
-    assert_eq!(run.stats.workers_lost, 1, "the killed worker is counted");
-    assert!(
-        run.stats.shards_reassigned >= 1,
-        "the dead worker's shard was stolen ({:?})",
-        run.stats
-    );
+    for dispatch in BOTH {
+        // Peer 0 "crashes" after delivering one shard — a killed
+        // subprocess on pipes, a dead socket on TCP; its next assignment
+        // must be re-queued and finished by the surviving worker.
+        //
+        // Startup skew can defuse the drill: if peer 0 is admitted so
+        // late that the other worker has already drained the queue, the
+        // sever lands after the finish line and nobody is lost (which is
+        // correct driver behavior). Retry until the kill bites mid-run;
+        // output must be bit-exact on *every* attempt, bitten or not.
+        let mut bitten = false;
+        for attempt in 0..5 {
+            let run = driver(&spec, 2, dispatch)
+                .with_fault(FaultInjection::KillWorker {
+                    worker: 0,
+                    after_shards: 1,
+                })
+                .run()
+                .expect("the surviving worker finishes the fleet");
+            assert_eq!(
+                run.output, reference,
+                "a mid-run disconnect over {dispatch:?} must not change a single bit \
+                 of the report (attempt {attempt})"
+            );
+            assert_eq!(run.stats.jobs, 16);
+            if run.stats.workers_lost == 1 && run.stats.shards_reassigned >= 1 {
+                bitten = true;
+                break;
+            }
+        }
+        assert!(
+            bitten,
+            "{dispatch:?}: in 5 attempts the drill never severed a peer mid-run \
+             (the steal path went unexercised)"
+        );
+    }
 }
 
 #[test]
@@ -157,12 +216,64 @@ fn losing_every_worker_reports_incomplete() {
 #[test]
 fn every_mechanism_survives_the_distributed_path() {
     // SNIP-AT and SNIP-OPT shard and merge exactly too (their schedulers
-    // are rebuilt per node inside each worker process).
+    // are rebuilt per node inside each worker process); both transports
+    // must agree with the sequential run and with each other.
     for mechanism in [Mechanism::SnipAt, Mechanism::SnipOpt] {
         let mut spec = fleet_spec(mechanism);
         spec.epochs = 2;
         let reference = JobRunner::new(&spec).run_sequential();
-        let run = driver(&spec, 2).run().expect("fleet run succeeds");
-        assert_eq!(run.output, reference, "{mechanism:?}");
+        for dispatch in BOTH {
+            let run = driver(&spec, 2, dispatch)
+                .run()
+                .expect("fleet run succeeds");
+            assert_eq!(run.output, reference, "{mechanism:?} over {dispatch:?}");
+        }
+    }
+}
+
+#[test]
+fn shipped_plans_keep_snip_opt_runs_bit_exact() {
+    // Nodes sharing one (profile, ζtarget) key. The driver accumulates
+    // every plan its workers solve; a second run on the same driver ships
+    // them in `Init`, so the fresh worker processes of run two never
+    // solve at all — every SNIP-OPT lookup is a cross-worker seeded hit —
+    // and the merged report must not move by a bit either way.
+    let nodes = (0..8)
+        .map(|i| NodeSpec {
+            name: format!("clone-{i}"),
+            profile: EpochProfile::roadside(),
+            zeta_target: 16.0,
+        })
+        .collect();
+    let spec = FleetSpec {
+        name: "plan-shipping".into(),
+        seed: 99,
+        epochs: 2,
+        phi_max_secs: 86.4,
+        job: JobSpec::Fleet {
+            mechanism: Mechanism::SnipOpt,
+            nodes,
+        },
+    };
+    let reference = JobRunner::new(&spec).run_sequential();
+    for dispatch in BOTH {
+        let d = driver(&spec, 2, dispatch);
+        let first = d.run().expect("first run succeeds");
+        assert_eq!(first.output, reference, "{dispatch:?}: first run");
+        let second = d.run().expect("second run succeeds");
+        assert_eq!(
+            second.output, reference,
+            "{dispatch:?}: seeded plans must be bit-identical to local solves"
+        );
+        assert!(
+            second.stats.plans_shipped >= 1,
+            "{dispatch:?}: the accumulated plan travels in Init ({:?})",
+            second.stats
+        );
+        assert!(
+            second.stats.plan_seed_hits >= 1,
+            "{dispatch:?}: run-two workers reuse the shipped plan ({:?})",
+            second.stats
+        );
     }
 }

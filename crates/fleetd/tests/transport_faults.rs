@@ -1,0 +1,282 @@
+//! The transport fault matrix: every way a peer can misbehave on the
+//! wire, and the clean outcome each must produce.
+//!
+//! | fault                         | required outcome                      |
+//! |-------------------------------|---------------------------------------|
+//! | truncated frame mid-message   | peer rejected/lost, shard re-queued    |
+//! | wrong or missing auth token   | peer rejected before `Init`            |
+//! | mismatched spec hash          | peer rejected before any shard         |
+//! | protocol-version skew         | peer rejected before any shard         |
+//! | socket drop mid-shard         | shard re-queued, run completes         |
+//! | handshake stall               | peer dropped at the shard timeout      |
+//! | nobody ever shows up          | `DriverError::Incomplete`, no hang     |
+//!
+//! Never a hang, never a partial merge: a run either completes with
+//! output bit-identical to the sequential reference, or fails loudly as
+//! [`DriverError::Incomplete`]. Malicious peers are scripted directly on
+//! raw `TcpStream`s (below the worker implementation) so each fault hits
+//! the coordinator exactly as a hostile or broken network would deliver
+//! it.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use snip_fleetd::{
+    CoordinatorMsg, DriverError, FleetDriver, FleetRun, FleetSpec, JobRunner, JobSpec, NodeSpec,
+    TcpConfig, WorkerMsg, PROTOCOL_VERSION, TOKEN_ENV_VAR,
+};
+use snip_mobility::EpochProfile;
+use snip_replay::frame::{FrameReader, FrameWriter};
+use snip_sim::Mechanism;
+
+const SNIP_BIN: &str = env!("CARGO_BIN_EXE_snip");
+const TOKEN: &str = "fault-matrix-token";
+
+fn small_spec() -> FleetSpec {
+    let nodes = (0..4)
+        .map(|i| NodeSpec {
+            name: format!("site-{i}"),
+            profile: EpochProfile::roadside(),
+            zeta_target: 8.0 + 2.0 * f64::from(i),
+        })
+        .collect();
+    FleetSpec {
+        name: "fault-matrix".into(),
+        seed: 7,
+        epochs: 2,
+        phi_max_secs: 86.4,
+        job: JobSpec::Fleet {
+            mechanism: Mechanism::SnipRh,
+            nodes,
+        },
+    }
+}
+
+/// A serving TCP driver with a short timeout (faults must resolve fast).
+fn tcp_driver(spec: &FleetSpec, timeout: Duration) -> FleetDriver {
+    FleetDriver::new(spec.clone(), 2)
+        .expect("valid spec")
+        .with_shard_size(1)
+        .with_shard_timeout(timeout)
+        .with_tcp(TcpConfig {
+            listen: "127.0.0.1:0".into(),
+            token: TOKEN.into(),
+            spawn_workers: false,
+        })
+        .expect("ephemeral localhost bind")
+}
+
+/// Spawns one honest dialing worker process against `addr`.
+fn spawn_honest_worker(addr: SocketAddr) -> Child {
+    Command::new(SNIP_BIN)
+        .args(["fleet-worker", "--connect", &addr.to_string()])
+        .env(TOKEN_ENV_VAR, TOKEN)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("worker binary spawns")
+}
+
+/// Runs `driver` on a thread while `hostile` gets to abuse the listener,
+/// with an honest worker ensuring the run can still finish. Returns the
+/// completed run.
+fn run_with_hostile_peer(spec: &FleetSpec, hostile: impl FnOnce(SocketAddr) + Send) -> FleetRun {
+    let driver = tcp_driver(spec, Duration::from_secs(5));
+    let addr = driver.local_addr().expect("bound");
+    std::thread::scope(|scope| {
+        let run = scope.spawn(|| driver.run());
+        hostile(addr);
+        let mut worker = spawn_honest_worker(addr);
+        let result = run.join().expect("driver thread joins");
+        let _ = worker.wait();
+        result.expect("the honest worker completes the run")
+    })
+}
+
+fn assert_output_exact(spec: &FleetSpec, run: &FleetRun) {
+    assert_eq!(
+        run.output,
+        JobRunner::new(spec).run_sequential(),
+        "a faulty peer must never move the merged output by a bit"
+    );
+}
+
+#[test]
+fn wrong_token_is_rejected_and_the_run_completes() {
+    let spec = small_spec();
+    let run = run_with_hostile_peer(&spec, |addr| {
+        let stream = TcpStream::connect(addr).expect("dial");
+        let mut w = FrameWriter::new(&stream);
+        w.send(&WorkerMsg::Join {
+            protocol: PROTOCOL_VERSION,
+            token: "not-the-token".into(),
+            pid: 1,
+        })
+        .expect("join sends");
+        // The coordinator severs: the next read returns EOF, never Init.
+        let mut r = FrameReader::new(std::io::BufReader::new(&stream));
+        assert!(
+            matches!(r.recv::<CoordinatorMsg>(), Ok(None) | Err(_)),
+            "a wrong token must never be answered with Init"
+        );
+    });
+    assert!(run.stats.peers_rejected >= 1, "{:?}", run.stats);
+    assert_eq!(run.stats.workers_lost, 0, "{:?}", run.stats);
+    assert_output_exact(&spec, &run);
+}
+
+#[test]
+fn missing_token_handshake_stall_is_dropped_at_the_timeout() {
+    // The satellite fix: a peer that connects and then says nothing must
+    // be dropped when the shard timeout expires, not hold its slot
+    // forever. The driver's timeout is 5 s; the stall outlives it.
+    let spec = small_spec();
+    let driver = tcp_driver(&spec, Duration::from_secs(2));
+    let addr = driver.local_addr().expect("bound");
+    let started = Instant::now();
+    let run = std::thread::scope(|scope| {
+        let run = scope.spawn(|| driver.run());
+        let _stall = TcpStream::connect(addr).expect("dial");
+        let mut worker = spawn_honest_worker(addr);
+        let result = run.join().expect("driver thread joins");
+        let _ = worker.wait();
+        result.expect("the honest worker completes the run")
+    });
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "a silent peer must not stall the run"
+    );
+    assert!(run.stats.peers_rejected >= 1, "{:?}", run.stats);
+    assert_output_exact(&spec, &run);
+}
+
+#[test]
+fn protocol_version_skew_is_rejected() {
+    let spec = small_spec();
+    let run = run_with_hostile_peer(&spec, |addr| {
+        let stream = TcpStream::connect(addr).expect("dial");
+        let mut w = FrameWriter::new(&stream);
+        w.send(&WorkerMsg::Join {
+            protocol: PROTOCOL_VERSION + 7,
+            token: TOKEN.into(),
+            pid: 1,
+        })
+        .expect("join sends");
+        let mut r = FrameReader::new(std::io::BufReader::new(&stream));
+        assert!(
+            matches!(r.recv::<CoordinatorMsg>(), Ok(None) | Err(_)),
+            "version skew must never be answered with Init"
+        );
+    });
+    assert!(run.stats.peers_rejected >= 1, "{:?}", run.stats);
+    assert_output_exact(&spec, &run);
+}
+
+#[test]
+fn mismatched_spec_hash_in_ready_is_rejected_before_any_shard() {
+    let spec = small_spec();
+    let run = run_with_hostile_peer(&spec, |addr| {
+        let stream = TcpStream::connect(addr).expect("dial");
+        let mut w = FrameWriter::new(&stream);
+        let mut r = FrameReader::new(std::io::BufReader::new(&stream));
+        w.send(&WorkerMsg::Join {
+            protocol: PROTOCOL_VERSION,
+            token: TOKEN.into(),
+            pid: 1,
+        })
+        .expect("join sends");
+        let announced = match r.recv::<CoordinatorMsg>() {
+            Ok(Some(CoordinatorMsg::Init { spec_hash, .. })) => spec_hash,
+            other => panic!("expected Init after a valid Join, got {other:?}"),
+        };
+        w.send(&WorkerMsg::Ready {
+            protocol: PROTOCOL_VERSION,
+            pid: 1,
+            spec_hash: announced ^ 0xdead_beef,
+        })
+        .expect("ready sends");
+        // The wrong echo is refused: no shard may ever arrive.
+        if let Ok(Some(CoordinatorMsg::Shard { .. })) = r.recv::<CoordinatorMsg>() {
+            panic!("a peer with the wrong spec hash must never receive a shard")
+        }
+    });
+    assert!(run.stats.peers_rejected >= 1, "{:?}", run.stats);
+    assert_output_exact(&spec, &run);
+}
+
+#[test]
+fn truncated_frame_mid_message_is_a_clean_rejection() {
+    let spec = small_spec();
+    let run = run_with_hostile_peer(&spec, |addr| {
+        let mut stream = TcpStream::connect(addr).expect("dial");
+        // A frame announcing 512 payload bytes, delivering 10, then gone.
+        stream.write_all(b"512\n0123456789").expect("partial frame");
+        stream.flush().expect("flush");
+        drop(stream);
+    });
+    assert!(run.stats.peers_rejected >= 1, "{:?}", run.stats);
+    assert_output_exact(&spec, &run);
+}
+
+#[test]
+fn socket_drop_mid_shard_requeues_and_the_run_stays_exact() {
+    let spec = small_spec();
+    let run = run_with_hostile_peer(&spec, |addr| {
+        let stream = TcpStream::connect(addr).expect("dial");
+        let mut w = FrameWriter::new(&stream);
+        let mut r = FrameReader::new(std::io::BufReader::new(&stream));
+        w.send(&WorkerMsg::Join {
+            protocol: PROTOCOL_VERSION,
+            token: TOKEN.into(),
+            pid: 1,
+        })
+        .expect("join sends");
+        let spec_hash = match r.recv::<CoordinatorMsg>() {
+            Ok(Some(CoordinatorMsg::Init { spec_hash, .. })) => spec_hash,
+            other => panic!("expected Init, got {other:?}"),
+        };
+        w.send(&WorkerMsg::Ready {
+            protocol: PROTOCOL_VERSION,
+            pid: 1,
+            spec_hash,
+        })
+        .expect("ready sends");
+        // Accept a shard assignment... and die holding it.
+        match r.recv::<CoordinatorMsg>() {
+            Ok(Some(CoordinatorMsg::Shard { .. })) => {}
+            other => panic!("expected a shard, got {other:?}"),
+        }
+        drop((w, r));
+    });
+    assert!(
+        run.stats.shards_reassigned >= 1,
+        "the dropped peer's shard was stolen: {:?}",
+        run.stats
+    );
+    assert_eq!(run.stats.workers_lost, 1, "{:?}", run.stats);
+    assert_output_exact(&spec, &run);
+}
+
+#[test]
+fn a_run_nobody_serves_fails_incomplete_instead_of_hanging() {
+    let spec = small_spec();
+    let driver = tcp_driver(&spec, Duration::from_secs(2));
+    let addr = driver.local_addr().expect("bound");
+    let started = Instant::now();
+    // One hostile stall, zero honest workers: after the timeout with no
+    // live peers the run must give up with every shard accounted for.
+    let _stall = TcpStream::connect(addr).expect("dial");
+    match driver.run() {
+        Err(DriverError::Incomplete { missing, .. }) => {
+            assert_eq!(missing.len(), 4, "every shard is reported missing");
+        }
+        other => panic!("expected Incomplete, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "giving up must be prompt, not a hang"
+    );
+}

@@ -1,18 +1,26 @@
 //! Length-prefixed message frames over byte streams (pipes, sockets).
 //!
-//! The fleet driver (`snip-fleetd`) talks to its worker subprocesses over
-//! plain stdin/stdout pipes. Frames reuse the journal's JSONL encoding for
-//! payloads — the same shortest-round-trip [`serde::json`] codec the
-//! journals use, so anything that can live in a journal can cross a pipe
-//! bit-for-bit — and add an explicit length prefix so a truncated or
-//! interleaved stream is a detectable error rather than a mis-parse:
+//! The fleet driver (`snip-fleetd`) talks to its workers over plain
+//! stdin/stdout pipes or TCP sockets. Frames reuse the journal's JSONL
+//! encoding for payloads — the same shortest-round-trip [`serde::json`]
+//! codec the journals use, so anything that can live in a journal can
+//! cross a pipe or a socket bit-for-bit — and add an explicit length
+//! prefix so a truncated or interleaved stream is a detectable error
+//! rather than a mis-parse:
 //!
 //! ```text
 //! <decimal payload byte length> '\n' <payload JSON> '\n'
 //! ```
 //!
 //! Both sides stream one frame at a time with O(frame) memory; the writer
-//! flushes after every frame (pipes are request/response, not bulk logs).
+//! flushes after every frame (transports are request/response, not bulk
+//! logs). Reads are partial-read safe — a frame split across arbitrarily
+//! small TCP segments reassembles byte-for-byte — and deadline-aware: a
+//! stream with a read timeout surfaces an expired deadline as the
+//! distinct [`FrameError::TimedOut`], never as a half-consumed frame
+//! misread. Untrusted peers (a socket before authentication) can be held
+//! to a smaller frame-size budget through a shared, relaxable limit
+//! ([`FrameReader::with_frame_limit`]).
 //!
 //! ```
 //! use serde::Value;
@@ -27,6 +35,8 @@
 
 use std::fmt;
 use std::io::{self, BufRead, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use serde::{json, Deserialize, Serialize, Value};
 
@@ -45,6 +55,10 @@ pub enum FrameError {
     Codec(String),
     /// The stream ended inside a frame.
     Truncated,
+    /// A read deadline expired (the stream has a read timeout and no
+    /// complete frame arrived in time). Distinct from [`FrameError::Io`]
+    /// so callers can tell a slow peer from a broken one.
+    TimedOut,
 }
 
 impl fmt::Display for FrameError {
@@ -53,6 +67,7 @@ impl fmt::Display for FrameError {
             FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
             FrameError::Codec(msg) => write!(f, "frame codec error: {msg}"),
             FrameError::Truncated => write!(f, "stream ended inside a frame"),
+            FrameError::TimedOut => write!(f, "read deadline expired inside a frame"),
         }
     }
 }
@@ -61,7 +76,12 @@ impl std::error::Error for FrameError {}
 
 impl From<io::Error> for FrameError {
     fn from(e: io::Error) -> Self {
-        FrameError::Io(e)
+        match e.kind() {
+            // A stream with a read timeout reports an expired deadline as
+            // WouldBlock (unix) or TimedOut (windows).
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => FrameError::TimedOut,
+            _ => FrameError::Io(e),
+        }
     }
 }
 
@@ -119,12 +139,28 @@ impl<W: Write> FrameWriter<W> {
 pub struct FrameReader<R: BufRead> {
     input: R,
     frames: u64,
+    /// Per-frame size budget, shared so the owner of the stream can relax
+    /// it while a reader thread holds the reader (e.g. raise an untrusted
+    /// peer's budget once it authenticates).
+    limit: Arc<AtomicU64>,
 }
 
 impl<R: BufRead> FrameReader<R> {
-    /// Wraps a reader.
+    /// Wraps a reader with the default [`MAX_FRAME_BYTES`] budget.
     pub fn new(input: R) -> Self {
-        FrameReader { input, frames: 0 }
+        Self::with_frame_limit(input, Arc::new(AtomicU64::new(MAX_FRAME_BYTES)))
+    }
+
+    /// Wraps a reader with a shared per-frame size budget. Frames whose
+    /// length prefix exceeds the budget's current value are refused before
+    /// any allocation; the budget can be raised (or lowered) at any time
+    /// through the shared handle.
+    pub fn with_frame_limit(input: R, limit: Arc<AtomicU64>) -> Self {
+        FrameReader {
+            input,
+            frames: 0,
+            limit,
+        }
     }
 
     /// Frames read so far.
@@ -149,9 +185,10 @@ impl<R: BufRead> FrameReader<R> {
         let len: u64 = trimmed
             .parse()
             .map_err(|_| FrameError::Codec(format!("bad frame length prefix `{trimmed}`")))?;
-        if len > MAX_FRAME_BYTES {
+        let limit = self.limit.load(Ordering::Relaxed);
+        if len > limit {
             return Err(FrameError::Codec(format!(
-                "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+                "frame of {len} bytes exceeds the {limit}-byte limit"
             )));
         }
         let mut payload = vec![0u8; len as usize];
@@ -159,7 +196,7 @@ impl<R: BufRead> FrameReader<R> {
             .read_exact(&mut payload)
             .map_err(|e| match e.kind() {
                 io::ErrorKind::UnexpectedEof => FrameError::Truncated,
-                _ => FrameError::Io(e),
+                _ => FrameError::from(e),
             })?;
         let mut terminator = [0u8; 1];
         match self.input.read_exact(&mut terminator) {
@@ -172,7 +209,7 @@ impl<R: BufRead> FrameReader<R> {
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
                 return Err(FrameError::Truncated)
             }
-            Err(e) => return Err(FrameError::Io(e)),
+            Err(e) => return Err(FrameError::from(e)),
         }
         let text = std::str::from_utf8(&payload)
             .map_err(|_| FrameError::Codec("frame payload is not UTF-8".into()))?;
@@ -260,6 +297,89 @@ mod tests {
         let huge = format!("{}\n", MAX_FRAME_BYTES + 1);
         let mut r = FrameReader::new(Cursor::new(huge.into_bytes()));
         assert!(matches!(r.recv_value(), Err(FrameError::Codec(_))));
+    }
+
+    /// A reader that hands out at most one byte per `read` call — the
+    /// worst-case TCP segmentation.
+    struct OneByte<R: io::Read>(R);
+
+    impl<R: io::Read> io::Read for OneByte<R> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let n = buf.len().min(1);
+            self.0.read(&mut buf[..n])
+        }
+    }
+
+    #[test]
+    fn frames_reassemble_from_single_byte_reads() {
+        let values = [
+            Value::Str("split across many tiny reads".into()),
+            Value::Seq((0..50).map(Value::U64).collect()),
+        ];
+        let mut buf = Vec::new();
+        {
+            let mut w = FrameWriter::new(&mut buf);
+            for v in &values {
+                w.send_value(v).unwrap();
+            }
+        }
+        // Capacity 1 forces the BufRead layer itself to refill per byte.
+        let mut r = FrameReader::new(io::BufReader::with_capacity(1, OneByte(Cursor::new(buf))));
+        for v in &values {
+            assert_eq!(r.recv_value().unwrap().as_ref(), Some(v));
+        }
+        assert!(r.recv_value().unwrap().is_none());
+    }
+
+    /// A reader that yields a prefix, then reports an expired read
+    /// deadline — what a socket with a read timeout does mid-frame.
+    struct TimesOutAfter {
+        data: Cursor<Vec<u8>>,
+    }
+
+    impl io::Read for TimesOutAfter {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self.data.read(buf) {
+                Ok(0) => Err(io::Error::new(io::ErrorKind::WouldBlock, "read timed out")),
+                other => other,
+            }
+        }
+    }
+
+    #[test]
+    fn expired_read_deadline_is_timed_out_not_truncated() {
+        let mut buf = Vec::new();
+        FrameWriter::new(&mut buf)
+            .send_value(&Value::Str("deadline".into()))
+            .unwrap();
+        buf.truncate(buf.len() - 4); // deadline expires mid-payload
+        let mut r = FrameReader::new(io::BufReader::new(TimesOutAfter {
+            data: Cursor::new(buf),
+        }));
+        assert!(matches!(r.recv_value(), Err(FrameError::TimedOut)));
+    }
+
+    #[test]
+    fn shared_frame_limit_is_enforced_and_relaxable() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        let mut buf = Vec::new();
+        {
+            let mut w = FrameWriter::new(&mut buf);
+            w.send_value(&Value::Str("x".repeat(100))).unwrap();
+            w.send_value(&Value::Str("small".into())).unwrap();
+        }
+        // Tight budget refuses the large frame before allocating it...
+        let limit = Arc::new(AtomicU64::new(10));
+        let mut r = FrameReader::with_frame_limit(Cursor::new(buf.clone()), Arc::clone(&limit));
+        assert!(matches!(r.recv_value(), Err(FrameError::Codec(_))));
+        // ...and raising the shared handle admits it (fresh reader: the
+        // refused stream position is sunk).
+        limit.store(MAX_FRAME_BYTES, Ordering::Relaxed);
+        let mut r = FrameReader::with_frame_limit(Cursor::new(buf), limit);
+        assert!(r.recv_value().unwrap().is_some());
+        assert!(r.recv_value().unwrap().is_some());
     }
 
     #[test]

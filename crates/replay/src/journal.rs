@@ -271,23 +271,23 @@ pub fn convert<R: BufRead, W: Write>(
     Ok(count)
 }
 
-/// [`convert`], additionally migrating a version-2 journal to version 3
-/// (the `snip convert --to-v3` path, part of the v2 sunset).
+/// [`convert`], with the version-3 stamp check of the retired
+/// `snip convert --to-v3` v2-migration path.
 ///
-/// Decoding already normalizes v2's legacy float-second metric records to
-/// the exact integer-µs ledgers, so the only remaining v2 artifact is the
-/// header stamp: this re-stamps it to version 3 and re-encodes every
-/// event, producing a journal byte-identical to what a v3 recorder would
-/// have written. Version-3 inputs pass through unchanged (idempotent);
-/// any other version is refused — an unsupported journal must not be
-/// laundered into a "migrated" one.
+/// While journal v2 was on its sunset, this migrated v2 journals to v3
+/// byte-exactly (decode normalized the legacy float-second metric records
+/// to the integer ledgers; the header re-stamp was the only other
+/// difference). The v2 decoder has since been removed, so v2 inputs are
+/// now refused at the header with a pointer at an older release;
+/// version-3 inputs still pass through unchanged (idempotent), keeping
+/// `--to-v3` a safe no-op in scripts.
 ///
 /// Returns the number of events converted.
 ///
 /// # Errors
 ///
 /// Returns [`JournalError`] on read/write failure, on a journal that does
-/// not start with a header, or on a header version outside `{2, 3}`.
+/// not start with a header, or on any header version other than 3.
 pub fn upgrade_to_v3<R: BufRead, W: Write>(
     reader: &mut JournalReader<R>,
     writer: &mut JournalWriter<W>,
@@ -296,13 +296,21 @@ pub fn upgrade_to_v3<R: BufRead, W: Write>(
 
     let mut count = 0u64;
     match reader.next_event()? {
-        Some(JournalEvent::Header(mut header)) => {
+        Some(JournalEvent::Header(header)) => {
             match header.version {
-                2 => header.version = JOURNAL_VERSION,
                 v if v == JOURNAL_VERSION => {}
+                2 => {
+                    return Err(JournalError::Codec(
+                        "journal v2 can no longer be migrated by this build (the v2 \
+                         decoder was removed at the end of its sunset); run \
+                         `snip convert --to-v3` from an older release"
+                            .into(),
+                    ))
+                }
                 other => {
                     return Err(JournalError::Codec(format!(
-                        "cannot migrate journal version {other} to v3 (only v2 and v3 inputs)"
+                        "cannot migrate journal version {other} to v3 (only v3 inputs \
+                         pass through)"
                     )))
                 }
             }

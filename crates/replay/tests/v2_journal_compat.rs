@@ -1,23 +1,30 @@
-//! Back-compat: version-2 journals (float-second metric records, the PR 2
-//! format) must still replay and diff under the version-3 (integer-µs)
-//! code. A v2 journal is synthesized from a fresh recording by rewriting
-//! its metric payloads to the legacy float shape and stamping the header
-//! `version: 2` — byte-wise exactly what the v2 writer produced, because
-//! the legacy floats are the same `µs / 1e6` conversions v2 serialized.
+//! The end of the journal v2 sunset: version-2 journals (float-second
+//! metric records, the PR 2 format) are now **refused**, cleanly and
+//! with a migration hint — never mis-read, never half-replayed.
+//!
+//! History: v3 (PR 3) kept a legacy float-seconds decoder so v2 journals
+//! replayed bit-for-bit; PR 4 added a once-per-process deprecation
+//! warning and the byte-exact `snip convert --to-v3` migration. This PR
+//! removes the decoder and bumps `MIN_SUPPORTED_JOURNAL_VERSION` to 3,
+//! so the tests here pin the *rejection* path: a v2 journal is refused
+//! at the header by replay, refused by the migration entry point, and
+//! its metric records are refused by the value decoder — each with an
+//! actionable error. A v2 journal is synthesized exactly as the old
+//! compat suite built it (rewriting a fresh v3 recording into the v2
+//! wire shape), so what is being refused is the genuine v2 format.
 
 use std::io::Cursor;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{json, Deserialize as _, Serialize as _, Value};
+use serde::{json, Deserialize as _, Value};
 
 use snip_mobility::{EpochProfile, TraceGenerator};
-use snip_replay::diff::diff_journals;
 use snip_replay::event::{JournalHeader, SchedulerSpec};
 use snip_replay::journal::{JournalFormat, JournalReader, JournalWriter};
 use snip_replay::record::record_run;
 use snip_replay::replay::{replay_run, ReplayError};
-use snip_replay::JournalEvent;
+use snip_replay::{JournalEvent, MIN_SUPPORTED_JOURNAL_VERSION};
 use snip_sim::{RunMetrics, SimConfig};
 use snip_units::DutyCycle;
 
@@ -146,8 +153,16 @@ fn downgrade_to_v2(jsonl: &[u8]) -> Vec<u8> {
 }
 
 #[test]
-fn v2_journal_replays_under_v3_code() {
-    let (v3, recorded) = record_v3_jsonl();
+fn min_supported_version_is_now_three() {
+    assert_eq!(
+        MIN_SUPPORTED_JOURNAL_VERSION, 3,
+        "the v2 sunset is over: nothing below v3 may be read"
+    );
+}
+
+#[test]
+fn v2_journal_is_refused_at_the_header() {
+    let (v3, _) = record_v3_jsonl();
     let v2 = downgrade_to_v2(&v3);
     assert_ne!(v2, v3, "the downgrade must actually change the bytes");
     assert!(
@@ -156,33 +171,46 @@ fn v2_journal_replays_under_v3_code() {
     );
 
     let mut reader = JournalReader::new(Cursor::new(v2), JournalFormat::Jsonl);
-    let report = replay_run(&mut reader, None).expect("v2 journal must replay clean");
-    assert_eq!(report.header.version, 2);
-    // The float-second records round back to the exact integer ledgers the
-    // v3 re-execution produces: metrics match with zero tolerance.
-    assert_eq!(report.metrics, recorded);
+    match replay_run(&mut reader, None) {
+        Err(ReplayError::UnsupportedVersion { found }) => assert_eq!(found, 2),
+        other => panic!("a v2 journal must be refused at the header, got {other:?}"),
+    }
 }
 
 #[test]
-fn v2_and_v3_recordings_differ_only_in_the_header() {
+fn v2_metric_records_no_longer_decode() {
+    // Below the header check, the value decoder itself refuses the v2
+    // float-seconds shape — so a v2 record can never be half-read even by
+    // code paths that skip the version gate.
     let (v3, _) = record_v3_jsonl();
     let v2 = downgrade_to_v2(&v3);
-    let mut a = JournalReader::new(Cursor::new(v2), JournalFormat::Jsonl);
-    let mut b = JournalReader::new(Cursor::new(v3), JournalFormat::Jsonl);
-    let report = diff_journals(&mut a, &mut b).expect("both readable");
-    let d = report
-        .first_difference
-        .expect("headers carry different versions");
-    assert_eq!(d.index, 0, "the version field is the only difference");
-    // Every metric record decoded to the same integer ledger, so the event
-    // streams have equal length and no second difference.
-    assert_eq!(report.events_a, report.events_b);
+    let text = std::str::from_utf8(&v2).unwrap();
+    let run_end = text
+        .lines()
+        .find(|l| l.contains("RunEnd"))
+        .expect("journal ends with RunEnd");
+    let v: Value = json::from_str(run_end).expect("well-formed line");
+    let err = JournalEvent::from_value(&v).unwrap_err();
+    assert!(
+        err.to_string().contains("journal v2"),
+        "the refusal must name the legacy shape: {err}"
+    );
 }
 
 #[test]
-fn versions_before_2_and_after_3_are_refused() {
+fn migration_refuses_v2_with_a_pointer_at_older_releases() {
     let (v3, _) = record_v3_jsonl();
-    for bad_version in [1u64, 4, 999] {
+    let v2 = downgrade_to_v2(&v3);
+    let mut reader = JournalReader::new(Cursor::new(v2), JournalFormat::Jsonl);
+    let mut writer = JournalWriter::new(Vec::new(), JournalFormat::Jsonl);
+    let err = snip_replay::upgrade_to_v3(&mut reader, &mut writer).unwrap_err();
+    assert!(err.to_string().contains("older release"), "{err}");
+}
+
+#[test]
+fn versions_other_than_three_are_refused_by_replay() {
+    let (v3, _) = record_v3_jsonl();
+    for bad_version in [1u64, 2, 4, 999] {
         let text = std::str::from_utf8(&v3).unwrap();
         let mut lines = text.lines();
         let header: Value = json::from_str(lines.next().unwrap()).unwrap();
@@ -219,50 +247,27 @@ fn versions_before_2_and_after_3_are_refused() {
 }
 
 #[test]
-fn v2_migration_round_trips_to_the_exact_v3_bytes() {
-    // The sunset path: `snip convert --to-v3` must turn a v2 journal into
-    // exactly the journal a v3 recorder would have written — byte for
-    // byte, because decode already normalizes the legacy float metrics to
-    // the integer ledgers and the header re-stamp is the only other
-    // difference.
+fn to_v3_is_still_an_idempotent_no_op_on_v3_journals() {
+    // Scripts that ran `snip convert --to-v3` as a hygiene step keep
+    // working: v3 in, byte-identical v3 out.
     let (v3, recorded) = record_v3_jsonl();
-    let v2 = downgrade_to_v2(&v3);
-
-    let mut reader = JournalReader::new(Cursor::new(v2), JournalFormat::Jsonl);
+    let mut reader = JournalReader::new(Cursor::new(v3.clone()), JournalFormat::Jsonl);
     let mut writer = JournalWriter::new(Vec::new(), JournalFormat::Jsonl);
-    let n = snip_replay::upgrade_to_v3(&mut reader, &mut writer).expect("v2 migrates");
+    let n = snip_replay::upgrade_to_v3(&mut reader, &mut writer).expect("v3 passes through");
     assert!(n > 0);
-    let migrated = writer.into_inner();
-    assert_eq!(
-        migrated, v3,
-        "migrated v2 journal must equal the native v3 recording byte-for-byte"
-    );
+    let out = writer.into_inner();
+    assert_eq!(out, v3, "v3 passthrough must be byte-identical");
 
-    // And the migrated journal replays clean with the exact metrics.
-    let mut reader = JournalReader::new(Cursor::new(migrated.clone()), JournalFormat::Jsonl);
-    let report = replay_run(&mut reader, None).expect("migrated journal replays");
-    assert_eq!(report.header.version, snip_replay::JOURNAL_VERSION);
+    // And the passthrough output still replays with the exact metrics.
+    let mut reader = JournalReader::new(Cursor::new(out), JournalFormat::Jsonl);
+    let report = replay_run(&mut reader, None).expect("v3 journal replays");
     assert_eq!(report.metrics, recorded);
-
-    // Migration is idempotent: v3 in, identical v3 out.
-    let mut reader = JournalReader::new(Cursor::new(migrated.clone()), JournalFormat::Jsonl);
-    let mut writer = JournalWriter::new(Vec::new(), JournalFormat::Jsonl);
-    snip_replay::upgrade_to_v3(&mut reader, &mut writer).expect("v3 passes through");
-    assert_eq!(writer.into_inner(), migrated);
 }
 
 #[test]
-fn migration_refuses_unsupported_versions_and_headerless_streams() {
+fn migration_refuses_headerless_streams() {
     let (v3, _) = record_v3_jsonl();
-    // Stamp an unsupported version into the header.
     let text = std::str::from_utf8(&v3).unwrap();
-    let patched = text.replacen("\"version\":3", "\"version\":1", 1);
-    let mut reader = JournalReader::new(Cursor::new(patched.into_bytes()), JournalFormat::Jsonl);
-    let mut writer = JournalWriter::new(Vec::new(), JournalFormat::Jsonl);
-    let err = snip_replay::upgrade_to_v3(&mut reader, &mut writer).unwrap_err();
-    assert!(err.to_string().contains("cannot migrate"), "{err}");
-
-    // A stream that does not start with a header.
     let headerless: Vec<u8> = text
         .split_once('\n')
         .expect("journal has lines")
@@ -272,34 +277,4 @@ fn migration_refuses_unsupported_versions_and_headerless_streams() {
     let mut reader = JournalReader::new(Cursor::new(headerless), JournalFormat::Jsonl);
     let mut writer = JournalWriter::new(Vec::new(), JournalFormat::Jsonl);
     assert!(snip_replay::upgrade_to_v3(&mut reader, &mut writer).is_err());
-}
-
-#[test]
-fn downgraded_stream_still_decodes_event_for_event() {
-    // Sanity on the legacy decoder itself: every downgraded line parses
-    // into the same JournalEvent as its v3 counterpart (header aside).
-    let (v3, _) = record_v3_jsonl();
-    let v2 = downgrade_to_v2(&v3);
-    let a: Vec<JournalEvent> = JournalReader::new(Cursor::new(v2), JournalFormat::Jsonl)
-        .map(|e| e.expect("decodes"))
-        .collect();
-    let b: Vec<JournalEvent> = JournalReader::new(Cursor::new(v3), JournalFormat::Jsonl)
-        .map(|e| e.expect("decodes"))
-        .collect();
-    assert_eq!(a.len(), b.len());
-    let mut divergent = 0;
-    for (ea, eb) in a.iter().zip(&b) {
-        if ea != eb {
-            divergent += 1;
-            assert!(
-                matches!(ea, JournalEvent::Header(_)),
-                "only the header may differ, got {} vs {}",
-                ea.kind(),
-                eb.kind()
-            );
-        }
-    }
-    assert_eq!(divergent, 1, "exactly the header differs");
-    // The value round-trip of the downgraded metrics is lossless.
-    let _ = JournalEvent::from_value(&a.last().unwrap().to_value()).unwrap();
 }

@@ -181,59 +181,35 @@ impl Serialize for EpochMetrics {
     }
 }
 
-/// Warns (once per process) that the legacy float-seconds metric decoder
-/// fired: journal v2 is on its sunset path, and every surviving v2 journal
-/// should be migrated while the decoder still exists.
-fn warn_legacy_metrics_once() {
-    static ONCE: std::sync::Once = std::sync::Once::new();
-    ONCE.call_once(|| {
-        eprintln!(
-            "warning: decoded legacy float-seconds metrics (journal v2); v2 read support \
-             is deprecated and will be removed — migrate journals with \
-             `snip convert --to-v3 <in> <out>`"
-        );
-    });
-}
-
-/// Converts a legacy (journal v2) float-seconds field to the exact ledger
-/// representation, rejecting values `SimDuration::from_secs_f64` would
-/// panic on — a corrupt journal must surface as a decode error, not abort
-/// the process.
-fn legacy_secs(secs: f64, field: &str) -> Result<SimDuration, serde::Error> {
-    if !(secs.is_finite() && secs >= 0.0 && secs * 1e6 <= u64::MAX as f64) {
-        return Err(serde::Error::custom(format!(
-            "field `{field}`: {secs} is not a representable duration"
-        )));
-    }
-    Ok(SimDuration::from_secs_f64(secs))
+/// The error for the one shape this decoder deliberately refuses: the
+/// float-seconds metric records journal v2 carried. The v2 decoder was
+/// removed after a deprecation cycle (`snip convert --to-v3` migrated
+/// journals byte-exactly while it existed); naming the old shape here
+/// keeps the failure actionable instead of a bare missing-field error.
+fn refuse_legacy_shape(ty: &str) -> serde::Error {
+    serde::Error::custom(format!(
+        "{ty}: legacy float-seconds metrics (journal v2) are no longer readable by this \
+         build; migrate the journal with `snip convert --to-v3` from a release that still \
+         carries the v2 decoder"
+    ))
 }
 
 impl Deserialize for EpochMetrics {
-    /// Accepts both the current integer-µs shape (journal v3: `zeta_us` …)
-    /// and the legacy float-seconds shape (journal v2: `zeta` …). Legacy
-    /// floats round to the nearest microsecond, which recovers the exact
-    /// ledger: v2's accumulated f64 drift is nanoseconds, far below the
-    /// half-µs rounding threshold.
+    /// Accepts the integer-µs shape (journal v3: `zeta_us` …) only. The
+    /// legacy float-seconds shape (journal v2: `zeta` …) is refused with
+    /// a migration hint.
     fn from_value(v: &Value) -> Result<Self, serde::Error> {
         let map = v
             .as_map()
             .ok_or_else(|| serde::Error::expected("EpochMetrics map", v))?;
-        let legacy = v.get("zeta_us").is_none();
-        if legacy {
-            warn_legacy_metrics_once();
+        if v.get("zeta_us").is_none() && v.get("zeta").is_some() {
+            return Err(refuse_legacy_shape("EpochMetrics"));
         }
-        let dur = |new: &str, old: &str| -> Result<SimDuration, serde::Error> {
-            if legacy {
-                legacy_secs(serde::__field(map, old, "EpochMetrics")?, old)
-            } else {
-                serde::__field(map, new, "EpochMetrics")
-            }
-        };
         Ok(EpochMetrics {
-            zeta: dur("zeta_us", "zeta")?,
-            phi: dur("phi_us", "phi")?,
-            uploaded: DataSize::from_airtime(dur("uploaded_us", "uploaded")?),
-            upload_on_time: dur("upload_on_time_us", "upload_on_time")?,
+            zeta: serde::__field(map, "zeta_us", "EpochMetrics")?,
+            phi: serde::__field(map, "phi_us", "EpochMetrics")?,
+            uploaded: DataSize::from_airtime(serde::__field(map, "uploaded_us", "EpochMetrics")?),
+            upload_on_time: serde::__field(map, "upload_on_time_us", "EpochMetrics")?,
             contacts_total: serde::__field(map, "contacts_total", "EpochMetrics")?,
             contacts_probed: serde::__field(map, "contacts_probed", "EpochMetrics")?,
             beacons: serde::__field(map, "beacons", "EpochMetrics")?,
@@ -467,30 +443,20 @@ impl Serialize for RunMetrics {
 }
 
 impl Deserialize for RunMetrics {
-    /// Accepts both the current integer-µs shape (journal v3:
-    /// `slot_phi_us` …) and the legacy float-seconds shape (journal v2:
-    /// `slot_phi` …); see [`EpochMetrics::from_value`] for the rounding
-    /// argument.
+    /// Accepts the integer-µs shape (journal v3: `slot_phi_us` …) only;
+    /// the legacy float-seconds shape (journal v2: `slot_phi` …) is
+    /// refused with a migration hint, as in [`EpochMetrics::from_value`].
     fn from_value(v: &Value) -> Result<Self, serde::Error> {
         let map = v
             .as_map()
             .ok_or_else(|| serde::Error::expected("RunMetrics map", v))?;
-        let legacy = v.get("slot_phi_us").is_none();
-        if legacy {
-            warn_legacy_metrics_once();
+        if v.get("slot_phi_us").is_none() && v.get("slot_phi").is_some() {
+            return Err(refuse_legacy_shape("RunMetrics"));
         }
-        let slots = |new: &str, old: &str| -> Result<Vec<SimDuration>, serde::Error> {
-            if legacy {
-                let secs: Vec<f64> = serde::__field(map, old, "RunMetrics")?;
-                secs.into_iter().map(|s| legacy_secs(s, old)).collect()
-            } else {
-                serde::__field(map, new, "RunMetrics")
-            }
-        };
         Ok(RunMetrics {
             epochs: serde::__field(map, "epochs", "RunMetrics")?,
-            slot_phi: slots("slot_phi_us", "slot_phi")?,
-            slot_zeta: slots("slot_zeta_us", "slot_zeta")?,
+            slot_phi: serde::__field(map, "slot_phi_us", "RunMetrics")?,
+            slot_zeta: serde::__field(map, "slot_zeta_us", "RunMetrics")?,
             out_of_range_slot_charges: match v.get("out_of_range_slot_charges") {
                 Some(n) => u64::from_value(n)
                     .map_err(|e| serde::Error::custom(format!("out_of_range_slot_charges: {e}")))?,
@@ -598,8 +564,10 @@ mod tests {
     }
 
     #[test]
-    fn legacy_float_seconds_shape_still_decodes() {
-        // The v2 journal shape: seconds as floats, old field names.
+    fn legacy_float_seconds_shape_is_refused_with_a_migration_hint() {
+        // The v2 journal shape: seconds as floats, old field names. The
+        // decoder was removed at the end of the v2 sunset; decoding must
+        // fail loudly and point at the migration path, never mis-read.
         let legacy = Value::Map(vec![
             ("zeta".into(), Value::F64(8.8)),
             ("phi".into(), Value::F64(86.4)),
@@ -609,20 +577,16 @@ mod tests {
             ("contacts_probed".into(), Value::U64(10)),
             ("beacons".into(), Value::U64(1000)),
         ]);
-        let e = EpochMetrics::from_value(&legacy).unwrap();
-        assert_eq!(e.zeta_exact(), SimDuration::from_secs_f64(8.8));
-        assert_eq!(e.phi_exact(), SimDuration::from_secs_f64(86.4));
-        assert_eq!(e.contacts_total, 88);
+        let err = EpochMetrics::from_value(&legacy).unwrap_err();
+        assert!(err.to_string().contains("convert --to-v3"), "{err}");
 
         let legacy_run = Value::Map(vec![
-            ("epochs".into(), Value::Seq(vec![legacy])),
+            ("epochs".into(), Value::Seq(vec![])),
             ("slot_phi".into(), Value::Seq(vec![Value::F64(1.5)])),
             ("slot_zeta".into(), Value::Seq(vec![Value::F64(0.5)])),
         ]);
-        let m = RunMetrics::from_value(&legacy_run).unwrap();
-        assert_eq!(m.slot_phi()[0], SimDuration::from_millis(1_500));
-        assert_eq!(m.slot_zeta()[0], SimDuration::from_millis(500));
-        assert_eq!(m.out_of_range_slot_charges(), 0);
+        let err = RunMetrics::from_value(&legacy_run).unwrap_err();
+        assert!(err.to_string().contains("journal v2"), "{err}");
     }
 
     #[cfg(debug_assertions)]
@@ -648,7 +612,9 @@ mod tests {
     #[test]
     fn corrupt_legacy_floats_are_decode_errors_not_panics() {
         // A corrupt v2 journal reaches this decoder via `snip replay`; it
-        // must surface an error, never abort the process.
+        // must surface an error, never abort the process. Post-sunset the
+        // whole legacy shape is refused before any float is even looked
+        // at, corrupt or not.
         for bad in [-1.0, f64::NAN, f64::INFINITY, 1e300] {
             let legacy = Value::Map(vec![
                 ("zeta".into(), Value::F64(bad)),
@@ -660,10 +626,7 @@ mod tests {
                 ("beacons".into(), Value::U64(0)),
             ]);
             let err = EpochMetrics::from_value(&legacy).unwrap_err();
-            assert!(
-                err.to_string().contains("not a representable duration"),
-                "{bad}: {err}"
-            );
+            assert!(err.to_string().contains("journal v2"), "{bad}: {err}");
         }
     }
 
