@@ -5,7 +5,7 @@
 //! snip record  --out run.snipj [--scenario roadside|crawdad] [--mechanism at|rh|opt]
 //!              [--epochs N] [--seed S] [--zeta-target SECS] [--phi-max SECS]
 //!              [--beacon-loss P]
-//! snip replay  <journal> [--mechanism at|rh|opt]
+//! snip replay  <journal> [--mechanism at|rh|opt] [--summary]
 //! snip diff    <a> <b>
 //! snip convert <in> <out> [--to-v3]
 //! snip fleet   --spec <file> [--workers K] [--shard-size N] [--verify] [--out PATH]
@@ -31,6 +31,7 @@ use snip_core::{SnipAt, SnipRhConfig};
 use snip_fleetd::{example_spec, FleetDriver, FleetOutput, FleetSpec};
 use snip_mobility::{ContactTrace, EpochProfile, SyntheticSightings, TraceGenerator};
 use snip_model::SnipModel;
+use snip_obs::{error, warn};
 use snip_replay::diff::diff_journals;
 use snip_replay::event::{JournalHeader, SchedulerSpec};
 use snip_replay::journal::{convert, upgrade_to_v3, JournalReader, JournalWriter};
@@ -71,6 +72,9 @@ record options (defaults in brackets):
 replay options:
     --mechanism <name>     override the recorded scheduler (at | rh | opt) —
                            a deliberate divergence demonstration
+    --summary              print per-event-kind counts, the contact-length
+                           distribution, and the journal's wall span instead
+                           of re-executing it
 
 fleet options (defaults in brackets):
     --spec <path>          JSON fleet spec (required; see --example)
@@ -90,6 +94,9 @@ fleet-serve options (fleet options above, plus):
                            contents are trimmed)
     --addr-file <path>     write the bound address (for scripts that need
                            the ephemeral port)
+    --stats-addr <addr>    also serve live Prometheus-text metrics over HTTP
+                           at this address (GET any path; port 0 picks an
+                           ephemeral port)
 
 fleet-worker options:
     (none)                 serve over stdin/stdout (spawned by `snip fleet`)
@@ -119,6 +126,12 @@ bench options (defaults in brackets):
 Formats by extension: .json/.jsonl = JSON lines, anything else = CBOR
 (.snipj by convention).
 
+environment:
+    SNIP_LOG=<level>       stderr verbosity: error | warn | info | debug
+                           [warn — the default output is unchanged]
+    SNIP_TRACE=<path>      write a chrome://tracing JSON trace of spans and
+                           events (load in chrome://tracing or Perfetto)
+
 Exit codes: 0 ok · 1 divergence/difference · 2 usage or I/O error.
 ";
 
@@ -146,12 +159,12 @@ fn main() -> ExitCode {
     match result {
         Ok(code) => code,
         Err(CliError::Usage(msg)) => {
-            eprintln!("error: {msg}");
-            eprintln!("run `snip help` for usage");
+            error!("error: {msg}");
+            error!("run `snip help` for usage");
             ExitCode::from(2)
         }
         Err(CliError::Fatal(msg)) => {
-            eprintln!("error: {msg}");
+            error!("error: {msg}");
             ExitCode::from(2)
         }
     }
@@ -398,6 +411,7 @@ fn cmd_record(args: &[String]) -> Result<ExitCode, CliError> {
 fn cmd_replay(args: &[String]) -> Result<ExitCode, CliError> {
     let mut journal: Option<PathBuf> = None;
     let mut override_mechanism: Option<MechanismArg> = None;
+    let mut summary = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -405,6 +419,7 @@ fn cmd_replay(args: &[String]) -> Result<ExitCode, CliError> {
                 let raw: String = parse_value(arg, it.next())?;
                 override_mechanism = Some(parse_mechanism(&raw)?);
             }
+            "--summary" => summary = true,
             flag if flag.starts_with("--") => {
                 return Err(CliError::Usage(format!("unknown flag `{flag}`")))
             }
@@ -413,6 +428,16 @@ fn cmd_replay(args: &[String]) -> Result<ExitCode, CliError> {
         }
     }
     let journal = journal.ok_or_else(|| CliError::Usage("replay needs a journal path".into()))?;
+    if summary {
+        if override_mechanism.is_some() {
+            return Err(CliError::Usage(
+                "--summary inspects the journal as recorded; it cannot be \
+                 combined with --mechanism"
+                    .into(),
+            ));
+        }
+        return replay_summary(&journal);
+    }
 
     let mut reader = JournalReader::open(&journal).map_err(fatal)?;
     // An override rebuilds a *different* scheduler against the recorded run —
@@ -433,11 +458,97 @@ fn cmd_replay(args: &[String]) -> Result<ExitCode, CliError> {
             Ok(ExitCode::SUCCESS)
         }
         Err(e @ (ReplayError::Divergence(_) | ReplayError::MetricsMismatch { .. })) => {
-            eprintln!("{e}");
+            error!("{e}");
             Ok(ExitCode::FAILURE)
         }
         Err(e) => Err(fatal(e)),
     }
+}
+
+/// `snip replay --summary`: one pass over the journal, counting events per
+/// kind (with `Sim/...` sub-kinds) and tracking the simulated wall span —
+/// the counters and histograms are the `snip-obs` metric types, exercised
+/// here as plain values rather than registry entries.
+fn replay_summary(journal: &Path) -> Result<ExitCode, CliError> {
+    use snip_obs::metrics::{Counter, Histogram};
+    use snip_replay::JournalEvent;
+    use std::collections::BTreeMap;
+
+    let mut reader = JournalReader::open(journal).map_err(fatal)?;
+    let mut counts: BTreeMap<String, Counter> = BTreeMap::new();
+    let contact_lengths = Histogram::new();
+    let mut total = 0u64;
+    let mut span: Option<(u64, u64)> = None;
+    let observe_at = |span: &mut Option<(u64, u64)>, us: u64| {
+        *span = Some(match *span {
+            None => (us, us),
+            Some((lo, hi)) => (lo.min(us), hi.max(us)),
+        });
+    };
+    while let Some(event) = reader.next_event().map_err(fatal)? {
+        total += 1;
+        let kind = match &event {
+            JournalEvent::Sim(sim) => format!(
+                "Sim/{}",
+                match sim {
+                    snip_sim::SimEvent::NodeStart { .. } => "NodeStart",
+                    snip_sim::SimEvent::Decision(_) => "Decision",
+                    snip_sim::SimEvent::ProbeBatch { .. } => "ProbeBatch",
+                    snip_sim::SimEvent::Probe { .. } => "Probe",
+                    snip_sim::SimEvent::Upload { .. } => "Upload",
+                    snip_sim::SimEvent::EpochEnd { .. } => "EpochEnd",
+                }
+            ),
+            other => other.kind().to_string(),
+        };
+        counts.entry(kind).or_default().inc();
+        match &event {
+            JournalEvent::Contact(c) => {
+                contact_lengths.observe_us(c.length.as_micros());
+                observe_at(&mut span, c.start.as_micros());
+                observe_at(&mut span, c.end().as_micros());
+            }
+            JournalEvent::Sim(sim) => match sim {
+                snip_sim::SimEvent::Decision(d) => observe_at(&mut span, d.now.as_micros()),
+                snip_sim::SimEvent::ProbeBatch { from, .. } => {
+                    observe_at(&mut span, from.as_micros());
+                }
+                snip_sim::SimEvent::Probe { at, .. } | snip_sim::SimEvent::Upload { at, .. } => {
+                    observe_at(&mut span, at.as_micros());
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+
+    println!(
+        "{} ({}): {} events",
+        journal.display(),
+        reader.format(),
+        total
+    );
+    println!("kind\tcount");
+    for (kind, counter) in &counts {
+        println!("{kind}\t{}", counter.get());
+    }
+    if contact_lengths.count() > 0 {
+        println!(
+            "contacts: {}, mean length {:.3} s",
+            contact_lengths.count(),
+            contact_lengths.mean_us() / 1e6,
+        );
+    }
+    match span {
+        None => println!("wall span: (no timestamped events)"),
+        Some((lo, hi)) => println!(
+            "wall span: {:.3} s .. {:.3} s ({:.3} simulated days)",
+            lo as f64 / 1e6,
+            hi as f64 / 1e6,
+            (hi - lo) as f64 / 1e6 / 86_400.0,
+        ),
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Reads just the header of `journal` and builds a spec for a *different*
@@ -526,8 +637,8 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, CliError> {
             Ok(ExitCode::SUCCESS)
         }
         Some(d) => {
-            eprintln!("{d}");
-            eprintln!(
+            error!("{d}");
+            error!(
                 "event counts: {} has {}, {} has {}",
                 a, report.events_a, b, report.events_b
             );
@@ -582,10 +693,11 @@ struct FleetOptions {
     out: Option<PathBuf>,
     verify: bool,
     /// fleet-serve only: listen address, token file, optional bound-address
-    /// report file.
+    /// report file, optional metrics endpoint address.
     listen: Option<String>,
     token_file: Option<PathBuf>,
     addr_file: Option<PathBuf>,
+    stats_addr: Option<String>,
 }
 
 fn parse_fleet_options(args: &[String], serve: bool) -> Result<Option<FleetOptions>, CliError> {
@@ -599,6 +711,7 @@ fn parse_fleet_options(args: &[String], serve: bool) -> Result<Option<FleetOptio
         listen: None,
         token_file: None,
         addr_file: None,
+        stats_addr: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -616,6 +729,9 @@ fn parse_fleet_options(args: &[String], serve: bool) -> Result<Option<FleetOptio
             }
             "--addr-file" if serve => {
                 opts.addr_file = Some(parse_value::<PathBuf>(flag, it.next())?);
+            }
+            "--stats-addr" if serve => {
+                opts.stats_addr = Some(parse_value(flag, it.next())?);
             }
             other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
         }
@@ -678,20 +794,7 @@ fn run_fleet_driver(
     opts: &FleetOptions,
 ) -> Result<ExitCode, CliError> {
     let run = driver.run().map_err(fatal)?;
-    println!(
-        "fleet `{}` done: {} jobs in {} shards on {} workers \
-         ({} lost, {} rejected, {} shards reassigned, {} plans shipped, \
-         {} cross-worker plan hits)",
-        spec.name,
-        run.stats.jobs,
-        run.stats.shards,
-        run.stats.workers,
-        run.stats.workers_lost,
-        run.stats.peers_rejected,
-        run.stats.shards_reassigned,
-        run.stats.plans_shipped,
-        run.stats.plan_seed_hits,
-    );
+    println!("fleet `{}` done: {}", spec.name, run.stats);
     print_fleet_output(&run.output);
 
     if let Some(out) = &opts.out {
@@ -703,7 +806,7 @@ fn run_fleet_driver(
         if reference == run.output {
             println!("verify: distributed output is bit-identical to the sequential run");
         } else {
-            eprintln!("error: distributed output differs from the sequential run");
+            error!("error: distributed output differs from the sequential run");
             return Ok(ExitCode::FAILURE);
         }
     }
@@ -734,7 +837,7 @@ fn cmd_fleet(args: &[String]) -> Result<ExitCode, CliError> {
     };
     let spec = load_fleet_spec(&opts)?;
     let driver = build_driver(&spec, &opts)?;
-    eprintln!(
+    warn!(
         "fleet `{}`: {} jobs across {} workers",
         spec.name,
         spec.job_count(),
@@ -757,7 +860,7 @@ fn cmd_fleet_serve(args: &[String]) -> Result<ExitCode, CliError> {
         })
         .map_err(|e| fatal(format!("could not bind listener: {e}")))?;
     let addr = driver.local_addr().expect("tcp driver knows its address");
-    eprintln!(
+    warn!(
         "fleet-serve `{}`: listening on {addr} for dialing workers \
          ({} jobs; spec hash {:#018x})",
         spec.name,
@@ -767,7 +870,32 @@ fn cmd_fleet_serve(args: &[String]) -> Result<ExitCode, CliError> {
     if let Some(addr_file) = &opts.addr_file {
         std::fs::write(addr_file, format!("{addr}\n")).map_err(fatal)?;
     }
-    run_fleet_driver(&driver, &spec, &opts)
+    // The stats endpoint outlives the run on purpose: it is shut down
+    // only after the final report is printed, so a scraper polling it
+    // sees the finished run's gauges too.
+    let stats = match &opts.stats_addr {
+        None => None,
+        Some(stats_addr) => {
+            let server = snip_obs::http::serve(stats_addr.as_str())
+                .map_err(|e| fatal(format!("could not bind --stats-addr {stats_addr}: {e}")))?;
+            warn!(
+                "fleet-serve `{}`: stats endpoint on http://{}/metrics",
+                spec.name,
+                server.local_addr()
+            );
+            Some(server)
+        }
+    };
+    let result = run_fleet_driver(&driver, &spec, &opts);
+    if let Some(server) = stats {
+        // A small example run can start and finish between two polls of
+        // an outside scraper, so hold the endpoint open briefly: the
+        // end-of-run gauges (workers admitted, shards done) stay
+        // scrapeable for a couple of seconds after the report prints.
+        std::thread::sleep(std::time::Duration::from_secs(2));
+        server.shutdown();
+    }
+    result
 }
 
 /// Summarizes the merged output on stdout.
@@ -969,7 +1097,7 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, CliError> {
     )
     .with_seed(opts.seed);
     let points = opts.targets.len() * snip_sim::Mechanism::ALL.len();
-    eprintln!(
+    warn!(
         "benching {points} points ({} targets x 3 mechanisms, {} epochs each), {} threads",
         opts.targets.len(),
         opts.epochs,
@@ -988,11 +1116,11 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, CliError> {
         (out, best)
     };
     let (baseline, baseline_secs) = timed(&|| runner.sweep_baseline(&opts.targets));
-    eprintln!("  baseline (naive stepper, sequential): {baseline_secs:.3} s");
+    warn!("  baseline (naive stepper, sequential): {baseline_secs:.3} s");
     let (sequential, sequential_secs) = timed(&|| runner.sweep_parallel(&opts.targets, 1));
-    eprintln!("  optimized sequential:                 {sequential_secs:.3} s");
+    warn!("  optimized sequential:                 {sequential_secs:.3} s");
     let (parallel, parallel_secs) = timed(&|| runner.sweep_parallel(&opts.targets, opts.threads));
-    eprintln!(
+    warn!(
         "  optimized parallel ({} threads):       {parallel_secs:.3} s",
         opts.threads
     );
@@ -1046,7 +1174,7 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, CliError> {
         Some(workers) => {
             let driver = FleetDriver::new(bench_spec(), workers).map_err(CliError::Usage)?;
             let bench = measure_fleet(&driver, workers)?;
-            eprintln!(
+            warn!(
                 "  fleet driver ({workers} workers):           {:.3} s",
                 bench.secs
             );
@@ -1065,7 +1193,7 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, CliError> {
                 })
                 .map_err(|e| fatal(format!("could not bind bench listener: {e}")))?;
             let bench = measure_fleet(&driver, workers)?;
-            eprintln!(
+            warn!(
                 "  fleet driver, TCP ({workers} workers):      {:.3} s \
                  ({} plans shipped, {} cross-worker hits)",
                 bench.secs, bench.stats.plans_shipped, bench.stats.plan_seed_hits
@@ -1097,6 +1225,31 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, CliError> {
     // solved (the sweep re-solves each (profile, Φmax, ζtarget) point
     // once; every repetition after the first should hit).
     let cache = snip_opt::plan_cache_stats();
+    // Where the run's time actually went, straight from the snip-obs
+    // registry: everything this process (and its in-process fleet
+    // coordinators) observed. All integer µs / bytes — exact sums, not
+    // sampled estimates.
+    let timing_breakdown = {
+        use snip_obs::metrics::{sum_counters, sum_histograms};
+        let (solve_count, solve_us) = sum_histograms("snip_opt_solve_us");
+        let (sweep_count, sweep_us) = sum_histograms("snip_sweep_point_us");
+        let (_, encode_us) = sum_histograms("snip_frame_encode_us");
+        let (_, decode_us) = sum_histograms("snip_frame_decode_us");
+        let (_, queue_us) = sum_histograms("snip_shard_queue_us");
+        let (_, compute_us) = sum_histograms("snip_shard_compute_us");
+        let (_, merge_us) = sum_histograms("snip_fleet_merge_us");
+        format!(
+            "  \"timing_breakdown\": {{\"sweep_point_count\": {sweep_count}, \
+             \"sweep_point_us_total\": {sweep_us}, \
+             \"opt_solve_count\": {solve_count}, \"opt_solve_us_total\": {solve_us}, \
+             \"frame_tx_bytes_total\": {tx}, \"frame_rx_bytes_total\": {rx}, \
+             \"frame_encode_us_total\": {encode_us}, \"frame_decode_us_total\": {decode_us}, \
+             \"shard_queue_us_total\": {queue_us}, \"shard_compute_us_total\": {compute_us}, \
+             \"fleet_merge_us_total\": {merge_us}}},\n",
+            tx = sum_counters("snip_frame_tx_bytes_total"),
+            rx = sum_counters("snip_frame_rx_bytes_total"),
+        )
+    };
     let fleet_report_fields = |prefix: &str, bench: Option<&FleetBench>| -> String {
         match bench {
             None => String::new(),
@@ -1132,7 +1285,8 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, CliError> {
          \"points_per_sec_parallel\": {pps:.3},\n  \
          \"speedup_parallel_vs_baseline\": {speedup_vs_baseline:.3},\n  \
          \"speedup_parallel_vs_sequential\": {speedup_vs_sequential:.3},\n\
-         {fleet_fields}  \
+         {fleet_fields}\
+         {timing_breakdown}  \
          \"opt_plan_cache\": {{\"hits\": {cache_hits}, \"misses\": {cache_misses}}},\n  \
          \"determinism\": {{\"parallel_equals_sequential\": {parallel_equals_sequential}, \
          \"optimized_matches_baseline\": {baseline_matches}}}\n}}\n",
@@ -1176,7 +1330,7 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, CliError> {
         )?;
     }
     if !(parallel_equals_sequential && baseline_matches && fleet_ok) {
-        eprintln!(
+        error!(
             "error: determinism check failed (see {})",
             opts.out.display()
         );
@@ -1271,7 +1425,7 @@ fn append_bench_history(
             if let (true, Some(prev_secs)) = (same_shape, field(&prev, "parallel_secs")) {
                 let ratio = parallel_secs / prev_secs.max(1e-9);
                 if ratio > 1.25 {
-                    eprintln!(
+                    warn!(
                         "warning: parallel sweep is {ratio:.2}x slower than the previous \
                          entry ({parallel_secs:.3} s vs {prev_secs:.3} s)"
                     );

@@ -38,6 +38,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use snip_obs::metrics::{Counter, Gauge, Histogram};
 use snip_opt::OptPlan;
 use snip_sim::RunMetrics;
 
@@ -137,6 +138,69 @@ pub struct DriverStats {
     pub plan_seed_hits: u64,
 }
 
+impl fmt::Display for DriverStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} job(s) in {} shard(s) on {} worker(s); {} worker(s) lost, \
+             {} peer(s) rejected, {} shard(s) reassigned, {} plan(s) shipped, \
+             {} cross-worker plan hit(s)",
+            self.jobs,
+            self.shards,
+            self.workers,
+            self.workers_lost,
+            self.peers_rejected,
+            self.shards_reassigned,
+            self.plans_shipped,
+            self.plan_seed_hits
+        )
+    }
+}
+
+/// Registry handles for the coordinator's instrumentation, resolved once.
+/// Gauges describe the current (or most recent) run and are reset when a
+/// run starts; counters are cumulative for the process, mirroring the
+/// per-run [`DriverStats`].
+struct FleetMetrics {
+    workers: &'static Gauge,
+    shards_total: &'static Gauge,
+    shards_done: &'static Gauge,
+    runs: &'static Counter,
+    workers_lost: &'static Counter,
+    peers_rejected: &'static Counter,
+    shards_reassigned: &'static Counter,
+    plans_shipped: &'static Counter,
+    plan_seed_hits: &'static Counter,
+    /// Time a shard sat queued before a worker pulled it.
+    queue_us: &'static Histogram,
+    /// Assignment-to-`ShardDone` round trip (compute plus transport).
+    compute_us: &'static Histogram,
+    /// Index-ordered merge of the shard results.
+    merge_us: &'static Histogram,
+    /// `Init`-to-`Ready` handshake, per admitted peer.
+    handshake_us: &'static Histogram,
+}
+
+fn fleet_metrics() -> &'static FleetMetrics {
+    use snip_obs::metrics::{counter, gauge, histogram};
+    static METRICS: std::sync::OnceLock<FleetMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| FleetMetrics {
+        workers: gauge("snip_fleet_workers"),
+        shards_total: gauge("snip_fleet_shards_total"),
+        shards_done: gauge("snip_fleet_shards_done"),
+        runs: counter("snip_fleet_runs_total"),
+        workers_lost: counter("snip_fleet_workers_lost_total"),
+        peers_rejected: counter("snip_fleet_peers_rejected_total"),
+        shards_reassigned: counter("snip_fleet_shards_reassigned_total"),
+        plans_shipped: counter("snip_fleet_plans_shipped_total"),
+        plan_seed_hits: counter("snip_fleet_plan_seed_hits_total"),
+        queue_us: histogram("snip_shard_queue_us"),
+        compute_us: histogram("snip_shard_compute_us"),
+        merge_us: histogram("snip_fleet_merge_us"),
+        handshake_us: histogram("snip_handshake_us"),
+    })
+}
+
 /// A completed fleet run: the merged output plus the run counters.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetRun {
@@ -208,7 +272,9 @@ struct PlanStore {
 /// Everything one run's peers share: the shard queue, the result slots,
 /// and the lifecycle counters.
 struct RunState {
-    queue: Mutex<VecDeque<Shard>>,
+    /// Pending shards, each stamped with when it (re)entered the queue so
+    /// pulls can record queue latency.
+    queue: Mutex<VecDeque<(Shard, Instant)>>,
     wakeup: Condvar,
     results: Vec<Mutex<Option<Vec<RunMetrics>>>>,
     total: u64,
@@ -231,8 +297,9 @@ struct RunState {
 
 impl RunState {
     fn new(shards: &[Shard]) -> Self {
+        let enqueued = Instant::now();
         RunState {
-            queue: Mutex::new(shards.iter().copied().collect()),
+            queue: Mutex::new(shards.iter().map(|&s| (s, enqueued)).collect()),
             wakeup: Condvar::new(),
             results: shards.iter().map(|_| Mutex::new(None)).collect(),
             total: shards.len() as u64,
@@ -280,8 +347,13 @@ impl RunState {
         self.queue
             .lock()
             .expect("shard queue poisoned")
-            .push_back(shard);
+            .push_back((shard, Instant::now()));
         self.reassigned.fetch_add(1, Ordering::Relaxed);
+        snip_obs::event!(
+            snip_obs::log::Level::Debug,
+            "shard {} re-queued from a lost worker",
+            shard.id
+        );
         self.wakeup.notify_all();
     }
 
@@ -290,7 +362,8 @@ impl RunState {
     fn next_shard(&self) -> Option<Shard> {
         let mut q = self.queue.lock().expect("shard queue poisoned");
         loop {
-            if let Some(shard) = q.pop_front() {
+            if let Some((shard, queued_at)) = q.pop_front() {
+                fleet_metrics().queue_us.observe(queued_at.elapsed());
                 return Some(shard);
             }
             if self.over() {
@@ -312,6 +385,7 @@ impl RunState {
             .lock()
             .expect("result slot poisoned") = Some(metrics);
         self.completed.fetch_add(1, Ordering::SeqCst);
+        fleet_metrics().shards_done.inc();
         self.touch();
         self.wakeup.notify_all();
     }
@@ -461,12 +535,45 @@ impl FleetDriver {
         let shards = self.shards();
         let state = RunState::new(&shards);
 
-        match &self.tcp {
-            None => self.run_pipe(&state)?,
-            Some(tcp) => self.run_tcp(tcp, &state)?,
-        }
+        let obs = fleet_metrics();
+        obs.runs.inc();
+        obs.workers.set(0);
+        obs.shards_done.set(0);
+        obs.shards_total.set(state.total);
+        let _run_span = snip_obs::span!(
+            "fleet-run {} ({} jobs, {} shards)",
+            self.spec.name,
+            self.spec.job_count(),
+            state.total
+        );
 
+        let dispatch = match &self.tcp {
+            None => {
+                self.run_pipe(&state)?;
+                "pipe"
+            }
+            Some(tcp) => {
+                self.run_tcp(tcp, &state)?;
+                "tcp"
+            }
+        };
+
+        // Mirror the run's lifecycle counters into the process registry
+        // (cumulative there, per-run in DriverStats) before the
+        // completeness check, so a failed run's severs still surface on
+        // the stats endpoint.
         let workers_lost = state.lost.load(Ordering::Relaxed);
+        obs.workers_lost.add(workers_lost as u64);
+        obs.peers_rejected
+            .add(state.rejected.load(Ordering::Relaxed) as u64);
+        obs.shards_reassigned
+            .add(state.reassigned.load(Ordering::Relaxed));
+        obs.plans_shipped
+            .add(state.plans_shipped.load(Ordering::Relaxed));
+        obs.plan_seed_hits
+            .add(state.seed_hits.load(Ordering::Relaxed));
+
+        let merge_start = Instant::now();
         let mut metrics: Vec<RunMetrics> = Vec::with_capacity(self.spec.job_count() as usize);
         let mut missing = Vec::new();
         for (id, slot) in state.results.iter().enumerate() {
@@ -482,8 +589,17 @@ impl FleetDriver {
             });
         }
 
+        let output = runner.merge(&metrics);
+        obs.merge_us.observe(merge_start.elapsed());
+        snip_obs::event!(
+            snip_obs::log::Level::Info,
+            "fleet run `{}` over {dispatch} merged {} shard(s)",
+            self.spec.name,
+            state.total
+        );
+
         Ok(FleetRun {
-            output: runner.merge(&metrics),
+            output,
             stats: DriverStats {
                 jobs: self.spec.job_count(),
                 shards: state.total,
@@ -564,14 +680,14 @@ impl FleetDriver {
             args.push(addr.to_string());
             let to_spawn = self.workers.min(state.results.len().max(1));
             for worker in 0..to_spawn {
-                match Command::new(&program)
-                    .args(&args)
+                let mut cmd = Command::new(&program);
+                cmd.args(&args)
                     .env(TOKEN_ENV_VAR, &tcp.token)
                     .stdin(Stdio::null())
                     .stdout(Stdio::null())
-                    .stderr(Stdio::inherit())
-                    .spawn()
-                {
+                    .stderr(Stdio::inherit());
+                crate::transport::child_trace_env(&mut cmd);
+                match cmd.spawn() {
                     Ok(child) => children.push(child),
                     Err(error) => {
                         for mut child in children {
@@ -801,6 +917,7 @@ impl FleetDriver {
         transport: &mut dyn Transport,
         state: &RunState,
     ) -> PeerOutcome {
+        let handshake_start = Instant::now();
         let spec_hash = self.spec.spec_hash();
         let mut shipped = HashSet::new();
         let mut seen_generation = u64::MAX; // force the Init scan
@@ -832,13 +949,32 @@ impl FleetDriver {
             }
         }
         state.admitted.fetch_add(1, Ordering::Relaxed);
+        let obs = fleet_metrics();
+        obs.workers.inc();
+        obs.handshake_us.observe(handshake_start.elapsed());
+        snip_obs::event!(
+            snip_obs::log::Level::Debug,
+            "peer {worker_idx} ({}) admitted",
+            transport.peer()
+        );
 
+        // Per-peer utilization: accumulated locally, flushed once when the
+        // peer's service ends (any outcome).
+        let serve_start = Instant::now();
+        let mut busy_us = 0u64;
         let mut done_here = 0u64;
-        loop {
+        let outcome = loop {
             let Some(shard) = state.next_shard() else {
                 let _ = send_msg(transport, &CoordinatorMsg::Shutdown);
-                return PeerOutcome::Finished;
+                break PeerOutcome::Finished;
             };
+            let _shard_span = snip_obs::span!(
+                "shard {} jobs {}..{} peer {worker_idx}",
+                shard.id,
+                shard.start,
+                shard.end
+            );
+            let compute_start = Instant::now();
             let assignment = CoordinatorMsg::Shard {
                 id: shard.id,
                 start: shard.start,
@@ -848,7 +984,7 @@ impl FleetDriver {
             if send_msg(transport, &assignment).is_err() {
                 state.requeue(shard);
                 transport.sever();
-                return PeerOutcome::Lost;
+                break PeerOutcome::Lost;
             }
             match self.recv_peer(transport, state) {
                 Some(WorkerMsg::ShardDone {
@@ -857,6 +993,9 @@ impl FleetDriver {
                     plans,
                     seeded_hits,
                 }) if id == shard.id && metrics.len() as u64 == shard.end - shard.start => {
+                    let round_trip = compute_start.elapsed();
+                    obs.compute_us.observe(round_trip);
+                    busy_us += snip_obs::metrics::duration_us(round_trip);
                     {
                         let mut store = self.plans.lock().expect("plan set poisoned");
                         for entry in plans {
@@ -889,10 +1028,26 @@ impl FleetDriver {
                     // is lost and the shard goes back on the queue.
                     state.requeue(shard);
                     transport.sever();
-                    return PeerOutcome::Lost;
+                    break PeerOutcome::Lost;
                 }
             }
-        }
+        };
+        let serve_us = snip_obs::metrics::duration_us(serve_start.elapsed());
+        snip_obs::metrics::counter(&format!("snip_peer_busy_us_total{{peer=\"{worker_idx}\"}}"))
+            .add(busy_us);
+        snip_obs::metrics::counter(&format!(
+            "snip_peer_serve_us_total{{peer=\"{worker_idx}\"}}"
+        ))
+        .add(serve_us);
+        snip_obs::metrics::counter(&format!(
+            "snip_peer_shards_done_total{{peer=\"{worker_idx}\"}}"
+        ))
+        .add(done_here);
+        snip_obs::event!(
+            snip_obs::log::Level::Debug,
+            "peer {worker_idx} served {done_here} shard(s), busy {busy_us}µs of {serve_us}µs"
+        );
+        outcome
     }
 }
 

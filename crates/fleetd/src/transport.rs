@@ -132,10 +132,16 @@ struct FramePump {
 }
 
 impl FramePump {
-    fn start<R: Read + Send + 'static>(input: R, limit: Arc<AtomicU64>) -> Self {
+    fn start<R: Read + Send + 'static>(
+        input: R,
+        limit: Arc<AtomicU64>,
+        metrics_label: &str,
+    ) -> Self {
         let (tx, rx) = mpsc::channel();
+        let metrics_label = metrics_label.to_string();
         let handle = std::thread::spawn(move || {
-            let mut reader = FrameReader::with_frame_limit(BufReader::new(input), limit);
+            let mut reader = FrameReader::with_frame_limit(BufReader::new(input), limit)
+                .with_metrics(&metrics_label);
             loop {
                 match reader.recv_value() {
                     Ok(Some(v)) => {
@@ -197,6 +203,20 @@ pub struct PipeTransport {
     label: String,
 }
 
+/// Redirects a spawned worker's `SNIP_TRACE` to its own file. A child
+/// inheriting the parent's value verbatim would `File::create` — and
+/// truncate — the very trace the coordinator is writing, so each worker
+/// gets `<path>.wN` instead (load them side by side in Perfetto).
+pub(crate) fn child_trace_env(cmd: &mut Command) {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    if let Ok(path) = std::env::var("SNIP_TRACE") {
+        if !path.is_empty() {
+            let n = NEXT.fetch_add(1, Ordering::Relaxed);
+            cmd.env("SNIP_TRACE", format!("{path}.w{n}"));
+        }
+    }
+}
+
 impl PipeTransport {
     /// Spawns `program args…` with piped stdin/stdout (stderr inherited)
     /// and frames messages over the pipes.
@@ -205,21 +225,23 @@ impl PipeTransport {
     ///
     /// Returns the OS spawn error.
     pub fn spawn(program: &std::path::Path, args: &[String]) -> io::Result<Self> {
-        let mut child = Command::new(program)
-            .args(args)
+        let mut cmd = Command::new(program);
+        cmd.args(args)
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
-            .stderr(Stdio::inherit())
-            .spawn()?;
+            .stderr(Stdio::inherit());
+        child_trace_env(&mut cmd);
+        let mut child = cmd.spawn()?;
         let stdin = child.stdin.take().expect("piped stdin");
         let stdout = child.stdout.take().expect("piped stdout");
         let label = format!("pipe:{}", child.id());
         Ok(PipeTransport {
             child,
-            writer: Some(FrameWriter::new(stdin)),
+            writer: Some(FrameWriter::new(stdin).with_metrics("pipe")),
             pump: Some(FramePump::start(
                 stdout,
                 Arc::new(AtomicU64::new(MAX_FRAME_BYTES)),
+                "pipe",
             )),
             label,
         })
@@ -316,8 +338,8 @@ impl TcpTransport {
         let limit = Arc::new(AtomicU64::new(frame_limit));
         Ok(TcpTransport {
             ctl: stream,
-            writer: FrameWriter::new(BufWriter::new(write_half)),
-            pump: Some(FramePump::start(read_half, Arc::clone(&limit))),
+            writer: FrameWriter::new(BufWriter::new(write_half)).with_metrics("tcp"),
+            pump: Some(FramePump::start(read_half, Arc::clone(&limit), "tcp")),
             limit,
             label,
         })
@@ -368,14 +390,16 @@ pub struct StreamTransport<W: Write + Send> {
 impl<W: Write + Send> StreamTransport<W> {
     /// Frames messages over `input`/`output`.
     pub fn new<R: Read + Send + 'static>(input: R, output: W, label: impl Into<String>) -> Self {
+        let label = label.into();
         StreamTransport {
-            writer: FrameWriter::new(output),
+            writer: FrameWriter::new(output).with_metrics(&label),
             pump: Some(FramePump::start(
                 input,
                 Arc::new(AtomicU64::new(MAX_FRAME_BYTES)),
+                &label,
             )),
             severed: false,
-            label: label.into(),
+            label,
         }
     }
 }

@@ -191,7 +191,13 @@ pub fn serve(
                     reported.insert(entry.key.clone());
                 }
                 let seeded_before = snip_opt::plan_cache_stats().seeded_hits;
-                let metrics = (start..end).map(|i| runner.run_job(i)).collect();
+                let compute_start = Instant::now();
+                let metrics = {
+                    let _span = snip_obs::span!("worker shard {id} jobs {start}..{end}");
+                    (start..end).map(|i| runner.run_job(i)).collect()
+                };
+                snip_obs::metrics::histogram("snip_worker_shard_compute_us")
+                    .observe(compute_start.elapsed());
                 let seeded_hits = snip_opt::plan_cache_stats().seeded_hits - seeded_before;
                 let new_plans: Vec<PlanEntry> =
                     snip_opt::cached_plans_where(|key| !reported.contains(key))

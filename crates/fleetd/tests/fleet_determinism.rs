@@ -196,6 +196,50 @@ fn killed_worker_mid_run_is_stolen_from_and_output_is_unchanged() {
 }
 
 #[test]
+fn full_observability_does_not_move_a_bit() {
+    // The whole snip-obs stack at maximum volume — SNIP_LOG=debug in this
+    // process *and* in every spawned worker, plus a chrome://tracing sink
+    // — must leave the merged ledgers bit-identical to the quiet
+    // sequential reference: instrumentation reads wall clocks and
+    // atomics, never simulation state.
+    std::env::set_var("SNIP_LOG", "debug");
+    snip_obs::log::set_level(snip_obs::log::Level::Debug);
+    let trace_path = std::env::temp_dir().join(format!(
+        "snip-fleet-determinism-trace-{}.json",
+        std::process::id()
+    ));
+    assert!(
+        snip_obs::trace::init_file(&trace_path),
+        "first trace sink in this process"
+    );
+
+    let spec = fleet_spec(Mechanism::SnipRh);
+    let reference = JobRunner::new(&spec).run_sequential();
+    for dispatch in BOTH {
+        let run = driver(&spec, 2, dispatch)
+            .run()
+            .expect("instrumented fleet run succeeds");
+        assert_eq!(
+            run.output, reference,
+            "debug logging + tracing + metrics over {dispatch:?} must be invisible \
+             in the output"
+        );
+    }
+
+    let trace = std::fs::read_to_string(&trace_path).expect("trace file exists");
+    assert!(
+        trace.contains("\"ph\":\"X\""),
+        "the trace sink recorded at least one complete span"
+    );
+    assert!(
+        trace.contains("fleet-run"),
+        "the fleet run span reached the trace file"
+    );
+    let _ = std::fs::remove_file(&trace_path);
+    snip_obs::log::set_level(snip_obs::log::Level::Warn);
+}
+
+#[test]
 fn losing_every_worker_reports_incomplete() {
     let spec = fleet_spec(Mechanism::SnipRh);
     // A "worker" that ignores the protocol and exits immediately: `true`

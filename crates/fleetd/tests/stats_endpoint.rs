@@ -1,0 +1,136 @@
+//! The scrapeable stats endpoint, end to end: a real TCP fleet run with an
+//! injected worker kill, scraped over plain HTTP. The Prometheus text must
+//! show the fleet's shape (workers admitted, shards done) *and* the fault
+//! (a lost worker, a re-queued shard) — the counters a dashboard would
+//! alert on.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use snip_fleetd::{FaultInjection, FleetDriver, FleetSpec, JobSpec, NodeSpec, TcpConfig};
+use snip_mobility::EpochProfile;
+use snip_sim::Mechanism;
+
+const SNIP_BIN: &str = env!("CARGO_BIN_EXE_snip");
+
+fn kill_drill_spec() -> FleetSpec {
+    let nodes = (0..16)
+        .map(|i| NodeSpec {
+            name: format!("site-{i}"),
+            profile: EpochProfile::roadside(),
+            zeta_target: 8.0,
+        })
+        .collect();
+    FleetSpec {
+        name: "stats-endpoint".into(),
+        seed: 2011,
+        epochs: 2,
+        phi_max_secs: 86.4,
+        job: JobSpec::Fleet {
+            mechanism: Mechanism::SnipRh,
+            nodes,
+        },
+    }
+}
+
+/// One HTTP GET against the stats server, returning the response body.
+fn scrape(addr: std::net::SocketAddr) -> String {
+    let mut stream = TcpStream::connect(addr).expect("stats endpoint accepts");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(stream, "GET /metrics HTTP/1.0\r\nhost: test\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("full response");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("header/body separator");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    assert!(
+        head.contains("text/plain; version=0.0.4"),
+        "Prometheus text content type: {head}"
+    );
+    body.to_string()
+}
+
+/// The value of a plain `name value` sample line, if present.
+fn sample(body: &str, name: &str) -> Option<f64> {
+    body.lines()
+        .find(|l| l.split_whitespace().next() == Some(name))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+}
+
+#[test]
+fn scrape_shows_the_fleet_and_the_injected_kill() {
+    let server = snip_obs::http::serve("127.0.0.1:0").expect("ephemeral stats bind");
+    let addr = server.local_addr();
+
+    // The endpoint answers (200, Prometheus content type — asserted inside
+    // `scrape`) before any run starts.
+    let _idle = scrape(addr);
+
+    // Startup skew can defuse the kill drill (see fleet_determinism.rs):
+    // retry until the sever lands mid-run.
+    let spec = kill_drill_spec();
+    let mut bitten = false;
+    for _ in 0..5 {
+        let run = FleetDriver::new(spec.clone(), 2)
+            .expect("valid spec")
+            .with_worker_command(SNIP_BIN, vec!["fleet-worker".into()])
+            .with_shard_timeout(Duration::from_secs(120))
+            .with_shard_size(1)
+            .with_tcp(TcpConfig {
+                listen: "127.0.0.1:0".into(),
+                token: "stats-endpoint-token".into(),
+                spawn_workers: true,
+            })
+            .expect("ephemeral fleet bind")
+            .with_fault(FaultInjection::KillWorker {
+                worker: 0,
+                after_shards: 1,
+            })
+            .run()
+            .expect("surviving worker finishes");
+        if run.stats.workers_lost == 1 && run.stats.shards_reassigned >= 1 {
+            bitten = true;
+            break;
+        }
+    }
+    assert!(
+        bitten,
+        "in 5 attempts the drill never severed a peer mid-run"
+    );
+
+    let body = scrape(addr);
+    // The registry is process-global and other tests may run fleets in
+    // this binary, so every bound is >=, never ==.
+    assert!(
+        sample(&body, "snip_fleet_workers").unwrap_or(0.0) >= 1.0,
+        "workers gauge: {body}"
+    );
+    assert!(
+        sample(&body, "snip_fleet_shards_done").unwrap_or(0.0) >= 16.0,
+        "shards_done gauge: {body}"
+    );
+    assert!(
+        sample(&body, "snip_fleet_workers_lost_total").unwrap_or(0.0) >= 1.0,
+        "the sever reached the counters: {body}"
+    );
+    assert!(
+        sample(&body, "snip_fleet_shards_reassigned_total").unwrap_or(0.0) >= 1.0,
+        "the re-queue reached the counters: {body}"
+    );
+    // Transport instrumentation: TCP frames moved real bytes both ways.
+    assert!(
+        body.contains("snip_frame_tx_bytes_total{transport=\"tcp\"}"),
+        "tcp tx bytes: {body}"
+    );
+    assert!(
+        body.contains("snip_shard_queue_us_bucket"),
+        "queue-latency histogram renders cumulative buckets: {body}"
+    );
+
+    server.shutdown();
+}

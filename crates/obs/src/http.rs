@@ -1,0 +1,154 @@
+//! A hand-rolled stats HTTP endpoint serving the metrics registry.
+//!
+//! Zero dependencies (the build environment is vendored-offline): a plain
+//! [`TcpListener`] on a background thread answers every request with the
+//! full registry rendered by [`crate::metrics::render_prometheus`] as
+//! `text/plain; version=0.0.4` — the Prometheus text exposition format —
+//! so `curl http://HOST:PORT/metrics` or a Prometheus scrape both work.
+//! The request line and headers are read and discarded; method and path
+//! are irrelevant for a single-document server.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running stats endpoint. Dropping it (or calling
+/// [`StatsServer::shutdown`]) stops the accept loop and joins the thread.
+pub struct StatsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serves the
+/// metrics registry from a background thread.
+///
+/// # Errors
+///
+/// Returns the bind/configuration error if the listener cannot be set up.
+pub fn serve<A: ToSocketAddrs>(addr: A) -> std::io::Result<StatsServer> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("snip-stats".into())
+        .spawn(move || accept_loop(&listener, &stop_flag))?;
+    Ok(StatsServer {
+        addr: local,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, stop: &AtomicBool) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = serve_one(stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Answers a single HTTP request with the rendered registry.
+fn serve_one(stream: TcpStream) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    // Request line plus headers, until the blank line; capped so a
+    // misbehaving client cannot hold the thread.
+    for _ in 0..64 {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        if line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let body = crate::metrics::render_prometheus();
+    let mut stream = stream;
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\ncontent-type: text/plain; version=0.0.4; charset=utf-8\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len(),
+    )?;
+    stream.flush()
+}
+
+impl StatsServer {
+    /// The bound address — useful with port 0.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the serving thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for StatsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    /// One raw HTTP GET against `addr`, returning (status line, body).
+    fn scrape(addr: SocketAddr) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect to stats server");
+        stream
+            .write_all(b"GET /metrics HTTP/1.0\r\nhost: test\r\n\r\n")
+            .expect("send request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .expect("response has header/body split");
+        let status = head.lines().next().unwrap_or_default().to_string();
+        (status, body.to_string())
+    }
+
+    #[test]
+    fn serves_the_registry_over_http() {
+        crate::metrics::counter("test_http_scrapes_total").add(9);
+        let server = serve("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = server.local_addr();
+        let (status, body) = scrape(addr);
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(
+            body.contains("test_http_scrapes_total 9"),
+            "body should carry the registry: {body:?}"
+        );
+        // Server answers repeat requests until shut down.
+        let (status, _) = scrape(addr);
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        server.shutdown();
+        assert!(
+            TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err(),
+            "listener should be closed after shutdown"
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Observability for the SNIP workspace.
+//!
+//! Three small, dependency-free layers, all strictly **outside** simulation
+//! state — nothing here is read by a scheduler, an optimizer, or the fleet
+//! protocol, so output is bit-identical whether observability is enabled,
+//! disabled, or half-configured:
+//!
+//! - [`log`] — leveled stderr logging behind a `SNIP_LOG` environment
+//!   filter (`error|warn|info|debug`, default `warn`), with the
+//!   [`error!`]/[`warn!`]/[`info!`]/[`debug!`] macros.
+//! - [`metrics`] — a process-wide registry of [`metrics::Counter`]s,
+//!   [`metrics::Gauge`]s, and fixed-bucket integer-µs
+//!   [`metrics::Histogram`]s, rendered in Prometheus text exposition
+//!   format by [`metrics::render_prometheus`]. Registration takes one
+//!   mutex hit; after that every handle is a `&'static` of lock-free
+//!   atomics.
+//! - [`trace`] — span-based tracing via the [`span!`]/[`event!`] macros,
+//!   written as a chrome://tracing JSON event stream when `SNIP_TRACE`
+//!   names a file (or [`trace::init_file`] is called).
+//!
+//! The [`http`] module serves the registry over a hand-rolled HTTP
+//! endpoint (`snip fleet-serve --stats-addr`), Prometheus-scrapeable with
+//! zero dependencies — the environment is vendored-offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod log;
+pub mod metrics;
+pub mod trace;

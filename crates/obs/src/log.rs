@@ -1,0 +1,179 @@
+//! Leveled stderr logging behind the `SNIP_LOG` environment filter.
+//!
+//! The filter is read once, lazily, from `SNIP_LOG`
+//! (`error|warn|info|debug`, case-insensitive); unset or unrecognized
+//! values default to [`Level::Warn`]. Tests and embedders can override it
+//! programmatically with [`set_level`].
+//!
+//! Formatting convention: `error`/`warn` lines are written verbatim — the
+//! CLI's long-standing user-facing messages keep their exact bytes — while
+//! `info`/`debug` lines (the observability layer's own chatter) carry a
+//! `[LEVEL target]` prefix so they are easy to filter.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A log severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The run cannot proceed, or produced a wrong-looking result.
+    Error = 1,
+    /// User-facing run status; the default visibility threshold.
+    Warn = 2,
+    /// Observability detail: per-run timings, endpoint lifecycle.
+    Info = 3,
+    /// Per-shard / per-peer chatter.
+    Debug = 4,
+}
+
+impl Level {
+    /// The level's uppercase display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+        }
+    }
+
+    /// Parses a `SNIP_LOG` value. Case-insensitive; `warning` is accepted
+    /// as an alias for `warn`.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// 0 means "not yet initialized from the environment".
+static MAX_LEVEL: AtomicUsize = AtomicUsize::new(0);
+
+fn init_from_env() -> usize {
+    let level = std::env::var("SNIP_LOG")
+        .ok()
+        .and_then(|v| Level::parse(&v))
+        .unwrap_or(Level::Warn) as usize;
+    // A racing first call stores the same value: the env var is stable.
+    MAX_LEVEL.store(level, Ordering::Relaxed);
+    level
+}
+
+fn current() -> usize {
+    match MAX_LEVEL.load(Ordering::Relaxed) {
+        0 => init_from_env(),
+        v => v,
+    }
+}
+
+/// `true` if a message at `level` would be written.
+#[must_use]
+pub fn enabled(level: Level) -> bool {
+    level as usize <= current()
+}
+
+/// Overrides the filter level, taking precedence over `SNIP_LOG`.
+pub fn set_level(level: Level) {
+    MAX_LEVEL.store(level as usize, Ordering::Relaxed);
+}
+
+/// Writes one log line to stderr if `level` passes the filter. Prefer the
+/// [`error!`](crate::error!)/[`warn!`](crate::warn!)/
+/// [`info!`](crate::info!)/[`debug!`](crate::debug!) macros, which skip
+/// argument formatting when the level is filtered out.
+pub fn log(level: Level, target: &str, args: std::fmt::Arguments<'_>) {
+    if !enabled(level) {
+        return;
+    }
+    let stderr = std::io::stderr();
+    let mut out = stderr.lock();
+    let _ = match level {
+        Level::Error | Level::Warn => writeln!(out, "{args}"),
+        Level::Info | Level::Debug => writeln!(out, "[{} {target}] {args}", level.label()),
+    };
+}
+
+/// Logs at [`Level::Error`]. Arguments are `format!`-style and are only
+/// evaluated when the level passes the `SNIP_LOG` filter.
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Error) {
+            $crate::log::log($crate::log::Level::Error, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Warn`] — the default visibility threshold, used for
+/// user-facing run status. See [`error!`](crate::error!).
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Warn) {
+            $crate::log::log($crate::log::Level::Warn, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Info`]. See [`error!`](crate::error!).
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Info) {
+            $crate::log::log($crate::log::Level::Info, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Debug`]. See [`error!`](crate::error!).
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Debug) {
+            $crate::log::log($crate::log::Level::Debug, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_by_severity() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn parse_accepts_the_documented_values() {
+        assert_eq!(Level::parse("error"), Some(Level::Error));
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse(" info "), Some(Level::Info));
+        assert_eq!(Level::parse("Debug"), Some(Level::Debug));
+        assert_eq!(Level::parse("trace"), None);
+        assert_eq!(Level::parse(""), None);
+    }
+
+    #[test]
+    fn set_level_gates_enabled() {
+        // The filter is process-global; restore the default afterwards so
+        // other tests in this binary see the documented default.
+        set_level(Level::Error);
+        assert!(enabled(Level::Error));
+        assert!(!enabled(Level::Warn));
+        set_level(Level::Debug);
+        assert!(enabled(Level::Debug));
+        set_level(Level::Warn);
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+    }
+}

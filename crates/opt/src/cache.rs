@@ -63,6 +63,25 @@ fn cache() -> &'static Mutex<HashMap<String, Entry>> {
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
+/// Registry handles mirroring the cache counters (plus solve timing) into
+/// the process metrics registry, resolved once.
+struct CacheMetrics {
+    hits: &'static snip_obs::metrics::Counter,
+    misses: &'static snip_obs::metrics::Counter,
+    seeded_hits: &'static snip_obs::metrics::Counter,
+    solve_us: &'static snip_obs::metrics::Histogram,
+}
+
+fn cache_metrics() -> &'static CacheMetrics {
+    static METRICS: OnceLock<CacheMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| CacheMetrics {
+        hits: snip_obs::metrics::counter("snip_opt_plan_hits_total"),
+        misses: snip_obs::metrics::counter("snip_opt_plan_misses_total"),
+        seeded_hits: snip_obs::metrics::counter("snip_opt_plan_seeded_hits_total"),
+        solve_us: snip_obs::metrics::histogram("snip_opt_solve_us"),
+    })
+}
+
 /// Cache-effectiveness counters, cumulative for the process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PlanCacheStats {
@@ -159,15 +178,21 @@ pub fn solve_cached(
     zeta_target: f64,
 ) -> OptPlan {
     let key = key(&model, profile, phi_max, zeta_target);
+    let metrics = cache_metrics();
     if let Some(entry) = cache().lock().expect("plan cache poisoned").get(&key) {
         HITS.fetch_add(1, Ordering::Relaxed);
+        metrics.hits.inc();
         if entry.seeded {
             SEEDED_HITS.fetch_add(1, Ordering::Relaxed);
+            metrics.seeded_hits.inc();
         }
         return entry.plan.clone();
     }
+    let solve_start = std::time::Instant::now();
     let plan = TwoStepOptimizer::new(model, profile.clone()).solve(phi_max, zeta_target);
+    metrics.solve_us.observe(solve_start.elapsed());
     MISSES.fetch_add(1, Ordering::Relaxed);
+    metrics.misses.inc();
     let mut map = cache().lock().expect("plan cache poisoned");
     if map.len() < MAX_CACHED_PLANS {
         map.insert(
@@ -253,6 +278,21 @@ mod tests {
         seed_plan(key(&model, &profile, phi_max, target), other);
         let again = solve_cached(model, &profile, phi_max, target);
         assert_eq!(again, solved, "the locally solved plan wins");
+    }
+
+    #[test]
+    fn solve_time_and_counters_land_in_the_metrics_registry() {
+        let model = SnipModel::default();
+        let profile = SlotProfile::roadside();
+        let (solves_before, _) = snip_obs::metrics::sum_histograms("snip_opt_solve_us");
+        let _ = solve_cached(model, &profile, 86.4 + 9e-9, 16.0 + 9e-9);
+        let _ = solve_cached(model, &profile, 86.4 + 9e-9, 16.0 + 9e-9);
+        // Tests share the process registry and run concurrently, so only
+        // a lower bound is stable: at least our one miss was timed.
+        let (solves_after, _solve_us) = snip_obs::metrics::sum_histograms("snip_opt_solve_us");
+        assert!(solves_after > solves_before, "the miss must time its solve");
+        assert!(snip_obs::metrics::counter_value("snip_opt_plan_misses_total") >= 1);
+        assert!(snip_obs::metrics::counter_value("snip_opt_plan_hits_total") >= 1);
     }
 
     #[test]

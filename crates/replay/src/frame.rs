@@ -37,8 +37,44 @@ use std::fmt;
 use std::io::{self, BufRead, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use serde::{json, Deserialize, Serialize, Value};
+use snip_obs::metrics::{Counter, Histogram};
+
+/// Pre-resolved registry handles for one direction of one transport, so
+/// the per-frame cost is a few relaxed atomic ops (the registry mutex is
+/// hit once, at wiring time). Byte counts include the length prefix and
+/// the newline terminator — the actual wire footprint.
+struct FrameMetrics {
+    /// `json` encode or decode time per frame.
+    codec_us: &'static Histogram,
+    /// Total framed bytes moved.
+    bytes: &'static Counter,
+    /// Total frames moved.
+    frames: &'static Counter,
+}
+
+impl FrameMetrics {
+    fn new(direction: &str, transport: &str) -> FrameMetrics {
+        let codec = if direction == "tx" {
+            "encode"
+        } else {
+            "decode"
+        };
+        FrameMetrics {
+            codec_us: snip_obs::metrics::histogram(&format!(
+                "snip_frame_{codec}_us{{transport=\"{transport}\"}}"
+            )),
+            bytes: snip_obs::metrics::counter(&format!(
+                "snip_frame_{direction}_bytes_total{{transport=\"{transport}\"}}"
+            )),
+            frames: snip_obs::metrics::counter(&format!(
+                "snip_frame_{direction}_frames_total{{transport=\"{transport}\"}}"
+            )),
+        }
+    }
+}
 
 /// Frames larger than this are refused — a corrupt length prefix must not
 /// turn into a multi-gigabyte allocation. Generous for real traffic: the
@@ -95,12 +131,26 @@ impl From<serde::Error> for FrameError {
 pub struct FrameWriter<W: Write> {
     out: W,
     frames: u64,
+    metrics: Option<FrameMetrics>,
 }
 
 impl<W: Write> FrameWriter<W> {
     /// Wraps a writer.
     pub fn new(out: W) -> Self {
-        FrameWriter { out, frames: 0 }
+        FrameWriter {
+            out,
+            frames: 0,
+            metrics: None,
+        }
+    }
+
+    /// Records per-frame encode time, byte, and frame counts under the
+    /// given transport label (e.g. `"pipe"`, `"tcp"`) in the process
+    /// metrics registry.
+    #[must_use]
+    pub fn with_metrics(mut self, transport: &str) -> Self {
+        self.metrics = Some(FrameMetrics::new("tx", transport));
+        self
     }
 
     /// Frames written so far.
@@ -115,13 +165,22 @@ impl<W: Write> FrameWriter<W> {
     ///
     /// Returns [`FrameError::Io`] on write or flush failure.
     pub fn send_value(&mut self, value: &Value) -> Result<(), FrameError> {
+        let encode_start = self.metrics.as_ref().map(|_| Instant::now());
         let payload = json::to_string(value);
         let bytes = payload.as_bytes();
-        writeln!(self.out, "{}", bytes.len())?;
+        if let (Some(m), Some(t0)) = (&self.metrics, encode_start) {
+            m.codec_us.observe(t0.elapsed());
+        }
+        let prefix = format!("{}\n", bytes.len());
+        self.out.write_all(prefix.as_bytes())?;
         self.out.write_all(bytes)?;
         self.out.write_all(b"\n")?;
         self.out.flush()?;
         self.frames += 1;
+        if let Some(m) = &self.metrics {
+            m.bytes.add((prefix.len() + bytes.len() + 1) as u64);
+            m.frames.inc();
+        }
         Ok(())
     }
 
@@ -143,6 +202,7 @@ pub struct FrameReader<R: BufRead> {
     /// it while a reader thread holds the reader (e.g. raise an untrusted
     /// peer's budget once it authenticates).
     limit: Arc<AtomicU64>,
+    metrics: Option<FrameMetrics>,
 }
 
 impl<R: BufRead> FrameReader<R> {
@@ -160,7 +220,17 @@ impl<R: BufRead> FrameReader<R> {
             input,
             frames: 0,
             limit,
+            metrics: None,
         }
+    }
+
+    /// Records per-frame decode time, byte, and frame counts under the
+    /// given transport label (e.g. `"pipe"`, `"tcp"`) in the process
+    /// metrics registry.
+    #[must_use]
+    pub fn with_metrics(mut self, transport: &str) -> Self {
+        self.metrics = Some(FrameMetrics::new("rx", transport));
+        self
     }
 
     /// Frames read so far.
@@ -211,10 +281,16 @@ impl<R: BufRead> FrameReader<R> {
             }
             Err(e) => return Err(FrameError::from(e)),
         }
+        let decode_start = self.metrics.as_ref().map(|_| Instant::now());
         let text = std::str::from_utf8(&payload)
             .map_err(|_| FrameError::Codec("frame payload is not UTF-8".into()))?;
         let value = json::from_str(text)?;
         self.frames += 1;
+        if let (Some(m), Some(t0)) = (&self.metrics, decode_start) {
+            m.codec_us.observe(t0.elapsed());
+            m.bytes.add(prefix.len() as u64 + len + 1);
+            m.frames.inc();
+        }
         Ok(Some(value))
     }
 
@@ -380,6 +456,40 @@ mod tests {
         let mut r = FrameReader::with_frame_limit(Cursor::new(buf), limit);
         assert!(r.recv_value().unwrap().is_some());
         assert!(r.recv_value().unwrap().is_some());
+    }
+
+    #[test]
+    fn metrics_labeled_codecs_record_the_wire_footprint() {
+        use snip_obs::metrics;
+        // The registry is process-global, so measure deltas under a label
+        // no other test uses.
+        let tx_name = "snip_frame_tx_bytes_total{transport=\"frame-unit-test\"}";
+        let rx_name = "snip_frame_rx_bytes_total{transport=\"frame-unit-test\"}";
+        let tx_before = metrics::counter_value(tx_name);
+        let rx_before = metrics::counter_value(rx_name);
+
+        let mut buf = Vec::new();
+        {
+            let mut w = FrameWriter::new(&mut buf).with_metrics("frame-unit-test");
+            w.send_value(&Value::Str("metered".into())).unwrap();
+        }
+        let wire = buf.len() as u64;
+        assert_eq!(
+            metrics::counter_value(tx_name) - tx_before,
+            wire,
+            "tx bytes must equal the framed wire footprint"
+        );
+
+        let mut r = FrameReader::new(Cursor::new(buf)).with_metrics("frame-unit-test");
+        assert!(r.recv_value().unwrap().is_some());
+        assert!(r.recv_value().unwrap().is_none());
+        assert_eq!(
+            metrics::counter_value(rx_name) - rx_before,
+            wire,
+            "rx bytes must equal the framed wire footprint"
+        );
+        let (count, _sum) = metrics::sum_histograms("snip_frame_encode_us");
+        assert!(count >= 1, "encode timing histogram must record");
     }
 
     #[test]

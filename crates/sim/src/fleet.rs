@@ -175,10 +175,15 @@ impl Fleet {
     /// Panics if `i` is out of range.
     pub fn run_node<S: ProbeScheduler>(&self, i: usize, scheduler: S) -> RunMetrics {
         let node = &self.nodes[i];
+        // Wall-clock observability only — never read by the simulation.
+        let _span = snip_obs::span!("fleet-node {} ({i})", node.name);
+        let node_start = std::time::Instant::now();
         let trace = self.node_trace(i);
         let config = self.config.clone().with_zeta_target_secs(node.zeta_target);
         let mut sim = Simulation::new(config, &trace, scheduler);
-        sim.run(&mut StdRng::seed_from_u64(self.node_sim_seed(i)))
+        let metrics = sim.run(&mut StdRng::seed_from_u64(self.node_sim_seed(i)));
+        snip_obs::metrics::histogram("snip_fleet_node_us").observe(node_start.elapsed());
+        metrics
     }
 
     /// Assembles a [`FleetReport`] from per-node metrics in fleet order —

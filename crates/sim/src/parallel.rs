@@ -62,15 +62,29 @@ where
     let mut slots: Vec<Mutex<Option<T>>> = Vec::with_capacity(jobs);
     slots.resize_with(jobs, || Mutex::new(None));
 
+    // Per-worker utilization, accumulated locally and flushed once per
+    // worker — observability only, never read by the jobs themselves.
+    let busy_total = snip_obs::metrics::counter("snip_parallel_busy_us_total");
+    let jobs_total = snip_obs::metrics::counter("snip_parallel_jobs_total");
+
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs {
-                    break;
+            scope.spawn(|| {
+                let mut busy_us = 0u64;
+                let mut done = 0u64;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs {
+                        break;
+                    }
+                    let job_start = std::time::Instant::now();
+                    let result = f(i);
+                    busy_us += snip_obs::metrics::duration_us(job_start.elapsed());
+                    done += 1;
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
                 }
-                let result = f(i);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
+                busy_total.add(busy_us);
+                jobs_total.add(done);
             });
         }
     });

@@ -25,6 +25,24 @@ use crate::metrics::RunMetrics;
 use crate::node::Simulation;
 use crate::parallel::parallel_map;
 
+/// Per-sweep-point wall-time histogram and point counter, resolved once so
+/// the per-point overhead is a few relaxed atomic ops.
+fn point_metrics() -> &'static (
+    &'static snip_obs::metrics::Histogram,
+    &'static snip_obs::metrics::Counter,
+) {
+    static METRICS: OnceLock<(
+        &'static snip_obs::metrics::Histogram,
+        &'static snip_obs::metrics::Counter,
+    )> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        (
+            snip_obs::metrics::histogram("snip_sweep_point_us"),
+            snip_obs::metrics::counter("snip_sweep_points_total"),
+        )
+    })
+}
+
 /// The scheduling mechanisms the paper compares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Mechanism {
@@ -210,14 +228,21 @@ impl ScenarioRunner {
         zeta_target: f64,
         observer: &mut O,
     ) -> RunMetrics {
+        // Wall-clock only: the span and histogram never feed back into the
+        // simulation, so instrumented runs stay bit-identical.
+        let _span = snip_obs::span!("sweep-point {} ζt={zeta_target}", mechanism.label());
+        let point_start = std::time::Instant::now();
         let trace = self.trace_arc();
         let config = self.config.clone().with_zeta_target_secs(zeta_target);
         let scheduler = self.mechanism_scheduler(mechanism, zeta_target);
         let mut sim = Simulation::new(config, &trace, scheduler);
-        sim.run_observed(
+        let metrics = sim.run_observed(
             &mut StdRng::seed_from_u64(self.seed.wrapping_add(1)),
             observer,
-        )
+        );
+        point_metrics().0.observe(point_start.elapsed());
+        point_metrics().1.inc();
+        metrics
     }
 
     /// [`ScenarioRunner::run_one`] through the reference stepper (no fast

@@ -55,6 +55,37 @@ fn sweep_parallel_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn sweep_is_bit_identical_with_full_observability_enabled() {
+    // A quiet baseline sweep first, then the same sweep with SNIP_LOG=debug
+    // and a chrome://tracing sink live: the instrumentation reads wall
+    // clocks and process-global atomics only, so every point must match
+    // bit-for-bit.
+    let runner = paper_runner(5);
+    let quiet = runner.sweep_parallel(&TARGETS, 4);
+
+    std::env::set_var("SNIP_LOG", "debug");
+    snip_obs::log::set_level(snip_obs::log::Level::Debug);
+    let trace_path = std::env::temp_dir().join(format!(
+        "snip-parallel-determinism-trace-{}.json",
+        std::process::id()
+    ));
+    assert!(
+        snip_obs::trace::init_file(&trace_path),
+        "first trace sink in this process"
+    );
+    let loud = runner.sweep_parallel(&TARGETS, 4);
+    assert_points_identical(&quiet, &loud, "debug log + trace vs quiet");
+
+    let trace = std::fs::read_to_string(&trace_path).expect("trace file exists");
+    assert!(
+        trace.contains("sweep-point"),
+        "per-point spans reached the trace file"
+    );
+    let _ = std::fs::remove_file(&trace_path);
+    snip_obs::log::set_level(snip_obs::log::Level::Warn);
+}
+
+#[test]
 fn fast_path_matches_the_naive_stepper() {
     // With no beacon loss the fast path sends exactly the same beacons and
     // probes exactly the same contacts as the reference stepper — and all
