@@ -85,6 +85,17 @@ fleet options (defaults in brackets):
     --out <path>           write the merged report as JSON
     --verify               also run single-process and require bit-identical
                            output (exit 1 on any difference)
+    --checkpoint <path>    append every finished shard to this crash-safe
+                           journal (fsync per record; .json/.jsonl or CBOR)
+    --resume <path>        restart a run from a checkpoint journal: finished
+                           shards are loaded, not recomputed, and the journal
+                           keeps growing (mutually exclusive with --checkpoint)
+    --partial-ok           if workers are lost and shards stay missing, write a
+                           partial report + missing-shard manifest to --out and
+                           exit 1 instead of discarding completed work
+    --chaos-plan <path>    JSON fault-injection plan (sever/delay/truncate/
+                           duplicate/reorder at exact frame ordinals) for
+                           crash drills — see ci/chaos.plan.json
     --example              print a sample spec and exit
 
 fleet-serve options (fleet options above, plus):
@@ -103,6 +114,8 @@ fleet-worker options:
     --connect <addr>       dial a fleet-serve coordinator over TCP
     --token-file <path>    shared secret for --connect (or the
                            SNIP_FLEET_TOKEN environment variable)
+    --retry-secs <s>       total (re)dial budget: jittered exponential
+                           backoff until the coordinator answers    [10]
 
 bench options (defaults in brackets):
     --out <path>           where to write the JSON report  [BENCH_sweep.json]
@@ -692,6 +705,16 @@ struct FleetOptions {
     timeout_secs: u64,
     out: Option<PathBuf>,
     verify: bool,
+    /// Start a fresh checkpoint journal at this path.
+    checkpoint: Option<PathBuf>,
+    /// Resume a prior run from this checkpoint journal (and keep
+    /// appending to it).
+    resume: Option<PathBuf>,
+    /// On an incomplete run, write a partial report + missing-shard
+    /// manifest to `--out` instead of discarding the completed shards.
+    partial_ok: bool,
+    /// Deterministic fault-injection plan (testing/drills).
+    chaos_plan: Option<PathBuf>,
     /// fleet-serve only: listen address, token file, optional bound-address
     /// report file, optional metrics endpoint address.
     listen: Option<String>,
@@ -708,6 +731,10 @@ fn parse_fleet_options(args: &[String], serve: bool) -> Result<Option<FleetOptio
         timeout_secs: 600,
         out: None,
         verify: false,
+        checkpoint: None,
+        resume: None,
+        partial_ok: false,
+        chaos_plan: None,
         listen: None,
         token_file: None,
         addr_file: None,
@@ -722,6 +749,10 @@ fn parse_fleet_options(args: &[String], serve: bool) -> Result<Option<FleetOptio
             "--timeout-secs" => opts.timeout_secs = parse_value(flag, it.next())?,
             "--out" => opts.out = Some(parse_value::<PathBuf>(flag, it.next())?),
             "--verify" => opts.verify = true,
+            "--checkpoint" => opts.checkpoint = Some(parse_value::<PathBuf>(flag, it.next())?),
+            "--resume" => opts.resume = Some(parse_value::<PathBuf>(flag, it.next())?),
+            "--partial-ok" => opts.partial_ok = true,
+            "--chaos-plan" => opts.chaos_plan = Some(parse_value::<PathBuf>(flag, it.next())?),
             "--example" if !serve => return Ok(None),
             "--listen" if serve => opts.listen = Some(parse_value(flag, it.next())?),
             "--token-file" if serve => {
@@ -751,6 +782,13 @@ fn parse_fleet_options(args: &[String], serve: bool) -> Result<Option<FleetOptio
     }
     if opts.timeout_secs == 0 {
         return Err(CliError::Usage("--timeout-secs must be at least 1".into()));
+    }
+    if opts.checkpoint.is_some() && opts.resume.is_some() {
+        return Err(CliError::Usage(
+            "--checkpoint starts a fresh journal, --resume continues one: pick one \
+             (--resume keeps appending to the journal it loads)"
+                .into(),
+        ));
     }
     if serve && opts.listen.is_none() {
         return Err(CliError::Usage("fleet-serve needs --listen <addr>".into()));
@@ -788,12 +826,83 @@ fn fleet_output_json(output: &FleetOutput) -> String {
 
 /// Shared tail of `fleet` and `fleet-serve`: run the driver, report,
 /// write `--out`, check `--verify`.
+/// Renders the explicit partial-run manifest written by `--partial-ok`:
+/// what finished, what is missing, and how many workers were lost —
+/// everything an operator needs to decide between `--resume` and a rerun.
+fn partial_manifest_json(
+    missing: &[u64],
+    workers_lost: usize,
+    completed: &[(u64, Vec<snip_sim::RunMetrics>)],
+) -> String {
+    use serde::{Serialize as _, Value};
+    let completed_val = Value::Seq(
+        completed
+            .iter()
+            .map(|(shard, metrics)| {
+                Value::Map(vec![
+                    ("shard".into(), Value::U64(*shard)),
+                    (
+                        "metrics".into(),
+                        Value::Seq(metrics.iter().map(|m| m.to_value()).collect()),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    let manifest = Value::Map(vec![
+        ("incomplete".into(), Value::Bool(true)),
+        (
+            "missing_shards".into(),
+            Value::Seq(missing.iter().map(|id| Value::U64(*id)).collect()),
+        ),
+        ("workers_lost".into(), Value::U64(workers_lost as u64)),
+        ("completed_shards".into(), completed_val),
+    ]);
+    let mut text = serde::json::to_string(&manifest);
+    text.push('\n');
+    text
+}
+
 fn run_fleet_driver(
     driver: &FleetDriver,
     spec: &FleetSpec,
     opts: &FleetOptions,
 ) -> Result<ExitCode, CliError> {
-    let run = driver.run().map_err(fatal)?;
+    let run = match driver.run() {
+        Ok(run) => run,
+        Err(snip_fleetd::DriverError::Incomplete {
+            missing,
+            workers_lost,
+            completed,
+        }) if opts.partial_ok => {
+            error!(
+                "fleet `{}` incomplete: {} shard(s) missing ({} worker connection(s) lost)",
+                spec.name,
+                missing.len(),
+                workers_lost
+            );
+            println!(
+                "partial: {} of {} shard(s) completed; missing: {}",
+                completed.len(),
+                completed.len() + missing.len(),
+                missing
+                    .iter()
+                    .map(|id| id.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            );
+            if let Some(out) = &opts.out {
+                std::fs::write(
+                    out,
+                    partial_manifest_json(&missing, workers_lost, &completed),
+                )
+                .map_err(fatal)?;
+                println!("wrote partial manifest to {}", out.display());
+            }
+            return Ok(ExitCode::FAILURE);
+        }
+        Err(e) => return Err(fatal(e)),
+    };
     println!("fleet `{}` done: {}", spec.name, run.stats);
     print_fleet_output(&run.output);
 
@@ -825,6 +934,19 @@ fn build_driver(spec: &FleetSpec, opts: &FleetOptions) -> Result<FleetDriver, Cl
         .with_shard_timeout(std::time::Duration::from_secs(opts.timeout_secs));
     if let Some(shard_size) = opts.shard_size {
         driver = driver.with_shard_size(shard_size);
+    }
+    if let Some(path) = &opts.checkpoint {
+        driver = driver.with_checkpoint(path.clone());
+    }
+    if let Some(path) = &opts.resume {
+        driver = driver.with_resume(path.clone());
+    }
+    if let Some(path) = &opts.chaos_plan {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| fatal(format!("chaos plan {}: {e}", path.display())))?;
+        let plan = snip_fleetd::ChaosPlan::from_json(&text)
+            .map_err(|e| CliError::Usage(format!("chaos plan {}: {e}", path.display())))?;
+        driver = driver.with_chaos(plan);
     }
     Ok(driver)
 }
@@ -935,13 +1057,18 @@ fn print_fleet_output(output: &FleetOutput) {
 fn cmd_fleet_worker(args: &[String]) -> Result<ExitCode, CliError> {
     let mut connect: Option<String> = None;
     let mut token_file: Option<PathBuf> = None;
+    let mut retry_secs: u64 = 10;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--connect" => connect = Some(parse_value(flag, it.next())?),
             "--token-file" => token_file = Some(parse_value::<PathBuf>(flag, it.next())?),
+            "--retry-secs" => retry_secs = parse_value(flag, it.next())?,
             other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
         }
+    }
+    if retry_secs == 0 {
+        return Err(CliError::Usage("--retry-secs must be at least 1".into()));
     }
     let pid = u64::from(std::process::id());
     let result = match connect {
@@ -976,7 +1103,10 @@ fn cmd_fleet_worker(args: &[String]) -> Result<ExitCode, CliError> {
                 &snip_fleetd::ConnectOptions {
                     addr,
                     token,
-                    retry_for: std::time::Duration::from_secs(10),
+                    retry_for: std::time::Duration::from_secs(retry_secs),
+                    // Pid-seeded jitter: co-restarted workers on one host
+                    // fan their redials out instead of stampeding.
+                    backoff_seed: pid,
                 },
                 pid,
             )

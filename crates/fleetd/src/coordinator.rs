@@ -27,8 +27,21 @@
 //! order, and metrics travel as exact integer-µs ledgers. The merged
 //! output is therefore bit-identical to [`JobRunner::run_sequential`] for
 //! every transport, worker count, and steal/kill interleaving.
+//!
+//! **Crash safety:** with [`FleetDriver::with_checkpoint`] every merged
+//! `ShardDone` is appended — flushed and fsynced — to a run checkpoint
+//! journal *before* the shard is counted complete, and
+//! [`FleetDriver::with_resume`] reloads the journal, skips the finished
+//! shards, and still merges bit-identically. A TCP worker whose socket
+//! drops redials and resumes its session (protocol v3): its in-flight
+//! `ShardDone` is accepted exactly once — the merge is idempotent by
+//! shard ordinal, duplicates are logged and dropped. A scriptable
+//! [`ChaosPlan`](crate::fault::ChaosPlan) can injure any peer's
+//! transport at exact frame ordinals to drill all of the above, and
+//! [`DriverError::Incomplete`] carries the completed shards next to the
+//! missing manifest so `--partial-ok` can salvage a wrecked run.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::io;
 use std::net::{SocketAddr, TcpListener};
@@ -40,8 +53,12 @@ use std::time::{Duration, Instant};
 
 use snip_obs::metrics::{Counter, Gauge, Histogram};
 use snip_opt::OptPlan;
+use snip_replay::checkpoint::{
+    load_checkpoint, CheckpointHeader, CheckpointWriter, CHECKPOINT_VERSION,
+};
 use snip_sim::RunMetrics;
 
+use crate::fault::{ChaosPlan, FaultTransport};
 use crate::proto::{CoordinatorMsg, PlanEntry, WorkerMsg, PROTOCOL_VERSION};
 use crate::spec::{FleetOutput, FleetSpec, JobRunner};
 use crate::transport::{recv_msg, send_msg, PipeTransport, RecvError, TcpTransport, Transport};
@@ -84,11 +101,19 @@ pub enum DriverError {
     /// Workers died (or never arrived) faster than shards could be
     /// reassigned; the listed shard ordinals never completed.
     Incomplete {
-        /// Shards with no result.
+        /// Shards with no result — the explicit missing-shard manifest.
         missing: Vec<u64>,
         /// Workers lost along the way.
         workers_lost: usize,
+        /// The shards that *did* finish, by ordinal — everything a
+        /// `--partial-ok` caller can salvage (checkpointed shards
+        /// included on a resumed run).
+        completed: Vec<(u64, Vec<RunMetrics>)>,
     },
+    /// The run checkpoint journal could not be created, appended, or
+    /// resumed from — including a `--resume` against a journal whose
+    /// spec hash or shard geometry does not match this run.
+    Checkpoint(String),
 }
 
 impl fmt::Display for DriverError {
@@ -100,12 +125,15 @@ impl fmt::Display for DriverError {
             DriverError::Incomplete {
                 missing,
                 workers_lost,
+                completed,
             } => write!(
                 f,
                 "fleet run incomplete: {} shard(s) unfinished after losing {workers_lost} \
-                 worker(s) (ids {missing:?})",
-                missing.len()
+                 worker(s) (ids {missing:?}; {} shard(s) completed)",
+                missing.len(),
+                completed.len()
             ),
+            DriverError::Checkpoint(msg) => write!(f, "checkpoint journal error: {msg}"),
         }
     }
 }
@@ -136,6 +164,14 @@ pub struct DriverStats {
     /// Worker-side solves answered by coordinator-shipped plans — the
     /// cross-worker cache hits the plan shipping exists for.
     pub plan_seed_hits: u64,
+    /// Dropped TCP workers that redialed and resumed their session.
+    pub reconnects: u64,
+    /// `ShardDone` results delivered on a resumed session (in-flight work
+    /// that survived a socket drop instead of being recomputed).
+    pub resumed_shards: u64,
+    /// Shards preloaded from a `--resume` checkpoint journal — finished
+    /// before this run started and never recomputed.
+    pub checkpoint_shards: u64,
 }
 
 impl fmt::Display for DriverStats {
@@ -144,7 +180,8 @@ impl fmt::Display for DriverStats {
             f,
             "{} job(s) in {} shard(s) on {} worker(s); {} worker(s) lost, \
              {} peer(s) rejected, {} shard(s) reassigned, {} plan(s) shipped, \
-             {} cross-worker plan hit(s)",
+             {} cross-worker plan hit(s), {} reconnect(s), {} resumed shard(s), \
+             {} checkpointed shard(s) skipped",
             self.jobs,
             self.shards,
             self.workers,
@@ -152,7 +189,10 @@ impl fmt::Display for DriverStats {
             self.peers_rejected,
             self.shards_reassigned,
             self.plans_shipped,
-            self.plan_seed_hits
+            self.plan_seed_hits,
+            self.reconnects,
+            self.resumed_shards,
+            self.checkpoint_shards
         )
     }
 }
@@ -171,8 +211,12 @@ struct FleetMetrics {
     shards_reassigned: &'static Counter,
     plans_shipped: &'static Counter,
     plan_seed_hits: &'static Counter,
+    reconnects: &'static Counter,
+    resumed_shards: &'static Counter,
     /// Time a shard sat queued before a worker pulled it.
     queue_us: &'static Histogram,
+    /// Checkpoint journal append (encode + write + fsync), per shard.
+    checkpoint_write_us: &'static Histogram,
     /// Assignment-to-`ShardDone` round trip (compute plus transport).
     compute_us: &'static Histogram,
     /// Index-ordered merge of the shard results.
@@ -194,7 +238,10 @@ fn fleet_metrics() -> &'static FleetMetrics {
         shards_reassigned: counter("snip_fleet_shards_reassigned_total"),
         plans_shipped: counter("snip_fleet_plans_shipped_total"),
         plan_seed_hits: counter("snip_fleet_plan_seed_hits_total"),
+        reconnects: counter("snip_fleet_reconnects_total"),
+        resumed_shards: counter("snip_fleet_resumed_shards_total"),
         queue_us: histogram("snip_shard_queue_us"),
+        checkpoint_write_us: histogram("snip_checkpoint_write_us"),
         compute_us: histogram("snip_shard_compute_us"),
         merge_us: histogram("snip_fleet_merge_us"),
         handshake_us: histogram("snip_handshake_us"),
@@ -255,6 +302,12 @@ pub struct FleetDriver {
     shard_timeout: Duration,
     fault: Option<FaultInjection>,
     tcp: Option<TcpState>,
+    /// Scripted per-peer transport faults (chaos drills).
+    chaos: Option<ChaosPlan>,
+    /// Run checkpoint journal path; `resume` reloads it instead of
+    /// truncating it.
+    checkpoint_path: Option<PathBuf>,
+    resume: bool,
     /// SNIP-OPT plans accumulated from workers, persisted across `run`
     /// calls on the same driver (repeated bench runs re-ship warm plans).
     plans: Mutex<PlanStore>,
@@ -269,6 +322,14 @@ struct PlanStore {
     generation: u64,
 }
 
+/// What the coordinator remembers about a dropped worker so a redial can
+/// resume the session: the plan-shipping bookkeeping, which would
+/// otherwise re-ship every plan the worker already holds.
+struct SessionEntry {
+    shipped: HashSet<String>,
+    seen_generation: u64,
+}
+
 /// Everything one run's peers share: the shard queue, the result slots,
 /// and the lifecycle counters.
 struct RunState {
@@ -277,6 +338,9 @@ struct RunState {
     queue: Mutex<VecDeque<(Shard, Instant)>>,
     wakeup: Condvar,
     results: Vec<Mutex<Option<Vec<RunMetrics>>>>,
+    /// The full shard table by ordinal — resumed `ShardDone`s are
+    /// validated against it before merging.
+    shards: Vec<Shard>,
     total: u64,
     completed: AtomicU64,
     /// Set when the run gives up (no peers, nothing happening): peers
@@ -293,17 +357,45 @@ struct RunState {
     /// [`MAX_PREAUTH_PEERS`]).
     preauth_peers: AtomicUsize,
     last_activity: Mutex<Instant>,
+    /// Dropped workers' resumable sessions, by session id. An entry is
+    /// taken when its worker redials; live peers have no entry.
+    sessions: Mutex<HashMap<u64, SessionEntry>>,
+    next_session: AtomicU64,
+    reconnects: AtomicU64,
+    resumed_shards: AtomicU64,
+    /// The run checkpoint journal, when armed. Appended under the result
+    /// slot's lock *before* the shard counts as complete.
+    checkpoint: Option<Mutex<CheckpointWriter>>,
+    /// Shards preloaded from a resumed checkpoint journal.
+    preloaded: u64,
 }
 
 impl RunState {
-    fn new(shards: &[Shard]) -> Self {
+    fn new(
+        shards: &[Shard],
+        preloaded: BTreeMap<u64, Vec<RunMetrics>>,
+        checkpoint: Option<CheckpointWriter>,
+    ) -> Self {
         let enqueued = Instant::now();
         RunState {
-            queue: Mutex::new(shards.iter().map(|&s| (s, enqueued)).collect()),
+            // Checkpointed shards never re-enter the queue: their work is
+            // already durable, recomputing it is the thing resume exists
+            // to avoid.
+            queue: Mutex::new(
+                shards
+                    .iter()
+                    .filter(|s| !preloaded.contains_key(&s.id))
+                    .map(|&s| (s, enqueued))
+                    .collect(),
+            ),
             wakeup: Condvar::new(),
-            results: shards.iter().map(|_| Mutex::new(None)).collect(),
+            results: shards
+                .iter()
+                .map(|s| Mutex::new(preloaded.get(&s.id).cloned()))
+                .collect(),
+            shards: shards.to_vec(),
             total: shards.len() as u64,
-            completed: AtomicU64::new(0),
+            completed: AtomicU64::new(preloaded.len() as u64),
             aborted: AtomicBool::new(false),
             admitted: AtomicUsize::new(0),
             lost: AtomicUsize::new(0),
@@ -314,6 +406,12 @@ impl RunState {
             active_peers: AtomicUsize::new(0),
             preauth_peers: AtomicUsize::new(0),
             last_activity: Mutex::new(Instant::now()),
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+            reconnects: AtomicU64::new(0),
+            resumed_shards: AtomicU64::new(0),
+            checkpoint: checkpoint.map(Mutex::new),
+            preloaded: preloaded.len() as u64,
         }
     }
 
@@ -363,6 +461,13 @@ impl RunState {
         let mut q = self.queue.lock().expect("shard queue poisoned");
         loop {
             if let Some((shard, queued_at)) = q.pop_front() {
+                // A re-queued shard can have been merged behind the
+                // queue's back: its original owner reconnected and
+                // delivered the in-flight result. Recomputing it would be
+                // harmless (the merge is idempotent) but wasted.
+                if self.merged(shard.id) {
+                    continue;
+                }
                 fleet_metrics().queue_us.observe(queued_at.elapsed());
                 return Some(shard);
             }
@@ -380,14 +485,58 @@ impl RunState {
         }
     }
 
-    fn finish_shard(&self, shard: Shard, metrics: Vec<RunMetrics>) {
-        *self.results[shard.id as usize]
+    /// Whether this shard's result is already in its slot.
+    fn merged(&self, id: u64) -> bool {
+        self.results
+            .get(id as usize)
+            .is_some_and(|slot| slot.lock().expect("result slot poisoned").is_some())
+    }
+
+    /// Merges one shard result, exactly once: a duplicate delivery for an
+    /// already-merged ordinal (a re-sent in-flight `ShardDone`, a chaos
+    /// duplicate, a stale recompute) is logged and dropped. Returns
+    /// whether this call did the merge. When a checkpoint journal is
+    /// armed, the record is durable *before* the shard counts as
+    /// complete — a coordinator killed right here recovers the shard on
+    /// resume or recomputes it, never double-counts it.
+    fn finish_shard(&self, shard: Shard, metrics: Vec<RunMetrics>) -> bool {
+        let mut slot = self.results[shard.id as usize]
             .lock()
-            .expect("result slot poisoned") = Some(metrics);
+            .expect("result slot poisoned");
+        if slot.is_some() {
+            snip_obs::event!(
+                snip_obs::log::Level::Debug,
+                "duplicate ShardDone for shard {} dropped (already merged)",
+                shard.id
+            );
+            return false;
+        }
+        if let Some(checkpoint) = &self.checkpoint {
+            let write_start = Instant::now();
+            if let Err(e) = checkpoint
+                .lock()
+                .expect("checkpoint writer poisoned")
+                .append_shard(shard.id, &metrics)
+            {
+                // Keep the run going: a full disk costs the checkpoint,
+                // not the computation.
+                snip_obs::event!(
+                    snip_obs::log::Level::Warn,
+                    "checkpoint append for shard {} failed: {e}",
+                    shard.id
+                );
+            }
+            fleet_metrics()
+                .checkpoint_write_us
+                .observe(write_start.elapsed());
+        }
+        *slot = Some(metrics);
+        drop(slot);
         self.completed.fetch_add(1, Ordering::SeqCst);
         fleet_metrics().shards_done.inc();
         self.touch();
         self.wakeup.notify_all();
+        true
     }
 }
 
@@ -433,6 +582,9 @@ impl FleetDriver {
             shard_timeout: Duration::from_secs(600),
             fault: None,
             tcp: None,
+            chaos: None,
+            checkpoint_path: None,
+            resume: false,
             plans: Mutex::new(PlanStore::default()),
         })
     }
@@ -474,6 +626,44 @@ impl FleetDriver {
     #[must_use]
     pub fn with_fault(mut self, fault: FaultInjection) -> Self {
         self.fault = Some(fault);
+        self
+    }
+
+    /// Arms a scripted [`ChaosPlan`]: each listed peer's transport is
+    /// wrapped in a [`FaultTransport`] executing its [`FaultPlan`]
+    /// (frame-exact severs, delays, tears, duplicates, reorders). Peers
+    /// are keyed by admission ordinal — spawn order on pipes, connection
+    /// order on TCP (a reconnecting worker is a *new* connection and gets
+    /// the next ordinal).
+    ///
+    /// [`FaultPlan`]: crate::fault::FaultPlan
+    #[must_use]
+    pub fn with_chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// Writes a run checkpoint journal at `path` (format by extension,
+    /// like every snip journal): the header first, then every merged
+    /// `ShardDone`, each fsynced before the shard counts as complete. An
+    /// existing file is truncated — use [`FleetDriver::with_resume`] to
+    /// continue one.
+    #[must_use]
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self.resume = false;
+        self
+    }
+
+    /// Resumes a run from the checkpoint journal at `path`: finished
+    /// shards are preloaded (never recomputed, never re-queued) and new
+    /// completions keep appending to the same journal. [`FleetDriver::run`]
+    /// refuses with [`DriverError::Checkpoint`] when the journal's spec
+    /// hash or shard geometry does not match this driver.
+    #[must_use]
+    pub fn with_resume(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self.resume = true;
         self
     }
 
@@ -533,12 +723,13 @@ impl FleetDriver {
     pub fn run(&self) -> Result<FleetRun, DriverError> {
         let runner = JobRunner::new(&self.spec);
         let shards = self.shards();
-        let state = RunState::new(&shards);
+        let (preloaded, checkpoint) = self.prepare_checkpoint(&shards)?;
+        let state = RunState::new(&shards, preloaded, checkpoint);
 
         let obs = fleet_metrics();
         obs.runs.inc();
         obs.workers.set(0);
-        obs.shards_done.set(0);
+        obs.shards_done.set(state.preloaded);
         obs.shards_total.set(state.total);
         let _run_span = snip_obs::span!(
             "fleet-run {} ({} jobs, {} shards)",
@@ -572,21 +763,39 @@ impl FleetDriver {
             .add(state.plans_shipped.load(Ordering::Relaxed));
         obs.plan_seed_hits
             .add(state.seed_hits.load(Ordering::Relaxed));
+        obs.reconnects.add(state.reconnects.load(Ordering::Relaxed));
+        obs.resumed_shards
+            .add(state.resumed_shards.load(Ordering::Relaxed));
 
         let merge_start = Instant::now();
-        let mut metrics: Vec<RunMetrics> = Vec::with_capacity(self.spec.job_count() as usize);
-        let mut missing = Vec::new();
-        for (id, slot) in state.results.iter().enumerate() {
-            match slot.lock().expect("result slot poisoned").take() {
-                Some(shard_metrics) => metrics.extend(shard_metrics),
-                None => missing.push(id as u64),
-            }
-        }
+        let taken: Vec<(u64, Option<Vec<RunMetrics>>)> = state
+            .results
+            .iter()
+            .enumerate()
+            .map(|(id, slot)| (id as u64, slot.lock().expect("result slot poisoned").take()))
+            .collect();
+        let missing: Vec<u64> = taken
+            .iter()
+            .filter(|(_, m)| m.is_none())
+            .map(|(id, _)| *id)
+            .collect();
         if !missing.is_empty() {
+            // Hand the finished shards back next to the missing manifest:
+            // `--partial-ok` salvages them, and a later `--resume` against
+            // the checkpoint journal finishes the job.
+            let completed = taken
+                .into_iter()
+                .filter_map(|(id, m)| m.map(|m| (id, m)))
+                .collect();
             return Err(DriverError::Incomplete {
                 missing,
                 workers_lost,
+                completed,
             });
+        }
+        let mut metrics: Vec<RunMetrics> = Vec::with_capacity(self.spec.job_count() as usize);
+        for (_, m) in taken {
+            metrics.extend(m.expect("missing shards already handled"));
         }
 
         let output = runner.merge(&metrics);
@@ -609,8 +818,84 @@ impl FleetDriver {
                 shards_reassigned: state.reassigned.load(Ordering::Relaxed),
                 plans_shipped: state.plans_shipped.load(Ordering::Relaxed),
                 plan_seed_hits: state.seed_hits.load(Ordering::Relaxed),
+                reconnects: state.reconnects.load(Ordering::Relaxed),
+                resumed_shards: state.resumed_shards.load(Ordering::Relaxed),
+                checkpoint_shards: state.preloaded,
             },
         })
+    }
+
+    /// Arms the run's checkpoint journal. Fresh mode writes the header;
+    /// resume mode reloads the journal, validates it against this run's
+    /// identity and geometry, and reopens it for appending.
+    #[allow(clippy::type_complexity)]
+    fn prepare_checkpoint(
+        &self,
+        shards: &[Shard],
+    ) -> Result<(BTreeMap<u64, Vec<RunMetrics>>, Option<CheckpointWriter>), DriverError> {
+        let Some(path) = &self.checkpoint_path else {
+            return Ok((BTreeMap::new(), None));
+        };
+        let err = |msg: String| DriverError::Checkpoint(msg);
+        if !self.resume {
+            let header = CheckpointHeader {
+                version: CHECKPOINT_VERSION,
+                spec_hash: self.spec.spec_hash(),
+                total_shards: shards.len() as u64,
+                name: self.spec.name.clone(),
+            };
+            let writer = CheckpointWriter::create(path, &header)
+                .map_err(|e| err(format!("cannot create {}: {e}", path.display())))?;
+            return Ok((BTreeMap::new(), Some(writer)));
+        }
+
+        let load = load_checkpoint(path)
+            .map_err(|e| err(format!("cannot resume from {}: {e}", path.display())))?;
+        if load.header.spec_hash != self.spec.spec_hash() {
+            return Err(err(format!(
+                "{} checkpoints a different run: spec hash {:#x} != this spec's {:#x}",
+                path.display(),
+                load.header.spec_hash,
+                self.spec.spec_hash()
+            )));
+        }
+        if load.header.total_shards != shards.len() as u64 {
+            return Err(err(format!(
+                "{} was cut into {} shard(s), this run into {} — resume with the same shard size",
+                path.display(),
+                load.header.total_shards,
+                shards.len()
+            )));
+        }
+        for (&id, metrics) in &load.shards {
+            let shard = &shards[id as usize];
+            if metrics.len() as u64 != shard.end - shard.start {
+                return Err(err(format!(
+                    "{} shard {id} holds {} job result(s), expected {}",
+                    path.display(),
+                    metrics.len(),
+                    shard.end - shard.start
+                )));
+            }
+        }
+        if load.truncated {
+            snip_obs::event!(
+                snip_obs::log::Level::Warn,
+                "checkpoint journal {} ended in a torn record (crash mid-append); \
+                 the intact prefix was recovered",
+                path.display()
+            );
+        }
+        snip_obs::event!(
+            snip_obs::log::Level::Info,
+            "resuming from {}: {} of {} shard(s) already checkpointed",
+            path.display(),
+            load.shards.len(),
+            shards.len()
+        );
+        let writer = CheckpointWriter::append_to(path)
+            .map_err(|e| err(format!("cannot append to {}: {e}", path.display())))?;
+        Ok((load.shards, Some(writer)))
     }
 
     /// Pipe dispatch: spawn the workers, drive each over its stdio.
@@ -629,7 +914,7 @@ impl FleetDriver {
                 let args = &args;
                 let spawn_failure = &spawn_failure;
                 scope.spawn(move || {
-                    let mut transport = match PipeTransport::spawn(program, args) {
+                    let transport = match PipeTransport::spawn(program, args) {
                         Ok(t) => t,
                         Err(error) => {
                             let mut slot = spawn_failure.lock().expect("spawn slot poisoned");
@@ -640,7 +925,8 @@ impl FleetDriver {
                             return;
                         }
                     };
-                    match self.drive_peer(worker_idx, &mut transport, state) {
+                    let mut transport = self.maybe_chaos(worker_idx, Box::new(transport));
+                    match self.drive_peer(worker_idx, transport.as_mut(), state, None) {
                         PeerOutcome::Finished => {}
                         // A spawned pipe worker that fails its handshake
                         // was still one of our own workers: count it lost.
@@ -733,8 +1019,9 @@ impl FleetDriver {
                         state.preauth_peers.fetch_add(1, Ordering::SeqCst);
                         scope.spawn(move || {
                             match TcpTransport::accept(stream) {
-                                Ok(mut transport) => {
-                                    self.drive_tcp_peer(idx, &mut transport, state, &tcp.token);
+                                Ok(transport) => {
+                                    let mut transport = self.maybe_chaos(idx, Box::new(transport));
+                                    self.drive_tcp_peer(idx, transport.as_mut(), state, &tcp.token);
                                 }
                                 Err(_) => {
                                     state.preauth_peers.fetch_sub(1, Ordering::SeqCst);
@@ -798,6 +1085,16 @@ impl FleetDriver {
         }
     }
 
+    /// Wraps a peer's transport in its scripted [`FaultTransport`] when
+    /// the chaos plan lists this admission ordinal; a transparent
+    /// passthrough otherwise.
+    fn maybe_chaos(&self, worker_idx: usize, transport: Box<dyn Transport>) -> Box<dyn Transport> {
+        match self.chaos.as_ref().and_then(|c| c.plan_for(worker_idx)) {
+            Some(plan) => Box::new(FaultTransport::new(transport, plan)),
+            None => transport,
+        }
+    }
+
     /// Authenticates one dialed-in peer, then hands it to the shared
     /// drive loop. The `Join` wait is bounded by `min(shard timeout,
     /// JOIN_TIMEOUT)`: an unauthenticated peer is the cheapest thing to
@@ -812,13 +1109,19 @@ impl FleetDriver {
         let join_window = self.shard_timeout.min(JOIN_TIMEOUT);
         let join = self.recv_peer_within(transport, state, join_window);
         state.preauth_peers.fetch_sub(1, Ordering::SeqCst);
-        match join {
+        let resume = match join {
             Some(WorkerMsg::Join {
                 protocol,
                 token: presented,
                 pid: _,
+                resume,
             }) if protocol == PROTOCOL_VERSION && token_matches(&presented, token) => {
                 transport.unlock_frame_limit();
+                // A session id is an identity, never a credential: the
+                // token was just re-checked, and an id this run does not
+                // know (a restarted coordinator, a stale worker) simply
+                // falls back to a fresh Init inside the drive loop.
+                resume
             }
             // Bad token, version skew, garbage, a stall, or EOF: sever
             // without revealing which check failed.
@@ -827,8 +1130,8 @@ impl FleetDriver {
                 state.rejected.fetch_add(1, Ordering::Relaxed);
                 return;
             }
-        }
-        match self.drive_peer(worker_idx, transport, state) {
+        };
+        match self.drive_peer(worker_idx, transport, state, resume) {
             PeerOutcome::Finished => {}
             PeerOutcome::HandshakeFailed => {
                 state.rejected.fetch_add(1, Ordering::Relaxed);
@@ -907,56 +1210,163 @@ impl FleetDriver {
         delta
     }
 
+    /// Folds a worker's newly solved plans into the global store (and
+    /// marks them shipped to that worker — it obviously has them).
+    fn absorb_plans(&self, plans: Vec<PlanEntry>, shipped: &mut HashSet<String>) {
+        let mut store = self.plans.lock().expect("plan set poisoned");
+        for entry in plans {
+            shipped.insert(entry.key.clone());
+            if let std::collections::hash_map::Entry::Vacant(slot) = store.map.entry(entry.key) {
+                slot.insert(entry.plan);
+                store.generation += 1;
+            }
+        }
+    }
+
     /// Speaks the post-authentication protocol with one peer until the
     /// queue drains or the peer is lost (any in-flight shard re-queued
     /// first). Transport-generic: this is the whole worker lifecycle for
-    /// pipes and TCP both.
+    /// pipes and TCP both. `resume` is a redialing worker's session id;
+    /// when this run still knows it, the handshake is skipped, the
+    /// worker's in-flight `ShardDone` (if any) is accepted, and service
+    /// continues — otherwise a fresh `Init` assigns a new session.
     fn drive_peer(
         &self,
         worker_idx: usize,
         transport: &mut dyn Transport,
         state: &RunState,
+        resume: Option<u64>,
     ) -> PeerOutcome {
         let handshake_start = Instant::now();
         let spec_hash = self.spec.spec_hash();
-        let mut shipped = HashSet::new();
-        let mut seen_generation = u64::MAX; // force the Init scan
-        let init = CoordinatorMsg::Init {
-            protocol: PROTOCOL_VERSION,
-            spec: self.spec.clone(),
-            spec_hash,
-            plans: self.plans_for(&mut shipped, &mut seen_generation, state),
-        };
-        if send_msg(transport, &init).is_err() {
-            transport.sever();
-            return PeerOutcome::HandshakeFailed;
-        }
-        match self.recv_peer(transport, state) {
-            Some(WorkerMsg::Ready {
-                protocol,
-                pid: _,
-                spec_hash: echoed,
-            }) if protocol == PROTOCOL_VERSION && echoed == spec_hash => {}
-            _ => {
-                transport.sever();
-                // A joiner that was still shaking hands when the run
-                // finished is neither lost nor rejected.
-                return if state.over() {
-                    PeerOutcome::Finished
-                } else {
-                    PeerOutcome::HandshakeFailed
-                };
-            }
-        }
-        state.admitted.fetch_add(1, Ordering::Relaxed);
         let obs = fleet_metrics();
-        obs.workers.inc();
-        obs.handshake_us.observe(handshake_start.elapsed());
-        snip_obs::event!(
-            snip_obs::log::Level::Debug,
-            "peer {worker_idx} ({}) admitted",
-            transport.peer()
-        );
+        let resumed = resume.and_then(|sid| {
+            state
+                .sessions
+                .lock()
+                .expect("session table poisoned")
+                .remove(&sid)
+                .map(|entry| (sid, entry))
+        });
+        let save_session = |sid: u64, shipped: HashSet<String>, seen_generation: u64| {
+            state
+                .sessions
+                .lock()
+                .expect("session table poisoned")
+                .insert(
+                    sid,
+                    SessionEntry {
+                        shipped,
+                        seen_generation,
+                    },
+                );
+        };
+        let (session_id, mut shipped, mut seen_generation) = match resumed {
+            Some((
+                sid,
+                SessionEntry {
+                    mut shipped,
+                    seen_generation,
+                },
+            )) => {
+                // The worker was admitted on its first connection —
+                // resuming re-counts nothing, only the reconnect itself.
+                state.reconnects.fetch_add(1, Ordering::Relaxed);
+                obs.reconnects.inc();
+                snip_obs::event!(
+                    snip_obs::log::Level::Info,
+                    "peer {worker_idx} ({}) resumed session {sid}",
+                    transport.peer()
+                );
+                if send_msg(transport, &CoordinatorMsg::Resumed { session: sid }).is_err() {
+                    save_session(sid, shipped, seen_generation);
+                    transport.sever();
+                    return PeerOutcome::Lost;
+                }
+                // The worker now either re-sends the ShardDone that was
+                // in flight when the socket dropped, or reports Ready
+                // (nothing pending). The re-send is accepted exactly
+                // once: the merge is idempotent by shard ordinal.
+                match self.recv_peer(transport, state) {
+                    Some(WorkerMsg::ShardDone {
+                        id,
+                        metrics,
+                        plans,
+                        seeded_hits,
+                    }) if state
+                        .shards
+                        .get(id as usize)
+                        .is_some_and(|s| metrics.len() as u64 == s.end - s.start) =>
+                    {
+                        let shard = state.shards[id as usize];
+                        self.absorb_plans(plans, &mut shipped);
+                        state.seed_hits.fetch_add(seeded_hits, Ordering::Relaxed);
+                        if state.finish_shard(shard, metrics) {
+                            state.resumed_shards.fetch_add(1, Ordering::Relaxed);
+                            obs.resumed_shards.inc();
+                            snip_obs::event!(
+                                snip_obs::log::Level::Info,
+                                "shard {id} recovered from resumed session {sid} \
+                                 (in-flight result survived the drop)"
+                            );
+                        }
+                    }
+                    Some(WorkerMsg::Ready {
+                        protocol,
+                        pid: _,
+                        spec_hash: echoed,
+                    }) if protocol == PROTOCOL_VERSION && echoed == spec_hash => {}
+                    _ => {
+                        save_session(sid, shipped, seen_generation);
+                        transport.sever();
+                        return PeerOutcome::Lost;
+                    }
+                }
+                (sid, shipped, seen_generation)
+            }
+            None => {
+                let sid = state.next_session.fetch_add(1, Ordering::Relaxed);
+                let mut shipped = HashSet::new();
+                let mut seen_generation = u64::MAX; // force the Init scan
+                let init = CoordinatorMsg::Init {
+                    protocol: PROTOCOL_VERSION,
+                    spec: self.spec.clone(),
+                    spec_hash,
+                    session: sid,
+                    plans: self.plans_for(&mut shipped, &mut seen_generation, state),
+                };
+                if send_msg(transport, &init).is_err() {
+                    transport.sever();
+                    return PeerOutcome::HandshakeFailed;
+                }
+                match self.recv_peer(transport, state) {
+                    Some(WorkerMsg::Ready {
+                        protocol,
+                        pid: _,
+                        spec_hash: echoed,
+                    }) if protocol == PROTOCOL_VERSION && echoed == spec_hash => {}
+                    _ => {
+                        transport.sever();
+                        // A joiner that was still shaking hands when the run
+                        // finished is neither lost nor rejected.
+                        return if state.over() {
+                            PeerOutcome::Finished
+                        } else {
+                            PeerOutcome::HandshakeFailed
+                        };
+                    }
+                }
+                state.admitted.fetch_add(1, Ordering::Relaxed);
+                obs.workers.inc();
+                obs.handshake_us.observe(handshake_start.elapsed());
+                snip_obs::event!(
+                    snip_obs::log::Level::Debug,
+                    "peer {worker_idx} ({}) admitted as session {sid}",
+                    transport.peer()
+                );
+                (sid, shipped, seen_generation)
+            }
+        };
 
         // Per-peer utilization: accumulated locally, flushed once when the
         // peer's service ends (any outcome).
@@ -986,28 +1396,36 @@ impl FleetDriver {
                 transport.sever();
                 break PeerOutcome::Lost;
             }
-            match self.recv_peer(transport, state) {
-                Some(WorkerMsg::ShardDone {
-                    id,
-                    metrics,
-                    plans,
-                    seeded_hits,
-                }) if id == shard.id && metrics.len() as u64 == shard.end - shard.start => {
+            let reply = loop {
+                break match self.recv_peer(transport, state) {
+                    Some(WorkerMsg::ShardDone {
+                        id,
+                        metrics,
+                        plans,
+                        seeded_hits,
+                    }) if id == shard.id && metrics.len() as u64 == shard.end - shard.start => {
+                        Some((metrics, plans, seeded_hits))
+                    }
+                    // A duplicate delivery of an already-merged shard — a
+                    // chaos-injected repeat, or a re-send racing its own
+                    // acknowledgement — is logged and dropped; the peer is
+                    // still healthy and still owes the current shard.
+                    Some(WorkerMsg::ShardDone { id, .. }) if id != shard.id && state.merged(id) => {
+                        snip_obs::event!(
+                            snip_obs::log::Level::Debug,
+                            "peer {worker_idx} re-delivered merged shard {id}; dropped"
+                        );
+                        continue;
+                    }
+                    _ => None,
+                };
+            };
+            match reply {
+                Some((metrics, plans, seeded_hits)) => {
                     let round_trip = compute_start.elapsed();
                     obs.compute_us.observe(round_trip);
                     busy_us += snip_obs::metrics::duration_us(round_trip);
-                    {
-                        let mut store = self.plans.lock().expect("plan set poisoned");
-                        for entry in plans {
-                            shipped.insert(entry.key.clone());
-                            if let std::collections::hash_map::Entry::Vacant(slot) =
-                                store.map.entry(entry.key)
-                            {
-                                slot.insert(entry.plan);
-                                store.generation += 1;
-                            }
-                        }
-                    }
+                    self.absorb_plans(plans, &mut shipped);
                     state.seed_hits.fetch_add(seeded_hits, Ordering::Relaxed);
                     state.finish_shard(shard, metrics);
                     done_here += 1;
@@ -1023,7 +1441,7 @@ impl FleetDriver {
                         }
                     }
                 }
-                _ => {
+                None => {
                     // Wrong reply, broken frame, EOF, or timeout: the peer
                     // is lost and the shard goes back on the queue.
                     state.requeue(shard);
@@ -1032,6 +1450,11 @@ impl FleetDriver {
                 }
             }
         };
+        // A lost peer's session stays resumable: if the worker redials
+        // with this id, it picks up where the socket dropped.
+        if matches!(outcome, PeerOutcome::Lost) {
+            save_session(session_id, shipped, seen_generation);
+        }
         let serve_us = snip_obs::metrics::duration_us(serve_start.elapsed());
         snip_obs::metrics::counter(&format!("snip_peer_busy_us_total{{peer=\"{worker_idx}\"}}"))
             .add(busy_us);

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod coordinator;
+pub mod fault;
 pub mod proto;
 pub mod spec;
 pub mod transport;
@@ -53,7 +54,10 @@ pub mod worker;
 pub use coordinator::{
     DriverError, DriverStats, FaultInjection, FleetDriver, FleetRun, TcpConfig, TOKEN_ENV_VAR,
 };
+pub use fault::{
+    ChaosPlan, FaultAction, FaultDirection, FaultKind, FaultPlan, FaultTransport, PeerFaults,
+};
 pub use proto::{CoordinatorMsg, PlanEntry, WorkerMsg, PROTOCOL_VERSION};
 pub use spec::{example_spec, FleetOutput, FleetSpec, JobRunner, JobSpec, NodeSpec};
 pub use transport::{PipeTransport, StreamTransport, TcpTransport, Transport};
-pub use worker::{run_worker, run_worker_tcp, ConnectOptions, WorkerError, WorkerSummary};
+pub use worker::{run_worker, run_worker_tcp, Backoff, ConnectOptions, WorkerError, WorkerSummary};

@@ -8,15 +8,26 @@
 //!
 //! ```text
 //! (TCP only)
-//! worker → coordinator   Join { protocol, token, pid }
+//! worker → coordinator   Join { protocol, token, pid, resume }
 //! (all transports)
-//! coordinator → worker   Init { protocol, spec, spec_hash, plans }
+//! coordinator → worker   Init { protocol, spec, spec_hash, session, plans }
 //! worker → coordinator   Ready { protocol, pid, spec_hash }
 //! repeat:
 //!   coordinator → worker   Shard { id, start, end, plans }
 //!   worker → coordinator   ShardDone { id, metrics, plans, seeded_hits }
 //! coordinator → worker   Shutdown
 //! ```
+//!
+//! **Reconnect-with-resume (TCP).** `Init` assigns each admitted worker a
+//! run-scoped *session id*. A worker whose socket drops mid-run may redial
+//! and present the id in `Join { resume: Some(id) }` (the token is checked
+//! again — a session id is an identity, never a credential). A coordinator
+//! that still knows the session replies `Resumed { session }`, after which
+//! the worker either re-sends its un-acknowledged `ShardDone` (accepted
+//! exactly once — the coordinator merges idempotently by shard index) or a
+//! fresh `Ready`, and the shard loop continues. A coordinator that does
+//! *not* know the session (it restarted, or the run is a new one) falls
+//! back to a plain `Init`, and the worker starts a fresh session.
 //!
 //! **Authentication and identity.** A worker dialing in over TCP
 //! authenticates first: `Join` carries the shared secret from the
@@ -60,7 +71,10 @@ use crate::spec::FleetSpec;
 /// * 2 — transport-generic dispatch: `Join` (TCP authentication),
 ///   spec-hash exchange in `Init`/`Ready`, SNIP-OPT plan shipping in
 ///   `Init`/`Shard`/`ShardDone`.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// * 3 — crash-safe fleets: per-worker session ids (`Init { session }`),
+///   reconnect-with-resume (`Join { resume }` / `Resumed`), idempotent
+///   `ShardDone` delivery.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// One solved SNIP-OPT plan under its exact cache key, as shipped between
 /// processes. The key is the solver's own bit-exact composite (model +
@@ -88,8 +102,20 @@ pub enum CoordinatorMsg {
         /// it — the worker recomputes it from the decoded spec and refuses
         /// a mismatch.
         spec_hash: u64,
+        /// The session id this run knows the worker by. A worker whose
+        /// socket drops presents it in `Join { resume }` to resume instead
+        /// of starting over. Run-scoped and worthless without the token.
+        session: u64,
         /// Warm SNIP-OPT plans to seed the worker's cache with.
         plans: Vec<PlanEntry>,
+    },
+    /// Acknowledges a `Join { resume: Some(id) }` from a worker whose
+    /// session this coordinator still knows: no new `Init` follows, the
+    /// worker re-sends its pending `ShardDone` (or a fresh `Ready`) and
+    /// the shard loop continues where it left off.
+    Resumed {
+        /// Echo of the resumed session id.
+        session: u64,
     },
     /// One shard assignment: jobs `start..end` of the spec's job list.
     Shard {
@@ -118,6 +144,11 @@ pub enum WorkerMsg {
         token: String,
         /// The worker's OS process id (diagnostics).
         pid: u64,
+        /// `Some(session)` when redialing after a dropped socket: ask the
+        /// coordinator to resume that session instead of re-handshaking.
+        /// The coordinator answers `Resumed` if it still knows the id,
+        /// plain `Init` otherwise.
+        resume: Option<u64>,
     },
     /// Handshake response.
     Ready {
@@ -158,6 +189,7 @@ mod tests {
                 protocol: PROTOCOL_VERSION,
                 spec: spec.clone(),
                 spec_hash: spec.spec_hash(),
+                session: 11,
                 plans: vec![],
             },
             CoordinatorMsg::Shard {
@@ -166,6 +198,7 @@ mod tests {
                 end: 8,
                 plans: vec![],
             },
+            CoordinatorMsg::Resumed { session: 11 },
             CoordinatorMsg::Shutdown,
         ];
         let mut buf = Vec::new();
@@ -200,8 +233,16 @@ mod tests {
             protocol: PROTOCOL_VERSION,
             token: "a-shared-secret".into(),
             pid: 41,
+            resume: None,
         };
         assert_eq!(WorkerMsg::from_value(&join.to_value()).unwrap(), join);
+        let rejoin = WorkerMsg::Join {
+            protocol: PROTOCOL_VERSION,
+            token: "a-shared-secret".into(),
+            pid: 41,
+            resume: Some(7),
+        };
+        assert_eq!(WorkerMsg::from_value(&rejoin.to_value()).unwrap(), rejoin);
 
         let plan = snip_opt::solve_cached(
             snip_model::SnipModel::default(),

@@ -1,0 +1,255 @@
+//! The chaos harness: deterministic fault schedules against real fleet
+//! runs, over both transports, asserting every run ends *clean* — the
+//! merged output bit-identical to the sequential reference, or
+//! [`DriverError::Incomplete`] with every shard accounted for in the
+//! explicit missing-shard manifest. Never a hang, never a silently
+//! partial merge, never a duplicated shard.
+//!
+//! Faults are injected inside the coordinator's [`Transport`] by a
+//! scripted [`ChaosPlan`]: exact frame ordinals, per peer, per
+//! direction — the same schedule bites the same frame on every run.
+//! TCP workers additionally exercise reconnect-with-resume: a severed
+//! socket is redialed under jittered backoff, the session resumes, and
+//! the in-flight `ShardDone` is delivered exactly once.
+//!
+//! [`Transport`]: snip_fleetd::Transport
+//! [`DriverError::Incomplete`]: snip_fleetd::DriverError::Incomplete
+
+use std::time::Duration;
+
+use snip_fleetd::{
+    ChaosPlan, DriverError, FaultAction, FaultDirection, FaultKind, FaultPlan, FleetDriver,
+    FleetSpec, JobRunner, JobSpec, NodeSpec, PeerFaults, TcpConfig,
+};
+use snip_mobility::EpochProfile;
+use snip_sim::Mechanism;
+
+const SNIP_BIN: &str = env!("CARGO_BIN_EXE_snip");
+const TOKEN: &str = "chaos-suite-token";
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dispatch {
+    Pipe,
+    Tcp,
+}
+
+const BOTH: [Dispatch; 2] = [Dispatch::Pipe, Dispatch::Tcp];
+
+/// Eight single-job shards: enough runway that early-frame faults land
+/// mid-run, small enough that the whole matrix stays fast.
+fn chaos_spec() -> FleetSpec {
+    let nodes = (0..8)
+        .map(|i| NodeSpec {
+            name: format!("site-{i}"),
+            profile: EpochProfile::roadside(),
+            zeta_target: 6.0 + 2.0 * f64::from(i),
+        })
+        .collect();
+    FleetSpec {
+        name: "chaos-fleet".into(),
+        seed: 13,
+        epochs: 2,
+        phi_max_secs: 86.4,
+        job: JobSpec::Fleet {
+            mechanism: Mechanism::SnipRh,
+            nodes,
+        },
+    }
+}
+
+fn driver(spec: &FleetSpec, workers: usize, dispatch: Dispatch, plan: ChaosPlan) -> FleetDriver {
+    let base = FleetDriver::new(spec.clone(), workers)
+        .expect("valid spec")
+        .with_worker_command(SNIP_BIN, vec!["fleet-worker".into()])
+        .with_shard_timeout(Duration::from_secs(3))
+        .with_shard_size(1)
+        .with_chaos(plan);
+    match dispatch {
+        Dispatch::Pipe => base,
+        Dispatch::Tcp => base
+            .with_tcp(TcpConfig {
+                listen: "127.0.0.1:0".into(),
+                token: TOKEN.into(),
+                spawn_workers: true,
+            })
+            .expect("ephemeral localhost bind"),
+    }
+}
+
+fn act(dir: FaultDirection, at_frame: u64, kind: FaultKind) -> FaultAction {
+    FaultAction {
+        dir,
+        at_frame,
+        kind,
+    }
+}
+
+/// A plan faulting only the first admitted peer.
+fn peer0(actions: Vec<FaultAction>) -> ChaosPlan {
+    ChaosPlan {
+        peers: vec![PeerFaults {
+            peer: 0,
+            plan: FaultPlan { actions },
+        }],
+    }
+}
+
+/// The committed fault schedules. Coordinator-side frame ordinals,
+/// 1-based per direction: Tx 1 is `Init`, Tx 2+ are shard assignments;
+/// Rx starts with `Join` (TCP) or `Ready` (pipe), so an Rx fault at
+/// frame 3 bites a `Ready`/`ShardDone` on either transport.
+fn fault_schedules() -> Vec<(&'static str, ChaosPlan)> {
+    use FaultDirection::{Rx, Tx};
+    vec![
+        (
+            "tx-sever-mid-run",
+            peer0(vec![act(Tx, 3, FaultKind::Sever)]),
+        ),
+        (
+            "rx-sever-mid-run",
+            peer0(vec![act(Rx, 3, FaultKind::Sever)]),
+        ),
+        ("tx-truncate", peer0(vec![act(Tx, 2, FaultKind::Truncate)])),
+        (
+            "rx-delay",
+            peer0(vec![act(Rx, 2, FaultKind::Delay { ms: 120 })]),
+        ),
+        (
+            "rx-duplicate-sharddone",
+            peer0(vec![act(Rx, 3, FaultKind::Duplicate)]),
+        ),
+        (
+            "rx-reorder",
+            peer0(vec![act(Rx, 3, FaultKind::ReorderNext)]),
+        ),
+        (
+            "compound-delay-then-sever",
+            peer0(vec![
+                act(Rx, 2, FaultKind::Delay { ms: 60 }),
+                act(Tx, 4, FaultKind::Sever),
+            ]),
+        ),
+    ]
+}
+
+/// The clean-ending contract: bit-identical output, or `Incomplete`
+/// with `missing ∪ completed` covering every shard exactly once.
+fn assert_clean_end(
+    label: &str,
+    spec: &FleetSpec,
+    total_shards: u64,
+    result: Result<snip_fleetd::FleetRun, DriverError>,
+) {
+    match result {
+        Ok(run) => {
+            assert_eq!(
+                run.output,
+                JobRunner::new(spec).run_sequential(),
+                "{label}: a faulted run that completes must not move a single bit"
+            );
+        }
+        Err(DriverError::Incomplete {
+            missing, completed, ..
+        }) => {
+            let mut ids: Vec<u64> = missing
+                .iter()
+                .copied()
+                .chain(completed.iter().map(|(id, _)| *id))
+                .collect();
+            ids.sort_unstable();
+            assert_eq!(
+                ids,
+                (0..total_shards).collect::<Vec<_>>(),
+                "{label}: the missing-shard manifest plus completed shards must \
+                 account for every shard exactly once"
+            );
+            assert!(
+                !missing.is_empty(),
+                "{label}: Incomplete with nothing missing is a contradiction"
+            );
+        }
+        Err(other) => panic!("{label}: expected Ok or Incomplete, got {other}"),
+    }
+}
+
+#[test]
+fn every_fault_schedule_ends_clean_on_both_transports() {
+    let spec = chaos_spec();
+    let total_shards = spec.job_count();
+    for (name, plan) in fault_schedules() {
+        for dispatch in BOTH {
+            for workers in [1usize, 2] {
+                let label = format!("{name} over {dispatch:?} with {workers} worker(s)");
+                let result = driver(&spec, workers, dispatch, plan.clone()).run();
+                assert_clean_end(&label, &spec, total_shards, result);
+            }
+        }
+    }
+}
+
+#[test]
+fn the_committed_ci_chaos_plan_parses_and_ends_clean() {
+    // The plan CI commits for its chaos-smoke job must stay loadable and
+    // must keep ending clean when run in-process over both transports.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../ci/chaos.plan.json");
+    let text = std::fs::read_to_string(path).expect("ci/chaos.plan.json is committed");
+    let plan = ChaosPlan::from_json(&text).expect("the committed plan parses");
+    assert!(!plan.peers.is_empty(), "an empty chaos plan drills nothing");
+    let spec = chaos_spec();
+    let total_shards = spec.job_count();
+    for dispatch in BOTH {
+        let result = driver(&spec, 2, dispatch, plan.clone()).run();
+        assert_clean_end(
+            &format!("ci plan over {dispatch:?}"),
+            &spec,
+            total_shards,
+            result,
+        );
+    }
+}
+
+#[test]
+fn severed_tcp_worker_redials_resumes_and_redelivers_exactly_once() {
+    // The reconnect-with-resume drill, fully deterministic: the lone
+    // worker's first ShardDone is suppressed and its socket severed
+    // (Rx frame 3 = Join, Ready, then the doomed ShardDone). The worker
+    // redials under backoff, presents its session id, gets `Resumed`,
+    // re-sends the in-flight result — and the merged report must be
+    // bit-identical with the shard delivered exactly once.
+    let spec = chaos_spec();
+    let plan = peer0(vec![act(FaultDirection::Rx, 3, FaultKind::Sever)]);
+    let run = driver(&spec, 1, Dispatch::Tcp, plan)
+        .run()
+        .expect("the worker reconnects and finishes the run");
+    assert_eq!(
+        run.output,
+        JobRunner::new(&spec).run_sequential(),
+        "a drop + resume must not move a single bit"
+    );
+    assert!(
+        run.stats.reconnects >= 1,
+        "the redial was admitted as a resume: {:?}",
+        run.stats
+    );
+    assert!(
+        run.stats.resumed_shards >= 1,
+        "the suppressed ShardDone was recovered on the resumed session, \
+         not recomputed: {:?}",
+        run.stats
+    );
+    assert_eq!(run.stats.jobs, spec.job_count(), "{:?}", run.stats);
+}
+
+#[test]
+fn chaos_wrapping_with_an_empty_plan_is_invisible() {
+    // A scheduled peer with no actions must behave exactly like an
+    // unwrapped transport: complete run, exact output, no losses.
+    let spec = chaos_spec();
+    for dispatch in BOTH {
+        let run = driver(&spec, 2, dispatch, peer0(vec![]))
+            .run()
+            .expect("a no-op chaos plan cannot break a run");
+        assert_eq!(run.output, JobRunner::new(&spec).run_sequential());
+        assert_eq!(run.stats.workers_lost, 0, "{dispatch:?}: {:?}", run.stats);
+    }
+}

@@ -8,7 +8,10 @@ use std::io::{Read as _, Write as _};
 use std::net::TcpStream;
 use std::time::Duration;
 
-use snip_fleetd::{FaultInjection, FleetDriver, FleetSpec, JobSpec, NodeSpec, TcpConfig};
+use snip_fleetd::{
+    ChaosPlan, FaultAction, FaultDirection, FaultInjection, FaultKind, FaultPlan, FleetDriver,
+    FleetSpec, JobSpec, NodeSpec, PeerFaults, TcpConfig,
+};
 use snip_mobility::EpochProfile;
 use snip_sim::Mechanism;
 
@@ -130,6 +133,58 @@ fn scrape_shows_the_fleet_and_the_injected_kill() {
     assert!(
         body.contains("snip_shard_queue_us_bucket"),
         "queue-latency histogram renders cumulative buckets: {body}"
+    );
+
+    // The crash-safety counters: a checkpointed run whose lone worker is
+    // severed mid-delivery (Rx frame 3 = its first ShardDone), redials,
+    // resumes, and re-delivers. Reconnects, resumed shards, and
+    // checkpoint write latency must all reach the scrape.
+    let journal = std::env::temp_dir().join(format!(
+        "snip-stats-endpoint-ckpt-{}.snipj",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&journal);
+    let run = FleetDriver::new(spec, 1)
+        .expect("valid spec")
+        .with_worker_command(SNIP_BIN, vec!["fleet-worker".into()])
+        .with_shard_timeout(Duration::from_secs(120))
+        .with_shard_size(1)
+        .with_checkpoint(&journal)
+        .with_chaos(ChaosPlan {
+            peers: vec![PeerFaults {
+                peer: 0,
+                plan: FaultPlan {
+                    actions: vec![FaultAction {
+                        dir: FaultDirection::Rx,
+                        at_frame: 3,
+                        kind: FaultKind::Sever,
+                    }],
+                },
+            }],
+        })
+        .with_tcp(TcpConfig {
+            listen: "127.0.0.1:0".into(),
+            token: "stats-endpoint-token".into(),
+            spawn_workers: true,
+        })
+        .expect("ephemeral fleet bind")
+        .run()
+        .expect("the worker reconnects and finishes");
+    assert!(run.stats.reconnects >= 1, "{:?}", run.stats);
+    let _ = std::fs::remove_file(&journal);
+
+    let body = scrape(addr);
+    assert!(
+        sample(&body, "snip_fleet_reconnects_total").unwrap_or(0.0) >= 1.0,
+        "the resumed redial reached the counters: {body}"
+    );
+    assert!(
+        sample(&body, "snip_fleet_resumed_shards_total").unwrap_or(0.0) >= 1.0,
+        "the recovered in-flight shard reached the counters: {body}"
+    );
+    assert!(
+        body.contains("snip_checkpoint_write_us"),
+        "checkpoint write latency histogram renders: {body}"
     );
 
     server.shutdown();

@@ -9,6 +9,7 @@
 //! | protocol-version skew         | peer rejected before any shard         |
 //! | socket drop mid-shard         | shard re-queued, run completes         |
 //! | handshake stall               | peer dropped at the shard timeout      |
+//! | duplicated `ShardDone`        | merged exactly once, output exact      |
 //! | nobody ever shows up          | `DriverError::Incomplete`, no hang     |
 //!
 //! Never a hang, never a partial merge: a run either completes with
@@ -114,6 +115,7 @@ fn wrong_token_is_rejected_and_the_run_completes() {
             protocol: PROTOCOL_VERSION,
             token: "not-the-token".into(),
             pid: 1,
+            resume: None,
         })
         .expect("join sends");
         // The coordinator severs: the next read returns EOF, never Init.
@@ -163,6 +165,7 @@ fn protocol_version_skew_is_rejected() {
             protocol: PROTOCOL_VERSION + 7,
             token: TOKEN.into(),
             pid: 1,
+            resume: None,
         })
         .expect("join sends");
         let mut r = FrameReader::new(std::io::BufReader::new(&stream));
@@ -186,6 +189,7 @@ fn mismatched_spec_hash_in_ready_is_rejected_before_any_shard() {
             protocol: PROTOCOL_VERSION,
             token: TOKEN.into(),
             pid: 1,
+            resume: None,
         })
         .expect("join sends");
         let announced = match r.recv::<CoordinatorMsg>() {
@@ -232,6 +236,7 @@ fn socket_drop_mid_shard_requeues_and_the_run_stays_exact() {
             protocol: PROTOCOL_VERSION,
             token: TOKEN.into(),
             pid: 1,
+            resume: None,
         })
         .expect("join sends");
         let spec_hash = match r.recv::<CoordinatorMsg>() {
@@ -257,6 +262,60 @@ fn socket_drop_mid_shard_requeues_and_the_run_stays_exact() {
         run.stats
     );
     assert_eq!(run.stats.workers_lost, 1, "{:?}", run.stats);
+    assert_output_exact(&spec, &run);
+}
+
+#[test]
+fn duplicate_shard_done_is_merged_exactly_once() {
+    // The retransmission a reconnecting worker can produce: the same
+    // ShardDone delivered twice. The merge must be idempotent — the
+    // duplicate is dropped, never double-counted, and the run stays
+    // bit-exact.
+    let spec = small_spec();
+    let runner = JobRunner::new(&spec);
+    let run = run_with_hostile_peer(&spec, |addr| {
+        let stream = TcpStream::connect(addr).expect("dial");
+        let mut w = FrameWriter::new(&stream);
+        let mut r = FrameReader::new(std::io::BufReader::new(&stream));
+        w.send(&WorkerMsg::Join {
+            protocol: PROTOCOL_VERSION,
+            token: TOKEN.into(),
+            pid: 1,
+            resume: None,
+        })
+        .expect("join sends");
+        let spec_hash = match r.recv::<CoordinatorMsg>() {
+            Ok(Some(CoordinatorMsg::Init { spec_hash, .. })) => spec_hash,
+            other => panic!("expected Init, got {other:?}"),
+        };
+        w.send(&WorkerMsg::Ready {
+            protocol: PROTOCOL_VERSION,
+            pid: 1,
+            spec_hash,
+        })
+        .expect("ready sends");
+        let mut duplicated = false;
+        loop {
+            match r.recv::<CoordinatorMsg>() {
+                Ok(Some(CoordinatorMsg::Shard { id, start, end, .. })) => {
+                    let done = WorkerMsg::ShardDone {
+                        id,
+                        metrics: (start..end).map(|i| runner.run_job(i)).collect(),
+                        plans: vec![],
+                        seeded_hits: 0,
+                    };
+                    w.send(&done).expect("shard done sends");
+                    if !duplicated {
+                        w.send(&done).expect("duplicate sends");
+                        duplicated = true;
+                    }
+                }
+                Ok(Some(CoordinatorMsg::Shutdown)) | Ok(None) => break,
+                other => panic!("unexpected coordinator message {other:?}"),
+            }
+        }
+        assert!(duplicated, "the drill never got a shard to duplicate");
+    });
     assert_output_exact(&spec, &run);
 }
 

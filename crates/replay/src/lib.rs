@@ -60,6 +60,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod diff;
 pub mod event;
 pub mod frame;
@@ -67,6 +68,10 @@ pub mod journal;
 pub mod record;
 pub mod replay;
 
+pub use checkpoint::{
+    load_checkpoint, CheckpointEvent, CheckpointHeader, CheckpointLoad, CheckpointWriter,
+    CHECKPOINT_VERSION,
+};
 pub use diff::{diff_journals, DiffReport, FirstDifference};
 pub use event::{
     JournalEvent, JournalHeader, SchedulerSpec, JOURNAL_VERSION, MIN_SUPPORTED_JOURNAL_VERSION,
