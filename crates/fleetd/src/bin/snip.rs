@@ -14,6 +14,9 @@
 //!                                  (no flags: spawned by `snip fleet` over stdio)
 //! snip bench   [--out BENCH_sweep.json] [--epochs N] [--threads N] [--seed S]
 //!              [--phi-max SECS] [--targets a,b,c] [--fleet K] [--fleet-tcp K]
+//! snip lint    [--root DIR]              determinism lint over the workspace
+//! snip check-proto [--abstract-only]     exhaustive protocol-v3 state check
+//! snip fuzz    [--seed S] [--iters N] [--corpus DIR] [--replay]
 //! ```
 //!
 //! Journal format is chosen by extension: `.json`/`.jsonl` are JSON lines,
@@ -58,6 +61,13 @@ USAGE:
                                                (spawned by fleet) or by dialing
                                                a fleet-serve coordinator
     snip bench   [options]                     time the canonical paper sweep
+    snip lint    [--root DIR]                  enforce the determinism contract
+                                               over the workspace's own sources
+    snip check-proto [--abstract-only]         explore every bounded fault
+                                               interleaving of protocol v3 and
+                                               check the fleet invariants
+    snip fuzz    [options]                     seeded structured fuzzing of the
+                                               frame/journal/checkpoint decoders
 
 record options (defaults in brackets):
     --out <path>           journal to write (required)
@@ -136,6 +146,26 @@ bench options (defaults in brackets):
                            token + spec-hash handshake) and record
                            fleet_tcp points/sec            [off]
 
+lint options:
+    --root <dir>           workspace root to scan            [.]
+                           (rules + the `// snip-lint: allow(<rule>): \"why\"`
+                           escape hatch are documented in crates/verify)
+
+check-proto options:
+    --abstract-only        run only the model exploration; skip the concrete
+                           fault-schedule sweep and the auth-uniformity wire
+                           probe (which spawn worker subprocesses)
+
+fuzz options (defaults in brackets):
+    --seed <n>             xorshift seed; same seed, same run  [1592614637]
+    --iters <n>            iterations per decoder target       [500]
+    --corpus <dir>         minimized findings land here, and --replay reads
+                           from here                           [ci/corpus]
+    --timeout-secs <s>     per-input hang watchdog             [5]
+    --replay               re-feed every committed corpus artifact to its
+                           decoder and fail on any panic/hang instead of
+                           fuzzing
+
 Formats by extension: .json/.jsonl = JSON lines, anything else = CBOR
 (.snipj by convention).
 
@@ -163,6 +193,9 @@ fn main() -> ExitCode {
         "fleet-serve" => cmd_fleet_serve(rest),
         "fleet-worker" => cmd_fleet_worker(rest),
         "bench" => cmd_bench(rest),
+        "lint" => cmd_lint(rest),
+        "check-proto" => cmd_check_proto(rest),
+        "fuzz" => cmd_fuzz(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -1205,6 +1238,7 @@ fn parse_bench_options(args: &[String]) -> Result<BenchOptions, CliError> {
 /// authenticated handshake multi-host fleets use.
 fn bench_fleet_token() -> String {
     use std::time::{SystemTime, UNIX_EPOCH};
+    // snip-lint: allow(wall-clock): "entropy for a locally unique bench fleet token, not simulation state"
     let nanos = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map_or(0, |d| d.as_nanos());
@@ -1239,6 +1273,7 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, CliError> {
         let mut best = f64::INFINITY;
         let mut out = Vec::new();
         for _ in 0..opts.repeat {
+            // snip-lint: allow(wall-clock): "bench harness wall-time measurement — timing is its output"
             let t = Instant::now();
             out = f();
             best = best.min(t.elapsed().as_secs_f64());
@@ -1282,6 +1317,7 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, CliError> {
         let mut output = None;
         let mut stats = None;
         for _ in 0..opts.repeat {
+            // snip-lint: allow(wall-clock): "bench harness wall-time measurement — timing is its output"
             let t = Instant::now();
             let run = driver.run().map_err(fatal)?;
             best = best.min(t.elapsed().as_secs_f64());
@@ -1496,6 +1532,7 @@ fn append_bench_history(
             .map(String::from)
     });
 
+    // snip-lint: allow(wall-clock): "bench history row timestamp; report metadata only"
     let unix_secs = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
@@ -1596,4 +1633,387 @@ fn print_metrics(mechanism: &str, metrics: &RunMetrics) {
             .overall_rho()
             .map_or_else(|| "-".into(), |r| format!("{r:.3}")),
     );
+}
+
+// ------------------------------------------------------------------ verify
+
+/// `snip lint`: the determinism lint over the workspace's own sources.
+fn cmd_lint(args: &[String]) -> Result<ExitCode, CliError> {
+    let mut root = PathBuf::from(".");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| CliError::Usage("--root needs a path".into()))?,
+                );
+            }
+            other => return Err(CliError::Usage(format!("unknown lint option `{other}`"))),
+        }
+    }
+    let report = snip_verify::lint::lint_workspace(&root)
+        .map_err(|e| fatal(format!("lint walk failed under {}: {e}", root.display())))?;
+    for v in &report.violations {
+        println!("{v}");
+    }
+    println!(
+        "snip lint: {} file(s) scanned, {} allow(s) honored, {} violation(s)",
+        report.files_scanned,
+        report.allows_honored,
+        report.violations.len()
+    );
+    if report.is_clean() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::from(1))
+    }
+}
+
+/// `snip check-proto`: the bounded-exhaustive protocol check — model
+/// exploration, then concrete fault schedules against the real driver,
+/// then the auth-uniformity wire probe.
+fn cmd_check_proto(args: &[String]) -> Result<ExitCode, CliError> {
+    let mut abstract_only = false;
+    for arg in args {
+        match arg.as_str() {
+            "--abstract-only" => abstract_only = true,
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown check-proto option `{other}`"
+                )))
+            }
+        }
+    }
+
+    // Leg 1: every reachable state of the protocol model within the
+    // fault budget, with the invariants asserted in each one.
+    let cfg = snip_verify::proto::ExploreConfig::default();
+    let report = snip_verify::proto::explore(&cfg)
+        .map_err(|v| fatal(format!("protocol invariant violated: {v}")))?;
+    println!("check-proto [model]: {report}");
+    if report.states < 10_000 {
+        return Err(fatal(format!(
+            "exploration bound regressed below the 10^4-state bar: {report}"
+        )));
+    }
+    if abstract_only {
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    // Leg 2: concrete fault schedules against the real `FleetDriver`,
+    // worker subprocesses and all. Every schedule must end clean:
+    // bit-identical to the sequential run, or `Incomplete` with the
+    // manifest accounting for every shard.
+    let spec = check_proto_spec();
+    let total_shards = spec.job_count();
+    for (name, plan) in check_proto_schedules() {
+        let driver = FleetDriver::new(spec.clone(), 2)
+            .map_err(|e| fatal(format!("fleet spec rejected: {e}")))?
+            .with_shard_size(1)
+            .with_shard_timeout(std::time::Duration::from_secs(10))
+            .with_chaos(plan);
+        check_clean_end(name, &spec, total_shards, driver.run())?;
+        println!("check-proto [fault {name}]: clean end");
+    }
+
+    // Leg 3: auth-rejection uniformity on the wire. Whatever the reason
+    // — wrong token, protocol skew, or un-frameable garbage — a refused
+    // dial must observe exactly the same bytes (none) before the sever.
+    check_auth_uniformity(&spec)?;
+    println!(
+        "check-proto [auth]: rejection is uniform (0 bytes revealed) and the run still completes"
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Six single-job shards on two workers: small enough to finish in
+/// seconds, enough runway that frame-3 faults land mid-run.
+fn check_proto_spec() -> FleetSpec {
+    use snip_fleetd::{JobSpec, NodeSpec};
+    FleetSpec {
+        name: "check-proto".into(),
+        seed: 17,
+        epochs: 2,
+        phi_max_secs: 86.4,
+        job: JobSpec::Fleet {
+            mechanism: snip_sim::Mechanism::SnipRh,
+            nodes: (0..6)
+                .map(|i| NodeSpec {
+                    name: format!("cp-{i}"),
+                    profile: EpochProfile::roadside(),
+                    zeta_target: 6.0 + 2.0 * f64::from(i),
+                })
+                .collect(),
+        },
+    }
+}
+
+/// The concrete schedules: one per protocol hazard the model explores —
+/// duplication (exactly-once merge), sever (steal + redial), reorder.
+fn check_proto_schedules() -> Vec<(&'static str, snip_fleetd::ChaosPlan)> {
+    use snip_fleetd::{ChaosPlan, FaultAction, FaultDirection, FaultKind, FaultPlan, PeerFaults};
+    let plan = |dir, at_frame, kind| ChaosPlan {
+        peers: vec![PeerFaults {
+            peer: 0,
+            plan: FaultPlan {
+                actions: vec![FaultAction {
+                    dir,
+                    at_frame,
+                    kind,
+                }],
+            },
+        }],
+    };
+    vec![
+        (
+            "rx-duplicate-sharddone",
+            plan(FaultDirection::Rx, 3, FaultKind::Duplicate),
+        ),
+        (
+            "tx-sever-mid-run",
+            plan(FaultDirection::Tx, 3, FaultKind::Sever),
+        ),
+        (
+            "rx-reorder",
+            plan(FaultDirection::Rx, 3, FaultKind::ReorderNext),
+        ),
+    ]
+}
+
+/// The chaos suite's clean-ending contract, as a CLI check.
+fn check_clean_end(
+    label: &str,
+    spec: &FleetSpec,
+    total_shards: u64,
+    result: Result<snip_fleetd::FleetRun, snip_fleetd::DriverError>,
+) -> Result<(), CliError> {
+    use snip_fleetd::{DriverError, JobRunner};
+    match result {
+        Ok(run) => {
+            if run.output != JobRunner::new(spec).run_sequential() {
+                return Err(fatal(format!(
+                    "{label}: faulted run completed but diverged from the sequential output"
+                )));
+            }
+            Ok(())
+        }
+        Err(DriverError::Incomplete {
+            missing, completed, ..
+        }) => {
+            let mut ids: Vec<u64> = missing
+                .iter()
+                .copied()
+                .chain(completed.iter().map(|(id, _)| *id))
+                .collect();
+            ids.sort_unstable();
+            if ids != (0..total_shards).collect::<Vec<_>>() || missing.is_empty() {
+                return Err(fatal(format!(
+                    "{label}: Incomplete manifest does not account for every shard \
+                     exactly once (missing {missing:?})"
+                )));
+            }
+            Ok(())
+        }
+        Err(other) => Err(fatal(format!(
+            "{label}: expected Ok or Incomplete, got {other}"
+        ))),
+    }
+}
+
+/// Dials the coordinator with three differently-wrong handshakes and
+/// asserts the refusals are byte-identical (zero bytes, then sever) — a
+/// rejected dialer learns nothing about *which* check failed. A real
+/// worker then finishes the run, proving the probes poisoned nothing.
+fn check_auth_uniformity(spec: &FleetSpec) -> Result<(), CliError> {
+    use snip_fleetd::{JobRunner, TcpConfig, WorkerMsg, PROTOCOL_VERSION, TOKEN_ENV_VAR};
+    use snip_replay::frame::FrameWriter;
+    use std::io::{Read, Write};
+
+    let token = "check-proto-secret";
+    let driver = FleetDriver::new(spec.clone(), 1)
+        .map_err(|e| fatal(format!("fleet spec rejected: {e}")))?
+        .with_shard_size(1)
+        .with_shard_timeout(std::time::Duration::from_secs(30))
+        .with_tcp(TcpConfig {
+            listen: "127.0.0.1:0".into(),
+            token: token.into(),
+            spawn_workers: false,
+        })
+        .map_err(|e| fatal(format!("coordinator bind failed: {e}")))?;
+    let addr = driver
+        .local_addr()
+        .ok_or_else(|| fatal("coordinator has no bound address"))?;
+    let run = std::thread::spawn(move || driver.run());
+
+    let bad_join = |msg: &WorkerMsg| -> Vec<u8> {
+        let mut bytes = Vec::new();
+        FrameWriter::new(&mut bytes)
+            .send(msg)
+            .expect("in-memory frame");
+        bytes
+    };
+    let probes: Vec<(&str, Vec<u8>)> = vec![
+        (
+            "wrong-token",
+            bad_join(&WorkerMsg::Join {
+                protocol: PROTOCOL_VERSION,
+                token: "not-the-secret".into(),
+                pid: u64::from(std::process::id()),
+                resume: None,
+            }),
+        ),
+        (
+            "protocol-skew",
+            bad_join(&WorkerMsg::Join {
+                protocol: PROTOCOL_VERSION + 1,
+                token: token.into(),
+                pid: u64::from(std::process::id()),
+                resume: None,
+            }),
+        ),
+        ("unframeable-garbage", b"GET / HTTP/1.1\r\n\r\n".to_vec()),
+    ];
+    let mut responses: Vec<(&str, Vec<u8>)> = Vec::new();
+    for (name, payload) in probes {
+        let mut sock = std::net::TcpStream::connect(addr)
+            .map_err(|e| fatal(format!("auth probe dial failed: {e}")))?;
+        sock.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .map_err(|e| fatal(format!("socket timeout: {e}")))?;
+        sock.write_all(&payload)
+            .map_err(|e| fatal(format!("auth probe send failed: {e}")))?;
+        let mut seen = Vec::new();
+        let mut buf = [0u8; 1024];
+        loop {
+            match sock.read(&mut buf) {
+                Ok(0) => break, // severed — the expected refusal
+                Ok(n) => seen.extend_from_slice(&buf[..n]),
+                Err(e) => {
+                    return Err(fatal(format!(
+                        "auth probe `{name}`: no sever within the window ({e})"
+                    )))
+                }
+            }
+        }
+        responses.push((name, seen));
+    }
+    let (first_name, first) = &responses[0];
+    for (name, seen) in &responses[1..] {
+        if seen != first {
+            return Err(fatal(format!(
+                "auth refusal is not uniform: `{first_name}` observed {} byte(s) \
+                 but `{name}` observed {} — rejection leaks which check failed",
+                first.len(),
+                seen.len()
+            )));
+        }
+    }
+    if !first.is_empty() {
+        return Err(fatal(format!(
+            "auth refusal leaked {} byte(s) before the sever",
+            first.len()
+        )));
+    }
+
+    // A legitimate worker now joins and finishes the run.
+    let exe = std::env::current_exe().map_err(|e| fatal(format!("current_exe: {e}")))?;
+    let mut child = std::process::Command::new(exe)
+        .args(["fleet-worker", "--connect", &addr.to_string()])
+        .env(TOKEN_ENV_VAR, token)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .map_err(|e| fatal(format!("spawning the real worker failed: {e}")))?;
+    let result = run
+        .join()
+        .map_err(|_| fatal("coordinator thread panicked"))?;
+    let _ = child.wait();
+    match result {
+        Ok(run) if run.output == JobRunner::new(spec).run_sequential() => Ok(()),
+        Ok(_) => Err(fatal(
+            "run after auth probes completed but diverged from the sequential output",
+        )),
+        Err(e) => Err(fatal(format!("run after auth probes failed: {e}"))),
+    }
+}
+
+/// `snip fuzz`: the structured decoder fuzzer, or (`--replay`) the
+/// corpus regression check.
+fn cmd_fuzz(args: &[String]) -> Result<ExitCode, CliError> {
+    let mut cfg = snip_verify::fuzz::FuzzConfig::default();
+    let mut corpus = PathBuf::from("ci/corpus");
+    let mut replay = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--seed" => {
+                cfg.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("--seed: {e}")))?;
+            }
+            "--iters" => {
+                cfg.iters = value("--iters")?
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("--iters: {e}")))?;
+            }
+            "--timeout-secs" => {
+                cfg.timeout = std::time::Duration::from_secs(
+                    value("--timeout-secs")?
+                        .parse()
+                        .map_err(|e| CliError::Usage(format!("--timeout-secs: {e}")))?,
+                );
+            }
+            "--corpus" => corpus = PathBuf::from(value("--corpus")?),
+            "--replay" => replay = true,
+            other => return Err(CliError::Usage(format!("unknown fuzz option `{other}`"))),
+        }
+    }
+
+    if replay {
+        let report = snip_verify::fuzz::replay_corpus(&corpus)
+            .map_err(|e| fatal(format!("corpus replay under {}: {e}", corpus.display())))?;
+        println!("snip fuzz --replay: {report}");
+        for (path, detail) in &report.regressions {
+            println!("  REGRESSION {}: {detail}", path.display());
+        }
+        return Ok(if report.is_clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        });
+    }
+
+    cfg.corpus_dir = Some(corpus);
+    let report = snip_verify::fuzz::run_fuzz(&cfg).map_err(|e| fatal(format!("fuzz run: {e}")))?;
+    println!("snip fuzz: {report}");
+    for f in &report.findings {
+        match &f.artifact {
+            Some(path) => println!(
+                "  FINDING [{}] {} ({} bytes, minimized) -> {}",
+                f.class,
+                f.target.name(),
+                f.input.len(),
+                path.display()
+            ),
+            None => println!(
+                "  FINDING [{}] {} ({} bytes, minimized)",
+                f.class,
+                f.target.name(),
+                f.input.len()
+            ),
+        }
+        if !f.detail.is_empty() {
+            println!("    {}", f.detail);
+        }
+    }
+    Ok(if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
 }

@@ -41,7 +41,7 @@
 //! [`DriverError::Incomplete`] carries the completed shards next to the
 //! missing manifest so `--partial-ok` can salvage a wrecked run.
 
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::io;
 use std::net::{SocketAddr, TcpListener};
@@ -317,7 +317,7 @@ pub struct FleetDriver {
 /// a peer that is already up to date skips the per-shard rescan.
 #[derive(Default)]
 struct PlanStore {
-    map: HashMap<String, OptPlan>,
+    map: BTreeMap<String, OptPlan>,
     /// Bumped whenever `map` gains an entry.
     generation: u64,
 }
@@ -326,7 +326,7 @@ struct PlanStore {
 /// resume the session: the plan-shipping bookkeeping, which would
 /// otherwise re-ship every plan the worker already holds.
 struct SessionEntry {
-    shipped: HashSet<String>,
+    shipped: BTreeSet<String>,
     seen_generation: u64,
 }
 
@@ -359,7 +359,7 @@ struct RunState {
     last_activity: Mutex<Instant>,
     /// Dropped workers' resumable sessions, by session id. An entry is
     /// taken when its worker redials; live peers have no entry.
-    sessions: Mutex<HashMap<u64, SessionEntry>>,
+    sessions: Mutex<BTreeMap<u64, SessionEntry>>,
     next_session: AtomicU64,
     reconnects: AtomicU64,
     resumed_shards: AtomicU64,
@@ -376,6 +376,7 @@ impl RunState {
         preloaded: BTreeMap<u64, Vec<RunMetrics>>,
         checkpoint: Option<CheckpointWriter>,
     ) -> Self {
+        // snip-lint: allow(wall-clock): "queue-wait latency metric; never feeds merged results"
         let enqueued = Instant::now();
         RunState {
             // Checkpointed shards never re-enter the queue: their work is
@@ -405,8 +406,9 @@ impl RunState {
             seed_hits: AtomicU64::new(0),
             active_peers: AtomicUsize::new(0),
             preauth_peers: AtomicUsize::new(0),
+            // snip-lint: allow(wall-clock): "idle-timeout liveness clock; deadline bookkeeping only"
             last_activity: Mutex::new(Instant::now()),
-            sessions: Mutex::new(HashMap::new()),
+            sessions: Mutex::new(BTreeMap::new()),
             next_session: AtomicU64::new(1),
             reconnects: AtomicU64::new(0),
             resumed_shards: AtomicU64::new(0),
@@ -429,6 +431,7 @@ impl RunState {
     }
 
     fn touch(&self) {
+        // snip-lint: allow(wall-clock): "idle-timeout liveness clock; deadline bookkeeping only"
         *self.last_activity.lock().expect("activity clock poisoned") = Instant::now();
     }
 
@@ -445,6 +448,7 @@ impl RunState {
         self.queue
             .lock()
             .expect("shard queue poisoned")
+            // snip-lint: allow(wall-clock): "in-flight shard age for the reassignment timeout"
             .push_back((shard, Instant::now()));
         self.reassigned.fetch_add(1, Ordering::Relaxed);
         snip_obs::event!(
@@ -512,6 +516,7 @@ impl RunState {
             return false;
         }
         if let Some(checkpoint) = &self.checkpoint {
+            // snip-lint: allow(wall-clock): "checkpoint-append latency metric; observability only"
             let write_start = Instant::now();
             if let Err(e) = checkpoint
                 .lock()
@@ -767,6 +772,7 @@ impl FleetDriver {
         obs.resumed_shards
             .add(state.resumed_shards.load(Ordering::Relaxed));
 
+        // snip-lint: allow(wall-clock): "merge latency metric; observability only"
         let merge_start = Instant::now();
         let taken: Vec<(u64, Option<Vec<RunMetrics>>)> = state
             .results
@@ -1049,12 +1055,14 @@ impl FleetDriver {
 
         // Reap spawned workers: Shutdown (or the dropped/drained sockets)
         // ends them; anything still alive after a grace period is killed.
+        // snip-lint: allow(wall-clock): "child-reap grace deadline at shutdown"
         let grace = Instant::now() + Duration::from_secs(10);
         for mut child in children {
             loop {
                 Self::drain_backlog(&tcp.listener);
                 match child.try_wait() {
                     Ok(Some(_)) => break,
+                    // snip-lint: allow(wall-clock): "child-reap grace deadline at shutdown"
                     Ok(None) if Instant::now() < grace => {
                         std::thread::sleep(Duration::from_millis(25));
                     }
@@ -1156,8 +1164,10 @@ impl FleetDriver {
         state: &RunState,
         timeout: Duration,
     ) -> Option<WorkerMsg> {
+        // snip-lint: allow(wall-clock): "peer receive deadline; timeouts only affect fault handling"
         let deadline = Instant::now() + timeout;
         loop {
+            // snip-lint: allow(wall-clock): "peer receive deadline; timeouts only affect fault handling"
             let now = Instant::now();
             if now >= deadline {
                 return None;
@@ -1182,7 +1192,7 @@ impl FleetDriver {
     /// a full rescan under the lock.
     fn plans_for(
         &self,
-        shipped: &mut HashSet<String>,
+        shipped: &mut BTreeSet<String>,
         seen_generation: &mut u64,
         state: &RunState,
     ) -> Vec<PlanEntry> {
@@ -1212,11 +1222,11 @@ impl FleetDriver {
 
     /// Folds a worker's newly solved plans into the global store (and
     /// marks them shipped to that worker — it obviously has them).
-    fn absorb_plans(&self, plans: Vec<PlanEntry>, shipped: &mut HashSet<String>) {
+    fn absorb_plans(&self, plans: Vec<PlanEntry>, shipped: &mut BTreeSet<String>) {
         let mut store = self.plans.lock().expect("plan set poisoned");
         for entry in plans {
             shipped.insert(entry.key.clone());
-            if let std::collections::hash_map::Entry::Vacant(slot) = store.map.entry(entry.key) {
+            if let std::collections::btree_map::Entry::Vacant(slot) = store.map.entry(entry.key) {
                 slot.insert(entry.plan);
                 store.generation += 1;
             }
@@ -1237,6 +1247,7 @@ impl FleetDriver {
         state: &RunState,
         resume: Option<u64>,
     ) -> PeerOutcome {
+        // snip-lint: allow(wall-clock): "handshake latency metric; observability only"
         let handshake_start = Instant::now();
         let spec_hash = self.spec.spec_hash();
         let obs = fleet_metrics();
@@ -1248,7 +1259,7 @@ impl FleetDriver {
                 .remove(&sid)
                 .map(|entry| (sid, entry))
         });
-        let save_session = |sid: u64, shipped: HashSet<String>, seen_generation: u64| {
+        let save_session = |sid: u64, shipped: BTreeSet<String>, seen_generation: u64| {
             state
                 .sessions
                 .lock()
@@ -1326,7 +1337,7 @@ impl FleetDriver {
             }
             None => {
                 let sid = state.next_session.fetch_add(1, Ordering::Relaxed);
-                let mut shipped = HashSet::new();
+                let mut shipped = BTreeSet::new();
                 let mut seen_generation = u64::MAX; // force the Init scan
                 let init = CoordinatorMsg::Init {
                     protocol: PROTOCOL_VERSION,
@@ -1370,6 +1381,7 @@ impl FleetDriver {
 
         // Per-peer utilization: accumulated locally, flushed once when the
         // peer's service ends (any outcome).
+        // snip-lint: allow(wall-clock): "per-peer serve-duration metric; observability only"
         let serve_start = Instant::now();
         let mut busy_us = 0u64;
         let mut done_here = 0u64;
@@ -1384,6 +1396,7 @@ impl FleetDriver {
                 shard.start,
                 shard.end
             );
+            // snip-lint: allow(wall-clock): "shard compute-latency metric; observability only"
             let compute_start = Instant::now();
             let assignment = CoordinatorMsg::Shard {
                 id: shard.id,

@@ -22,7 +22,7 @@
 //! the worker starts over cleanly. Pipe workers never reconnect: their
 //! transport *is* their parent process.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt;
 use std::io::{BufRead, Write};
 use std::net::SocketAddr;
@@ -162,7 +162,7 @@ struct Session {
     runner: Option<JobRunner>,
     spec_hash: u64,
     /// Plan keys already known to the coordinator — never reported back.
-    reported: HashSet<String>,
+    reported: BTreeSet<String>,
     /// The last `ShardDone` sent but not yet acknowledged by any
     /// subsequent coordinator message; re-sent after a resume.
     pending: Option<WorkerMsg>,
@@ -175,7 +175,7 @@ impl Session {
             session: None,
             runner: None,
             spec_hash: 0,
-            reported: HashSet::new(),
+            reported: BTreeSet::new(),
             pending: None,
             summary: WorkerSummary { shards: 0, jobs: 0 },
         }
@@ -385,6 +385,7 @@ fn serve_once(
                     session.reported.insert(entry.key.clone());
                 }
                 let seeded_before = snip_opt::plan_cache_stats().seeded_hits;
+                // snip-lint: allow(wall-clock): "shard compute-latency metric; observability only"
                 let compute_start = Instant::now();
                 let metrics = {
                     let _span = snip_obs::span!("worker shard {id} jobs {start}..{end}");
@@ -545,12 +546,14 @@ pub fn run_worker_tcp(opts: &ConnectOptions, pid: u64) -> Result<WorkerSummary, 
 
 /// One dial attempt series under `backoff`, bounded by the retry window.
 fn dial(opts: &ConnectOptions, backoff: &mut Backoff) -> Result<TcpTransport, WorkerError> {
+    // snip-lint: allow(wall-clock): "redial retry deadline; connection bookkeeping only"
     let deadline = Instant::now() + opts.retry_for;
     loop {
         match TcpTransport::connect(&opts.addr) {
             Ok(t) => return Ok(t),
             Err(e) => {
                 let delay = backoff.next_delay();
+                // snip-lint: allow(wall-clock): "redial retry deadline; connection bookkeeping only"
                 if Instant::now() + delay >= deadline {
                     return Err(WorkerError::Connect(e));
                 }

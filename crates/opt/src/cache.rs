@@ -29,7 +29,7 @@
 //! the cap, solves still happen and return correctly, they just stop
 //! being remembered.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
@@ -46,7 +46,7 @@ struct Entry {
     seeded: bool,
 }
 
-static CACHE: OnceLock<Mutex<HashMap<String, Entry>>> = OnceLock::new();
+static CACHE: OnceLock<Mutex<BTreeMap<String, Entry>>> = OnceLock::new();
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 static SEEDED: AtomicU64 = AtomicU64::new(0);
@@ -59,8 +59,8 @@ static SEEDED_HITS: AtomicU64 = AtomicU64::new(0);
 /// just aren't stored.
 pub const MAX_CACHED_PLANS: usize = 4_096;
 
-fn cache() -> &'static Mutex<HashMap<String, Entry>> {
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+fn cache() -> &'static Mutex<BTreeMap<String, Entry>> {
+    CACHE.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
 /// Registry handles mirroring the cache counters (plus solve timing) into
@@ -131,7 +131,7 @@ pub fn seed_plan(key: impl Into<String>, plan: OptPlan) {
     if map.len() >= MAX_CACHED_PLANS {
         return;
     }
-    if let std::collections::hash_map::Entry::Vacant(slot) = map.entry(key.into()) {
+    if let std::collections::btree_map::Entry::Vacant(slot) = map.entry(key.into()) {
         slot.insert(Entry { plan, seeded: true });
         SEEDED.fetch_add(1, Ordering::Relaxed);
     }
@@ -188,6 +188,7 @@ pub fn solve_cached(
         }
         return entry.plan.clone();
     }
+    // snip-lint: allow(wall-clock): "solve-latency observability metric; never feeds plan content"
     let solve_start = std::time::Instant::now();
     let plan = TwoStepOptimizer::new(model, profile.clone()).solve(phi_max, zeta_target);
     metrics.solve_us.observe(solve_start.elapsed());

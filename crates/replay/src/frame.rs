@@ -165,6 +165,7 @@ impl<W: Write> FrameWriter<W> {
     ///
     /// Returns [`FrameError::Io`] on write or flush failure.
     pub fn send_value(&mut self, value: &Value) -> Result<(), FrameError> {
+        // snip-lint: allow(wall-clock): "codec timing metric, only taken when a metrics registry is attached"
         let encode_start = self.metrics.as_ref().map(|_| Instant::now());
         let payload = json::to_string(value);
         let bytes = payload.as_bytes();
@@ -281,6 +282,7 @@ impl<R: BufRead> FrameReader<R> {
             }
             Err(e) => return Err(FrameError::from(e)),
         }
+        // snip-lint: allow(wall-clock): "codec timing metric, only taken when a metrics registry is attached"
         let decode_start = self.metrics.as_ref().map(|_| Instant::now());
         let text = std::str::from_utf8(&payload)
             .map_err(|_| FrameError::Codec("frame payload is not UTF-8".into()))?;

@@ -177,6 +177,7 @@ impl Fleet {
         let node = &self.nodes[i];
         // Wall-clock observability only — never read by the simulation.
         let _span = snip_obs::span!("fleet-node {} ({i})", node.name);
+        // snip-lint: allow(wall-clock): "per-node wall-time metric; never read by the simulation"
         let node_start = std::time::Instant::now();
         let trace = self.node_trace(i);
         let config = self.config.clone().with_zeta_target_secs(node.zeta_target);

@@ -409,6 +409,7 @@ impl RunMetrics {
         if self.epochs.is_empty() {
             return 0.0;
         }
+        // snip-lint: allow(float-ledger): "derived display statistic over finished integer ledgers, not an accumulator"
         self.epochs.iter().map(f).sum::<f64>() / self.epochs.len() as f64
     }
 
@@ -422,6 +423,7 @@ impl RunMetrics {
             .epochs
             .iter()
             .map(|e| (f(e) - mean).powi(2))
+            // snip-lint: allow(float-ledger): "derived display statistic over finished integer ledgers, not an accumulator"
             .sum::<f64>()
             / (n - 1) as f64;
         var.sqrt()

@@ -77,6 +77,7 @@ where
                     if i >= jobs {
                         break;
                     }
+                    // snip-lint: allow(wall-clock): "per-job wall-time metric; never read by the simulation"
                     let job_start = std::time::Instant::now();
                     let result = f(i);
                     busy_us += snip_obs::metrics::duration_us(job_start.elapsed());

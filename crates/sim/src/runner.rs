@@ -231,6 +231,7 @@ impl ScenarioRunner {
         // Wall-clock only: the span and histogram never feed back into the
         // simulation, so instrumented runs stay bit-identical.
         let _span = snip_obs::span!("sweep-point {} ζt={zeta_target}", mechanism.label());
+        // snip-lint: allow(wall-clock): "sweep-point wall-time metric; never read by the simulation"
         let point_start = std::time::Instant::now();
         let trace = self.trace_arc();
         let config = self.config.clone().with_zeta_target_secs(zeta_target);

@@ -1,0 +1,740 @@
+//! `snip check-proto`: bounded exhaustive exploration of the fleet
+//! protocol v3 state machine.
+//!
+//! The coordinator/worker protocol (`snip-fleetd`) promises, per PR 7:
+//! every `ShardDone` merges exactly once; every run reaches a terminal
+//! (`Complete` or `Incomplete` with a full manifest) — never a hang;
+//! resume never recomputes a journaled shard. The chaos suite spot-checks
+//! hand-written fault schedules against the real implementation; this
+//! module complements it the way the coverability literature treats
+//! protocols — as an explicit transition system whose *entire* reachable
+//! state space (within a fault budget) is enumerated and checked.
+//!
+//! The model is an abstraction of `coordinator.rs`/`worker.rs`, faithful
+//! to the decisions that matter:
+//!
+//! * **Pull-based dealing** — a `Ready`/`ShardDone` earns the lowest
+//!   queued shard; an idle worker with an empty queue is released with
+//!   `Shutdown` (in-flight shards that later fail surface as
+//!   `Incomplete`, exactly like the implementation's missing-shard
+//!   manifest).
+//! * **Idempotent merge** — the merge guard drops a `ShardDone` for an
+//!   already-merged ordinal; the checkpoint journal is written before
+//!   the merge is acknowledged, so `journaled == merged` at every
+//!   observable point (the implementation appends under the slot lock
+//!   before bumping the completion count).
+//! * **Sever / redial / resume** — a severed worker keeps its in-flight
+//!   result as `pending`, redials, and re-delivers it on a resumed
+//!   session; the coordinator requeues the severed worker's assignment.
+//! * **Coordinator restart** — sessions are memory, the journal is disk:
+//!   a restart clears sessions and channels, restores `merged` from the
+//!   journal, and requeues exactly the unjournaled shards. Returning
+//!   workers are admitted as fresh joins (their stale sessions are
+//!   unknown) and drop their pending results.
+//! * **Frame faults** — delivery of a worker's head frame can be
+//!   duplicated (budget-limited), modelling the chaos layer's
+//!   `Duplicate`; severs model `Sever`/`Truncate`/`ReorderNext`'s
+//!   connection-fatal outcomes. (Reordering *within* one stream cannot
+//!   happen outside a fault transport — frames are length-prefixed on
+//!   one TCP stream — so adjacent-swap is subsumed by sever+resume.)
+//!
+//! Invariants are asserted in **every reachable state**, and terminal
+//! reachability is established by reverse closure over the explored
+//! graph — a livelock (a cycle no terminal can be reached from) is
+//! reported, not just a deadlock.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+/// What a worker's connection is doing in the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum WorkerMode {
+    /// Never joined yet (initial dial still ahead).
+    NeverJoined,
+    /// `Join` sent, awaiting `Init`/`Resumed`.
+    AwaitInit,
+    /// Handshake done; `Ready`/`ShardDone` sent, awaiting work.
+    WaitWork,
+    /// Computing shard `s` (result not yet sent).
+    Computing(u8),
+    /// Connection severed; may redial if budget remains.
+    Down,
+    /// Released by `Shutdown` (or out of redials for good).
+    Finished,
+}
+
+/// Messages in flight, abstracted to what drives the state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Msg {
+    /// Coordinator → worker: fresh admission (`Init`).
+    Init,
+    /// Coordinator → worker: session resumed (`Resumed`).
+    Resumed,
+    /// Coordinator → worker: compute this shard.
+    Shard(u8),
+    /// Coordinator → worker: run over, disconnect.
+    Shutdown,
+    /// Worker → coordinator: `Join { resume: bool }`.
+    Join(bool),
+    /// Worker → coordinator: `Ready`.
+    Ready,
+    /// Worker → coordinator: shard result.
+    Done(u8),
+}
+
+/// One worker's slice of the global state.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct WorkerSt {
+    mode: WorkerMode,
+    /// A computed-but-unacknowledged result carried across a sever.
+    pending: Option<u8>,
+    /// The worker holds a session id it can present for resume.
+    has_session: bool,
+    /// Coordinator-side: this worker's session is in the session table.
+    coord_session: bool,
+    /// Coordinator-side: shard currently assigned to this worker.
+    assigned: Option<u8>,
+    /// Coordinator → worker frames in flight.
+    c2w: VecDeque<Msg>,
+    /// Worker → coordinator frames in flight.
+    w2c: VecDeque<Msg>,
+    redials_left: u8,
+    severs_left: u8,
+}
+
+/// The global model state.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct St {
+    /// Bitmask of shards waiting in the queue.
+    queue: u16,
+    /// Bitmask of merged (== journaled) shards.
+    merged: u16,
+    workers: Vec<WorkerSt>,
+    restarts_left: u8,
+    dups_left: u8,
+    /// The coordinator declared `Incomplete` (terminal).
+    gave_up: bool,
+}
+
+/// Exploration bounds. Small numbers explode fast: the default
+/// (3 shards × 2 workers × 1 sever each × 1 restart × 1 duplicate)
+/// already clears 10⁵ distinct states.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreConfig {
+    /// Shard count (≤ 8).
+    pub shards: u8,
+    /// Worker count (≤ 3).
+    pub workers: u8,
+    /// Sever budget per worker.
+    pub severs_per_worker: u8,
+    /// Coordinator restart budget.
+    pub restarts: u8,
+    /// Duplicate-delivery budget (whole run).
+    pub dups: u8,
+    /// Redial budget per worker.
+    pub redials: u8,
+    /// Safety valve: stop (and fail) past this many states.
+    pub max_states: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            shards: 3,
+            workers: 2,
+            severs_per_worker: 1,
+            restarts: 1,
+            dups: 1,
+            redials: 2,
+            max_states: 5_000_000,
+        }
+    }
+}
+
+/// What the exploration found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreReport {
+    /// Distinct states reached.
+    pub states: usize,
+    /// Transitions taken (edges in the reachability graph).
+    pub transitions: usize,
+    /// Terminal states where every shard merged.
+    pub complete_terminals: usize,
+    /// Terminal states where the run gave up with shards missing.
+    pub incomplete_terminals: usize,
+    /// States in which the idempotent-merge guard absorbed a duplicate
+    /// `ShardDone` (must be nonzero when the duplicate budget is).
+    pub dedup_absorptions: usize,
+    /// States in which a resumed session re-delivered a pending result
+    /// (must be nonzero when the sever budget is).
+    pub resume_redeliveries: usize,
+}
+
+impl fmt::Display for ExploreReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "explored {} distinct states, {} transitions; terminals: {} complete, {} incomplete; \
+             {} duplicate ShardDones absorbed, {} resume re-deliveries",
+            self.states,
+            self.transitions,
+            self.complete_terminals,
+            self.incomplete_terminals,
+            self.dedup_absorptions,
+            self.resume_redeliveries
+        )
+    }
+}
+
+/// An invariant violation: the offending state plus the path-independent
+/// complaint. Rendering the state keeps the report debuggable.
+#[derive(Debug, Clone)]
+pub struct ProtoViolation {
+    /// Which invariant broke.
+    pub invariant: &'static str,
+    /// Human-readable description of the state that broke it.
+    pub state: String,
+}
+
+impl fmt::Display for ProtoViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invariant `{}` violated in {}",
+            self.invariant, self.state
+        )
+    }
+}
+
+const CHANNEL_CAP: usize = 3;
+
+fn all_mask(shards: u8) -> u16 {
+    (1u16 << shards) - 1
+}
+
+impl St {
+    fn initial(cfg: &ExploreConfig) -> St {
+        St {
+            queue: all_mask(cfg.shards),
+            merged: 0,
+            workers: (0..cfg.workers)
+                .map(|_| WorkerSt {
+                    mode: WorkerMode::NeverJoined,
+                    pending: None,
+                    has_session: false,
+                    coord_session: false,
+                    assigned: None,
+                    c2w: VecDeque::new(),
+                    w2c: VecDeque::new(),
+                    redials_left: cfg.redials,
+                    severs_left: cfg.severs_per_worker,
+                })
+                .collect(),
+            restarts_left: cfg.restarts,
+            dups_left: cfg.dups,
+            gave_up: false,
+        }
+    }
+
+    fn complete(&self, cfg: &ExploreConfig) -> bool {
+        self.merged == all_mask(cfg.shards)
+    }
+
+    fn terminal(&self, cfg: &ExploreConfig) -> bool {
+        self.complete(cfg) || self.gave_up
+    }
+
+    /// No worker can make progress and nothing is in flight: the real
+    /// coordinator's shard timeout fires and it returns `Incomplete`
+    /// with the missing-shard manifest.
+    fn stalled(&self) -> bool {
+        self.workers.iter().all(|w| {
+            w.c2w.is_empty()
+                && w.w2c.is_empty()
+                && match w.mode {
+                    WorkerMode::Finished => true,
+                    WorkerMode::Down | WorkerMode::NeverJoined => w.redials_left == 0,
+                    _ => false,
+                }
+        })
+    }
+
+    fn lowest_queued(&self) -> Option<u8> {
+        (0..16).find(|s| self.queue & (1 << s) != 0)
+    }
+}
+
+/// Side effects of one transition that the report tallies.
+#[derive(Default, Clone, Copy)]
+struct Effects {
+    dedup: bool,
+    redelivery: bool,
+}
+
+/// Enumerates every successor of `st`. Transition labels are only for
+/// debugging; determinism of the enumeration order is what matters (the
+/// explorer's output is independent of it, but reproducibility is free).
+fn successors(st: &St, cfg: &ExploreConfig) -> Vec<(St, Effects, &'static str)> {
+    let mut out = Vec::new();
+    if st.terminal(cfg) {
+        return out;
+    }
+
+    // Give-up: every worker is gone and nothing is in flight, but shards
+    // are missing — the coordinator's timeout path.
+    if st.stalled() {
+        let mut next = st.clone();
+        next.gave_up = true;
+        out.push((next, Effects::default(), "give-up"));
+        return out;
+    }
+
+    for (wi, w) in st.workers.iter().enumerate() {
+        // Dial (first join) or redial after a sever.
+        if matches!(w.mode, WorkerMode::NeverJoined | WorkerMode::Down)
+            && w.redials_left > 0
+            && w.w2c.len() < CHANNEL_CAP
+        {
+            let mut next = st.clone();
+            let nw = &mut next.workers[wi];
+            nw.redials_left -= 1;
+            nw.mode = WorkerMode::AwaitInit;
+            nw.w2c.push_back(Msg::Join(nw.has_session));
+            out.push((next, Effects::default(), "dial"));
+        }
+
+        // Worker finishes its compute: the result enters the wire.
+        if let WorkerMode::Computing(s) = w.mode {
+            if w.w2c.len() < CHANNEL_CAP {
+                let mut next = st.clone();
+                let nw = &mut next.workers[wi];
+                nw.mode = WorkerMode::WaitWork;
+                nw.pending = Some(s);
+                nw.w2c.push_back(Msg::Done(s));
+                out.push((next, Effects::default(), "compute"));
+            }
+        }
+
+        // Worker consumes the head coordinator frame.
+        if let Some(&msg) = w.c2w.front() {
+            if !matches!(w.mode, WorkerMode::Down | WorkerMode::Finished) {
+                let mut next = st.clone();
+                let mut eff = Effects::default();
+                let nw = &mut next.workers[wi];
+                nw.c2w.pop_front();
+                match msg {
+                    Msg::Init => {
+                        // Fresh admission: stale pending results die here
+                        // (the session they belonged to is gone).
+                        nw.has_session = true;
+                        nw.pending = None;
+                        nw.mode = WorkerMode::WaitWork;
+                        nw.w2c.push_back(Msg::Ready);
+                    }
+                    Msg::Resumed => {
+                        nw.mode = WorkerMode::WaitWork;
+                        if let Some(p) = nw.pending {
+                            // The resumed session re-delivers the
+                            // in-flight result instead of recomputing.
+                            nw.w2c.push_back(Msg::Done(p));
+                            eff.redelivery = true;
+                        } else {
+                            nw.w2c.push_back(Msg::Ready);
+                        }
+                    }
+                    Msg::Shard(s) => {
+                        nw.pending = None;
+                        nw.mode = WorkerMode::Computing(s);
+                    }
+                    Msg::Shutdown => {
+                        nw.mode = WorkerMode::Finished;
+                        nw.c2w.clear();
+                        nw.w2c.clear();
+                    }
+                    Msg::Join(_) | Msg::Ready | Msg::Done(_) => {
+                        unreachable!("worker-bound channel never carries worker messages")
+                    }
+                }
+                if nw.w2c.len() <= CHANNEL_CAP {
+                    out.push((next, eff, "worker-recv"));
+                }
+            }
+        }
+
+        // Coordinator consumes the head worker frame.
+        if let Some(&msg) = w.w2c.front() {
+            let mut next = st.clone();
+            let mut eff = Effects::default();
+            coordinator_recv(&mut next, wi, msg, &mut eff, cfg);
+            if next.workers[wi].c2w.len() <= CHANNEL_CAP {
+                out.push((next, eff, "coord-recv"));
+            }
+        }
+
+        // Duplicate the head worker frame (the chaos layer's Duplicate
+        // against the coordinator's receive side).
+        if st.dups_left > 0
+            && matches!(w.w2c.front(), Some(Msg::Done(_)))
+            && w.w2c.len() < CHANNEL_CAP
+        {
+            let mut next = st.clone();
+            next.dups_left -= 1;
+            let nw = &mut next.workers[wi];
+            let head = *nw.w2c.front().expect("checked");
+            nw.w2c.push_front(head);
+            out.push((next, Effects::default(), "duplicate"));
+        }
+
+        // Sever the worker's connection (Sever/Truncate/reorder-fatal).
+        if w.severs_left > 0
+            && !matches!(
+                w.mode,
+                WorkerMode::NeverJoined | WorkerMode::Down | WorkerMode::Finished
+            )
+        {
+            let mut next = st.clone();
+            sever_worker(&mut next, wi);
+            next.workers[wi].severs_left -= 1;
+            out.push((next, Effects::default(), "sever"));
+        }
+    }
+
+    // Coordinator crash + restart from the checkpoint journal.
+    if st.restarts_left > 0 {
+        let mut next = st.clone();
+        next.restarts_left -= 1;
+        // merged is restored from the journal — identical, because the
+        // journal is written before the merge is acknowledged.
+        next.queue = all_mask(cfg.shards) & !next.merged;
+        for wi in 0..next.workers.len() {
+            sever_worker(&mut next, wi);
+            // Sessions live in coordinator memory only.
+            next.workers[wi].coord_session = false;
+        }
+        out.push((next, Effects::default(), "restart"));
+    }
+
+    out
+}
+
+/// The coordinator's message handler, mirroring `drive_peer`.
+fn coordinator_recv(next: &mut St, wi: usize, msg: Msg, eff: &mut Effects, cfg: &ExploreConfig) {
+    let w = &mut next.workers[wi];
+    w.w2c.pop_front();
+    match msg {
+        Msg::Join(resume) => {
+            if resume && w.coord_session {
+                w.c2w.push_back(Msg::Resumed);
+            } else {
+                // Fresh admission (includes a resume attempt against a
+                // restarted coordinator: the session table is empty, so
+                // the worker is re-admitted from scratch).
+                w.coord_session = true;
+                w.c2w.push_back(Msg::Init);
+            }
+        }
+        Msg::Ready => deal_or_release(next, wi, cfg),
+        Msg::Done(s) => {
+            let bit = 1u16 << s;
+            if next.merged & bit != 0 {
+                // The idempotent-merge guard: an ordinal already merged
+                // (duplicate frame, resume re-delivery racing a
+                // reassigned compute) is dropped, never double-counted.
+                eff.dedup = true;
+            } else {
+                // Journal append (fsync) happens-before the merge ack:
+                // merged and journaled advance together.
+                next.merged |= bit;
+                // A sever may have requeued this shard before its
+                // result arrived over the resumed session — completion
+                // retires the queued copy too (the coordinator's queue
+                // is "not yet completed"; `next_shard` never hands out
+                // a completed ordinal). Dropping this line re-deals a
+                // merged shard; the `queue ∩ merged` and recompute
+                // invariants both catch it instantly.
+                next.queue &= !bit;
+            }
+            let w = &mut next.workers[wi];
+            if w.assigned == Some(s) {
+                w.assigned = None;
+            }
+            w.pending = None;
+            deal_or_release(next, wi, cfg);
+        }
+        Msg::Init | Msg::Resumed | Msg::Shard(_) | Msg::Shutdown => {
+            unreachable!("coordinator-bound channel never carries coordinator messages")
+        }
+    }
+}
+
+/// Pull-based dealing: hand the lowest queued shard to this worker, or
+/// release it with `Shutdown` when the queue is dry.
+fn deal_or_release(next: &mut St, wi: usize, cfg: &ExploreConfig) {
+    if let Some(s) = next.lowest_queued() {
+        // The dealt shard must never be an already-merged one — the
+        // explorer asserts this globally via queue ∩ merged == ∅.
+        next.queue &= !(1u16 << s);
+        let w = &mut next.workers[wi];
+        w.assigned = Some(s);
+        w.c2w.push_back(Msg::Shard(s));
+    } else {
+        let _ = cfg;
+        next.workers[wi].c2w.push_back(Msg::Shutdown);
+    }
+}
+
+/// Connection loss, worker-side state retained: the in-flight assignment
+/// goes back on the queue (unless already merged via an earlier
+/// delivery), the worker keeps its computed result as `pending`.
+fn sever_worker(next: &mut St, wi: usize) {
+    let merged = next.merged;
+    let w = &mut next.workers[wi];
+    // A result computed (or mid-compute: the worker process survives a
+    // connection loss and finishes) becomes the pending re-delivery.
+    if let WorkerMode::Computing(s) = w.mode {
+        w.pending = Some(s);
+    }
+    if let Some(s) = w.assigned.take() {
+        if merged & (1u16 << s) == 0 {
+            next.queue |= 1u16 << s;
+        }
+    }
+    w.c2w.clear();
+    w.w2c.clear();
+    if !matches!(w.mode, WorkerMode::Finished) {
+        w.mode = WorkerMode::Down;
+    }
+}
+
+/// Per-state invariants: checked on every reachable state.
+fn check_state(st: &St, cfg: &ExploreConfig) -> Result<(), ProtoViolation> {
+    let fail = |invariant: &'static str| {
+        Err(ProtoViolation {
+            invariant,
+            state: format!("{st:?}"),
+        })
+    };
+    if st.queue & st.merged != 0 {
+        return fail("a merged shard must never sit in the queue (would recompute journaled work)");
+    }
+    let mut assigned_mask = 0u16;
+    for w in &st.workers {
+        if let Some(s) = w.assigned {
+            let bit = 1u16 << s;
+            if assigned_mask & bit != 0 {
+                return fail("a shard must never be assigned to two workers at once");
+            }
+            assigned_mask |= bit;
+            if st.queue & bit != 0 {
+                return fail("an assigned shard must have left the queue");
+            }
+        }
+        // Note what is *not* checked here: a `Shard(s)` frame in flight
+        // while `s` is merged. That state is reachable legitimately — a
+        // resumed session re-delivers `ShardDone(s)` after `s` was
+        // reassigned to another worker, which then computes it again.
+        // Duplicate *compute* is allowed (and real); exactly-once lives
+        // in the merge dedup. The property that matters — a merged
+        // shard is never *dealt* — follows from `queue ∩ merged == ∅`
+        // above plus `deal_or_release` dealing only from the queue.
+    }
+    if st.merged & !all_mask(cfg.shards) != 0 {
+        return fail("merged bits outside the shard range");
+    }
+    Ok(())
+}
+
+/// Runs the bounded exhaustive exploration.
+///
+/// # Errors
+///
+/// Returns the first invariant violation (per-state invariants, deadlock
+/// freedom, or terminal reachability), or a budget complaint when the
+/// state space outgrows `max_states`.
+pub fn explore(cfg: &ExploreConfig) -> Result<ExploreReport, ProtoViolation> {
+    assert!(cfg.shards >= 1 && cfg.shards <= 8, "1..=8 shards");
+    assert!(cfg.workers >= 1 && cfg.workers <= 3, "1..=3 workers");
+
+    let mut ids: BTreeMap<St, u32> = BTreeMap::new();
+    let mut edges: Vec<Vec<u32>> = Vec::new();
+    let mut terminal: Vec<bool> = Vec::new();
+    let mut frontier: VecDeque<St> = VecDeque::new();
+
+    let mut report = ExploreReport {
+        states: 0,
+        transitions: 0,
+        complete_terminals: 0,
+        incomplete_terminals: 0,
+        dedup_absorptions: 0,
+        resume_redeliveries: 0,
+    };
+
+    let init = St::initial(cfg);
+    check_state(&init, cfg)?;
+    ids.insert(init.clone(), 0);
+    edges.push(Vec::new());
+    terminal.push(false);
+    frontier.push_back(init);
+
+    while let Some(st) = frontier.pop_front() {
+        let id = ids[&st] as usize;
+        let succs = successors(&st, cfg);
+        let is_terminal = st.terminal(cfg);
+        if succs.is_empty() && !is_terminal {
+            return Err(ProtoViolation {
+                invariant: "deadlock freedom: a non-terminal state has no enabled transition",
+                state: format!("{st:?}"),
+            });
+        }
+        if is_terminal {
+            terminal[id] = true;
+            if st.complete(cfg) {
+                report.complete_terminals += 1;
+            } else {
+                report.incomplete_terminals += 1;
+            }
+        }
+        for (next, eff, _label) in succs {
+            report.transitions += 1;
+            if eff.dedup {
+                report.dedup_absorptions += 1;
+            }
+            if eff.redelivery {
+                report.resume_redeliveries += 1;
+            }
+            let next_id = match ids.get(&next) {
+                Some(&n) => n,
+                None => {
+                    let n = edges.len() as u32;
+                    if n as usize >= cfg.max_states {
+                        return Err(ProtoViolation {
+                            invariant: "state budget exceeded (raise max_states or shrink bounds)",
+                            state: format!("{} states and counting", cfg.max_states),
+                        });
+                    }
+                    check_state(&next, cfg)?;
+                    ids.insert(next.clone(), n);
+                    edges.push(Vec::new());
+                    terminal.push(false);
+                    frontier.push_back(next);
+                    n
+                }
+            };
+            edges[id].push(next_id);
+        }
+    }
+    report.states = edges.len();
+
+    // Terminal reachability by reverse closure: every explored state must
+    // be able to reach some terminal, or a livelock cycle exists.
+    let mut reverse: Vec<Vec<u32>> = vec![Vec::new(); edges.len()];
+    for (from, outs) in edges.iter().enumerate() {
+        for &to in outs {
+            reverse[to as usize].push(from as u32);
+        }
+    }
+    let mut reaches = terminal.clone();
+    let mut stack: Vec<u32> = (0..edges.len() as u32)
+        .filter(|&i| terminal[i as usize])
+        .collect();
+    while let Some(i) = stack.pop() {
+        for &p in &reverse[i as usize] {
+            if !reaches[p as usize] {
+                reaches[p as usize] = true;
+                stack.push(p);
+            }
+        }
+    }
+    if let Some(stuck) = reaches.iter().position(|r| !r) {
+        let state = ids
+            .iter()
+            .find(|(_, &v)| v as usize == stuck)
+            .map(|(k, _)| format!("{k:?}"))
+            .unwrap_or_default();
+        return Err(ProtoViolation {
+            invariant: "terminal reachability: a livelock cycle cannot reach any terminal",
+            state,
+        });
+    }
+
+    // The fault machinery must actually have been exercised — a model
+    // whose faults never fire proves nothing.
+    if cfg.dups > 0 && report.dedup_absorptions == 0 {
+        return Err(ProtoViolation {
+            invariant: "coverage: the duplicate budget never produced an absorbed duplicate",
+            state: String::new(),
+        });
+    }
+    if cfg.severs_per_worker > 0 && report.resume_redeliveries == 0 {
+        return Err(ProtoViolation {
+            invariant: "coverage: the sever budget never produced a resume re-delivery",
+            state: String::new(),
+        });
+    }
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faultless_single_worker_run_is_tiny_and_clean() {
+        let cfg = ExploreConfig {
+            shards: 2,
+            workers: 1,
+            severs_per_worker: 0,
+            restarts: 0,
+            dups: 0,
+            redials: 1,
+            max_states: 100_000,
+        };
+        let report = explore(&cfg).expect("clean protocol");
+        assert!(report.states > 5 && report.states < 1000, "{report}");
+        assert!(report.complete_terminals >= 1);
+        assert_eq!(report.incomplete_terminals, 0, "no faults, no failures");
+    }
+
+    #[test]
+    fn default_bounds_clear_ten_thousand_states_with_invariants_holding() {
+        let report = explore(&ExploreConfig::default()).expect("invariants hold");
+        assert!(
+            report.states >= 10_000,
+            "the acceptance bar is 10^4 distinct states: {report}"
+        );
+        assert!(report.complete_terminals >= 1, "{report}");
+        assert!(
+            report.incomplete_terminals >= 1,
+            "sever budgets must be able to exhaust a run: {report}"
+        );
+        assert!(report.dedup_absorptions > 0, "{report}");
+        assert!(report.resume_redeliveries > 0, "{report}");
+    }
+
+    /// Regression pin for the modelling bug found while building this
+    /// explorer: requeueing a severed worker's assignment *without*
+    /// consulting the merged set re-queues a shard whose result already
+    /// merged (delivered, then the link died before the next deal). The
+    /// queue ∩ merged invariant catches it immediately.
+    #[test]
+    fn requeue_of_a_merged_shard_is_caught_by_the_invariant() {
+        let cfg = ExploreConfig::default();
+        let mut st = St::initial(&cfg);
+        st.merged = 0b001;
+        st.queue = 0b111; // shard 0 merged *and* queued: the bad state
+        let err = check_state(&st, &cfg).expect_err("must be rejected");
+        assert!(err.invariant.contains("merged shard"), "{err}");
+    }
+
+    #[test]
+    fn double_assignment_is_caught() {
+        let cfg = ExploreConfig::default();
+        let mut st = St::initial(&cfg);
+        st.queue = 0b100;
+        st.workers[0].assigned = Some(0);
+        st.workers[1].assigned = Some(0);
+        let err = check_state(&st, &cfg).expect_err("must be rejected");
+        assert!(err.invariant.contains("two workers"), "{err}");
+    }
+}

@@ -141,8 +141,20 @@ fn read_item<R: Read>(r: &mut R, first: u8, depth: u32) -> Result<Value, Error> 
         MAJOR_TEXT => {
             let len = usize::try_from(read_arg(r, info)?)
                 .map_err(|_| Error::custom("text length out of range"))?;
-            let mut buf = vec![0u8; len];
-            read_exact(r, &mut buf)?;
+            // Never preallocate the *claimed* length: a hostile header
+            // can claim 2^60 bytes and abort the process in the
+            // allocator before a single payload byte is read. Reading
+            // in bounded chunks means a lying length hits end-of-input
+            // (an `Err`) long before it hits memory.
+            let mut buf = Vec::with_capacity(len.min(8 * 1024));
+            let mut chunk = [0u8; 8 * 1024];
+            let mut remaining = len;
+            while remaining > 0 {
+                let want = remaining.min(chunk.len());
+                read_exact(r, &mut chunk[..want])?;
+                buf.extend_from_slice(&chunk[..want]);
+                remaining -= want;
+            }
             String::from_utf8(buf)
                 .map(Value::Str)
                 .map_err(|_| Error::custom("invalid UTF-8 in CBOR text"))

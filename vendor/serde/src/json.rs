@@ -96,7 +96,7 @@ pub fn from_str(s: &str) -> Result<Value, Error> {
         pos: 0,
     };
     p.skip_ws();
-    let v = p.parse_value()?;
+    let v = p.parse_value(0)?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
         return Err(Error::custom(format!(
@@ -106,6 +106,13 @@ pub fn from_str(s: &str) -> Result<Value, Error> {
     }
     Ok(v)
 }
+
+/// Nesting ceiling, matching the CBOR decoder's: journals and frames are
+/// shallow; this bounds hostile input that would otherwise overflow the
+/// stack through the recursive descent (`[[[[…` is one stack frame per
+/// bracket, and a stack overflow aborts the process — no `Err`, no
+/// `catch_unwind`).
+const MAX_DEPTH: u32 = 128;
 
 struct Parser<'a> {
     bytes: &'a [u8],
@@ -144,14 +151,17 @@ impl Parser<'_> {
         Ok(())
     }
 
-    fn parse_value(&mut self) -> Result<Value, Error> {
+    fn parse_value(&mut self, depth: u32) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(Error::custom("JSON nesting too deep"));
+        }
         match self.peek().ok_or_else(|| Error::custom("empty JSON"))? {
             b'n' => self.keyword("null", Value::Null),
             b't' => self.keyword("true", Value::Bool(true)),
             b'f' => self.keyword("false", Value::Bool(false)),
             b'"' => Ok(Value::Str(self.parse_string()?)),
-            b'[' => self.parse_seq(),
-            b'{' => self.parse_map(),
+            b'[' => self.parse_seq(depth),
+            b'{' => self.parse_map(depth),
             b'-' | b'0'..=b'9' => self.parse_number(),
             other => Err(Error::custom(format!(
                 "unexpected character '{}' at byte {}",
@@ -172,7 +182,7 @@ impl Parser<'_> {
         }
     }
 
-    fn parse_seq(&mut self) -> Result<Value, Error> {
+    fn parse_seq(&mut self, depth: u32) -> Result<Value, Error> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -182,7 +192,7 @@ impl Parser<'_> {
         }
         loop {
             self.skip_ws();
-            items.push(self.parse_value()?);
+            items.push(self.parse_value(depth + 1)?);
             self.skip_ws();
             match self.bump()? {
                 b',' => {}
@@ -197,7 +207,7 @@ impl Parser<'_> {
         }
     }
 
-    fn parse_map(&mut self) -> Result<Value, Error> {
+    fn parse_map(&mut self, depth: u32) -> Result<Value, Error> {
         self.expect(b'{')?;
         let mut entries = Vec::new();
         self.skip_ws();
@@ -211,7 +221,7 @@ impl Parser<'_> {
             self.skip_ws();
             self.expect(b':')?;
             self.skip_ws();
-            let value = self.parse_value()?;
+            let value = self.parse_value(depth + 1)?;
             entries.push((key, value));
             self.skip_ws();
             match self.bump()? {
@@ -399,6 +409,21 @@ mod tests {
         assert!(from_str("01x").is_err());
         assert!(from_str("{\"a\":1} extra").is_err());
         assert!(from_str("\"\\q\"").is_err());
+    }
+
+    #[test]
+    fn hostile_nesting_errors_instead_of_overflowing_the_stack() {
+        // One stack frame per bracket: without the depth ceiling this
+        // input aborts the process instead of returning an error.
+        let deep_seq = "[".repeat(100_000);
+        assert!(from_str(&deep_seq).is_err());
+        let deep_map = "{\"k\":".repeat(100_000);
+        assert!(from_str(&deep_map).is_err());
+        // The ceiling is generous: real journal shapes stay far below it.
+        let ok = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+        assert!(from_str(&ok).is_ok());
+        let too_deep = format!("{}1{}", "[".repeat(200), "]".repeat(200));
+        assert!(from_str(&too_deep).is_err());
     }
 
     #[test]
