@@ -64,7 +64,7 @@ USAGE:
     snip lint    [--root DIR]                  enforce the determinism contract
                                                over the workspace's own sources
     snip check-proto [--abstract-only]         explore every bounded fault
-                                               interleaving of protocol v3 and
+                                               interleaving of protocol v4 and
                                                check the fleet invariants
     snip fuzz    [options]                     seeded structured fuzzing of the
                                                frame/journal/checkpoint decoders
@@ -90,6 +90,8 @@ fleet options (defaults in brackets):
     --spec <path>          JSON fleet spec (required; see --example)
     --workers <k>          worker subprocesses               [SNIP_THREADS or #cores]
     --shard-size <n>       jobs per shard                    [jobs/(4*workers)]
+    --shard-batch <n>      shards dealt per wire frame (amortizes round
+                           trips for small shards)           [1]
     --timeout-secs <s>     per-shard worker timeout, also bounds every
                            handshake phase                   [600]
     --out <path>           write the merged report as JSON
@@ -145,6 +147,8 @@ bench options (defaults in brackets):
                            driver (localhost, k dialing workers, full
                            token + spec-hash handshake) and record
                            fleet_tcp points/sec            [off]
+    --shard-batch <n>      shards dealt per wire frame in the fleet
+                           runs                            [4]
 
 lint options:
     --root <dir>           workspace root to scan            [.]
@@ -735,6 +739,7 @@ struct FleetOptions {
     spec: PathBuf,
     workers: usize,
     shard_size: Option<u64>,
+    shard_batch: Option<u64>,
     timeout_secs: u64,
     out: Option<PathBuf>,
     verify: bool,
@@ -761,6 +766,7 @@ fn parse_fleet_options(args: &[String], serve: bool) -> Result<Option<FleetOptio
         spec: PathBuf::new(),
         workers: snip_sim::default_threads(),
         shard_size: None,
+        shard_batch: None,
         timeout_secs: 600,
         out: None,
         verify: false,
@@ -779,6 +785,7 @@ fn parse_fleet_options(args: &[String], serve: bool) -> Result<Option<FleetOptio
             "--spec" => opts.spec = parse_value::<PathBuf>(flag, it.next())?,
             "--workers" => opts.workers = parse_value(flag, it.next())?,
             "--shard-size" => opts.shard_size = Some(parse_value(flag, it.next())?),
+            "--shard-batch" => opts.shard_batch = Some(parse_value(flag, it.next())?),
             "--timeout-secs" => opts.timeout_secs = parse_value(flag, it.next())?,
             "--out" => opts.out = Some(parse_value::<PathBuf>(flag, it.next())?),
             "--verify" => opts.verify = true,
@@ -812,6 +819,9 @@ fn parse_fleet_options(args: &[String], serve: bool) -> Result<Option<FleetOptio
     }
     if opts.shard_size == Some(0) {
         return Err(CliError::Usage("--shard-size must be at least 1".into()));
+    }
+    if opts.shard_batch == Some(0) {
+        return Err(CliError::Usage("--shard-batch must be at least 1".into()));
     }
     if opts.timeout_secs == 0 {
         return Err(CliError::Usage("--timeout-secs must be at least 1".into()));
@@ -967,6 +977,9 @@ fn build_driver(spec: &FleetSpec, opts: &FleetOptions) -> Result<FleetDriver, Cl
         .with_shard_timeout(std::time::Duration::from_secs(opts.timeout_secs));
     if let Some(shard_size) = opts.shard_size {
         driver = driver.with_shard_size(shard_size);
+    }
+    if let Some(shard_batch) = opts.shard_batch {
+        driver = driver.with_shard_batch(shard_batch);
     }
     if let Some(path) = &opts.checkpoint {
         driver = driver.with_checkpoint(path.clone());
@@ -1164,6 +1177,7 @@ struct BenchOptions {
     targets: Vec<f64>,
     fleet_workers: Option<usize>,
     fleet_tcp_workers: Option<usize>,
+    shard_batch: u64,
 }
 
 fn parse_bench_options(args: &[String]) -> Result<BenchOptions, CliError> {
@@ -1178,6 +1192,7 @@ fn parse_bench_options(args: &[String]) -> Result<BenchOptions, CliError> {
         targets: vec![16.0, 24.0, 32.0, 40.0, 48.0, 56.0],
         fleet_workers: None,
         fleet_tcp_workers: None,
+        shard_batch: 4,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -1194,6 +1209,7 @@ fn parse_bench_options(args: &[String]) -> Result<BenchOptions, CliError> {
             "--repeat" => opts.repeat = parse_value(flag, it.next())?,
             "--fleet" => opts.fleet_workers = Some(parse_value(flag, it.next())?),
             "--fleet-tcp" => opts.fleet_tcp_workers = Some(parse_value(flag, it.next())?),
+            "--shard-batch" => opts.shard_batch = parse_value(flag, it.next())?,
             "--targets" => {
                 let raw: String = parse_value(flag, it.next())?;
                 opts.targets = raw
@@ -1228,6 +1244,9 @@ fn parse_bench_options(args: &[String]) -> Result<BenchOptions, CliError> {
     }
     if opts.fleet_tcp_workers == Some(0) {
         return Err(CliError::Usage("--fleet-tcp must be at least 1".into()));
+    }
+    if opts.shard_batch == 0 {
+        return Err(CliError::Usage("--shard-batch must be at least 1".into()));
     }
     Ok(opts)
 }
@@ -1338,7 +1357,9 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, CliError> {
     let fleet_bench = match opts.fleet_workers {
         None => None,
         Some(workers) => {
-            let driver = FleetDriver::new(bench_spec(), workers).map_err(CliError::Usage)?;
+            let driver = FleetDriver::new(bench_spec(), workers)
+                .map_err(CliError::Usage)?
+                .with_shard_batch(opts.shard_batch);
             let bench = measure_fleet(&driver, workers)?;
             warn!(
                 "  fleet driver ({workers} workers):           {:.3} s",
@@ -1352,6 +1373,7 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, CliError> {
         Some(workers) => {
             let driver = FleetDriver::new(bench_spec(), workers)
                 .map_err(CliError::Usage)?
+                .with_shard_batch(opts.shard_batch)
                 .with_tcp(snip_fleetd::TcpConfig {
                     listen: "127.0.0.1:0".into(),
                     token: bench_fleet_token(),
@@ -1439,6 +1461,28 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, CliError> {
         fleet_report_fields("fleet", fleet_bench.as_ref()),
         fleet_report_fields("fleet_tcp", fleet_tcp_bench.as_ref()),
     );
+    // Wire efficiency: total frame bytes (both directions, every fleet
+    // run above) per sweep point, and how far TCP trails the pipe path.
+    // Both are CI-tracked — the binary protocol is held to a byte budget
+    // and the ROADMAP target of TCP within 2x of pipe.
+    let wire_fields = {
+        let frame_bytes = snip_obs::metrics::sum_counters("snip_frame_tx_bytes_total")
+            + snip_obs::metrics::sum_counters("snip_frame_rx_bytes_total");
+        let mut fields = String::new();
+        if fleet_bench.is_some() || fleet_tcp_bench.is_some() {
+            fields.push_str(&format!(
+                "  \"frame_bytes_per_point\": {:.1},\n",
+                frame_bytes as f64 / points as f64
+            ));
+        }
+        if let (Some(pipe), Some(tcp)) = (fleet_bench.as_ref(), fleet_tcp_bench.as_ref()) {
+            fields.push_str(&format!(
+                "  \"tcp_vs_pipe_ratio\": {:.3},\n",
+                tcp.secs / pipe.secs
+            ));
+        }
+        fields
+    };
     let report = format!(
         "{{\n  \"bench\": \"sweep\",\n  \"schema_version\": 1,\n  \
          \"host_cores\": {cores},\n  \"threads\": {threads},\n  \"repeat\": {repeat},\n  \
@@ -1452,6 +1496,7 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, CliError> {
          \"speedup_parallel_vs_baseline\": {speedup_vs_baseline:.3},\n  \
          \"speedup_parallel_vs_sequential\": {speedup_vs_sequential:.3},\n\
          {fleet_fields}\
+         {wire_fields}\
          {timing_breakdown}  \
          \"opt_plan_cache\": {{\"hits\": {cache_hits}, \"misses\": {cache_misses}}},\n  \
          \"determinism\": {{\"parallel_equals_sequential\": {parallel_equals_sequential}, \
@@ -1722,7 +1767,8 @@ fn cmd_check_proto(args: &[String]) -> Result<ExitCode, CliError> {
     // dial must observe exactly the same bytes (none) before the sever.
     check_auth_uniformity(&spec)?;
     println!(
-        "check-proto [auth]: rejection is uniform (0 bytes revealed) and the run still completes"
+        "check-proto [auth]: unauthenticated rejection is uniform (0 bytes revealed), \
+         authenticated skew gets its typed rejection, and the run still completes"
     );
     Ok(ExitCode::SUCCESS)
 }
@@ -1821,13 +1867,19 @@ fn check_clean_end(
     }
 }
 
-/// Dials the coordinator with three differently-wrong handshakes and
-/// asserts the refusals are byte-identical (zero bytes, then sever) — a
-/// rejected dialer learns nothing about *which* check failed. A real
-/// worker then finishes the run, proving the probes poisoned nothing.
+/// Dials the coordinator with three differently-wrong *unauthenticated*
+/// handshakes and asserts the refusals are byte-identical (zero bytes,
+/// then sever) — a rejected dialer learns nothing about *which* check
+/// failed. An **authenticated** dialer with the wrong protocol version is
+/// the one deliberate exception: it proved it holds the token, so it gets
+/// a typed legacy-JSON rejection naming the coordinator's version (and
+/// that reply is asserted here too). A real worker then finishes the run,
+/// proving the probes poisoned nothing.
 fn check_auth_uniformity(spec: &FleetSpec) -> Result<(), CliError> {
-    use snip_fleetd::{JobRunner, TcpConfig, WorkerMsg, PROTOCOL_VERSION, TOKEN_ENV_VAR};
-    use snip_replay::frame::FrameWriter;
+    use snip_fleetd::{
+        CoordinatorMsg, JobRunner, TcpConfig, WorkerMsg, PROTOCOL_VERSION, TOKEN_ENV_VAR,
+    };
+    use snip_replay::frame::{FrameReader, FrameWriter};
     use std::io::{Read, Write};
 
     let token = "check-proto-secret";
@@ -1864,10 +1916,12 @@ fn check_auth_uniformity(spec: &FleetSpec) -> Result<(), CliError> {
             }),
         ),
         (
-            "protocol-skew",
+            // Skewed AND unauthenticated: the token check dominates, so
+            // this must be indistinguishable from plain wrong-token.
+            "wrong-token-and-skew",
             bad_join(&WorkerMsg::Join {
                 protocol: PROTOCOL_VERSION + 1,
-                token: token.into(),
+                token: "not-the-secret".into(),
                 pid: u64::from(std::process::id()),
                 resume: None,
             }),
@@ -1913,6 +1967,34 @@ fn check_auth_uniformity(spec: &FleetSpec) -> Result<(), CliError> {
             "auth refusal leaked {} byte(s) before the sever",
             first.len()
         )));
+    }
+
+    // The authenticated-but-skewed dialer: correct token, wrong protocol
+    // version. It must receive the typed rejection — a decodable Init
+    // naming this coordinator's version — not the silent sever.
+    {
+        let sock = std::net::TcpStream::connect(addr)
+            .map_err(|e| fatal(format!("skew probe dial failed: {e}")))?;
+        sock.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .map_err(|e| fatal(format!("socket timeout: {e}")))?;
+        FrameWriter::new(&sock)
+            .send(&WorkerMsg::Join {
+                protocol: PROTOCOL_VERSION + 1,
+                token: token.into(),
+                pid: u64::from(std::process::id()),
+                resume: None,
+            })
+            .map_err(|e| fatal(format!("skew probe send failed: {e}")))?;
+        let mut r = FrameReader::new(std::io::BufReader::new(&sock));
+        match r.recv::<CoordinatorMsg>() {
+            Ok(Some(CoordinatorMsg::Init { protocol, .. })) if protocol == PROTOCOL_VERSION => {}
+            other => {
+                return Err(fatal(format!(
+                    "authenticated version skew must be answered with a typed Init \
+                     naming protocol {PROTOCOL_VERSION}, got {other:?}"
+                )))
+            }
+        }
     }
 
     // A legitimate worker now joins and finishes the run.

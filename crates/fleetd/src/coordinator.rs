@@ -33,9 +33,9 @@
 //! journal *before* the shard is counted complete, and
 //! [`FleetDriver::with_resume`] reloads the journal, skips the finished
 //! shards, and still merges bit-identically. A TCP worker whose socket
-//! drops redials and resumes its session (protocol v3): its in-flight
-//! `ShardDone` is accepted exactly once — the merge is idempotent by
-//! shard ordinal, duplicates are logged and dropped. A scriptable
+//! drops redials and resumes its session: each result of its in-flight
+//! `ShardDone` batch is accepted exactly once — the merge is idempotent
+//! by shard ordinal, duplicates are logged and dropped. A scriptable
 //! [`ChaosPlan`](crate::fault::ChaosPlan) can injure any peer's
 //! transport at exact frame ordinals to drill all of the above, and
 //! [`DriverError::Incomplete`] carries the completed shards next to the
@@ -51,6 +51,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use serde::Serialize;
 use snip_obs::metrics::{Counter, Gauge, Histogram};
 use snip_opt::OptPlan;
 use snip_replay::checkpoint::{
@@ -59,9 +60,11 @@ use snip_replay::checkpoint::{
 use snip_sim::RunMetrics;
 
 use crate::fault::{ChaosPlan, FaultTransport};
-use crate::proto::{CoordinatorMsg, PlanEntry, WorkerMsg, PROTOCOL_VERSION};
+use crate::proto::{CoordinatorMsg, PlanEntry, ShardJob, ShardResult, WorkerMsg, PROTOCOL_VERSION};
 use crate::spec::{FleetOutput, FleetSpec, JobRunner};
-use crate::transport::{recv_msg, send_msg, PipeTransport, RecvError, TcpTransport, Transport};
+use crate::transport::{
+    recv_msg, send_msg, PipeTransport, PreEncoded, RecvError, TcpTransport, Transport,
+};
 
 /// One contiguous slice of the job list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -298,6 +301,8 @@ pub struct FleetDriver {
     spec: FleetSpec,
     workers: usize,
     shard_size: u64,
+    /// Most shards dealt to a peer in one `Shard` frame (≥ 1).
+    shard_batch: u64,
     worker_command: Option<(PathBuf, Vec<String>)>,
     shard_timeout: Duration,
     fault: Option<FaultInjection>,
@@ -328,6 +333,18 @@ struct PlanStore {
 struct SessionEntry {
     shipped: BTreeSet<String>,
     seen_generation: u64,
+}
+
+/// The run's `Init`, encoded into its wire frame exactly once and shipped
+/// to every fresh peer verbatim ([`Transport::send_preencoded`]). The
+/// plan snapshot it carries is recorded so each admitted peer's shipping
+/// bookkeeping starts from the pre-encode state instead of re-scanning.
+struct InitFrame {
+    frame: PreEncoded,
+    /// Keys of the plans baked into the frame.
+    plan_keys: Vec<String>,
+    /// Plan-store generation at pre-encode time.
+    generation: u64,
 }
 
 /// Everything one run's peers share: the shard queue, the result slots,
@@ -489,6 +506,41 @@ impl RunState {
         }
     }
 
+    /// Blocks for one shard, then greedily (without blocking) tops the
+    /// batch up to `max` shards from whatever else is already queued.
+    /// Pull-based stealing is preserved: a batch never waits for the
+    /// queue to refill, so an idle peer takes exactly what is there.
+    fn next_batch(&self, max: u64) -> Option<Vec<Shard>> {
+        let first = self.next_shard()?;
+        let mut batch = vec![first];
+        if max > 1 {
+            let mut q = self.queue.lock().expect("shard queue poisoned");
+            while (batch.len() as u64) < max {
+                let Some((shard, queued_at)) = q.pop_front() else {
+                    break;
+                };
+                if self.merged(shard.id) {
+                    continue; // same stale-requeue skip as next_shard
+                }
+                fleet_metrics().queue_us.observe(queued_at.elapsed());
+                batch.push(shard);
+            }
+        }
+        Some(batch)
+    }
+
+    /// Parks the accept loop until run progress (a merged shard, a
+    /// requeue, an abort) or `timeout`, whichever is first. Progress
+    /// notifications via `wakeup` bound end-of-run latency to one wake;
+    /// the short timeout bounds accept latency for fresh dialers.
+    fn park(&self, timeout: Duration) {
+        let guard = self.queue.lock().expect("shard queue poisoned");
+        let _ = self
+            .wakeup
+            .wait_timeout(guard, timeout)
+            .expect("shard queue poisoned");
+    }
+
     /// Whether this shard's result is already in its slot.
     fn merged(&self, id: u64) -> bool {
         self.results
@@ -555,6 +607,22 @@ enum PeerOutcome {
     Lost,
 }
 
+/// Whether a `ShardDone` answers exactly the assigned batch: one result
+/// per assigned shard (no extras, no repeats, any order), each carrying
+/// exactly one metrics entry per job of its range.
+fn batch_reply_matches(results: &[ShardResult], batch: &[Shard]) -> bool {
+    if results.len() != batch.len() {
+        return false;
+    }
+    let by_id: BTreeMap<u64, &ShardResult> = results.iter().map(|r| (r.id, r)).collect();
+    by_id.len() == results.len()
+        && batch.iter().all(|s| {
+            by_id
+                .get(&s.id)
+                .is_some_and(|r| r.metrics.len() as u64 == s.end - s.start)
+        })
+}
+
 /// Constant-time token comparison (length aside): a byte-wise early exit
 /// would hand a dialing stranger a timing oracle on the shared secret.
 fn token_matches(presented: &str, expected: &str) -> bool {
@@ -583,6 +651,7 @@ impl FleetDriver {
             // Default granularity: ~4 shards per worker, so the queue has
             // enough pieces for stealing without drowning in round-trips.
             shard_size: (jobs / (workers as u64 * 4)).max(1),
+            shard_batch: 1,
             worker_command: None,
             shard_timeout: Duration::from_secs(600),
             fault: None,
@@ -603,6 +672,22 @@ impl FleetDriver {
     pub fn with_shard_size(mut self, shard_size: u64) -> Self {
         assert!(shard_size > 0, "shard size must be at least 1");
         self.shard_size = shard_size;
+        self
+    }
+
+    /// Overrides how many shards may be dealt to a peer in one `Shard`
+    /// frame (default 1). Larger batches amortize the frame round trip
+    /// over small shards; pull-based stealing is unchanged — a batch only
+    /// grows past one when the queue can fill it without blocking, and a
+    /// lost peer's whole unmerged batch is re-queued.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_batch` is zero.
+    #[must_use]
+    pub fn with_shard_batch(mut self, shard_batch: u64) -> Self {
+        assert!(shard_batch > 0, "shard batch must be at least 1");
+        self.shard_batch = shard_batch;
         self
     }
 
@@ -743,13 +828,14 @@ impl FleetDriver {
             state.total
         );
 
+        let init = self.encode_init();
         let dispatch = match &self.tcp {
             None => {
-                self.run_pipe(&state)?;
+                self.run_pipe(&state, &init)?;
                 "pipe"
             }
             Some(tcp) => {
-                self.run_tcp(tcp, &state)?;
+                self.run_tcp(tcp, &state, &init)?;
                 "tcp"
             }
         };
@@ -831,6 +917,38 @@ impl FleetDriver {
         })
     }
 
+    /// Pre-encodes the run's `Init` frame: protocol, spec, spec hash, the
+    /// shared placeholder `session: 0` (real ids travel in the `Session`
+    /// frame), and every plan accumulated so far. One serialization per
+    /// run, not per peer — on a wide fleet the spec-bearing `Init` was
+    /// the single largest per-peer encode cost.
+    fn encode_init(&self) -> InitFrame {
+        let store = self.plans.lock().expect("plan set poisoned");
+        let generation = store.generation;
+        let plans: Vec<PlanEntry> = store
+            .map
+            .iter()
+            .map(|(key, plan)| PlanEntry {
+                key: key.clone(),
+                plan: plan.clone(),
+            })
+            .collect();
+        drop(store);
+        let plan_keys = plans.iter().map(|e| e.key.clone()).collect();
+        let msg = CoordinatorMsg::Init {
+            protocol: PROTOCOL_VERSION,
+            spec: self.spec.clone(),
+            spec_hash: self.spec.spec_hash(),
+            session: 0,
+            plans,
+        };
+        InitFrame {
+            frame: PreEncoded::new(&msg),
+            plan_keys,
+            generation,
+        }
+    }
+
     /// Arms the run's checkpoint journal. Fresh mode writes the header;
     /// resume mode reloads the journal, validates it against this run's
     /// identity and geometry, and reopens it for appending.
@@ -888,7 +1006,7 @@ impl FleetDriver {
             snip_obs::event!(
                 snip_obs::log::Level::Warn,
                 "checkpoint journal {} ended in a torn record (crash mid-append); \
-                 the intact prefix was recovered",
+                 the intact prefix was recovered and the tear trimmed",
                 path.display()
             );
         }
@@ -899,13 +1017,16 @@ impl FleetDriver {
             load.shards.len(),
             shards.len()
         );
-        let writer = CheckpointWriter::append_to(path)
+        // `resume` (not `append_to`): a torn tail must be cut off first,
+        // or every record appended behind it would be invisible to the
+        // next load.
+        let writer = CheckpointWriter::resume(path, &load)
             .map_err(|e| err(format!("cannot append to {}: {e}", path.display())))?;
         Ok((load.shards, Some(writer)))
     }
 
     /// Pipe dispatch: spawn the workers, drive each over its stdio.
-    fn run_pipe(&self, state: &RunState) -> Result<(), DriverError> {
+    fn run_pipe(&self, state: &RunState, init: &InitFrame) -> Result<(), DriverError> {
         let (program, args) = self
             .command()
             .map_err(|error| DriverError::Spawn { worker: 0, error })?;
@@ -932,7 +1053,7 @@ impl FleetDriver {
                         }
                     };
                     let mut transport = self.maybe_chaos(worker_idx, Box::new(transport));
-                    match self.drive_peer(worker_idx, transport.as_mut(), state, None) {
+                    match self.drive_peer(worker_idx, transport.as_mut(), state, init, None) {
                         PeerOutcome::Finished => {}
                         // A spawned pipe worker that fails its handshake
                         // was still one of our own workers: count it lost.
@@ -958,7 +1079,12 @@ impl FleetDriver {
 
     /// TCP dispatch: optionally spawn local dialing workers, then admit
     /// and drive every peer that makes it through the handshake.
-    fn run_tcp(&self, tcp: &TcpState, state: &RunState) -> Result<(), DriverError> {
+    fn run_tcp(
+        &self,
+        tcp: &TcpState,
+        state: &RunState,
+        init: &InitFrame,
+    ) -> Result<(), DriverError> {
         let mut children: Vec<Child> = Vec::new();
         if tcp.spawn_workers {
             let addr = tcp
@@ -1027,7 +1153,13 @@ impl FleetDriver {
                             match TcpTransport::accept(stream) {
                                 Ok(transport) => {
                                     let mut transport = self.maybe_chaos(idx, Box::new(transport));
-                                    self.drive_tcp_peer(idx, transport.as_mut(), state, &tcp.token);
+                                    self.drive_tcp_peer(
+                                        idx,
+                                        transport.as_mut(),
+                                        state,
+                                        init,
+                                        &tcp.token,
+                                    );
                                 }
                                 Err(_) => {
                                     state.preauth_peers.fetch_sub(1, Ordering::SeqCst);
@@ -1038,11 +1170,17 @@ impl FleetDriver {
                             state.touch();
                         });
                     }
-                    // Nonblocking listener: no pending connection.
+                    // Nonblocking listener: no pending connection. Park
+                    // on the run's wakeup condvar instead of a fixed
+                    // sleep — a merged shard or an abort ends the wait
+                    // immediately, so finishing the run costs one wake
+                    // instead of a full poll interval (the old 20 ms
+                    // sleep here was most of the TCP-vs-pipe gap on
+                    // short runs).
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(20));
+                        state.park(Duration::from_millis(2));
                     }
-                    Err(_) => std::thread::sleep(Duration::from_millis(20)),
+                    Err(_) => state.park(Duration::from_millis(2)),
                 }
             }
         });
@@ -1064,7 +1202,11 @@ impl FleetDriver {
                     Ok(Some(_)) => break,
                     // snip-lint: allow(wall-clock): "child-reap grace deadline at shutdown"
                     Ok(None) if Instant::now() < grace => {
-                        std::thread::sleep(Duration::from_millis(25));
+                        // A worker that just took its Shutdown exits in
+                        // about a millisecond; poll at that grain so the
+                        // reap adds one, not a coarse poll interval, to
+                        // every run's tail.
+                        std::thread::sleep(Duration::from_millis(1));
                     }
                     _ => {
                         let _ = child.kill();
@@ -1112,6 +1254,7 @@ impl FleetDriver {
         worker_idx: usize,
         transport: &mut dyn Transport,
         state: &RunState,
+        init: &InitFrame,
         token: &str,
     ) {
         let join_window = self.shard_timeout.min(JOIN_TIMEOUT);
@@ -1131,15 +1274,46 @@ impl FleetDriver {
                 // falls back to a fresh Init inside the drive loop.
                 resume
             }
-            // Bad token, version skew, garbage, a stall, or EOF: sever
-            // without revealing which check failed.
+            // An *authenticated* peer on the wrong protocol version gets
+            // told so before the sever: a spec-bearing Init naming this
+            // coordinator's version, framed as legacy JSON so a
+            // protocol-3 worker (which predates binary frames) decodes
+            // it cleanly and reports the skew instead of a frame error.
+            // Unauthenticated skew stays indistinguishable from a bad
+            // token — the version is not a secret, but uniformity is
+            // what keeps the rejection path oracle-free.
+            Some(WorkerMsg::Join {
+                protocol,
+                token: presented,
+                ..
+            }) if protocol != PROTOCOL_VERSION && token_matches(&presented, token) => {
+                let rejection = CoordinatorMsg::Init {
+                    protocol: PROTOCOL_VERSION,
+                    spec: self.spec.clone(),
+                    spec_hash: self.spec.spec_hash(),
+                    session: 0,
+                    plans: vec![],
+                };
+                let _ = transport.send_legacy_json(&rejection.to_value());
+                snip_obs::event!(
+                    snip_obs::log::Level::Warn,
+                    "peer {worker_idx} ({}) joined with protocol {protocol}, this \
+                     coordinator speaks {PROTOCOL_VERSION}; refused with a typed rejection",
+                    transport.peer()
+                );
+                transport.sever();
+                state.rejected.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            // Bad token, garbage, a stall, or EOF: sever without
+            // revealing which check failed.
             _ => {
                 transport.sever();
                 state.rejected.fetch_add(1, Ordering::Relaxed);
                 return;
             }
         };
-        match self.drive_peer(worker_idx, transport, state, resume) {
+        match self.drive_peer(worker_idx, transport, state, init, resume) {
             PeerOutcome::Finished => {}
             PeerOutcome::HandshakeFailed => {
                 state.rejected.fetch_add(1, Ordering::Relaxed);
@@ -1245,6 +1419,7 @@ impl FleetDriver {
         worker_idx: usize,
         transport: &mut dyn Transport,
         state: &RunState,
+        init: &InitFrame,
         resume: Option<u64>,
     ) -> PeerOutcome {
         // snip-lint: allow(wall-clock): "handshake latency metric; observability only"
@@ -1294,32 +1469,38 @@ impl FleetDriver {
                     transport.sever();
                     return PeerOutcome::Lost;
                 }
-                // The worker now either re-sends the ShardDone that was
-                // in flight when the socket dropped, or reports Ready
-                // (nothing pending). The re-send is accepted exactly
-                // once: the merge is idempotent by shard ordinal.
+                // The worker now either re-sends the ShardDone batch that
+                // was in flight when the socket dropped, or reports Ready
+                // (nothing pending). Each result in the re-sent batch is
+                // accepted exactly once: the merge is idempotent by shard
+                // ordinal, and every result is validated against the
+                // shard table before any of them merge.
                 match self.recv_peer(transport, state) {
                     Some(WorkerMsg::ShardDone {
-                        id,
-                        metrics,
+                        results,
                         plans,
                         seeded_hits,
-                    }) if state
-                        .shards
-                        .get(id as usize)
-                        .is_some_and(|s| metrics.len() as u64 == s.end - s.start) =>
+                    }) if !results.is_empty()
+                        && results.iter().all(|r| {
+                            state
+                                .shards
+                                .get(r.id as usize)
+                                .is_some_and(|s| r.metrics.len() as u64 == s.end - s.start)
+                        }) =>
                     {
-                        let shard = state.shards[id as usize];
                         self.absorb_plans(plans, &mut shipped);
                         state.seed_hits.fetch_add(seeded_hits, Ordering::Relaxed);
-                        if state.finish_shard(shard, metrics) {
-                            state.resumed_shards.fetch_add(1, Ordering::Relaxed);
-                            obs.resumed_shards.inc();
-                            snip_obs::event!(
-                                snip_obs::log::Level::Info,
-                                "shard {id} recovered from resumed session {sid} \
-                                 (in-flight result survived the drop)"
-                            );
+                        for ShardResult { id, metrics } in results {
+                            let shard = state.shards[id as usize];
+                            if state.finish_shard(shard, metrics) {
+                                state.resumed_shards.fetch_add(1, Ordering::Relaxed);
+                                obs.resumed_shards.inc();
+                                snip_obs::event!(
+                                    snip_obs::log::Level::Info,
+                                    "shard {id} recovered from resumed session {sid} \
+                                     (in-flight result survived the drop)"
+                                );
+                            }
                         }
                     }
                     Some(WorkerMsg::Ready {
@@ -1337,16 +1518,18 @@ impl FleetDriver {
             }
             None => {
                 let sid = state.next_session.fetch_add(1, Ordering::Relaxed);
-                let mut shipped = BTreeSet::new();
-                let mut seen_generation = u64::MAX; // force the Init scan
-                let init = CoordinatorMsg::Init {
-                    protocol: PROTOCOL_VERSION,
-                    spec: self.spec.clone(),
-                    spec_hash,
-                    session: sid,
-                    plans: self.plans_for(&mut shipped, &mut seen_generation, state),
-                };
-                if send_msg(transport, &init).is_err() {
+                // The peer's plan bookkeeping starts from the pre-encode
+                // snapshot: the frame already carries those plans, so
+                // they count as shipped and the generation is the one
+                // the snapshot was taken at.
+                let shipped: BTreeSet<String> = init.plan_keys.iter().cloned().collect();
+                let seen_generation = init.generation;
+                state
+                    .plans_shipped
+                    .fetch_add(init.plan_keys.len() as u64, Ordering::Relaxed);
+                if transport.send_preencoded(&init.frame).is_err()
+                    || send_msg(transport, &CoordinatorMsg::Session { session: sid }).is_err()
+                {
                     transport.sever();
                     return PeerOutcome::HandshakeFailed;
                 }
@@ -1385,48 +1568,65 @@ impl FleetDriver {
         let serve_start = Instant::now();
         let mut busy_us = 0u64;
         let mut done_here = 0u64;
+        let mut drilled = false;
         let outcome = loop {
-            let Some(shard) = state.next_shard() else {
+            let Some(batch) = state.next_batch(self.shard_batch) else {
                 let _ = send_msg(transport, &CoordinatorMsg::Shutdown);
                 break PeerOutcome::Finished;
             };
             let _shard_span = snip_obs::span!(
-                "shard {} jobs {}..{} peer {worker_idx}",
-                shard.id,
-                shard.start,
-                shard.end
+                "shards {:?} jobs {}..{} peer {worker_idx}",
+                batch.iter().map(|s| s.id).collect::<Vec<_>>(),
+                batch[0].start,
+                batch[batch.len() - 1].end
             );
             // snip-lint: allow(wall-clock): "shard compute-latency metric; observability only"
             let compute_start = Instant::now();
             let assignment = CoordinatorMsg::Shard {
-                id: shard.id,
-                start: shard.start,
-                end: shard.end,
+                jobs: batch
+                    .iter()
+                    .map(|s| ShardJob {
+                        id: s.id,
+                        start: s.start,
+                        end: s.end,
+                    })
+                    .collect(),
                 plans: self.plans_for(&mut shipped, &mut seen_generation, state),
             };
+            let requeue_batch = |state: &RunState| {
+                for &shard in &batch {
+                    if !state.merged(shard.id) {
+                        state.requeue(shard);
+                    }
+                }
+            };
             if send_msg(transport, &assignment).is_err() {
-                state.requeue(shard);
+                requeue_batch(state);
                 transport.sever();
                 break PeerOutcome::Lost;
             }
             let reply = loop {
                 break match self.recv_peer(transport, state) {
                     Some(WorkerMsg::ShardDone {
-                        id,
-                        metrics,
+                        results,
                         plans,
                         seeded_hits,
-                    }) if id == shard.id && metrics.len() as u64 == shard.end - shard.start => {
-                        Some((metrics, plans, seeded_hits))
+                    }) if batch_reply_matches(&results, &batch) => {
+                        Some((results, plans, seeded_hits))
                     }
-                    // A duplicate delivery of an already-merged shard — a
+                    // A re-delivery of an already-merged batch — a
                     // chaos-injected repeat, or a re-send racing its own
                     // acknowledgement — is logged and dropped; the peer is
-                    // still healthy and still owes the current shard.
-                    Some(WorkerMsg::ShardDone { id, .. }) if id != shard.id && state.merged(id) => {
+                    // still healthy and still owes the current batch.
+                    Some(WorkerMsg::ShardDone { results, .. })
+                        if !results.is_empty()
+                            && results.iter().all(|r| state.merged(r.id))
+                            && results.iter().any(|r| batch.iter().all(|s| s.id != r.id)) =>
+                    {
                         snip_obs::event!(
                             snip_obs::log::Level::Debug,
-                            "peer {worker_idx} re-delivered merged shard {id}; dropped"
+                            "peer {worker_idx} re-delivered merged shard batch {:?}; dropped",
+                            results.iter().map(|r| r.id).collect::<Vec<_>>()
                         );
                         continue;
                     }
@@ -1434,30 +1634,35 @@ impl FleetDriver {
                 };
             };
             match reply {
-                Some((metrics, plans, seeded_hits)) => {
+                Some((results, plans, seeded_hits)) => {
                     let round_trip = compute_start.elapsed();
                     obs.compute_us.observe(round_trip);
                     busy_us += snip_obs::metrics::duration_us(round_trip);
                     self.absorb_plans(plans, &mut shipped);
                     state.seed_hits.fetch_add(seeded_hits, Ordering::Relaxed);
-                    state.finish_shard(shard, metrics);
-                    done_here += 1;
+                    for ShardResult { id, metrics } in results {
+                        state.finish_shard(state.shards[id as usize], metrics);
+                        done_here += 1;
+                    }
                     if let Some(FaultInjection::KillWorker {
                         worker,
                         after_shards,
                     }) = self.fault
                     {
-                        if worker == worker_idx && done_here == after_shards {
+                        if worker == worker_idx && done_here >= after_shards && !drilled {
                             // The drill: this peer "crashes" now; its next
                             // assignment will fail and be stolen.
+                            drilled = true;
                             transport.sever();
                         }
                     }
                 }
                 None => {
                     // Wrong reply, broken frame, EOF, or timeout: the peer
-                    // is lost and the shard goes back on the queue.
-                    state.requeue(shard);
+                    // is lost and its unmerged batch goes back on the
+                    // queue (a severed batch may have merged through a
+                    // resumed session in the meantime — those stay put).
+                    requeue_batch(state);
                     transport.sever();
                     break PeerOutcome::Lost;
                 }

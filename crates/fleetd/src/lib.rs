@@ -57,7 +57,7 @@ pub use coordinator::{
 pub use fault::{
     ChaosPlan, FaultAction, FaultDirection, FaultKind, FaultPlan, FaultTransport, PeerFaults,
 };
-pub use proto::{CoordinatorMsg, PlanEntry, WorkerMsg, PROTOCOL_VERSION};
+pub use proto::{CoordinatorMsg, PlanEntry, ShardJob, ShardResult, WorkerMsg, PROTOCOL_VERSION};
 pub use spec::{example_spec, FleetOutput, FleetSpec, JobRunner, JobSpec, NodeSpec};
 pub use transport::{PipeTransport, StreamTransport, TcpTransport, Transport};
 pub use worker::{run_worker, run_worker_tcp, Backoff, ConnectOptions, WorkerError, WorkerSummary};

@@ -1,6 +1,6 @@
 //! The coordinator↔worker wire protocol.
 //!
-//! Messages travel as length-prefixed JSON frames
+//! Messages travel as length-prefixed binary CBOR frames
 //! ([`snip_replay::frame`]) over any [`Transport`](crate::transport) —
 //! the stdin/stdout pipes of a spawned worker or a TCP socket a remote
 //! worker dialed in on. The conversation is strictly alternating after
@@ -10,37 +10,61 @@
 //! (TCP only)
 //! worker → coordinator   Join { protocol, token, pid, resume }
 //! (all transports)
-//! coordinator → worker   Init { protocol, spec, spec_hash, session, plans }
+//! coordinator → worker   Init { protocol, spec, spec_hash, session: 0, plans }
+//! coordinator → worker   Session { session }
 //! worker → coordinator   Ready { protocol, pid, spec_hash }
 //! repeat:
-//!   coordinator → worker   Shard { id, start, end, plans }
-//!   worker → coordinator   ShardDone { id, metrics, plans, seeded_hits }
+//!   coordinator → worker   Shard { jobs, plans }
+//!   worker → coordinator   ShardDone { results, plans, seeded_hits }
 //! coordinator → worker   Shutdown
 //! ```
 //!
-//! **Reconnect-with-resume (TCP).** `Init` assigns each admitted worker a
-//! run-scoped *session id*. A worker whose socket drops mid-run may redial
-//! and present the id in `Join { resume: Some(id) }` (the token is checked
-//! again — a session id is an identity, never a credential). A coordinator
-//! that still knows the session replies `Resumed { session }`, after which
-//! the worker either re-sends its un-acknowledged `ShardDone` (accepted
-//! exactly once — the coordinator merges idempotently by shard index) or a
-//! fresh `Ready`, and the shard loop continues. A coordinator that does
-//! *not* know the session (it restarted, or the run is a new one) falls
-//! back to a plain `Init`, and the worker starts a fresh session.
+//! **Pre-encoded `Init`.** The `Init` payload (spec + accumulated plans)
+//! is by far the largest frame, and it is identical for every fresh
+//! peer — so the coordinator encodes it **once per run** and every
+//! transport ships the same pre-framed bytes. The per-peer session id
+//! therefore moved out of the hot frame: `Init` carries the placeholder
+//! `session: 0` (never a real id — sessions start at 1) and the tiny
+//! `Session` frame that follows assigns the real one.
+//!
+//! **Batched shards.** `Shard` deals up to `--shard-batch` shard jobs in
+//! one frame; the worker computes them all and answers with one
+//! `ShardDone` carrying exactly one result per assigned job. Pull-based
+//! stealing is unchanged (a batch is only as large as the queue can
+//! fill without blocking), and the coordinator merges each result
+//! idempotently by shard ordinal — a batch severed mid-delivery and
+//! re-sent after resume merges each job exactly once.
+//!
+//! **Reconnect-with-resume (TCP).** `Session` assigns each admitted
+//! worker a run-scoped *session id*. A worker whose socket drops mid-run
+//! may redial and present the id in `Join { resume: Some(id) }` (the
+//! token is checked again — a session id is an identity, never a
+//! credential). A coordinator that still knows the session replies
+//! `Resumed { session }`, after which the worker either re-sends its
+//! un-acknowledged `ShardDone` (each result accepted exactly once — the
+//! coordinator merges idempotently by shard index) or a fresh `Ready`,
+//! and the shard loop continues. A coordinator that does *not* know the
+//! session (it restarted, or the run is a new one) falls back to a plain
+//! `Init`, and the worker starts a fresh session.
 //!
 //! **Authentication and identity.** A worker dialing in over TCP
 //! authenticates first: `Join` carries the shared secret from the
 //! coordinator's `--token-file`, and the coordinator severs the
-//! connection on any mismatch without revealing whether the token or the
-//! protocol was wrong. Both handshake messages then pin the *job
-//! identity*: `Init` carries the coordinator's [`FleetSpec::spec_hash`]
-//! next to the spec (so a spec corrupted in flight is detected by the
-//! worker), and `Ready` echoes the hash the worker computed from the spec
-//! it actually received (so the coordinator never deals shards to a
-//! worker that decoded a different job). Spawned pipe workers skip `Join`
-//! — the coordinator created their stdio, there is nothing to
-//! authenticate — but the spec-hash exchange is identical.
+//! connection on any credential mismatch without revealing whether the
+//! token or the protocol was wrong. One deliberate exception: a peer
+//! that presents the **correct token** but a skewed protocol version is
+//! told so before the sever — the coordinator answers with a spec-bearing
+//! `Init` naming its own version, framed as *legacy JSON* so a protocol-3
+//! worker (which predates binary frames) can still decode it and report
+//! "coordinator speaks protocol 4, worker speaks 3" instead of a frame
+//! error. Both handshake messages then pin the *job identity*: `Init`
+//! carries the coordinator's [`FleetSpec::spec_hash`] next to the spec
+//! (so a spec corrupted in flight is detected by the worker), and `Ready`
+//! echoes the hash the worker computed from the spec it actually received
+//! (so the coordinator never deals shards to a worker that decoded a
+//! different job). Spawned pipe workers skip `Join` — the coordinator
+//! created their stdio, there is nothing to authenticate — but the
+//! spec-hash exchange is identical.
 //!
 //! **Plan shipping.** `Init` and `Shard` carry the coordinator's
 //! accumulated set of solved SNIP-OPT plans (only entries the receiving
@@ -52,10 +76,10 @@
 //! Results carry full exact-ledger [`RunMetrics`] (the journal codec's
 //! integer-µs shape), never floats-of-floats, so the coordinator's merge
 //! is bit-identical to an in-process run. Anything out of grammar — a
-//! version mismatch, a bad token, a wrong spec hash, a `ShardDone` for
-//! the wrong shard, a truncated frame — is a protocol error, and the
-//! coordinator treats the peer as lost (its shard goes back on the
-//! queue).
+//! version mismatch, a bad token, a wrong spec hash, a `ShardDone` whose
+//! results don't cover exactly the assigned batch, a truncated frame —
+//! is a protocol error, and the coordinator treats the peer as lost (its
+//! unmerged shards go back on the queue).
 
 use serde::{Deserialize, Serialize};
 use snip_opt::OptPlan;
@@ -74,7 +98,11 @@ use crate::spec::FleetSpec;
 /// * 3 — crash-safe fleets: per-worker session ids (`Init { session }`),
 ///   reconnect-with-resume (`Join { resume }` / `Resumed`), idempotent
 ///   `ShardDone` delivery.
-pub const PROTOCOL_VERSION: u32 = 3;
+/// * 4 — binary wire: length-prefixed CBOR frames, `Init` pre-encoded
+///   once per run (`session: 0` placeholder + `Session` frame), batched
+///   `Shard { jobs }` / `ShardDone { results }`, and a legacy-JSON typed
+///   rejection for authenticated version-skewed peers.
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// One solved SNIP-OPT plan under its exact cache key, as shipped between
 /// processes. The key is the solver's own bit-exact composite (model +
@@ -88,11 +116,33 @@ pub struct PlanEntry {
     pub plan: OptPlan,
 }
 
+/// One shard assignment inside a `Shard` batch: jobs `start..end` of the
+/// spec's job list, merged under ordinal `id`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardJob {
+    /// Shard ordinal (merge key).
+    pub id: u64,
+    /// First job index (inclusive).
+    pub start: u64,
+    /// Last job index (exclusive).
+    pub end: u64,
+}
+
+/// One completed shard inside a `ShardDone` batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardResult {
+    /// The shard ordinal being answered.
+    pub id: u64,
+    /// `metrics[k]` belongs to job `start + k` of the assigned range.
+    pub metrics: Vec<RunMetrics>,
+}
+
 /// Messages the coordinator sends to a worker.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum CoordinatorMsg {
     /// The handshake: protocol version plus the complete job spec, its
     /// digest, and every plan the coordinator has accumulated so far.
+    /// Encoded once per run and shipped to every fresh peer verbatim.
     Init {
         /// [`PROTOCOL_VERSION`] of the coordinator.
         protocol: u32,
@@ -102,12 +152,20 @@ pub enum CoordinatorMsg {
         /// it — the worker recomputes it from the decoded spec and refuses
         /// a mismatch.
         spec_hash: u64,
-        /// The session id this run knows the worker by. A worker whose
-        /// socket drops presents it in `Join { resume }` to resume instead
-        /// of starting over. Run-scoped and worthless without the token.
+        /// Always `0` since protocol 4 (the frame is shared across peers;
+        /// the `Session` frame that follows carries the real id). Kept in
+        /// the shape so a protocol-3 worker can decode the version-skew
+        /// rejection.
         session: u64,
         /// Warm SNIP-OPT plans to seed the worker's cache with.
         plans: Vec<PlanEntry>,
+    },
+    /// Assigns the per-peer session id right after `Init`. A worker whose
+    /// socket drops presents it in `Join { resume }` to resume instead of
+    /// starting over. Run-scoped and worthless without the token.
+    Session {
+        /// The session id this run knows the worker by (≥ 1).
+        session: u64,
     },
     /// Acknowledges a `Join { resume: Some(id) }` from a worker whose
     /// session this coordinator still knows: no new `Init` follows, the
@@ -117,14 +175,11 @@ pub enum CoordinatorMsg {
         /// Echo of the resumed session id.
         session: u64,
     },
-    /// One shard assignment: jobs `start..end` of the spec's job list.
+    /// A batch of shard assignments, dealt together to amortize the
+    /// frame round trip over small shards.
     Shard {
-        /// Shard ordinal (merge key).
-        id: u64,
-        /// First job index (inclusive).
-        start: u64,
-        /// Last job index (exclusive).
-        end: u64,
+        /// The assigned shards, at least one, at most `--shard-batch`.
+        jobs: Vec<ShardJob>,
         /// Plans accumulated since this worker was last sent any.
         plans: Vec<PlanEntry>,
     },
@@ -160,16 +215,16 @@ pub enum WorkerMsg {
         /// decoded — must equal the hash `Init` announced.
         spec_hash: u64,
     },
-    /// A completed shard: one exact-ledger metrics entry per job, in job
-    /// order, plus the worker's newly solved plans.
+    /// A completed batch: exactly one result per assigned shard (each
+    /// with one exact-ledger metrics entry per job, in job order), plus
+    /// the worker's newly solved plans.
     ShardDone {
-        /// The shard ordinal being answered.
-        id: u64,
-        /// `metrics[k]` belongs to job `start + k`.
-        metrics: Vec<RunMetrics>,
+        /// One result per shard of the answered batch, in assignment
+        /// order.
+        results: Vec<ShardResult>,
         /// Plans this worker solved that it has not reported before.
         plans: Vec<PlanEntry>,
-        /// Solves during this shard answered by coordinator-seeded plans
+        /// Solves during this batch answered by coordinator-seeded plans
         /// (cross-worker cache hits).
         seeded_hits: u64,
     },
@@ -189,18 +244,43 @@ mod tests {
                 protocol: PROTOCOL_VERSION,
                 spec: spec.clone(),
                 spec_hash: spec.spec_hash(),
-                session: 11,
+                session: 0,
                 plans: vec![],
             },
+            CoordinatorMsg::Session { session: 11 },
             CoordinatorMsg::Shard {
-                id: 3,
-                start: 6,
-                end: 8,
+                jobs: vec![
+                    ShardJob {
+                        id: 3,
+                        start: 6,
+                        end: 8,
+                    },
+                    ShardJob {
+                        id: 4,
+                        start: 8,
+                        end: 9,
+                    },
+                ],
                 plans: vec![],
             },
             CoordinatorMsg::Resumed { session: 11 },
             CoordinatorMsg::Shutdown,
         ];
+        // Binary frames are the protocol-4 wire...
+        let mut buf = Vec::new();
+        {
+            let mut w = FrameWriter::new_binary(&mut buf);
+            for m in &msgs_out {
+                w.send(m).unwrap();
+            }
+        }
+        let mut r = FrameReader::new(std::io::Cursor::new(buf));
+        for m in &msgs_out {
+            assert_eq!(r.recv::<CoordinatorMsg>().unwrap().as_ref(), Some(m));
+        }
+        assert!(r.recv::<CoordinatorMsg>().unwrap().is_none());
+        // ...and the same messages still cross legacy JSON frames (the
+        // version-skew rejection path).
         let mut buf = Vec::new();
         {
             let mut w = FrameWriter::new(&mut buf);
@@ -212,11 +292,18 @@ mod tests {
         for m in &msgs_out {
             assert_eq!(r.recv::<CoordinatorMsg>().unwrap().as_ref(), Some(m));
         }
-        assert!(r.recv::<CoordinatorMsg>().unwrap().is_none());
 
         let reply = WorkerMsg::ShardDone {
-            id: 3,
-            metrics: vec![RunMetrics::with_epochs(2); 2],
+            results: vec![
+                ShardResult {
+                    id: 3,
+                    metrics: vec![RunMetrics::with_epochs(2); 2],
+                },
+                ShardResult {
+                    id: 4,
+                    metrics: vec![RunMetrics::with_epochs(2)],
+                },
+            ],
             plans: vec![],
             seeded_hits: 0,
         };
@@ -251,9 +338,11 @@ mod tests {
             16.0,
         );
         let msg = CoordinatorMsg::Shard {
-            id: 0,
-            start: 0,
-            end: 1,
+            jobs: vec![ShardJob {
+                id: 0,
+                start: 0,
+                end: 1,
+            }],
             plans: vec![PlanEntry {
                 key: "some|exact|key".into(),
                 plan,

@@ -6,10 +6,19 @@
 //! spawned subprocess ([`PipeTransport`]), a TCP socket a remote worker
 //! dialed in on ([`TcpTransport`]), or an in-memory stream in a test
 //! ([`StreamTransport`]). Every transport carries the same
-//! length-prefixed JSON frames ([`snip_replay::frame`]), so a message
-//! that crosses one transport crosses them all bit-for-bit — which is
-//! what lets `fleet_determinism.rs` demand `assert_eq!`-identical merged
-//! output regardless of transport.
+//! length-prefixed binary CBOR frames ([`snip_replay::frame`]) — readers
+//! auto-detect legacy JSON frames per frame, which keeps the version-skew
+//! rejection decodable by older peers — so a message that crosses one
+//! transport crosses them all bit-for-bit, which is what lets
+//! `fleet_determinism.rs` demand `assert_eq!`-identical merged output
+//! regardless of transport.
+//!
+//! **Pre-encoded frames.** Frames that are identical for every peer (the
+//! spec-bearing `Init`) are encoded once into a [`PreEncoded`] and sent
+//! through [`Transport::send_preencoded`]: binary transports ship the
+//! shared bytes verbatim with a single write, while value-level wrappers
+//! (the fault injector) fall back to the decoded value so they can still
+//! observe and mutate the message.
 //!
 //! **Deadlines.** Receives take an optional timeout. Internally every
 //! transport pumps its read side through a dedicated thread into a
@@ -34,7 +43,28 @@ use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 use serde::{Deserialize, Serialize, Value};
-use snip_replay::frame::{FrameError, FrameReader, FrameWriter, MAX_FRAME_BYTES};
+use snip_replay::frame::{
+    encode_binary_frame, FrameError, FrameReader, FrameWriter, MAX_FRAME_BYTES,
+};
+
+/// A message encoded into its final binary wire frame once, shared
+/// across peers as cheap `Arc` clones. The coordinator pre-encodes
+/// `Init` this way: one serialization per run instead of one per peer.
+pub struct PreEncoded {
+    /// The decoded message, for value-level transports (fault wrappers).
+    pub value: Value,
+    /// The complete binary frame: header plus canonical CBOR payload.
+    pub bytes: Arc<[u8]>,
+}
+
+impl PreEncoded {
+    /// Encodes `msg` into one shared binary frame.
+    pub fn new<T: Serialize + ?Sized>(msg: &T) -> Self {
+        let value = msg.to_value();
+        let bytes: Arc<[u8]> = encode_binary_frame(&value).into();
+        PreEncoded { value, bytes }
+    }
+}
 
 /// Frame-size budget for a TCP peer that has not authenticated yet: large
 /// enough for any `Join`, far too small to let a stranger park 256 MiB in
@@ -100,6 +130,35 @@ pub trait Transport: Send {
     /// Returns [`FrameError`] when the stream is already broken.
     fn send_truncated(&mut self, _v: &Value) -> Result<(), FrameError> {
         self.send_value(&Value::Str("«torn frame»".into()))
+    }
+
+    /// Sends one pre-encoded frame. Binary transports override this to
+    /// ship the shared bytes verbatim (no re-serialization, one write);
+    /// the default re-encodes `frame.value` through [`Transport::send_value`]
+    /// so value-level wrappers (the fault injector) keep observing and
+    /// mutating the message — the canonical codec makes both paths
+    /// byte-identical on the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError`] when the stream is broken or severed.
+    fn send_preencoded(&mut self, frame: &PreEncoded) -> Result<(), FrameError> {
+        self.send_value(&frame.value)
+    }
+
+    /// Sends `v` as a *legacy JSON* frame regardless of the transport's
+    /// native encoding. This is the version-skew rejection path: the
+    /// refusal must decode on a protocol-3 peer, which predates binary
+    /// frames. The default sends on the native writer (sufficient for
+    /// in-process tests); [`TcpTransport`] — the only transport a
+    /// version-skewed peer can arrive on — overrides it with a genuine
+    /// JSON frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError`] when the stream is broken or severed.
+    fn send_legacy_json(&mut self, v: &Value) -> Result<(), FrameError> {
+        self.send_value(v)
     }
 
     /// Raises the per-frame size budget to the full [`MAX_FRAME_BYTES`]
@@ -254,7 +313,7 @@ impl PipeTransport {
         let label = format!("pipe:{}", child.id());
         Ok(PipeTransport {
             child,
-            writer: Some(FrameWriter::new(stdin).with_metrics("pipe")),
+            writer: Some(FrameWriter::new_binary(stdin).with_metrics("pipe")),
             pump: Some(FramePump::start(
                 stdout,
                 Arc::new(AtomicU64::new(MAX_FRAME_BYTES)),
@@ -280,6 +339,16 @@ impl Transport for PipeTransport {
         match &mut self.pump {
             Some(p) => p.recv(timeout),
             None => Ok(None),
+        }
+    }
+
+    fn send_preencoded(&mut self, frame: &PreEncoded) -> Result<(), FrameError> {
+        match &mut self.writer {
+            Some(w) => w.send_raw(&frame.bytes),
+            None => Err(FrameError::Io(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "transport severed",
+            ))),
         }
     }
 
@@ -355,7 +424,7 @@ impl TcpTransport {
         let limit = Arc::new(AtomicU64::new(frame_limit));
         Ok(TcpTransport {
             ctl: stream,
-            writer: FrameWriter::new(BufWriter::new(write_half)).with_metrics("tcp"),
+            writer: FrameWriter::new_binary(BufWriter::new(write_half)).with_metrics("tcp"),
             pump: Some(FramePump::start(read_half, Arc::clone(&limit), "tcp")),
             limit,
             label,
@@ -377,6 +446,18 @@ impl Transport for TcpTransport {
 
     fn sever(&mut self) {
         let _ = self.ctl.shutdown(Shutdown::Both);
+    }
+
+    fn send_preencoded(&mut self, frame: &PreEncoded) -> Result<(), FrameError> {
+        self.writer.send_raw(&frame.bytes)
+    }
+
+    fn send_legacy_json(&mut self, v: &Value) -> Result<(), FrameError> {
+        // Written straight to the control handle as a one-off JSON frame
+        // — the binary writer flushes per frame, so the stream is at a
+        // frame boundary here, and the receiving reader dispatches on the
+        // first byte.
+        FrameWriter::new(&mut self.ctl).send_value(v)
     }
 
     fn send_truncated(&mut self, v: &Value) -> Result<(), FrameError> {
@@ -422,7 +503,7 @@ impl<W: Write + Send> StreamTransport<W> {
     pub fn new<R: Read + Send + 'static>(input: R, output: W, label: impl Into<String>) -> Self {
         let label = label.into();
         StreamTransport {
-            writer: FrameWriter::new(output).with_metrics(&label),
+            writer: FrameWriter::new_binary(output).with_metrics(&label),
             pump: Some(FramePump::start(
                 input,
                 Arc::new(AtomicU64::new(MAX_FRAME_BYTES)),
@@ -453,6 +534,16 @@ impl<W: Write + Send> Transport for StreamTransport<W> {
             Some(p) => p.recv(timeout),
             None => Ok(None),
         }
+    }
+
+    fn send_preencoded(&mut self, frame: &PreEncoded) -> Result<(), FrameError> {
+        if self.severed {
+            return Err(FrameError::Io(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "transport severed",
+            )));
+        }
+        self.writer.send_raw(&frame.bytes)
     }
 
     fn sever(&mut self) {
@@ -558,6 +649,32 @@ mod tests {
                 assert!(msg.contains("exceeds"), "{msg}");
             }
             other => panic!("expected a frame-budget refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn preencoded_and_legacy_json_frames_cross_tcp_in_order() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        let mut a = TcpTransport::accept(server).unwrap();
+        let mut b = TcpTransport::wrap(client, MAX_FRAME_BYTES).unwrap();
+
+        let pre = PreEncoded::new(&Value::Str("shared-init".into()));
+        b.send_preencoded(&pre).unwrap();
+        b.send_legacy_json(&Value::Str("legacy-rejection".into()))
+            .unwrap();
+        b.send_value(&Value::U64(9)).unwrap();
+        for expect in [
+            Value::Str("shared-init".into()),
+            Value::Str("legacy-rejection".into()),
+            Value::U64(9),
+        ] {
+            assert_eq!(
+                a.recv_value(Some(Duration::from_secs(5))).unwrap(),
+                Some(expect)
+            );
         }
     }
 

@@ -5,7 +5,7 @@
 //! `snip fleet-worker --connect ADDR --token-file F`. It receives the
 //! spec once (verifying the coordinator's spec hash against the spec it
 //! actually decoded), seeds its SNIP-OPT plan cache with whatever the
-//! coordinator has accumulated, then serves shard requests until
+//! coordinator has accumulated, then serves shard batches until
 //! `Shutdown` (or EOF — a vanished coordinator is a clean stop, not a
 //! crash: the coordinator owns failure handling, the worker just
 //! computes). All simulation happens through [`JobRunner::run_job`], the
@@ -30,7 +30,7 @@ use std::time::{Duration, Instant};
 
 use snip_replay::frame::FrameError;
 
-use crate::proto::{CoordinatorMsg, PlanEntry, WorkerMsg, PROTOCOL_VERSION};
+use crate::proto::{CoordinatorMsg, PlanEntry, ShardJob, ShardResult, WorkerMsg, PROTOCOL_VERSION};
 use crate::spec::JobRunner;
 use crate::transport::{recv_msg, send_msg, RecvError, StreamTransport, TcpTransport, Transport};
 
@@ -157,7 +157,10 @@ pub struct WorkerSummary {
 /// session identity, the decoded job, the plan-reporting bookkeeping, and
 /// the `ShardDone` the coordinator may not have received.
 struct Session {
-    /// The id `Init` assigned (presented as `Join { resume }` on redial).
+    /// The id the `Session` frame assigned (presented as
+    /// `Join { resume }` on redial). `None` until that frame arrives:
+    /// since protocol 4 `Init` is pre-encoded once per run and carries a
+    /// placeholder, the per-peer id travels separately.
     session: Option<u64>,
     runner: Option<JobRunner>,
     spec_hash: u64,
@@ -258,7 +261,7 @@ fn serve_once(
             protocol,
             spec,
             spec_hash,
-            session: session_id,
+            session: _,
             plans,
         }) => {
             if protocol != PROTOCOL_VERSION {
@@ -277,8 +280,11 @@ fn serve_once(
             seed_plans(&plans);
             // A fresh Init in answer to a resume request means the
             // coordinator restarted: the old session — pending result
-            // included — is void.
-            session.session = Some(session_id);
+            // included — is void. Since protocol 4 the Init frame is
+            // pre-encoded once per run, so its `session` field is a
+            // placeholder; the real id arrives in the `Session` frame
+            // that immediately follows.
+            session.session = None;
             session.runner = Some(JobRunner::new(&spec));
             session.spec_hash = local_hash;
             session.pending = None;
@@ -368,31 +374,42 @@ fn serve_once(
             }
         };
         match msg {
-            CoordinatorMsg::Shard {
-                id,
-                start,
-                end,
-                plans,
-            } => {
-                if start >= end || end > runner.job_count() {
-                    return Err(WorkerError::Protocol(format!(
-                        "shard {id} range {start}..{end} is invalid for {} jobs",
-                        runner.job_count()
-                    )));
+            // The per-peer session id, sent right after the (shared,
+            // pre-encoded) Init. Remembered for `Join { resume }`.
+            CoordinatorMsg::Session { session: sid } => {
+                session.session = Some(sid);
+            }
+            CoordinatorMsg::Shard { jobs, plans } => {
+                if jobs.is_empty() {
+                    return Err(WorkerError::Protocol("empty shard batch".into()));
+                }
+                for ShardJob { id, start, end } in &jobs {
+                    if start >= end || *end > runner.job_count() {
+                        return Err(WorkerError::Protocol(format!(
+                            "shard {id} range {start}..{end} is invalid for {} jobs",
+                            runner.job_count()
+                        )));
+                    }
                 }
                 seed_plans(&plans);
                 for entry in &plans {
                     session.reported.insert(entry.key.clone());
                 }
                 let seeded_before = snip_opt::plan_cache_stats().seeded_hits;
-                // snip-lint: allow(wall-clock): "shard compute-latency metric; observability only"
-                let compute_start = Instant::now();
-                let metrics = {
-                    let _span = snip_obs::span!("worker shard {id} jobs {start}..{end}");
-                    (start..end).map(|i| runner.run_job(i)).collect()
-                };
-                snip_obs::metrics::histogram("snip_worker_shard_compute_us")
-                    .observe(compute_start.elapsed());
+                let mut results = Vec::with_capacity(jobs.len());
+                for ShardJob { id, start, end } in &jobs {
+                    // snip-lint: allow(wall-clock): "shard compute-latency metric; observability only"
+                    let compute_start = Instant::now();
+                    let metrics = {
+                        let _span = snip_obs::span!("worker shard {id} jobs {start}..{end}");
+                        (*start..*end).map(|i| runner.run_job(i)).collect()
+                    };
+                    snip_obs::metrics::histogram("snip_worker_shard_compute_us")
+                        .observe(compute_start.elapsed());
+                    results.push(ShardResult { id: *id, metrics });
+                    session.summary.shards += 1;
+                    session.summary.jobs += end - start;
+                }
                 let seeded_hits = snip_opt::plan_cache_stats().seeded_hits - seeded_before;
                 let new_plans: Vec<PlanEntry> =
                     snip_opt::cached_plans_where(|key| !session.reported.contains(key))
@@ -403,16 +420,13 @@ fn serve_once(
                     session.reported.insert(entry.key.clone());
                 }
                 let done = WorkerMsg::ShardDone {
-                    id,
-                    metrics,
+                    results,
                     plans: new_plans,
                     seeded_hits,
                 };
-                // The shard is computed either way; only the delivery is
-                // in doubt, so the summary counts it now and `pending`
+                // The batch is computed either way; only the delivery is
+                // in doubt, so the summary counts it above and `pending`
                 // guards the delivery.
-                session.summary.shards += 1;
-                session.summary.jobs += end - start;
                 session.pending = Some(done.clone());
                 if let Err(e) = send_msg(transport, &done) {
                     return disconnect(reconnectable, WorkerError::Frame(e));
@@ -583,14 +597,22 @@ mod tests {
             protocol: PROTOCOL_VERSION,
             spec: spec.clone(),
             spec_hash: spec.spec_hash(),
-            session: 1,
+            session: 0,
             plans: vec![],
         }
     }
 
+    fn shard(id: u64, start: u64, end: u64) -> CoordinatorMsg {
+        CoordinatorMsg::Shard {
+            jobs: vec![ShardJob { id, start, end }],
+            plans: vec![],
+        }
+    }
+
+    /// Scripts the coordinator side on the v4 binary wire.
     fn coordinator_script(msgs: &[CoordinatorMsg]) -> Vec<u8> {
         let mut buf = Vec::new();
-        let mut w = FrameWriter::new(&mut buf);
+        let mut w = FrameWriter::new_binary(&mut buf);
         for m in msgs {
             w.send(m).unwrap();
         }
@@ -624,18 +646,9 @@ mod tests {
         let spec = small_spec();
         let script = coordinator_script(&[
             init_msg(&spec),
-            CoordinatorMsg::Shard {
-                id: 0,
-                start: 0,
-                end: 2,
-                plans: vec![],
-            },
-            CoordinatorMsg::Shard {
-                id: 1,
-                start: 2,
-                end: 4,
-                plans: vec![],
-            },
+            CoordinatorMsg::Session { session: 1 },
+            shard(0, 0, 2),
+            shard(1, 2, 4),
             CoordinatorMsg::Shutdown,
         ]);
         let (summary, out) = run_scripted(script, 7);
@@ -654,11 +667,10 @@ mod tests {
         let mut merged: Vec<RunMetrics> = Vec::new();
         for id in 0..2u64 {
             match replies.recv::<WorkerMsg>().unwrap() {
-                Some(WorkerMsg::ShardDone {
-                    id: got, metrics, ..
-                }) => {
-                    assert_eq!(got, id);
-                    merged.extend(metrics);
+                Some(WorkerMsg::ShardDone { results, .. }) => {
+                    assert_eq!(results.len(), 1);
+                    assert_eq!(results[0].id, id);
+                    merged.extend(results[0].metrics.clone());
                 }
                 other => panic!("expected ShardDone, got {other:?}"),
             }
@@ -666,6 +678,49 @@ mod tests {
         // The worker's shard metrics are bit-identical to in-process runs.
         let reference: Vec<RunMetrics> = (0..4).map(|i| runner.run_job(i)).collect();
         assert_eq!(merged, reference);
+    }
+
+    #[test]
+    fn batched_shards_come_back_as_one_reply() {
+        let spec = small_spec();
+        let script = coordinator_script(&[
+            init_msg(&spec),
+            CoordinatorMsg::Session { session: 1 },
+            CoordinatorMsg::Shard {
+                jobs: vec![
+                    ShardJob {
+                        id: 0,
+                        start: 0,
+                        end: 2,
+                    },
+                    ShardJob {
+                        id: 1,
+                        start: 2,
+                        end: 4,
+                    },
+                ],
+                plans: vec![],
+            },
+            CoordinatorMsg::Shutdown,
+        ]);
+        let (summary, out) = run_scripted(script, 7);
+        assert_eq!(summary.unwrap(), WorkerSummary { shards: 2, jobs: 4 });
+
+        let mut replies = FrameReader::new(std::io::Cursor::new(out));
+        assert!(matches!(
+            replies.recv::<WorkerMsg>().unwrap(),
+            Some(WorkerMsg::Ready { .. })
+        ));
+        let runner = JobRunner::new(&spec);
+        match replies.recv::<WorkerMsg>().unwrap() {
+            Some(WorkerMsg::ShardDone { results, .. }) => {
+                assert_eq!(results.len(), 2, "one reply carries the whole batch");
+                let merged: Vec<RunMetrics> = results.into_iter().flat_map(|r| r.metrics).collect();
+                let reference: Vec<RunMetrics> = (0..4).map(|i| runner.run_job(i)).collect();
+                assert_eq!(merged, reference);
+            }
+            other => panic!("expected ShardDone, got {other:?}"),
+        }
     }
 
     #[test]
@@ -683,12 +738,15 @@ mod tests {
         assert!(matches!(err.unwrap_err(), WorkerError::Protocol(_)));
 
         // Out-of-range shard.
+        let script = coordinator_script(&[init_msg(&spec), shard(0, 0, 99)]);
+        let (err, _) = run_scripted(script, 1);
+        assert!(matches!(err.unwrap_err(), WorkerError::Protocol(_)));
+
+        // An empty batch.
         let script = coordinator_script(&[
             init_msg(&spec),
             CoordinatorMsg::Shard {
-                id: 0,
-                start: 0,
-                end: 99,
+                jobs: vec![],
                 plans: vec![],
             },
         ]);

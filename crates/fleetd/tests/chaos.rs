@@ -10,7 +10,9 @@
 //! direction — the same schedule bites the same frame on every run.
 //! TCP workers additionally exercise reconnect-with-resume: a severed
 //! socket is redialed under jittered backoff, the session resumes, and
-//! the in-flight `ShardDone` is delivered exactly once.
+//! the in-flight `ShardDone` — every result of its batch — is delivered
+//! exactly once. The whole matrix runs over the protocol-v4 binary wire
+//! at shard-batch widths 1 and 4.
 //!
 //! [`Transport`]: snip_fleetd::Transport
 //! [`DriverError::Incomplete`]: snip_fleetd::DriverError::Incomplete
@@ -35,6 +37,10 @@ enum Dispatch {
 
 const BOTH: [Dispatch; 2] = [Dispatch::Pipe, Dispatch::Tcp];
 
+/// Shard-batch widths the fault matrix runs under: single-job frames
+/// (the v3-shaped schedule) and the batched v4 wire.
+const BATCHES: [u64; 2] = [1, 4];
+
 /// Eight single-job shards: enough runway that early-frame faults land
 /// mid-run, small enough that the whole matrix stays fast.
 fn chaos_spec() -> FleetSpec {
@@ -57,12 +63,19 @@ fn chaos_spec() -> FleetSpec {
     }
 }
 
-fn driver(spec: &FleetSpec, workers: usize, dispatch: Dispatch, plan: ChaosPlan) -> FleetDriver {
+fn driver(
+    spec: &FleetSpec,
+    workers: usize,
+    dispatch: Dispatch,
+    plan: ChaosPlan,
+    batch: u64,
+) -> FleetDriver {
     let base = FleetDriver::new(spec.clone(), workers)
         .expect("valid spec")
         .with_worker_command(SNIP_BIN, vec!["fleet-worker".into()])
         .with_shard_timeout(Duration::from_secs(3))
         .with_shard_size(1)
+        .with_shard_batch(batch)
         .with_chaos(plan);
     match dispatch {
         Dispatch::Pipe => base,
@@ -95,9 +108,11 @@ fn peer0(actions: Vec<FaultAction>) -> ChaosPlan {
 }
 
 /// The committed fault schedules. Coordinator-side frame ordinals,
-/// 1-based per direction: Tx 1 is `Init`, Tx 2+ are shard assignments;
-/// Rx starts with `Join` (TCP) or `Ready` (pipe), so an Rx fault at
-/// frame 3 bites a `Ready`/`ShardDone` on either transport.
+/// 1-based per direction: Tx 1 is the pre-encoded `Init`, Tx 2 is
+/// `Session`, Tx 3+ are (batched) shard assignments; Rx starts with
+/// `Join` (TCP) or `Ready` (pipe), so an Rx fault at frame 3 bites a
+/// `Ready`/`ShardDone` on either transport — at batch width 4 a bitten
+/// `ShardDone` carries a whole batch of results.
 fn fault_schedules() -> Vec<(&'static str, ChaosPlan)> {
     use FaultDirection::{Rx, Tx};
     vec![
@@ -179,9 +194,12 @@ fn every_fault_schedule_ends_clean_on_both_transports() {
     for (name, plan) in fault_schedules() {
         for dispatch in BOTH {
             for workers in [1usize, 2] {
-                let label = format!("{name} over {dispatch:?} with {workers} worker(s)");
-                let result = driver(&spec, workers, dispatch, plan.clone()).run();
-                assert_clean_end(&label, &spec, total_shards, result);
+                for batch in BATCHES {
+                    let label =
+                        format!("{name} over {dispatch:?} with {workers} worker(s), batch {batch}");
+                    let result = driver(&spec, workers, dispatch, plan.clone(), batch).run();
+                    assert_clean_end(&label, &spec, total_shards, result);
+                }
             }
         }
     }
@@ -198,13 +216,15 @@ fn the_committed_ci_chaos_plan_parses_and_ends_clean() {
     let spec = chaos_spec();
     let total_shards = spec.job_count();
     for dispatch in BOTH {
-        let result = driver(&spec, 2, dispatch, plan.clone()).run();
-        assert_clean_end(
-            &format!("ci plan over {dispatch:?}"),
-            &spec,
-            total_shards,
-            result,
-        );
+        for batch in BATCHES {
+            let result = driver(&spec, 2, dispatch, plan.clone(), batch).run();
+            assert_clean_end(
+                &format!("ci plan over {dispatch:?} (batch {batch})"),
+                &spec,
+                total_shards,
+                result,
+            );
+        }
     }
 }
 
@@ -214,30 +234,33 @@ fn severed_tcp_worker_redials_resumes_and_redelivers_exactly_once() {
     // worker's first ShardDone is suppressed and its socket severed
     // (Rx frame 3 = Join, Ready, then the doomed ShardDone). The worker
     // redials under backoff, presents its session id, gets `Resumed`,
-    // re-sends the in-flight result — and the merged report must be
-    // bit-identical with the shard delivered exactly once.
+    // re-sends the in-flight result — at batch width 4 that is one
+    // frame carrying four results — and the merged report must be
+    // bit-identical with every shard delivered exactly once.
     let spec = chaos_spec();
-    let plan = peer0(vec![act(FaultDirection::Rx, 3, FaultKind::Sever)]);
-    let run = driver(&spec, 1, Dispatch::Tcp, plan)
-        .run()
-        .expect("the worker reconnects and finishes the run");
-    assert_eq!(
-        run.output,
-        JobRunner::new(&spec).run_sequential(),
-        "a drop + resume must not move a single bit"
-    );
-    assert!(
-        run.stats.reconnects >= 1,
-        "the redial was admitted as a resume: {:?}",
-        run.stats
-    );
-    assert!(
-        run.stats.resumed_shards >= 1,
-        "the suppressed ShardDone was recovered on the resumed session, \
-         not recomputed: {:?}",
-        run.stats
-    );
-    assert_eq!(run.stats.jobs, spec.job_count(), "{:?}", run.stats);
+    for batch in BATCHES {
+        let plan = peer0(vec![act(FaultDirection::Rx, 3, FaultKind::Sever)]);
+        let run = driver(&spec, 1, Dispatch::Tcp, plan, batch)
+            .run()
+            .expect("the worker reconnects and finishes the run");
+        assert_eq!(
+            run.output,
+            JobRunner::new(&spec).run_sequential(),
+            "a drop + resume (batch {batch}) must not move a single bit"
+        );
+        assert!(
+            run.stats.reconnects >= 1,
+            "batch {batch}: the redial was admitted as a resume: {:?}",
+            run.stats
+        );
+        assert!(
+            run.stats.resumed_shards >= 1,
+            "batch {batch}: the suppressed ShardDone was recovered on the resumed \
+             session, not recomputed: {:?}",
+            run.stats
+        );
+        assert_eq!(run.stats.jobs, spec.job_count(), "{:?}", run.stats);
+    }
 }
 
 #[test]
@@ -246,7 +269,7 @@ fn chaos_wrapping_with_an_empty_plan_is_invisible() {
     // unwrapped transport: complete run, exact output, no losses.
     let spec = chaos_spec();
     for dispatch in BOTH {
-        let run = driver(&spec, 2, dispatch, peer0(vec![]))
+        let run = driver(&spec, 2, dispatch, peer0(vec![]), 4)
             .run()
             .expect("a no-op chaos plan cannot break a run");
         assert_eq!(run.output, JobRunner::new(&spec).run_sequential());

@@ -3,11 +3,12 @@
 //! token + spec-hash handshake.
 //!
 //! The acceptance bar for the distributed driver: the same spec run over
-//! *either transport* with 1, 2 and 4 workers — and with a peer severed
-//! mid-run — produces output `assert_eq!`-identical to the
-//! single-process reference ([`JobRunner::run_sequential`], i.e.
-//! `Fleet::run` / `ScenarioRunner::sweep`). Metrics are exact integer-µs
-//! ledgers, so equality here is bit-for-bit, not a tolerance.
+//! *either transport* with 1, 2 and 4 workers, shard batches of 1 and 4
+//! on the protocol-v4 binary wire — and with a peer severed mid-run —
+//! produces output `assert_eq!`-identical to the single-process
+//! reference ([`JobRunner::run_sequential`], i.e. `Fleet::run` /
+//! `ScenarioRunner::sweep`). Metrics are exact integer-µs ledgers, so
+//! equality here is bit-for-bit, not a tolerance.
 
 use std::time::Duration;
 
@@ -33,12 +34,18 @@ enum Dispatch {
 
 const BOTH: [Dispatch; 2] = [Dispatch::Pipe, Dispatch::Tcp];
 
-fn driver(spec: &FleetSpec, workers: usize, dispatch: Dispatch) -> FleetDriver {
+/// Shard-batch widths every bit-identity claim is checked under:
+/// one job per `Shard` frame (the v3-shaped schedule) and the batched
+/// v4 wire.
+const BATCHES: [u64; 2] = [1, 4];
+
+fn driver(spec: &FleetSpec, workers: usize, dispatch: Dispatch, batch: u64) -> FleetDriver {
     let base = FleetDriver::new(spec.clone(), workers)
         .expect("valid spec")
         .with_worker_command(SNIP_BIN, vec!["fleet-worker".into()])
         .with_shard_timeout(Duration::from_secs(120))
-        .with_shard_size(1);
+        .with_shard_size(1)
+        .with_shard_batch(batch);
     match dispatch {
         Dispatch::Pipe => base,
         Dispatch::Tcp => base
@@ -97,27 +104,32 @@ fn fleet_output_is_bit_identical_for_one_two_and_four_workers() {
     let reference = JobRunner::new(&spec).run_sequential();
     for dispatch in BOTH {
         for workers in [1usize, 2, 4] {
-            let run = driver(&spec, workers, dispatch)
-                .run()
-                .expect("fleet run succeeds");
-            assert_eq!(
-                run.output, reference,
-                "{workers} workers over {dispatch:?} must reproduce the sequential \
-                 ledgers exactly"
-            );
-            match dispatch {
-                Dispatch::Pipe => assert_eq!(run.stats.workers, workers, "pipe spawns exactly"),
-                // TCP counts *admitted* peers: a fast worker can drain the
-                // queue before every dialing peer finishes its handshake.
-                Dispatch::Tcp => assert!(
-                    (1..=workers).contains(&run.stats.workers),
-                    "tcp admits between 1 and {workers}, got {:?}",
-                    run.stats
-                ),
+            for batch in BATCHES {
+                let run = driver(&spec, workers, dispatch, batch)
+                    .run()
+                    .expect("fleet run succeeds");
+                assert_eq!(
+                    run.output, reference,
+                    "{workers} workers over {dispatch:?} (batch {batch}) must \
+                     reproduce the sequential ledgers exactly"
+                );
+                match dispatch {
+                    Dispatch::Pipe => {
+                        assert_eq!(run.stats.workers, workers, "pipe spawns exactly");
+                    }
+                    // TCP counts *admitted* peers: a fast worker can drain
+                    // the queue before every dialing peer finishes its
+                    // handshake.
+                    Dispatch::Tcp => assert!(
+                        (1..=workers).contains(&run.stats.workers),
+                        "tcp admits between 1 and {workers}, got {:?}",
+                        run.stats
+                    ),
+                }
+                assert_eq!(run.stats.workers_lost, 0, "{dispatch:?}");
+                assert_eq!(run.stats.peers_rejected, 0, "{dispatch:?}");
+                assert_eq!(run.stats.jobs, 6);
             }
-            assert_eq!(run.stats.workers_lost, 0, "{dispatch:?}");
-            assert_eq!(run.stats.peers_rejected, 0, "{dispatch:?}");
-            assert_eq!(run.stats.jobs, 6);
         }
     }
 }
@@ -132,10 +144,15 @@ fn sweep_output_is_bit_identical_across_worker_counts() {
     assert_eq!(points.len(), 6, "2 targets x 3 mechanisms");
     for dispatch in BOTH {
         for workers in [1usize, 3] {
-            let run = driver(&spec, workers, dispatch)
-                .run()
-                .expect("sweep run succeeds");
-            assert_eq!(run.output, reference, "{workers} workers over {dispatch:?}");
+            for batch in BATCHES {
+                let run = driver(&spec, workers, dispatch, batch)
+                    .run()
+                    .expect("sweep run succeeds");
+                assert_eq!(
+                    run.output, reference,
+                    "{workers} workers over {dispatch:?} (batch {batch})"
+                );
+            }
         }
     }
 }
@@ -158,40 +175,44 @@ fn killed_worker_mid_run_is_stolen_from_and_output_is_unchanged() {
     }
     let reference = JobRunner::new(&spec).run_sequential();
     for dispatch in BOTH {
-        // Peer 0 "crashes" after delivering one shard — a killed
-        // subprocess on pipes, a dead socket on TCP; its next assignment
-        // must be re-queued and finished by the surviving worker.
-        //
-        // Startup skew can defuse the drill: if peer 0 is admitted so
-        // late that the other worker has already drained the queue, the
-        // sever lands after the finish line and nobody is lost (which is
-        // correct driver behavior). Retry until the kill bites mid-run;
-        // output must be bit-exact on *every* attempt, bitten or not.
-        let mut bitten = false;
-        for attempt in 0..5 {
-            let run = driver(&spec, 2, dispatch)
-                .with_fault(FaultInjection::KillWorker {
-                    worker: 0,
-                    after_shards: 1,
-                })
-                .run()
-                .expect("the surviving worker finishes the fleet");
-            assert_eq!(
-                run.output, reference,
-                "a mid-run disconnect over {dispatch:?} must not change a single bit \
-                 of the report (attempt {attempt})"
-            );
-            assert_eq!(run.stats.jobs, 16);
-            if run.stats.workers_lost == 1 && run.stats.shards_reassigned >= 1 {
-                bitten = true;
-                break;
+        for batch in BATCHES {
+            // Peer 0 "crashes" after delivering one shard — a killed
+            // subprocess on pipes, a dead socket on TCP; its next
+            // assignment (a whole batch on the v4 wire) must be
+            // re-queued and finished by the surviving worker.
+            //
+            // Startup skew can defuse the drill: if peer 0 is admitted
+            // so late that the other worker has already drained the
+            // queue, the sever lands after the finish line and nobody
+            // is lost (which is correct driver behavior). Retry until
+            // the kill bites mid-run; output must be bit-exact on
+            // *every* attempt, bitten or not.
+            let mut bitten = false;
+            for attempt in 0..5 {
+                let run = driver(&spec, 2, dispatch, batch)
+                    .with_fault(FaultInjection::KillWorker {
+                        worker: 0,
+                        after_shards: 1,
+                    })
+                    .run()
+                    .expect("the surviving worker finishes the fleet");
+                assert_eq!(
+                    run.output, reference,
+                    "a mid-run disconnect over {dispatch:?} (batch {batch}) must not \
+                     change a single bit of the report (attempt {attempt})"
+                );
+                assert_eq!(run.stats.jobs, 16);
+                if run.stats.workers_lost == 1 && run.stats.shards_reassigned >= 1 {
+                    bitten = true;
+                    break;
+                }
             }
+            assert!(
+                bitten,
+                "{dispatch:?} (batch {batch}): in 5 attempts the drill never severed \
+                 a peer mid-run (the steal path went unexercised)"
+            );
         }
-        assert!(
-            bitten,
-            "{dispatch:?}: in 5 attempts the drill never severed a peer mid-run \
-             (the steal path went unexercised)"
-        );
     }
 }
 
@@ -216,7 +237,7 @@ fn full_observability_does_not_move_a_bit() {
     let spec = fleet_spec(Mechanism::SnipRh);
     let reference = JobRunner::new(&spec).run_sequential();
     for dispatch in BOTH {
-        let run = driver(&spec, 2, dispatch)
+        let run = driver(&spec, 2, dispatch, 4)
             .run()
             .expect("instrumented fleet run succeeds");
         assert_eq!(
@@ -267,10 +288,15 @@ fn every_mechanism_survives_the_distributed_path() {
         spec.epochs = 2;
         let reference = JobRunner::new(&spec).run_sequential();
         for dispatch in BOTH {
-            let run = driver(&spec, 2, dispatch)
-                .run()
-                .expect("fleet run succeeds");
-            assert_eq!(run.output, reference, "{mechanism:?} over {dispatch:?}");
+            for batch in BATCHES {
+                let run = driver(&spec, 2, dispatch, batch)
+                    .run()
+                    .expect("fleet run succeeds");
+                assert_eq!(
+                    run.output, reference,
+                    "{mechanism:?} over {dispatch:?} (batch {batch})"
+                );
+            }
         }
     }
 }
@@ -301,7 +327,7 @@ fn shipped_plans_keep_snip_opt_runs_bit_exact() {
     };
     let reference = JobRunner::new(&spec).run_sequential();
     for dispatch in BOTH {
-        let d = driver(&spec, 2, dispatch);
+        let d = driver(&spec, 2, dispatch, 4);
         let first = d.run().expect("first run succeeds");
         assert_eq!(first.output, reference, "{dispatch:?}: first run");
         let second = d.run().expect("second run succeeds");

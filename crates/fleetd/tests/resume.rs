@@ -4,7 +4,9 @@
 //! run — with the checkpointed shards loaded from the journal, never
 //! recomputed. Driven both in-process (pipe transport, driver API) and
 //! at the process level (TCP `snip fleet-serve` killed with SIGKILL
-//! mid-run, then restarted).
+//! mid-run, then restarted). The journal is per-shard and codec-free,
+//! so the drills cross protocol-v4 shard-batch widths: a run
+//! checkpointed at one width resumes at the other.
 
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
@@ -53,84 +55,91 @@ fn peer0(actions: Vec<FaultAction>) -> ChaosPlan {
     }
 }
 
-fn pipe_driver(spec: &FleetSpec, workers: usize) -> FleetDriver {
+fn pipe_driver(spec: &FleetSpec, workers: usize, batch: u64) -> FleetDriver {
     FleetDriver::new(spec.clone(), workers)
         .expect("valid spec")
         .with_worker_command(SNIP_BIN, vec!["fleet-worker".into()])
         .with_shard_timeout(Duration::from_secs(5))
         .with_shard_size(1)
+        .with_shard_batch(batch)
 }
 
 #[test]
 fn interrupted_pipe_run_resumes_bit_identically_without_recomputing() {
     let spec = resume_spec();
-    let journal = tmp_path("pipe.snipj");
-    let _ = std::fs::remove_file(&journal);
+    // Both cross-width directions: a run checkpointed under single-job
+    // frames resumes batched, and vice versa — shard journaling is
+    // independent of how jobs were framed in flight.
+    for (crash_batch, resume_batch) in [(1u64, 4u64), (4, 1)] {
+        let journal = tmp_path(&format!("pipe-{crash_batch}-{resume_batch}.snipj"));
+        let _ = std::fs::remove_file(&journal);
 
-    // Phase 1: the lone worker's socket is severed after its second
-    // ShardDone is suppressed (pipe Rx frames: 1 = Ready, 2 = the first
-    // ShardDone — merged and checkpointed — 3 = the doomed one). No
-    // worker remains, so the run ends Incomplete with at least one shard
-    // durably journaled.
-    let phase1 = pipe_driver(&spec, 1)
-        .with_checkpoint(&journal)
-        .with_chaos(peer0(vec![FaultAction {
-            dir: FaultDirection::Rx,
-            at_frame: 3,
-            kind: FaultKind::Sever,
-        }]))
-        .run();
-    let checkpointed = match phase1 {
-        Err(DriverError::Incomplete {
-            missing, completed, ..
-        }) => {
-            assert!(
-                !completed.is_empty(),
-                "the sever lands after one merged shard"
-            );
-            assert!(!missing.is_empty(), "the run was genuinely interrupted");
-            completed.len() as u64
-        }
-        other => panic!("expected Incomplete, got {other:?}"),
-    };
-    let mid = load_checkpoint(&journal).expect("journal readable after the crash");
-    assert_eq!(
-        mid.shards.len() as u64,
-        checkpointed,
-        "every completed shard — and nothing else — is journaled"
-    );
+        // Phase 1: the lone worker's socket is severed after its second
+        // ShardDone is suppressed (pipe Rx frames: 1 = Ready, 2 = the
+        // first ShardDone — its whole batch merged and checkpointed —
+        // 3 = the doomed one). No worker remains, so the run ends
+        // Incomplete with at least one shard durably journaled.
+        let phase1 = pipe_driver(&spec, 1, crash_batch)
+            .with_checkpoint(&journal)
+            .with_chaos(peer0(vec![FaultAction {
+                dir: FaultDirection::Rx,
+                at_frame: 3,
+                kind: FaultKind::Sever,
+            }]))
+            .run();
+        let checkpointed = match phase1 {
+            Err(DriverError::Incomplete {
+                missing, completed, ..
+            }) => {
+                assert!(
+                    !completed.is_empty(),
+                    "the sever lands after one merged ShardDone"
+                );
+                assert!(!missing.is_empty(), "the run was genuinely interrupted");
+                completed.len() as u64
+            }
+            other => panic!("expected Incomplete, got {other:?}"),
+        };
+        let mid = load_checkpoint(&journal).expect("journal readable after the crash");
+        assert_eq!(
+            mid.shards.len() as u64,
+            checkpointed,
+            "every completed shard — and nothing else — is journaled"
+        );
 
-    // Phase 2: a fresh driver (a restarted coordinator) resumes from the
-    // journal. The merged report must be bit-identical to an
-    // uninterrupted run and the journaled shards must come from the
-    // checkpoint, not recomputation.
-    let run = pipe_driver(&spec, 2)
-        .with_resume(&journal)
-        .run()
-        .expect("the resumed run completes");
-    assert_eq!(
-        run.output,
-        JobRunner::new(&spec).run_sequential(),
-        "crash + resume must not move a single bit"
-    );
-    assert_eq!(
-        run.stats.checkpoint_shards, checkpointed,
-        "exactly the journaled shards are skipped: {:?}",
-        run.stats
-    );
+        // Phase 2: a fresh driver (a restarted coordinator) resumes from
+        // the journal at the other batch width. The merged report must be
+        // bit-identical to an uninterrupted run and the journaled shards
+        // must come from the checkpoint, not recomputation.
+        let run = pipe_driver(&spec, 2, resume_batch)
+            .with_resume(&journal)
+            .run()
+            .expect("the resumed run completes");
+        assert_eq!(
+            run.output,
+            JobRunner::new(&spec).run_sequential(),
+            "crash at batch {crash_batch} + resume at batch {resume_batch} must \
+             not move a single bit"
+        );
+        assert_eq!(
+            run.stats.checkpoint_shards, checkpointed,
+            "exactly the journaled shards are skipped: {:?}",
+            run.stats
+        );
 
-    // The journal now covers the whole run, each shard exactly once
-    // (load_checkpoint hard-fails on out-of-range ids; first-wins on
-    // duplicates — equality of count proves uniqueness).
-    let full = load_checkpoint(&journal).expect("journal readable after the resume");
-    assert!(!full.truncated, "no torn tail in an orderly journal");
-    assert_eq!(full.header.total_shards, spec.job_count());
-    assert_eq!(
-        full.shards.keys().copied().collect::<Vec<_>>(),
-        (0..spec.job_count()).collect::<Vec<_>>(),
-        "the journal ends covering every shard exactly once"
-    );
-    let _ = std::fs::remove_file(&journal);
+        // The journal now covers the whole run, each shard exactly once
+        // (load_checkpoint hard-fails on out-of-range ids; first-wins on
+        // duplicates — equality of count proves uniqueness).
+        let full = load_checkpoint(&journal).expect("journal readable after the resume");
+        assert!(!full.truncated, "no torn tail in an orderly journal");
+        assert_eq!(full.header.total_shards, spec.job_count());
+        assert_eq!(
+            full.shards.keys().copied().collect::<Vec<_>>(),
+            (0..spec.job_count()).collect::<Vec<_>>(),
+            "the journal ends covering every shard exactly once"
+        );
+        let _ = std::fs::remove_file(&journal);
+    }
 }
 
 #[test]
@@ -138,14 +147,14 @@ fn resuming_under_a_different_spec_is_refused() {
     let spec = resume_spec();
     let journal = tmp_path("wrong-spec.snipj");
     let _ = std::fs::remove_file(&journal);
-    pipe_driver(&spec, 2)
+    pipe_driver(&spec, 2, 4)
         .with_checkpoint(&journal)
         .run()
         .expect("the checkpointed run completes");
 
     let mut other = resume_spec();
     other.seed = 999;
-    match pipe_driver(&other, 2).with_resume(&journal).run() {
+    match pipe_driver(&other, 2, 4).with_resume(&journal).run() {
         Err(DriverError::Checkpoint(msg)) => {
             assert!(
                 msg.contains("different run"),
@@ -162,11 +171,11 @@ fn resuming_a_complete_journal_replays_the_whole_report_from_disk() {
     let spec = resume_spec();
     let journal = tmp_path("complete.jsonl");
     let _ = std::fs::remove_file(&journal);
-    let first = pipe_driver(&spec, 2)
+    let first = pipe_driver(&spec, 2, 4)
         .with_checkpoint(&journal)
         .run()
         .expect("the checkpointed run completes");
-    let resumed = pipe_driver(&spec, 2)
+    let resumed = pipe_driver(&spec, 2, 1)
         .with_resume(&journal)
         .run()
         .expect("resuming a finished run is a no-op success");
@@ -272,13 +281,18 @@ fn sigkilled_coordinator_resumes_bit_identically_over_tcp() {
         })
     };
 
-    // Phase 1: serve with a checkpoint journal and the slow-down plan;
-    // SIGKILL the coordinator as soon as one shard is durably journaled.
+    // Phase 1: serve with a checkpoint journal and the slow-down plan,
+    // dealing batched assignments (`--shard-batch 4` exercises the v4
+    // wire at the process level); SIGKILL the coordinator as soon as one
+    // shard is durably journaled. Phase 2 resumes at the default width —
+    // the journal does not care how jobs were framed.
     let mut coordinator = serve(&[
         "--checkpoint",
         &journal.display().to_string(),
         "--chaos-plan",
         &chaos_file.display().to_string(),
+        "--shard-batch",
+        "4",
     ]);
     let addr = read_addr();
     let mut worker = spawn_worker(&addr, &token_file, "1");

@@ -6,7 +6,7 @@
 //! | truncated frame mid-message   | peer rejected/lost, shard re-queued    |
 //! | wrong or missing auth token   | peer rejected before `Init`            |
 //! | mismatched spec hash          | peer rejected before any shard         |
-//! | protocol-version skew         | peer rejected before any shard         |
+//! | protocol-version skew         | typed rejection naming both versions   |
 //! | socket drop mid-shard         | shard re-queued, run completes         |
 //! | handshake stall               | peer dropped at the shard timeout      |
 //! | duplicated `ShardDone`        | merged exactly once, output exact      |
@@ -25,8 +25,9 @@ use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
 use snip_fleetd::{
-    CoordinatorMsg, DriverError, FleetDriver, FleetRun, FleetSpec, JobRunner, JobSpec, NodeSpec,
-    TcpConfig, WorkerMsg, PROTOCOL_VERSION, TOKEN_ENV_VAR,
+    run_worker_tcp, ConnectOptions, CoordinatorMsg, DriverError, FleetDriver, FleetRun, FleetSpec,
+    JobRunner, JobSpec, NodeSpec, ShardResult, TcpConfig, WorkerError, WorkerMsg, PROTOCOL_VERSION,
+    TOKEN_ENV_VAR,
 };
 use snip_mobility::EpochProfile;
 use snip_replay::frame::{FrameReader, FrameWriter};
@@ -87,14 +88,19 @@ fn spawn_honest_worker(addr: SocketAddr) -> Child {
 fn run_with_hostile_peer(spec: &FleetSpec, hostile: impl FnOnce(SocketAddr) + Send) -> FleetRun {
     let driver = tcp_driver(spec, Duration::from_secs(5));
     let addr = driver.local_addr().expect("bound");
-    std::thread::scope(|scope| {
+    let (result, mut worker) = std::thread::scope(|scope| {
         let run = scope.spawn(|| driver.run());
         hostile(addr);
-        let mut worker = spawn_honest_worker(addr);
-        let result = run.join().expect("driver thread joins");
-        let _ = worker.wait();
-        result.expect("the honest worker completes the run")
-    })
+        let worker = spawn_honest_worker(addr);
+        (run.join().expect("driver thread joins"), worker)
+    });
+    // Close the listener (drop the driver) before reaping the worker: if
+    // the hostile peer finished the whole run itself, the honest worker
+    // can dial in after the run ended and would otherwise sit out its
+    // long handshake deadline against a socket nobody will ever serve.
+    drop(driver);
+    let _ = worker.wait();
+    result.expect("the run completes")
 }
 
 fn assert_output_exact(spec: &FleetSpec, run: &FleetRun) {
@@ -139,14 +145,15 @@ fn missing_token_handshake_stall_is_dropped_at_the_timeout() {
     let driver = tcp_driver(&spec, Duration::from_secs(2));
     let addr = driver.local_addr().expect("bound");
     let started = Instant::now();
-    let run = std::thread::scope(|scope| {
+    let (result, mut worker) = std::thread::scope(|scope| {
         let run = scope.spawn(|| driver.run());
         let _stall = TcpStream::connect(addr).expect("dial");
-        let mut worker = spawn_honest_worker(addr);
-        let result = run.join().expect("driver thread joins");
-        let _ = worker.wait();
-        result.expect("the honest worker completes the run")
+        let worker = spawn_honest_worker(addr);
+        (run.join().expect("driver thread joins"), worker)
     });
+    drop(driver);
+    let _ = worker.wait();
+    let run = result.expect("the run completes");
     assert!(
         started.elapsed() < Duration::from_secs(60),
         "a silent peer must not stall the run"
@@ -156,7 +163,12 @@ fn missing_token_handshake_stall_is_dropped_at_the_timeout() {
 }
 
 #[test]
-fn protocol_version_skew_is_rejected() {
+fn protocol_version_skew_gets_a_typed_rejection_naming_both_versions() {
+    // An authenticated worker speaking the wrong protocol version must
+    // get a *decodable* answer, not a decode error or a silent sever:
+    // the coordinator replies with a legacy-JSON-framed Init carrying
+    // its own protocol number (and no plans), which any protocol-3-era
+    // decoder can read and turn into its own typed version error.
     let spec = small_spec();
     let run = run_with_hostile_peer(&spec, |addr| {
         let stream = TcpStream::connect(addr).expect("dial");
@@ -169,13 +181,70 @@ fn protocol_version_skew_is_rejected() {
         })
         .expect("join sends");
         let mut r = FrameReader::new(std::io::BufReader::new(&stream));
+        match r.recv::<CoordinatorMsg>() {
+            Ok(Some(CoordinatorMsg::Init {
+                protocol, plans, ..
+            })) => {
+                assert_eq!(
+                    protocol, PROTOCOL_VERSION,
+                    "the rejection names the coordinator's version"
+                );
+                assert!(plans.is_empty(), "a rejection ships no plan payload");
+            }
+            other => panic!("version skew must be answered with a typed Init, got {other:?}"),
+        }
+        // ...and nothing else: the peer is severed right after.
         assert!(
             matches!(r.recv::<CoordinatorMsg>(), Ok(None) | Err(_)),
-            "version skew must never be answered with Init"
+            "after the rejection the coordinator severs"
         );
     });
     assert!(run.stats.peers_rejected >= 1, "{:?}", run.stats);
     assert_output_exact(&spec, &run);
+}
+
+#[test]
+fn a_v4_worker_dialing_an_old_coordinator_gets_a_typed_version_error() {
+    // The other direction of the skew matrix: this build's worker dials
+    // a coordinator that answers with protocol 3. The worker must fail
+    // with its typed protocol error naming both versions — never a
+    // decode error, never a hang.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("bound");
+    let fake = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        let mut r = FrameReader::new(std::io::BufReader::new(&stream));
+        match r.recv::<WorkerMsg>() {
+            Ok(Some(WorkerMsg::Join { .. })) => {}
+            other => panic!("expected Join, got {other:?}"),
+        }
+        // A protocol-3 coordinator frames JSON.
+        let mut w = FrameWriter::new(&stream);
+        w.send(&CoordinatorMsg::Init {
+            protocol: 3,
+            spec: small_spec(),
+            spec_hash: small_spec().spec_hash(),
+            session: 1,
+            plans: vec![],
+        })
+        .expect("init sends");
+    });
+    let opts = ConnectOptions {
+        addr,
+        token: TOKEN.into(),
+        retry_for: Duration::from_secs(2),
+        backoff_seed: 3,
+    };
+    match run_worker_tcp(&opts, 1) {
+        Err(WorkerError::Protocol(msg)) => {
+            assert!(
+                msg.contains("protocol 3") && msg.contains(&PROTOCOL_VERSION.to_string()),
+                "the error names both versions: {msg}"
+            );
+        }
+        other => panic!("expected a typed protocol error, got {other:?}"),
+    }
+    fake.join().expect("fake coordinator thread");
 }
 
 #[test]
@@ -202,9 +271,16 @@ fn mismatched_spec_hash_in_ready_is_rejected_before_any_shard() {
             spec_hash: announced ^ 0xdead_beef,
         })
         .expect("ready sends");
-        // The wrong echo is refused: no shard may ever arrive.
-        if let Ok(Some(CoordinatorMsg::Shard { .. })) = r.recv::<CoordinatorMsg>() {
-            panic!("a peer with the wrong spec hash must never receive a shard")
+        // The wrong echo is refused: no shard may ever arrive (the
+        // Session frame that trails Init may still be in the buffer).
+        loop {
+            match r.recv::<CoordinatorMsg>() {
+                Ok(Some(CoordinatorMsg::Session { .. })) => {}
+                Ok(Some(CoordinatorMsg::Shard { .. })) => {
+                    panic!("a peer with the wrong spec hash must never receive a shard")
+                }
+                _ => break,
+            }
         }
     });
     assert!(run.stats.peers_rejected >= 1, "{:?}", run.stats);
@@ -249,10 +325,14 @@ fn socket_drop_mid_shard_requeues_and_the_run_stays_exact() {
             spec_hash,
         })
         .expect("ready sends");
-        // Accept a shard assignment... and die holding it.
-        match r.recv::<CoordinatorMsg>() {
-            Ok(Some(CoordinatorMsg::Shard { .. })) => {}
-            other => panic!("expected a shard, got {other:?}"),
+        // Accept a shard assignment... and die holding it. (The Session
+        // frame that follows Init is skipped on the way.)
+        loop {
+            match r.recv::<CoordinatorMsg>() {
+                Ok(Some(CoordinatorMsg::Session { .. })) => {}
+                Ok(Some(CoordinatorMsg::Shard { .. })) => break,
+                other => panic!("expected a shard, got {other:?}"),
+            }
         }
         drop((w, r));
     });
@@ -297,10 +377,16 @@ fn duplicate_shard_done_is_merged_exactly_once() {
         let mut duplicated = false;
         loop {
             match r.recv::<CoordinatorMsg>() {
-                Ok(Some(CoordinatorMsg::Shard { id, start, end, .. })) => {
+                Ok(Some(CoordinatorMsg::Session { .. })) => {}
+                Ok(Some(CoordinatorMsg::Shard { jobs, .. })) => {
                     let done = WorkerMsg::ShardDone {
-                        id,
-                        metrics: (start..end).map(|i| runner.run_job(i)).collect(),
+                        results: jobs
+                            .iter()
+                            .map(|j| ShardResult {
+                                id: j.id,
+                                metrics: (j.start..j.end).map(|i| runner.run_job(i)).collect(),
+                            })
+                            .collect(),
                         plans: vec![],
                         seeded_hits: 0,
                     };

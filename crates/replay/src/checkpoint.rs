@@ -26,7 +26,7 @@
 
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
-use std::io::{BufReader, Write};
+use std::io::{BufReader, Read, Write};
 use std::path::Path;
 
 use serde::{cbor, json, Deserialize, Serialize};
@@ -118,6 +118,25 @@ impl CheckpointWriter {
         })
     }
 
+    /// Reopens a loaded journal for appending, first trimming the torn
+    /// tail a crash mid-append left behind (if any). Appending *after* a
+    /// torn record would strand every new record beyond it — the loader
+    /// stops at the first tear — so resume must cut the file back to
+    /// [`CheckpointLoad::valid_bytes`] before writing anything.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::Io`] if the file cannot be opened,
+    /// truncated, or synced.
+    pub fn resume(path: &Path, load: &CheckpointLoad) -> Result<Self, JournalError> {
+        if load.truncated {
+            let out = OpenOptions::new().write(true).open(path)?;
+            out.set_len(load.valid_bytes)?;
+            out.sync_data()?;
+        }
+        Self::append_to(path)
+    }
+
     /// Events appended through this writer (excludes pre-existing ones).
     #[must_use]
     pub fn events_written(&self) -> u64 {
@@ -175,6 +194,27 @@ pub struct CheckpointLoad {
     /// True when the journal ended in a torn record (a crash mid-append):
     /// the partial tail was dropped, everything before it was recovered.
     pub truncated: bool,
+    /// Byte length of the intact record prefix — the whole file when
+    /// `truncated` is false, the offset of the torn tail otherwise.
+    /// [`CheckpointWriter::resume`] cuts the file back to this before
+    /// appending, so post-resume records are never stranded behind a tear.
+    pub valid_bytes: u64,
+}
+
+/// A [`Read`] passthrough that counts the bytes handed out, so the
+/// loader can recover the exact file offset of the last intact record
+/// (counted bytes minus whatever still sits in the [`BufReader`]).
+struct CountingReader<R> {
+    inner: R,
+    read: u64,
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.read += n as u64;
+        Ok(n)
+    }
 }
 
 /// Reads a checkpoint journal back, tolerating a torn final record.
@@ -189,9 +229,16 @@ pub struct CheckpointLoad {
 /// append, not an error.
 pub fn load_checkpoint(path: &Path) -> Result<CheckpointLoad, JournalError> {
     let format = JournalFormat::from_path(path);
-    let mut input = BufReader::new(File::open(path)?);
+    let mut input = BufReader::new(CountingReader {
+        inner: File::open(path)?,
+        read: 0,
+    });
 
-    let mut next_value = |line_buf: &mut String| -> Result<Option<serde::Value>, JournalError> {
+    fn next_value(
+        format: JournalFormat,
+        input: &mut BufReader<CountingReader<File>>,
+        line_buf: &mut String,
+    ) -> Result<Option<serde::Value>, JournalError> {
         match format {
             JournalFormat::Jsonl => loop {
                 line_buf.clear();
@@ -205,12 +252,18 @@ pub fn load_checkpoint(path: &Path) -> Result<CheckpointLoad, JournalError> {
                 }
                 return Ok(Some(json::from_str(line)?));
             },
-            JournalFormat::Cbor => Ok(cbor::read_value(&mut input)?),
+            JournalFormat::Cbor => Ok(cbor::read_value(input)?),
         }
-    };
+    }
+
+    // The file offset the loader has fully consumed: bytes pulled from
+    // the file minus what still sits unparsed in the BufReader.
+    fn consumed(input: &BufReader<CountingReader<File>>) -> u64 {
+        input.get_ref().read - input.buffer().len() as u64
+    }
 
     let mut line_buf = String::new();
-    let header = match next_value(&mut line_buf)? {
+    let header = match next_value(format, &mut input, &mut line_buf)? {
         Some(v) => match CheckpointEvent::from_value(&v)? {
             CheckpointEvent::Header(h) => h,
             other => {
@@ -234,8 +287,9 @@ pub fn load_checkpoint(path: &Path) -> Result<CheckpointLoad, JournalError> {
 
     let mut shards = BTreeMap::new();
     let mut truncated = false;
+    let mut valid_bytes = consumed(&input);
     loop {
-        let value = match next_value(&mut line_buf) {
+        let value = match next_value(format, &mut input, &mut line_buf) {
             Ok(Some(v)) => v,
             Ok(None) => break,
             // A torn record can only be the last one (appends are
@@ -254,6 +308,7 @@ pub fn load_checkpoint(path: &Path) -> Result<CheckpointLoad, JournalError> {
                     )));
                 }
                 shards.entry(shard).or_insert(metrics);
+                valid_bytes = consumed(&input);
             }
             Ok(CheckpointEvent::Header(_)) => {
                 return Err(JournalError::Codec(
@@ -271,6 +326,7 @@ pub fn load_checkpoint(path: &Path) -> Result<CheckpointLoad, JournalError> {
         header,
         shards,
         truncated,
+        valid_bytes,
     })
 }
 
@@ -354,6 +410,45 @@ mod tests {
                 load.shards.keys().copied().collect::<Vec<_>>(),
                 vec![0],
                 "{name}: the intact prefix survives"
+            );
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn resume_trims_the_torn_tail_so_appended_records_survive_a_reload() {
+        // The SIGKILL drill's failure shape: records appended behind a
+        // torn tail are invisible to the next load (the loader stops at
+        // the first tear). `resume` must cut the tear before appending.
+        for name in ["trim.jsonl", "trim.snipj"] {
+            let path = tmp(name);
+            let mut w = CheckpointWriter::create(&path, &header(4)).unwrap();
+            w.append_shard(0, &shard_metrics(0)).unwrap();
+            w.append_shard(1, &shard_metrics(1)).unwrap();
+            drop(w);
+
+            // Crash mid-append of shard 1's record.
+            let bytes = std::fs::read(&path).unwrap();
+            std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+
+            let load = load_checkpoint(&path).unwrap();
+            assert!(load.truncated, "{name}");
+            assert!(
+                load.valid_bytes < bytes.len() as u64 - 7,
+                "{name}: the valid prefix ends before the torn record"
+            );
+            let mut w = CheckpointWriter::resume(&path, &load).unwrap();
+            w.append_shard(2, &shard_metrics(2)).unwrap();
+            w.append_shard(3, &shard_metrics(3)).unwrap();
+            drop(w);
+
+            let full = load_checkpoint(&path).unwrap();
+            assert!(!full.truncated, "{name}: the tear is gone after the trim");
+            assert_eq!(
+                full.shards.keys().copied().collect::<Vec<_>>(),
+                vec![0, 2, 3],
+                "{name}: the intact prefix and both post-resume appends \
+                 all load; nothing is stranded behind the (removed) tear"
             );
             std::fs::remove_file(&path).unwrap();
         }

@@ -1,9 +1,11 @@
-//! `snip fuzz`: a seeded structured fuzzer for the three decoders that
-//! face untrusted bytes.
+//! `snip fuzz`: a seeded structured fuzzer for the decoders that face
+//! untrusted bytes.
 //!
-//! The workspace has exactly three places where bytes of unknown
-//! provenance are decoded: the length-prefixed frame reader (the fleet
-//! wire protocol — pre-auth bytes from the network), the journal decoder
+//! The workspace has exactly four places where bytes of unknown
+//! provenance are decoded: the frame reader's legacy JSON path (the v3
+//! fleet wire — pre-auth bytes from the network), its protocol-v4
+//! binary path (magic byte, big-endian length, CBOR payload — fuzzed as
+//! its own target over proto-shaped seeds), the journal decoder
 //! (`snip replay FILE` on a file somebody handed you), and the
 //! checkpoint loader (`--resume-from` on a journal that may be torn,
 //! truncated, or hostile). Each must *reject* bad input with an error —
@@ -61,6 +63,9 @@ use snip_replay::{load_checkpoint, CheckpointHeader, CheckpointWriter, FrameWrit
 pub enum Target {
     /// The length-prefixed frame reader (`snip-replay::frame`).
     Frame,
+    /// The protocol-v4 binary frame path (`0xC5` magic + big-endian
+    /// length + CBOR), seeded with proto-shaped messages.
+    ProtoBin,
     /// The JSONL journal decoder.
     JournalJsonl,
     /// The CBOR journal decoder.
@@ -71,8 +76,9 @@ pub enum Target {
 
 impl Target {
     /// Every target, in the order they are fuzzed.
-    pub const ALL: [Target; 4] = [
+    pub const ALL: [Target; 5] = [
         Target::Frame,
+        Target::ProtoBin,
         Target::JournalJsonl,
         Target::JournalCbor,
         Target::Checkpoint,
@@ -83,6 +89,7 @@ impl Target {
     pub fn name(self) -> &'static str {
         match self {
             Target::Frame => "frame",
+            Target::ProtoBin => "proto-bin",
             Target::JournalJsonl => "journal-jsonl",
             Target::JournalCbor => "journal-cbor",
             Target::Checkpoint => "checkpoint",
@@ -334,6 +341,71 @@ fn seed_corpus(target: Target) -> Vec<Vec<u8>> {
             one_each.push(all);
             one_each
         }
+        Target::ProtoBin => {
+            // Proto-shaped payloads over the v4 binary framing, mirroring
+            // the fleet messages (`snip-fleetd` is out of reach from this
+            // crate, so the shapes are spelled at the Value level): a
+            // Join, a batched Shard assignment, and a batched ShardDone.
+            let job = |id: u64, start: u64, end: u64| {
+                Value::Map(vec![
+                    ("id".to_string(), Value::U64(id)),
+                    ("start".to_string(), Value::U64(start)),
+                    ("end".to_string(), Value::U64(end)),
+                ])
+            };
+            let values = [
+                Value::Map(vec![
+                    ("type".to_string(), Value::Str("join".to_string())),
+                    ("protocol".to_string(), Value::U64(4)),
+                    ("token".to_string(), Value::Str("fuzz".to_string())),
+                    ("resume".to_string(), Value::Null),
+                ]),
+                Value::Map(vec![
+                    ("type".to_string(), Value::Str("shard".to_string())),
+                    (
+                        "jobs".to_string(),
+                        Value::Seq(vec![job(0, 0, 2), job(1, 2, 4)]),
+                    ),
+                    ("plans".to_string(), Value::Seq(vec![])),
+                ]),
+                Value::Map(vec![
+                    ("type".to_string(), Value::Str("shard_done".to_string())),
+                    (
+                        "results".to_string(),
+                        Value::Seq(vec![Value::Map(vec![
+                            ("id".to_string(), Value::U64(0)),
+                            ("metrics".to_string(), Value::Seq(vec![])),
+                        ])]),
+                    ),
+                    ("seeded_hits".to_string(), Value::U64(0)),
+                ]),
+            ];
+            let mut one_each: Vec<Vec<u8>> = values
+                .iter()
+                .map(|v| {
+                    let mut buf = Vec::new();
+                    FrameWriter::new_binary(&mut buf)
+                        .send_value(v)
+                        .expect("in-memory binary frame write");
+                    buf
+                })
+                .collect();
+            // A mixed stream — binary, legacy JSON, binary — because the
+            // reader detects the codec per frame, and the seam between
+            // the two framings is exactly where mutations should land.
+            let mut mixed = Vec::new();
+            FrameWriter::new_binary(&mut mixed)
+                .send_value(&values[0])
+                .expect("in-memory binary frame write");
+            FrameWriter::new(&mut mixed)
+                .send_value(&values[1])
+                .expect("in-memory frame write");
+            FrameWriter::new_binary(&mut mixed)
+                .send_value(&values[2])
+                .expect("in-memory binary frame write");
+            one_each.push(mixed);
+            one_each
+        }
         Target::JournalJsonl | Target::JournalCbor => {
             let format = if target == Target::JournalJsonl {
                 JournalFormat::Jsonl
@@ -405,7 +477,7 @@ fn scratch_path(tag: &str) -> PathBuf {
 /// pure function of the seed.
 fn mutate(rng: &mut XorShift64, input: &[u8], scratch: &[Vec<u8>]) -> Vec<u8> {
     let mut out = input.to_vec();
-    match rng.below(10) {
+    match rng.below(11) {
         // Bit flip.
         0 if !out.is_empty() => {
             let i = rng.below(out.len());
@@ -472,6 +544,22 @@ fn mutate(rng: &mut XorShift64, input: &[u8], scratch: &[Vec<u8>]) -> Vec<u8> {
             let at = rng.below(out.len() + 1);
             out.splice(at..at, hdr.iter().copied());
         }
+        // Binary frame header games: a `0xC5` magic with a lying
+        // big-endian length — far past the pre-auth cap, zero, or just
+        // bigger than what follows (mid-stream truncation probe).
+        9 => {
+            let hdr: [u8; 5] = match rng.below(3) {
+                0 => [0xC5, 0xFF, 0xFF, 0xFF, 0xFF],
+                1 => [0xC5, 0x00, 0x00, 0x00, 0x00],
+                _ => {
+                    let lie = (out.len() as u32).saturating_add(64);
+                    let b = lie.to_be_bytes();
+                    [0xC5, b[0], b[1], b[2], b[3]]
+                }
+            };
+            let at = rng.below(out.len() + 1);
+            out.splice(at..at, hdr);
+        }
         // Insert raw noise.
         8 => {
             let n = 1 + rng.below(16);
@@ -510,7 +598,7 @@ fn decode(target: Target, input: &[u8], scratch: &Path) -> Outcome {
     // forever on a small input would otherwise look like a hang.
     const MAX_RECORDS: u32 = 4096;
     match target {
-        Target::Frame => {
+        Target::Frame | Target::ProtoBin => {
             let mut reader = FrameReader::new(Cursor::new(input));
             let mut n = 0u32;
             loop {
@@ -937,6 +1025,19 @@ mod tests {
             input.len(),
             min.len()
         );
+    }
+
+    #[test]
+    fn a_binary_frame_claiming_four_gigabytes_is_rejected_before_allocation() {
+        // The binary-path twin of the journal-cbor huge-text-prealloc
+        // finding: a 5-byte header whose big-endian length field claims
+        // a ~4 GiB payload. The pre-auth cap must reject it before any
+        // buffer is sized from the attacker's number (the committed
+        // `ci/corpus/proto-bin--abort--huge-len-prealloc.bin` pins the
+        // same bytes).
+        let mut ex = Executor::new(Duration::from_secs(5));
+        let outcome = ex.run(Target::ProtoBin, &[0xC5, 0xFF, 0xFF, 0xFF, 0xFF]);
+        assert_eq!(outcome, Outcome::Rejected, "cap must precede allocation");
     }
 
     #[test]

@@ -1,28 +1,34 @@
 //! `snip check-proto`: bounded exhaustive exploration of the fleet
-//! protocol v3 state machine.
+//! protocol v4 state machine.
 //!
 //! The coordinator/worker protocol (`snip-fleetd`) promises, per PR 7:
 //! every `ShardDone` merges exactly once; every run reaches a terminal
 //! (`Complete` or `Incomplete` with a full manifest) — never a hang;
-//! resume never recomputes a journaled shard. The chaos suite spot-checks
-//! hand-written fault schedules against the real implementation; this
-//! module complements it the way the coverability literature treats
-//! protocols — as an explicit transition system whose *entire* reachable
-//! state space (within a fault budget) is enumerated and checked.
+//! resume never recomputes a journaled shard. Protocol v4 batches up to
+//! `--shard-batch` jobs into one `Shard` frame and their results into one
+//! `ShardDone`, so the exactly-once promise is now *per job in a batch* —
+//! including a batch severed mid-delivery, where some members may already
+//! have merged through a reassignment while others must requeue. The
+//! chaos suite spot-checks hand-written fault schedules against the real
+//! implementation; this module complements it the way the coverability
+//! literature treats protocols — as an explicit transition system whose
+//! *entire* reachable state space (within a fault budget) is enumerated
+//! and checked.
 //!
 //! The model is an abstraction of `coordinator.rs`/`worker.rs`, faithful
 //! to the decisions that matter:
 //!
 //! * **Pull-based dealing** — a `Ready`/`ShardDone` earns the lowest
-//!   queued shard; an idle worker with an empty queue is released with
-//!   `Shutdown` (in-flight shards that later fail surface as
-//!   `Incomplete`, exactly like the implementation's missing-shard
-//!   manifest).
-//! * **Idempotent merge** — the merge guard drops a `ShardDone` for an
-//!   already-merged ordinal; the checkpoint journal is written before
-//!   the merge is acknowledged, so `journaled == merged` at every
-//!   observable point (the implementation appends under the slot lock
-//!   before bumping the completion count).
+//!   queued shards, up to `batch` of them in one `Shard` frame; an idle
+//!   worker with an empty queue is released with `Shutdown` (in-flight
+//!   shards that later fail surface as `Incomplete`, exactly like the
+//!   implementation's missing-shard manifest).
+//! * **Idempotent merge, per batch member** — the merge guard drops each
+//!   already-merged ordinal inside a `ShardDone` batch individually (a
+//!   partially-stale batch merges only its fresh members); the
+//!   checkpoint journal is written before the merge is acknowledged, so
+//!   `journaled == merged` at every observable point (the implementation
+//!   appends under the slot lock before bumping the completion count).
 //! * **Sever / redial / resume** — a severed worker keeps its in-flight
 //!   result as `pending`, redials, and re-delivers it on a resumed
 //!   session; the coordinator requeues the severed worker's assignment.
@@ -55,8 +61,8 @@ enum WorkerMode {
     AwaitInit,
     /// Handshake done; `Ready`/`ShardDone` sent, awaiting work.
     WaitWork,
-    /// Computing shard `s` (result not yet sent).
-    Computing(u8),
+    /// Computing a batch of shards (bitmask; results not yet sent).
+    Computing(u16),
     /// Connection severed; may redial if budget remains.
     Down,
     /// Released by `Shutdown` (or out of redials for good).
@@ -70,30 +76,34 @@ enum Msg {
     Init,
     /// Coordinator → worker: session resumed (`Resumed`).
     Resumed,
-    /// Coordinator → worker: compute this shard.
-    Shard(u8),
+    /// Coordinator → worker: compute this batch of shards (bitmask,
+    /// nonzero, up to `batch` bits — one v4 `Shard` frame).
+    Shard(u16),
     /// Coordinator → worker: run over, disconnect.
     Shutdown,
     /// Worker → coordinator: `Join { resume: bool }`.
     Join(bool),
     /// Worker → coordinator: `Ready`.
     Ready,
-    /// Worker → coordinator: shard result.
-    Done(u8),
+    /// Worker → coordinator: batched shard results (one `ShardDone`).
+    Done(u16),
 }
 
 /// One worker's slice of the global state.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct WorkerSt {
     mode: WorkerMode,
-    /// A computed-but-unacknowledged result carried across a sever.
-    pending: Option<u8>,
+    /// Computed-but-unacknowledged results carried across a sever
+    /// (bitmask; the whole batch rides one `ShardDone`, so it is
+    /// re-delivered as a unit).
+    pending: u16,
     /// The worker holds a session id it can present for resume.
     has_session: bool,
     /// Coordinator-side: this worker's session is in the session table.
     coord_session: bool,
-    /// Coordinator-side: shard currently assigned to this worker.
-    assigned: Option<u8>,
+    /// Coordinator-side: shards currently assigned to this worker
+    /// (bitmask; the current batch).
+    assigned: u16,
     /// Coordinator → worker frames in flight.
     c2w: VecDeque<Msg>,
     /// Worker → coordinator frames in flight.
@@ -133,6 +143,9 @@ pub struct ExploreConfig {
     pub dups: u8,
     /// Redial budget per worker.
     pub redials: u8,
+    /// Max jobs per `Shard` frame (protocol v4 `--shard-batch`; 1
+    /// reproduces the v3 one-job-per-frame wire).
+    pub batch: u8,
     /// Safety valve: stop (and fail) past this many states.
     pub max_states: usize,
 }
@@ -146,6 +159,7 @@ impl Default for ExploreConfig {
             restarts: 1,
             dups: 1,
             redials: 2,
+            batch: 2,
             max_states: 5_000_000,
         }
     }
@@ -168,6 +182,14 @@ pub struct ExploreReport {
     /// States in which a resumed session re-delivered a pending result
     /// (must be nonzero when the sever budget is).
     pub resume_redeliveries: usize,
+    /// Deals that packed more than one job into a `Shard` frame (must be
+    /// nonzero when `batch > 1`).
+    pub batched_deals: usize,
+    /// `ShardDone` batches whose members split between fresh merges and
+    /// the dedup guard — the partially-stale batch case a mid-delivery
+    /// sever produces (must be nonzero when `batch > 1` and faults are
+    /// budgeted).
+    pub partial_batch_merges: usize,
 }
 
 impl fmt::Display for ExploreReport {
@@ -175,13 +197,16 @@ impl fmt::Display for ExploreReport {
         write!(
             f,
             "explored {} distinct states, {} transitions; terminals: {} complete, {} incomplete; \
-             {} duplicate ShardDones absorbed, {} resume re-deliveries",
+             {} duplicate ShardDones absorbed, {} resume re-deliveries; \
+             {} batched deals, {} partial-batch merges",
             self.states,
             self.transitions,
             self.complete_terminals,
             self.incomplete_terminals,
             self.dedup_absorptions,
-            self.resume_redeliveries
+            self.resume_redeliveries,
+            self.batched_deals,
+            self.partial_batch_merges
         )
     }
 }
@@ -220,10 +245,10 @@ impl St {
             workers: (0..cfg.workers)
                 .map(|_| WorkerSt {
                     mode: WorkerMode::NeverJoined,
-                    pending: None,
+                    pending: 0,
                     has_session: false,
                     coord_session: false,
-                    assigned: None,
+                    assigned: 0,
                     c2w: VecDeque::new(),
                     w2c: VecDeque::new(),
                     redials_left: cfg.redials,
@@ -259,8 +284,22 @@ impl St {
         })
     }
 
-    fn lowest_queued(&self) -> Option<u8> {
-        (0..16).find(|s| self.queue & (1 << s) != 0)
+    /// The next batch to deal: the lowest queued shards, up to `batch`
+    /// of them, as a bitmask (0 when the queue is dry). Mirrors
+    /// `RunState::next_batch`: first job pulled, then a greedy top-up.
+    fn next_batch(&self, batch: u8) -> u16 {
+        let mut mask = 0u16;
+        let mut taken = 0u8;
+        for s in 0..16 {
+            if taken == batch.max(1) {
+                break;
+            }
+            if self.queue & (1 << s) != 0 {
+                mask |= 1 << s;
+                taken += 1;
+            }
+        }
+        mask
     }
 }
 
@@ -269,6 +308,8 @@ impl St {
 struct Effects {
     dedup: bool,
     redelivery: bool,
+    batched_deal: bool,
+    partial_batch: bool,
 }
 
 /// Enumerates every successor of `st`. Transition labels are only for
@@ -303,14 +344,15 @@ fn successors(st: &St, cfg: &ExploreConfig) -> Vec<(St, Effects, &'static str)> 
             out.push((next, Effects::default(), "dial"));
         }
 
-        // Worker finishes its compute: the result enters the wire.
-        if let WorkerMode::Computing(s) = w.mode {
+        // Worker finishes its compute: the whole batch's results enter
+        // the wire as one `ShardDone` frame.
+        if let WorkerMode::Computing(mask) = w.mode {
             if w.w2c.len() < CHANNEL_CAP {
                 let mut next = st.clone();
                 let nw = &mut next.workers[wi];
                 nw.mode = WorkerMode::WaitWork;
-                nw.pending = Some(s);
-                nw.w2c.push_back(Msg::Done(s));
+                nw.pending = mask;
+                nw.w2c.push_back(Msg::Done(mask));
                 out.push((next, Effects::default(), "compute"));
             }
         }
@@ -327,24 +369,25 @@ fn successors(st: &St, cfg: &ExploreConfig) -> Vec<(St, Effects, &'static str)> 
                         // Fresh admission: stale pending results die here
                         // (the session they belonged to is gone).
                         nw.has_session = true;
-                        nw.pending = None;
+                        nw.pending = 0;
                         nw.mode = WorkerMode::WaitWork;
                         nw.w2c.push_back(Msg::Ready);
                     }
                     Msg::Resumed => {
                         nw.mode = WorkerMode::WaitWork;
-                        if let Some(p) = nw.pending {
+                        if nw.pending != 0 {
                             // The resumed session re-delivers the
-                            // in-flight result instead of recomputing.
-                            nw.w2c.push_back(Msg::Done(p));
+                            // in-flight batch instead of recomputing —
+                            // as one frame, exactly as it was built.
+                            nw.w2c.push_back(Msg::Done(nw.pending));
                             eff.redelivery = true;
                         } else {
                             nw.w2c.push_back(Msg::Ready);
                         }
                     }
-                    Msg::Shard(s) => {
-                        nw.pending = None;
-                        nw.mode = WorkerMode::Computing(s);
+                    Msg::Shard(mask) => {
+                        nw.pending = 0;
+                        nw.mode = WorkerMode::Computing(mask);
                     }
                     Msg::Shutdown => {
                         nw.mode = WorkerMode::Finished;
@@ -361,13 +404,14 @@ fn successors(st: &St, cfg: &ExploreConfig) -> Vec<(St, Effects, &'static str)> 
             }
         }
 
-        // Coordinator consumes the head worker frame.
+        // Coordinator consumes the head worker frame. One received frame
+        // can yield several successors: the dealing that follows a
+        // `Ready`/`Done` observes a racing queue (see `deal_choices`).
         if let Some(&msg) = w.w2c.front() {
-            let mut next = st.clone();
-            let mut eff = Effects::default();
-            coordinator_recv(&mut next, wi, msg, &mut eff, cfg);
-            if next.workers[wi].c2w.len() <= CHANNEL_CAP {
-                out.push((next, eff, "coord-recv"));
+            for (next, eff) in coordinator_recv(st, wi, msg, cfg) {
+                if next.workers[wi].c2w.len() <= CHANNEL_CAP {
+                    out.push((next, eff, "coord-recv"));
+                }
             }
         }
 
@@ -417,12 +461,16 @@ fn successors(st: &St, cfg: &ExploreConfig) -> Vec<(St, Effects, &'static str)> 
     out
 }
 
-/// The coordinator's message handler, mirroring `drive_peer`.
-fn coordinator_recv(next: &mut St, wi: usize, msg: Msg, eff: &mut Effects, cfg: &ExploreConfig) {
-    let w = &mut next.workers[wi];
-    w.w2c.pop_front();
+/// The coordinator's message handler, mirroring `drive_peer`. Returns
+/// every successor one received frame can produce — more than one when
+/// the deal that follows races the queue (see [`deal_choices`]).
+fn coordinator_recv(st: &St, wi: usize, msg: Msg, cfg: &ExploreConfig) -> Vec<(St, Effects)> {
+    let mut base = st.clone();
+    base.workers[wi].w2c.pop_front();
+    let mut eff = Effects::default();
     match msg {
         Msg::Join(resume) => {
+            let w = &mut base.workers[wi];
             if resume && w.coord_session {
                 w.c2w.push_back(Msg::Resumed);
             } else {
@@ -432,34 +480,40 @@ fn coordinator_recv(next: &mut St, wi: usize, msg: Msg, eff: &mut Effects, cfg: 
                 w.coord_session = true;
                 w.c2w.push_back(Msg::Init);
             }
+            vec![(base, eff)]
         }
-        Msg::Ready => deal_or_release(next, wi, cfg),
-        Msg::Done(s) => {
-            let bit = 1u16 << s;
-            if next.merged & bit != 0 {
-                // The idempotent-merge guard: an ordinal already merged
-                // (duplicate frame, resume re-delivery racing a
-                // reassigned compute) is dropped, never double-counted.
+        Msg::Ready => deal_choices(base, wi, cfg, eff),
+        Msg::Done(mask) => {
+            // Per-member idempotent merge: each job of the batch is
+            // judged on its own against `merged`, exactly as
+            // `finish_shard` guards each result of a `ShardDone` by
+            // ordinal. A duplicate frame, or a resume re-delivery
+            // racing a reassignment, can carry a batch whose members
+            // split between fresh and stale — the fresh ones merge, the
+            // stale ones hit the guard, and nothing double-counts.
+            let fresh = mask & !base.merged;
+            let stale = mask & base.merged;
+            if stale != 0 {
                 eff.dedup = true;
-            } else {
-                // Journal append (fsync) happens-before the merge ack:
-                // merged and journaled advance together.
-                next.merged |= bit;
-                // A sever may have requeued this shard before its
-                // result arrived over the resumed session — completion
-                // retires the queued copy too (the coordinator's queue
-                // is "not yet completed"; `next_shard` never hands out
-                // a completed ordinal). Dropping this line re-deals a
-                // merged shard; the `queue ∩ merged` and recompute
-                // invariants both catch it instantly.
-                next.queue &= !bit;
             }
-            let w = &mut next.workers[wi];
-            if w.assigned == Some(s) {
-                w.assigned = None;
+            if fresh != 0 && stale != 0 {
+                eff.partial_batch = true;
             }
-            w.pending = None;
-            deal_or_release(next, wi, cfg);
+            // Journal append (fsync) happens-before the merge ack:
+            // merged and journaled advance together.
+            base.merged |= fresh;
+            // A sever may have requeued these shards before their
+            // results arrived over the resumed session — completion
+            // retires the queued copies too (the coordinator's queue
+            // is "not yet completed"; `next_batch` never hands out
+            // a completed ordinal). Dropping this line re-deals a
+            // merged shard; the `queue ∩ merged` and recompute
+            // invariants both catch it instantly.
+            base.queue &= !fresh;
+            let w = &mut base.workers[wi];
+            w.assigned &= !mask;
+            w.pending = 0;
+            deal_choices(base, wi, cfg, eff)
         }
         Msg::Init | Msg::Resumed | Msg::Shard(_) | Msg::Shutdown => {
             unreachable!("coordinator-bound channel never carries coordinator messages")
@@ -467,38 +521,64 @@ fn coordinator_recv(next: &mut St, wi: usize, msg: Msg, eff: &mut Effects, cfg: 
     }
 }
 
-/// Pull-based dealing: hand the lowest queued shard to this worker, or
-/// release it with `Shutdown` when the queue is dry.
-fn deal_or_release(next: &mut St, wi: usize, cfg: &ExploreConfig) {
-    if let Some(s) = next.lowest_queued() {
-        // The dealt shard must never be an already-merged one — the
-        // explorer asserts this globally via queue ∩ merged == ∅.
-        next.queue &= !(1u16 << s);
-        let w = &mut next.workers[wi];
-        w.assigned = Some(s);
-        w.c2w.push_back(Msg::Shard(s));
-    } else {
-        let _ = cfg;
+/// Pull-based dealing with the racy top-up the implementation has:
+/// `RunState::next_batch` blocks for the first job, then tops up
+/// without blocking, so one deal can observe anywhere from a single
+/// queued job up to the full batch bound depending on how requeues and
+/// competing workers interleave. Each observable width is a distinct
+/// successor — this is exactly the nondeterminism that recomposes batch
+/// membership after a sever and reaches the partially-stale re-delivery
+/// states. A dry queue releases the worker with `Shutdown`.
+fn deal_choices(base: St, wi: usize, cfg: &ExploreConfig, eff: Effects) -> Vec<(St, Effects)> {
+    let full = base.next_batch(cfg.batch);
+    if full == 0 {
+        let mut next = base;
         next.workers[wi].c2w.push_back(Msg::Shutdown);
+        return vec![(next, eff)];
     }
+    let mut out = Vec::new();
+    for width in 1..=full.count_ones() {
+        let mut mask = 0u16;
+        let mut taken = 0;
+        for s in 0..16 {
+            if taken == width {
+                break;
+            }
+            if full & (1 << s) != 0 {
+                mask |= 1 << s;
+                taken += 1;
+            }
+        }
+        // The dealt shards are never already-merged ones — the explorer
+        // asserts this globally via queue ∩ merged == ∅.
+        let mut next = base.clone();
+        next.queue &= !mask;
+        let w = &mut next.workers[wi];
+        w.assigned = mask;
+        w.c2w.push_back(Msg::Shard(mask));
+        let mut e = eff;
+        if width > 1 {
+            e.batched_deal = true;
+        }
+        out.push((next, e));
+    }
+    out
 }
 
-/// Connection loss, worker-side state retained: the in-flight assignment
-/// goes back on the queue (unless already merged via an earlier
-/// delivery), the worker keeps its computed result as `pending`.
+/// Connection loss, worker-side state retained: the in-flight batch
+/// goes back on the queue — only its unmerged members; ones that already
+/// merged via an earlier delivery stay retired — and the worker keeps
+/// its computed results as `pending`.
 fn sever_worker(next: &mut St, wi: usize) {
     let merged = next.merged;
     let w = &mut next.workers[wi];
-    // A result computed (or mid-compute: the worker process survives a
-    // connection loss and finishes) becomes the pending re-delivery.
-    if let WorkerMode::Computing(s) = w.mode {
-        w.pending = Some(s);
+    // Results computed (or mid-compute: the worker process survives a
+    // connection loss and finishes) become the pending re-delivery.
+    if let WorkerMode::Computing(mask) = w.mode {
+        w.pending = mask;
     }
-    if let Some(s) = w.assigned.take() {
-        if merged & (1u16 << s) == 0 {
-            next.queue |= 1u16 << s;
-        }
-    }
+    let assigned = std::mem::take(&mut w.assigned);
+    next.queue |= assigned & !merged;
     w.c2w.clear();
     w.w2c.clear();
     if !matches!(w.mode, WorkerMode::Finished) {
@@ -519,24 +599,25 @@ fn check_state(st: &St, cfg: &ExploreConfig) -> Result<(), ProtoViolation> {
     }
     let mut assigned_mask = 0u16;
     for w in &st.workers {
-        if let Some(s) = w.assigned {
-            let bit = 1u16 << s;
-            if assigned_mask & bit != 0 {
-                return fail("a shard must never be assigned to two workers at once");
-            }
-            assigned_mask |= bit;
-            if st.queue & bit != 0 {
-                return fail("an assigned shard must have left the queue");
-            }
+        if assigned_mask & w.assigned != 0 {
+            return fail("a shard must never be assigned to two workers at once");
         }
-        // Note what is *not* checked here: a `Shard(s)` frame in flight
-        // while `s` is merged. That state is reachable legitimately — a
-        // resumed session re-delivers `ShardDone(s)` after `s` was
-        // reassigned to another worker, which then computes it again.
-        // Duplicate *compute* is allowed (and real); exactly-once lives
-        // in the merge dedup. The property that matters — a merged
-        // shard is never *dealt* — follows from `queue ∩ merged == ∅`
-        // above plus `deal_or_release` dealing only from the queue.
+        assigned_mask |= w.assigned;
+        if st.queue & w.assigned != 0 {
+            return fail("an assigned shard must have left the queue");
+        }
+        if w.assigned.count_ones() > u32::from(cfg.batch.max(1)) {
+            return fail("a dealt batch must never exceed the batch bound");
+        }
+        // Note what is *not* checked here: a `Shard` frame in flight
+        // carrying a merged member. That state is reachable
+        // legitimately — a resumed session re-delivers its `ShardDone`
+        // batch after a member was reassigned to another worker, which
+        // then computes it again. Duplicate *compute* is allowed (and
+        // real); exactly-once lives in the per-member merge dedup. The
+        // property that matters — a merged shard is never *dealt* —
+        // follows from `queue ∩ merged == ∅` above plus
+        // `deal_or_release` dealing only from the queue.
     }
     if st.merged & !all_mask(cfg.shards) != 0 {
         return fail("merged bits outside the shard range");
@@ -567,6 +648,8 @@ pub fn explore(cfg: &ExploreConfig) -> Result<ExploreReport, ProtoViolation> {
         incomplete_terminals: 0,
         dedup_absorptions: 0,
         resume_redeliveries: 0,
+        batched_deals: 0,
+        partial_batch_merges: 0,
     };
 
     let init = St::initial(cfg);
@@ -601,6 +684,12 @@ pub fn explore(cfg: &ExploreConfig) -> Result<ExploreReport, ProtoViolation> {
             }
             if eff.redelivery {
                 report.resume_redeliveries += 1;
+            }
+            if eff.batched_deal {
+                report.batched_deals += 1;
+            }
+            if eff.partial_batch {
+                report.partial_batch_merges += 1;
             }
             let next_id = match ids.get(&next) {
                 Some(&n) => n,
@@ -671,6 +760,12 @@ pub fn explore(cfg: &ExploreConfig) -> Result<ExploreReport, ProtoViolation> {
             state: String::new(),
         });
     }
+    if cfg.batch > 1 && cfg.shards > 1 && report.batched_deals == 0 {
+        return Err(ProtoViolation {
+            invariant: "coverage: a batch bound above 1 never packed a multi-job Shard frame",
+            state: String::new(),
+        });
+    }
 
     Ok(report)
 }
@@ -688,12 +783,14 @@ mod tests {
             restarts: 0,
             dups: 0,
             redials: 1,
+            batch: 1,
             max_states: 100_000,
         };
         let report = explore(&cfg).expect("clean protocol");
         assert!(report.states > 5 && report.states < 1000, "{report}");
         assert!(report.complete_terminals >= 1);
         assert_eq!(report.incomplete_terminals, 0, "no faults, no failures");
+        assert_eq!(report.batched_deals, 0, "batch 1 never packs frames");
     }
 
     #[test]
@@ -710,6 +807,39 @@ mod tests {
         );
         assert!(report.dedup_absorptions > 0, "{report}");
         assert!(report.resume_redeliveries > 0, "{report}");
+        assert!(report.batched_deals > 0, "default batch is 2: {report}");
+        assert!(
+            report.partial_batch_merges > 0,
+            "a severed batch racing a reassignment must reach the \
+             partially-stale merge: {report}"
+        );
+    }
+
+    /// `batch: 1` reproduces the v3 one-job-per-frame wire on the same
+    /// fault budgets — everything still holds, nothing ever batches.
+    #[test]
+    fn batch_of_one_reproduces_the_v3_wire() {
+        let cfg = ExploreConfig {
+            batch: 1,
+            ..ExploreConfig::default()
+        };
+        let report = explore(&cfg).expect("invariants hold at batch 1");
+        assert!(report.complete_terminals >= 1, "{report}");
+        assert_eq!(report.batched_deals, 0, "{report}");
+        assert_eq!(report.partial_batch_merges, 0, "{report}");
+        assert!(report.dedup_absorptions > 0, "{report}");
+    }
+
+    /// A batch wider than `--shard-batch` would mean the coordinator
+    /// ignored its own bound; the per-state invariant pins it.
+    #[test]
+    fn oversized_batch_assignment_is_caught() {
+        let cfg = ExploreConfig::default();
+        let mut st = St::initial(&cfg);
+        st.queue = 0;
+        st.workers[0].assigned = 0b111; // three jobs, bound is two
+        let err = check_state(&st, &cfg).expect_err("must be rejected");
+        assert!(err.invariant.contains("batch bound"), "{err}");
     }
 
     /// Regression pin for the modelling bug found while building this
@@ -732,8 +862,8 @@ mod tests {
         let cfg = ExploreConfig::default();
         let mut st = St::initial(&cfg);
         st.queue = 0b100;
-        st.workers[0].assigned = Some(0);
-        st.workers[1].assigned = Some(0);
+        st.workers[0].assigned = 0b001;
+        st.workers[1].assigned = 0b001;
         let err = check_state(&st, &cfg).expect_err("must be rejected");
         assert!(err.invariant.contains("two workers"), "{err}");
     }

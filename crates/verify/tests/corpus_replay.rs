@@ -22,8 +22,8 @@ fn committed_corpus_replays_clean() {
     );
     let report = replay_corpus(&dir).expect("corpus replay should run");
     assert!(
-        report.artifacts >= 3,
-        "expected at least the three seeded artifacts, replayed {}",
+        report.artifacts >= 4,
+        "expected at least the four seeded artifacts, replayed {}",
         report.artifacts
     );
     assert!(
@@ -35,14 +35,17 @@ fn committed_corpus_replays_clean() {
 
 #[test]
 fn historical_findings_are_pinned() {
-    // The two development-time findings (plus the checkpoint-path variant of
+    // The development-time findings (plus the checkpoint-path variant of
     // the first) must stay in the corpus by name. Renaming is fine only if
-    // the `<target>--` prefix still parses.
+    // the `<target>--` prefix still parses. The proto-bin artifact is the
+    // v4 binary-framing twin of the huge-text-prealloc attack: a header
+    // whose length field claims ~4 GiB.
     let dir = corpus_dir();
     for name in [
         "frame--abort--nesting-bomb.bin",
         "journal-cbor--abort--huge-text-prealloc.bin",
         "checkpoint--abort--nesting-bomb.bin",
+        "proto-bin--abort--huge-len-prealloc.bin",
     ] {
         assert!(
             dir.join(name).is_file(),
